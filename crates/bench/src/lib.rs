@@ -1,0 +1,39 @@
+//! Benchmark support for the TUS reproduction.
+//!
+//! The actual Criterion benchmarks live under `benches/`:
+//!
+//! * `figures` — one benchmark per paper table/figure, running the same
+//!   experiment code as `tus-harness` at smoke-test scale so `cargo
+//!   bench` regenerates every result quickly and tracks simulator
+//!   performance over time.
+//! * `microbench` — hot-path microbenchmarks: WOQ search/merge, WCB
+//!   coalescing, SB forwarding, litmus enumeration, and raw simulation
+//!   throughput per policy.
+//!
+//! This library exposes the shared helpers.
+
+use tus_harness::{run, RunResult, RunSpec, Scale};
+use tus_sim::PolicyKind;
+
+/// Runs one short measurement of `workload` under `policy` (shared by the
+/// benches).
+pub fn short_run(workload: &str, policy: PolicyKind, sb: usize, insts: u64) -> RunResult {
+    let w = tus_workloads::by_name(workload).expect("workload exists");
+    let spec = RunSpec {
+        warmup: 0,
+        insts,
+        ..RunSpec::new(w, policy, sb, Scale::Quick)
+    };
+    run(&spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_run_completes() {
+        let r = short_run("502.gcc1-like", PolicyKind::Tus, 114, 5_000);
+        assert!(r.cycles > 0.0);
+    }
+}

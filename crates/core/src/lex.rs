@@ -1,0 +1,211 @@
+//! The lexicographical order and the authorization unit.
+//!
+//! TUS avoids cross-core deadlocks on not-yet-visible lines with a global
+//! *sub-address* order: the low bits of the line address (16 by default —
+//! the same bits that index the directory). When an external request hits
+//! a temporarily unauthorized line for which this core holds write
+//! permission, the authorization unit decides (paper Section III-C,
+//! Figure 5):
+//!
+//! * **Delay** the request when the core holds permission for *every*
+//!   older pending line with a lex order less than or equal to the
+//!   requested line's — the core cannot be part of a deadlock cycle, so
+//!   it may keep the line until it becomes visible.
+//! * **Relinquish** the line otherwise: reply with the old copy from the
+//!   private L2, keep the unauthorized bytes locally, and re-request write
+//!   permission only once the line is the lex-least unacquired line of the
+//!   atomic group at the head of the WOQ.
+//!
+//! The unit is pure combinational logic over WOQ state — it has no storage
+//! (paper Section IV, "no storage overhead").
+
+use tus_sim::LineAddr;
+
+use crate::woq::Woq;
+
+/// The decision for an external request hitting an unauthorized line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictDecision {
+    /// Keep the line; answer when it becomes visible.
+    Delay,
+    /// Give the line up (the requester proceeds with the old copy).
+    Relinquish,
+}
+
+/// The (stateless) authorization unit.
+///
+/// # Example
+///
+/// ```
+/// use tus::{AuthorizationUnit, ConflictDecision, Woq};
+/// use tus_mem::ByteMask;
+/// use tus_sim::LineAddr;
+///
+/// let unit = AuthorizationUnit::new(16);
+/// let mut woq = Woq::new(8);
+/// // One pending line we already hold: external request must be delayed.
+/// woq.push(LineAddr::new(5), 0, 0, ByteMask::range(0, 8));
+/// woq.mark_ready(0, 0);
+/// assert_eq!(unit.decide(&woq, 0), ConflictDecision::Delay);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthorizationUnit {
+    lex_bits: u32,
+}
+
+impl AuthorizationUnit {
+    /// Creates a unit using `lex_bits` low bits of the line address as
+    /// the sub-address.
+    pub fn new(lex_bits: u32) -> Self {
+        assert!((1..=32).contains(&lex_bits), "lex bits in 1..=32");
+        AuthorizationUnit { lex_bits }
+    }
+
+    /// The lex order of a line.
+    pub fn lex(&self, line: LineAddr) -> u64 {
+        line.lex_order(self.lex_bits)
+    }
+
+    /// Whether two lines conflict (same sub-address but different lines) —
+    /// forbidden within an atomic group.
+    pub fn lex_conflict(&self, a: LineAddr, b: LineAddr) -> bool {
+        a != b && self.lex(a) == self.lex(b)
+    }
+
+    /// Decides the fate of an external request targeting the WOQ entry at
+    /// `idx` (which must be ready — the core holds its permission).
+    ///
+    /// The core *delays* iff it holds permission (`ready`) for every entry
+    /// that is older in WOQ order than `idx` — or in the same atomic
+    /// group — whose lex order is less than or equal to the requested
+    /// line's (paper: "If the core has permissions for all addresses with
+    /// lex order lesser or equal than the requested cache line it delays
+    /// the request").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn decide(&self, woq: &Woq, idx: usize) -> ConflictDecision {
+        let target = woq.entry(idx);
+        let target_lex = self.lex(target.line);
+        let target_group = target.group;
+        for (i, e) in woq.iter().enumerate() {
+            let older_or_grouped = i <= idx || e.group == target_group;
+            if !older_or_grouped {
+                continue;
+            }
+            if self.lex(e.line) <= target_lex && !e.ready {
+                return ConflictDecision::Relinquish;
+            }
+        }
+        ConflictDecision::Delay
+    }
+
+    /// Whether a relinquished entry may re-request write permission: its
+    /// atomic group must be at the head of the WOQ and every same-group
+    /// line with a smaller lex order must already be ready (paper: the
+    /// request is re-sent "when the cache line is the lesser-most address
+    /// in lex order in the atomic group at the head of the WOQ").
+    pub fn may_rerequest(&self, woq: &Woq, idx: usize) -> bool {
+        let target = woq.entry(idx);
+        let Some(head_group) = woq.head_group() else {
+            return false;
+        };
+        if target.group != head_group {
+            return false;
+        }
+        let target_lex = self.lex(target.line);
+        woq.iter()
+            .filter(|e| e.group == target.group && self.lex(e.line) < target_lex)
+            .all(|e| e.ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tus_mem::ByteMask;
+
+    fn mask() -> ByteMask {
+        ByteMask::range(0, 8)
+    }
+
+    #[test]
+    fn lex_uses_low_bits() {
+        let u = AuthorizationUnit::new(8);
+        assert_eq!(u.lex(LineAddr::new(0x1_02)), 0x02);
+        assert!(u.lex_conflict(LineAddr::new(0x1_02), LineAddr::new(0x2_02)));
+        assert!(!u.lex_conflict(LineAddr::new(0x1_02), LineAddr::new(0x1_02)));
+        assert!(!u.lex_conflict(LineAddr::new(0x1_02), LineAddr::new(0x1_03)));
+    }
+
+    #[test]
+    fn delay_when_all_smaller_lex_held() {
+        // Entries: line 3 (ready), line 7 (ready, requested).
+        let u = AuthorizationUnit::new(16);
+        let mut woq = Woq::new(8);
+        woq.push(LineAddr::new(3), 0, 0, mask());
+        woq.push(LineAddr::new(7), 0, 1, mask());
+        woq.mark_ready(0, 0);
+        woq.mark_ready(0, 1);
+        assert_eq!(u.decide(&woq, 1), ConflictDecision::Delay);
+    }
+
+    #[test]
+    fn relinquish_when_waiting_on_smaller_lex() {
+        // Fig. 5, core 1: waiting for C (lex 3) while holding D (lex 7).
+        let u = AuthorizationUnit::new(16);
+        let mut woq = Woq::new(8);
+        let g = woq.push(LineAddr::new(3), 0, 0, mask()); // C, not ready
+        woq.push_into_group(LineAddr::new(7), 0, 1, mask(), g); // D
+        woq.mark_ready(0, 1); // we hold D only
+        assert_eq!(u.decide(&woq, 1), ConflictDecision::Relinquish);
+    }
+
+    #[test]
+    fn delay_when_waiting_only_on_larger_lex() {
+        // Fig. 5, core 0: holds C (lex 3), waiting for D (lex 7): request
+        // for C is delayed.
+        let u = AuthorizationUnit::new(16);
+        let mut woq = Woq::new(8);
+        let g = woq.push(LineAddr::new(3), 0, 0, mask()); // C, ready
+        woq.push_into_group(LineAddr::new(7), 0, 1, mask(), g); // D, not ready
+        woq.mark_ready(0, 0);
+        assert_eq!(u.decide(&woq, 0), ConflictDecision::Delay);
+    }
+
+    #[test]
+    fn older_entries_outside_group_count() {
+        // Older singleton group with smaller lex, not ready => relinquish.
+        let u = AuthorizationUnit::new(16);
+        let mut woq = Woq::new(8);
+        woq.push(LineAddr::new(1), 0, 0, mask()); // older, lex 1, pending
+        woq.push(LineAddr::new(9), 0, 1, mask());
+        woq.mark_ready(0, 1);
+        assert_eq!(u.decide(&woq, 1), ConflictDecision::Relinquish);
+        // Once the older line is acquired, the same request is delayed.
+        woq.mark_ready(0, 0);
+        assert_eq!(u.decide(&woq, 1), ConflictDecision::Delay);
+    }
+
+    #[test]
+    fn rerequest_requires_head_group_and_lex_order() {
+        let u = AuthorizationUnit::new(16);
+        let mut woq = Woq::new(8);
+        let g0 = woq.push(LineAddr::new(20), 0, 0, mask()); // older group (P)
+        let g1 = woq.push(LineAddr::new(3), 1, 0, mask()); // C
+        woq.push_into_group(LineAddr::new(7), 1, 1, mask(), g1); // D
+        let d_idx = 2;
+        // Older group still present: no re-request.
+        assert!(!u.may_rerequest(&woq, d_idx));
+        // Pop the older group: now the {C, D} group is at the head, but C
+        // (smaller lex) is not ready yet.
+        woq.mark_ready(0, 0);
+        assert_eq!(woq.head_group(), Some(g0));
+        let popped = woq.pop_head_group();
+        assert_eq!(popped.len(), 1);
+        assert!(!u.may_rerequest(&woq, 1), "C not ready yet");
+        woq.mark_ready(1, 0); // C acquired
+        assert!(u.may_rerequest(&woq, 1), "D may re-request now");
+    }
+}

@@ -1,0 +1,779 @@
+//! Store-drain policies.
+//!
+//! The drain policy is the mechanism that moves committed stores out of
+//! the store buffer and into the memory system — the axis the paper's
+//! whole evaluation varies. Five policies are implemented behind the
+//! [`Policy`] enum:
+//!
+//! * [`BaselinePolicy`] — prefetch-at-commit + stream prefetching; the SB
+//!   head blocks on a store miss (the paper's strengthened baseline).
+//! * [`SpbPolicy`] — baseline + Store Prefetch Burst (full-page GetM
+//!   prefetch on store bursts) \[Cebrian et al., MICRO'20\].
+//! * [`SsbPolicy`] — idealized Scalable Store Buffer: stores leave the SB
+//!   into a 1K-entry in-order TSOB immediately and drain to the L2
+//!   one-by-one (write-through, no coalescing) \[Wenisch et al.,
+//!   ISCA'07\].
+//! * [`CsbPolicy`] — Coalescing Store Buffer: WCB coalescing with atomic
+//!   groups, but writes require permission, so a WCB write miss stops the
+//!   SB drain \[Ros & Kaxiras, ISCA'18\].
+//! * [`TusPolicy`] — Temporarily Unauthorized Stores: WCB coalescing plus
+//!   unauthorized L1D writes ordered by the WOQ, with the lex-order
+//!   authorization unit resolving external conflicts (the paper).
+
+use std::collections::VecDeque;
+
+use tus_cpu::StoreBuffer;
+use tus_mem::prefetch::SpbPrefetcher;
+use tus_mem::{
+    CacheEvent, Network, PrivateCache, ProbeResult, StoreWriteOutcome,
+};
+use tus_sim::{Addr, Cycle, LineAddr, PolicyKind, SimConfig, StatSet};
+
+use crate::lex::{AuthorizationUnit, ConflictDecision};
+use crate::wcb::{WcbRefusal, WcbSet};
+use crate::woq::Woq;
+
+/// How many stores may move from the SB into the WCBs per cycle.
+const SB_TO_WCB_PER_CYCLE: usize = 4;
+
+/// Flush a WCB group once its oldest store has waited this long
+/// (coalescing window).
+const WCB_FLUSH_AGE: u64 = 100;
+
+/// Maximum SPB backlog prefetches issued per cycle.
+const SPB_ISSUE_PER_CYCLE: usize = 4;
+
+/// A per-core store-drain policy.
+#[derive(Debug)]
+pub enum Policy {
+    /// Strengthened baseline.
+    Baseline(BaselinePolicy),
+    /// Store Prefetch Burst.
+    Spb(SpbPolicy),
+    /// Scalable Store Buffer (idealized).
+    Ssb(SsbPolicy),
+    /// Coalescing Store Buffer.
+    Csb(CsbPolicy),
+    /// Temporarily Unauthorized Stores.
+    Tus(TusPolicy),
+}
+
+impl Policy {
+    /// Builds the policy selected by `cfg.policy`.
+    pub fn new(cfg: &SimConfig) -> Self {
+        match cfg.policy {
+            PolicyKind::Baseline => Policy::Baseline(BaselinePolicy::new(cfg)),
+            PolicyKind::Spb => Policy::Spb(SpbPolicy::new(cfg)),
+            PolicyKind::Ssb => Policy::Ssb(SsbPolicy::new(cfg)),
+            PolicyKind::Csb => Policy::Csb(CsbPolicy::new(cfg)),
+            PolicyKind::Tus => Policy::Tus(TusPolicy::new(cfg)),
+        }
+    }
+
+    /// Drains committed stores from `sb` into the memory system; called
+    /// once per cycle before the core ticks.
+    pub fn drain(
+        &mut self,
+        sb: &mut StoreBuffer,
+        ctrl: &mut PrivateCache,
+        net: &mut Network,
+        now: Cycle,
+    ) {
+        match self {
+            Policy::Baseline(p) => p.drain(sb, ctrl, net, now),
+            Policy::Spb(p) => p.drain(sb, ctrl, net, now),
+            Policy::Ssb(p) => p.drain(sb, ctrl, net, now),
+            Policy::Csb(p) => p.drain(sb, ctrl, net, now),
+            Policy::Tus(p) => p.drain(sb, ctrl, net, now),
+        }
+    }
+
+    /// Handles a controller event (TUS consumes `PermissionReady` and
+    /// `ExternalConflict`; other policies never receive them).
+    pub fn on_event(&mut self, ev: &CacheEvent, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        match self {
+            Policy::Tus(p) => p.on_event(ev, ctrl, net, now),
+            _ => match ev {
+                CacheEvent::ExternalConflict { .. } | CacheEvent::PermissionReady { .. } => {
+                    unreachable!("unauthorized-line events without the TUS policy")
+                }
+                CacheEvent::LoadDone { .. } | CacheEvent::Invalidated { .. } => {}
+            },
+        }
+    }
+
+    /// Store-to-load forwarding from policy-owned buffers.
+    pub fn forward_load(&mut self, addr: Addr, size: usize) -> Option<(u64, u64)> {
+        match self {
+            Policy::Baseline(_) | Policy::Spb(_) => None,
+            Policy::Ssb(p) => p.forward_load(addr, size),
+            Policy::Csb(p) => p.wcbs.forward(addr, size).map(|v| (v, p.l1_lat)),
+            Policy::Tus(p) => p.wcbs.forward(addr, size).map(|v| (v, p.l1_lat)),
+        }
+    }
+
+    /// Notification that a store committed (prefetch-at-commit, SPB
+    /// training).
+    pub fn store_committed(
+        &mut self,
+        ctrl: &mut PrivateCache,
+        net: &mut Network,
+        addr: Addr,
+        now: Cycle,
+    ) {
+        let line = addr.line();
+        let pac = match self {
+            Policy::Baseline(p) => p.prefetch_at_commit,
+            Policy::Spb(p) => {
+                for l in p.spb.observe(line) {
+                    p.backlog.push_back(l);
+                }
+                p.base_prefetch_at_commit
+            }
+            Policy::Ssb(p) => p.prefetch_at_commit,
+            Policy::Csb(p) => p.prefetch_at_commit,
+            Policy::Tus(p) => p.prefetch_at_commit,
+        };
+        if pac {
+            ctrl.ensure_write_permission(line, true, now, net);
+        }
+    }
+
+    /// Whether all policy-side store state has drained (fence condition).
+    pub fn drained(&self) -> bool {
+        match self {
+            Policy::Baseline(_) | Policy::Spb(_) => true,
+            Policy::Ssb(p) => p.tsob.is_empty(),
+            Policy::Csb(p) => p.wcbs.is_empty(),
+            Policy::Tus(p) => p.wcbs.is_empty() && p.woq.is_empty(),
+        }
+    }
+
+    /// Whether the policy currently holds any store state (used by run
+    /// loops to decide when a program has fully drained).
+    pub fn holds_stores(&self) -> bool {
+        !self.drained()
+    }
+
+    /// Exports policy statistics.
+    pub fn export_stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        match self {
+            Policy::Baseline(p) => {
+                s.set("head_block_cycles", p.head_block_cycles as f64);
+                s.set("drained_stores", p.drained as f64);
+            }
+            Policy::Spb(p) => {
+                s.set("head_block_cycles", p.head_block_cycles as f64);
+                s.set("drained_stores", p.drained as f64);
+                s.set("spb_bursts", p.bursts as f64);
+            }
+            Policy::Ssb(p) => {
+                s.set("tsob_peak", p.tsob_peak as f64);
+                s.set("tsob_searches", p.searches as f64);
+                s.set("drained_stores", p.drained as f64);
+            }
+            Policy::Csb(p) => {
+                s.set("wcb_coalesced", p.wcbs.coalesced_stores() as f64);
+                s.set("wcb_searches", p.wcbs.searches() as f64);
+                s.set("wcb_flushes", p.flushes as f64);
+                s.set("head_block_cycles", p.head_block_cycles as f64);
+            }
+            Policy::Tus(p) => {
+                s.set("wcb_coalesced", p.wcbs.coalesced_stores() as f64);
+                s.set("wcb_searches", p.wcbs.searches() as f64);
+                s.set("wcb_flushes", p.flushes as f64);
+                s.set("woq_searches", p.woq.searches() as f64);
+                s.set("woq_peak", p.woq.peak() as f64);
+                s.set("visibility_flips", p.flips as f64);
+                s.set("atomic_groups", p.groups_formed as f64);
+                s.set("conflict_delays", p.delays as f64);
+                s.set("conflict_relinquishes", p.relinquishes as f64);
+                s.set("head_block_cycles", p.head_block_cycles as f64);
+            }
+        }
+        s
+    }
+}
+
+// ----------------------------------------------------------------------
+// Baseline
+// ----------------------------------------------------------------------
+
+/// The strengthened baseline drain: write when permission is held, block
+/// the SB head otherwise (permission was usually prefetched at commit).
+#[derive(Debug)]
+pub struct BaselinePolicy {
+    store_ports: usize,
+    prefetch_at_commit: bool,
+    head_block_cycles: u64,
+    drained: u64,
+}
+
+impl BaselinePolicy {
+    /// Creates the baseline policy.
+    pub fn new(cfg: &SimConfig) -> Self {
+        BaselinePolicy {
+            store_ports: cfg.backend.store_ports,
+            prefetch_at_commit: cfg.tus.prefetch_at_commit,
+            head_block_cycles: 0,
+            drained: 0,
+        }
+    }
+
+    fn drain(&mut self, sb: &mut StoreBuffer, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        for _ in 0..self.store_ports {
+            let Some(head) = sb.head() else { return };
+            if !head.committed {
+                return;
+            }
+            let (addr, size, value) = (head.addr, head.size as usize, head.value);
+            match ctrl.try_visible_store_write(addr, size, value, now, net) {
+                StoreWriteOutcome::Done => {
+                    sb.pop_head();
+                    self.drained += 1;
+                }
+                StoreWriteOutcome::NotYet => {
+                    self.head_block_cycles += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// SPB
+// ----------------------------------------------------------------------
+
+/// Baseline + Store Prefetch Burst: on detecting a run of consecutive
+/// store lines, prefetch write permission for the whole 4 KiB page.
+#[derive(Debug)]
+pub struct SpbPolicy {
+    inner: BaselinePolicy,
+    spb: SpbPrefetcher,
+    backlog: VecDeque<LineAddr>,
+    base_prefetch_at_commit: bool,
+    bursts: u64,
+    head_block_cycles: u64,
+    drained: u64,
+}
+
+impl SpbPolicy {
+    /// Creates the SPB policy.
+    pub fn new(cfg: &SimConfig) -> Self {
+        SpbPolicy {
+            inner: BaselinePolicy::new(cfg),
+            spb: SpbPrefetcher::new(cfg.tus.spb_trigger),
+            backlog: VecDeque::new(),
+            base_prefetch_at_commit: cfg.tus.prefetch_at_commit,
+            bursts: 0,
+            head_block_cycles: 0,
+            drained: 0,
+        }
+    }
+
+    fn drain(&mut self, sb: &mut StoreBuffer, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        if !self.backlog.is_empty() {
+            self.bursts += 1;
+        }
+        for _ in 0..SPB_ISSUE_PER_CYCLE {
+            if ctrl.mshrs_free() <= 2 {
+                break;
+            }
+            let Some(l) = self.backlog.pop_front() else { break };
+            ctrl.ensure_write_permission(l, true, now, net);
+        }
+        self.inner.drain(sb, ctrl, net, now);
+        self.head_block_cycles = self.inner.head_block_cycles;
+        self.drained = self.inner.drained;
+    }
+}
+
+// ----------------------------------------------------------------------
+// SSB
+// ----------------------------------------------------------------------
+
+/// Idealized Scalable Store Buffer: committed stores move to a large
+/// in-order queue (TSOB) instantly, which drains store-by-store into the
+/// L2 (write-through, no coalescing; invalidation recovery is free).
+#[derive(Debug)]
+pub struct SsbPolicy {
+    tsob: VecDeque<(Addr, u8, u64)>,
+    cap: usize,
+    store_ports: usize,
+    prefetch_at_commit: bool,
+    l1_lat: u64,
+    tsob_peak: usize,
+    searches: u64,
+    drained: u64,
+}
+
+impl SsbPolicy {
+    /// Creates the SSB policy.
+    pub fn new(cfg: &SimConfig) -> Self {
+        SsbPolicy {
+            tsob: VecDeque::with_capacity(cfg.tus.tsob_entries),
+            cap: cfg.tus.tsob_entries,
+            store_ports: cfg.backend.store_ports,
+            prefetch_at_commit: cfg.tus.prefetch_at_commit,
+            l1_lat: cfg.mem.l1d.latency,
+            tsob_peak: 0,
+            searches: 0,
+            drained: 0,
+        }
+    }
+
+    fn drain(&mut self, sb: &mut StoreBuffer, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        // SB → TSOB: wait-free as long as the TSOB has room. Entering
+        // the TSOB re-arms the write-permission prefetch so the line is
+        // (re)acquired within the TSOB drain window even if the
+        // commit-time prefetch was evicted meanwhile.
+        while self.tsob.len() < self.cap {
+            let Some(head) = sb.head() else { break };
+            if !head.committed {
+                break;
+            }
+            let e = sb.pop_head();
+            ctrl.ensure_write_permission(e.addr.line(), true, now, net);
+            self.tsob.push_back((e.addr, e.size, e.value));
+        }
+        self.tsob_peak = self.tsob_peak.max(self.tsob.len());
+        // TSOB → L1D/L2, in order, one coherence-checked write per port.
+        for _ in 0..self.store_ports {
+            let Some(&(addr, size, value)) = self.tsob.front() else {
+                return;
+            };
+            match ctrl.ssb_store_write(addr, size as usize, value, now, net) {
+                StoreWriteOutcome::Done => {
+                    self.tsob.pop_front();
+                    self.drained += 1;
+                }
+                StoreWriteOutcome::NotYet => return,
+            }
+        }
+    }
+
+    fn forward_load(&mut self, addr: Addr, size: usize) -> Option<(u64, u64)> {
+        self.searches += 1;
+        for &(a, s, v) in self.tsob.iter().rev() {
+            let (a0, a1) = (a.raw(), a.raw() + s as u64);
+            let (b0, b1) = (addr.raw(), addr.raw() + size as u64);
+            if a0 <= b0 && b1 <= a1 {
+                let shift = (b0 - a0) * 8;
+                let mask = if size >= 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+                return Some(((v >> shift) & mask, self.l1_lat));
+            }
+            if a0 < b1 && b0 < a1 {
+                // Partial overlap: fall through to memory (SSB forwards
+                // through the L1D in the original design; partial cases
+                // are rare and modeled as misses).
+                return None;
+            }
+        }
+        None
+    }
+}
+
+// ----------------------------------------------------------------------
+// CSB
+// ----------------------------------------------------------------------
+
+/// Coalescing Store Buffer: WCB coalescing with atomic groups, but every
+/// write to the L1D requires permission — a miss stops the drain.
+#[derive(Debug)]
+pub struct CsbPolicy {
+    wcbs: WcbSet,
+    auth: AuthorizationUnit,
+    prefetch_at_commit: bool,
+    l1_lat: u64,
+    flushes: u64,
+    head_block_cycles: u64,
+}
+
+impl CsbPolicy {
+    /// Creates the CSB policy.
+    pub fn new(cfg: &SimConfig) -> Self {
+        CsbPolicy {
+            wcbs: WcbSet::new(cfg.tus.wcbs),
+            auth: AuthorizationUnit::new(cfg.tus.lex_bits),
+            prefetch_at_commit: cfg.tus.prefetch_at_commit,
+            l1_lat: cfg.mem.l1d.latency,
+            flushes: 0,
+            head_block_cycles: 0,
+        }
+    }
+
+    fn drain(&mut self, sb: &mut StoreBuffer, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        // Age-triggered flush keeps latency bounded.
+        if self.wcbs.oldest_age(now) > WCB_FLUSH_AGE {
+            self.try_flush(ctrl, net, now);
+        }
+        let mut moved = 0;
+        while moved < SB_TO_WCB_PER_CYCLE {
+            let Some(head) = sb.head() else { return };
+            if !head.committed {
+                return;
+            }
+            if self.lex_conflict_on_merge(head.addr.line()) {
+                // Lex conflicts in a group are disallowed; wait for the
+                // conflicting store to flush.
+                self.try_flush(ctrl, net, now);
+                self.head_block_cycles += 1;
+                return;
+            }
+            match self.wcbs.write(head.addr, head.size as usize, head.value, now) {
+                Ok(_) => {
+                    sb.pop_head();
+                    moved += 1;
+                }
+                Err(WcbRefusal::NeedFlush) => {
+                    if !self.try_flush(ctrl, net, now) {
+                        // CSB's weakness: a write miss stops the drain.
+                        self.head_block_cycles += 1;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether adding `line` to the WCBs would merge groups containing a
+    /// lex conflict.
+    fn lex_conflict_on_merge(&self, line: LineAddr) -> bool {
+        if self.wcbs.find(line).is_none() {
+            return false;
+        }
+        // Writing to an existing buffer may merge all buffers; check all
+        // pairs.
+        let lines: Vec<LineAddr> = (0..self.wcbs.capacity())
+            .filter_map(|i| self.wcbs.buf(i).map(|b| b.line))
+            .collect();
+        lines
+            .iter()
+            .enumerate()
+            .any(|(i, &a)| lines.iter().skip(i + 1).any(|&b| self.auth.lex_conflict(a, b)))
+    }
+
+    /// Attempts to write the oldest WCB group to the L1D; all lines need
+    /// write permission or nothing is written. Returns `true` when a
+    /// group was flushed.
+    fn try_flush(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) -> bool {
+        let idxs = self.wcbs.oldest_group();
+        if idxs.is_empty() {
+            return false;
+        }
+        let mut writable = true;
+        for &i in &idxs {
+            let b = self.wcbs.buf(i).expect("member");
+            if !ctrl.hierarchy_writable(b.line) {
+                // Request permission and stall — CSB cannot write without
+                // it (this is the design weakness TUS removes).
+                ctrl.ensure_write_permission(b.line, false, now, net);
+                writable = false;
+            }
+        }
+        if !writable {
+            return false;
+        }
+        for &i in &idxs {
+            let b = self.wcbs.buf(i).expect("member");
+            let (line, data, mask) = (b.line, *b.data, b.mask);
+            let out = ctrl.write_line_visible(line, &data, mask, now, net);
+            assert_eq!(out, StoreWriteOutcome::Done, "probed writable line must accept");
+        }
+        self.wcbs.take(&idxs);
+        self.flushes += 1;
+        true
+    }
+}
+
+// ----------------------------------------------------------------------
+// TUS
+// ----------------------------------------------------------------------
+
+/// Temporarily Unauthorized Stores — the paper's mechanism (Fig. 7 flow).
+#[derive(Debug)]
+pub struct TusPolicy {
+    wcbs: WcbSet,
+    woq: Woq,
+    auth: AuthorizationUnit,
+    max_group: usize,
+    prefetch_at_commit: bool,
+    l1_lat: u64,
+    flushes: u64,
+    flips: u64,
+    groups_formed: u64,
+    delays: u64,
+    relinquishes: u64,
+    head_block_cycles: u64,
+}
+
+impl TusPolicy {
+    /// Creates the TUS policy.
+    pub fn new(cfg: &SimConfig) -> Self {
+        TusPolicy {
+            wcbs: WcbSet::new(cfg.tus.wcbs),
+            woq: Woq::new(cfg.tus.woq_entries),
+            auth: AuthorizationUnit::new(cfg.tus.lex_bits),
+            max_group: cfg.tus.max_atomic_group,
+            prefetch_at_commit: cfg.tus.prefetch_at_commit,
+            l1_lat: cfg.mem.l1d.latency,
+            flushes: 0,
+            flips: 0,
+            groups_formed: 0,
+            delays: 0,
+            relinquishes: 0,
+            head_block_cycles: 0,
+        }
+    }
+
+    /// Read-only view of the WOQ (tests, introspection).
+    pub fn woq(&self) -> &Woq {
+        &self.woq
+    }
+
+    /// Read-only view of the WCBs.
+    pub fn wcbs(&self) -> &WcbSet {
+        &self.wcbs
+    }
+
+    fn drain(&mut self, sb: &mut StoreBuffer, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        self.advance_visibility(ctrl, net, now);
+        self.rerequest(ctrl, net, now);
+        if self.wcbs.oldest_age(now) > WCB_FLUSH_AGE {
+            self.try_flush(ctrl, net, now);
+        }
+        let mut moved = 0;
+        while moved < SB_TO_WCB_PER_CYCLE {
+            let Some(head) = sb.head() else { return };
+            if !head.committed {
+                return;
+            }
+            if self.lex_conflict_on_merge(head.addr.line()) {
+                self.try_flush(ctrl, net, now);
+                self.head_block_cycles += 1;
+                return;
+            }
+            match self.wcbs.write(head.addr, head.size as usize, head.value, now) {
+                Ok(_) => {
+                    sb.pop_head();
+                    moved += 1;
+                }
+                Err(WcbRefusal::NeedFlush) => {
+                    if !self.try_flush(ctrl, net, now) {
+                        self.head_block_cycles += 1;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn lex_conflict_on_merge(&self, line: LineAddr) -> bool {
+        if self.wcbs.find(line).is_none() {
+            return false;
+        }
+        let lines: Vec<LineAddr> = (0..self.wcbs.capacity())
+            .filter_map(|i| self.wcbs.buf(i).map(|b| b.line))
+            .collect();
+        lines
+            .iter()
+            .enumerate()
+            .any(|(i, &a)| lines.iter().skip(i + 1).any(|&b| self.auth.lex_conflict(a, b)))
+    }
+
+    /// Makes every fully-ready atomic group at the head of the WOQ
+    /// visible (bulk *not visible* reset).
+    fn advance_visibility(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        while self.woq.head_group_ready() {
+            let entries = self.woq.pop_head_group();
+            let coords: Vec<(usize, usize)> = entries.iter().map(|e| (e.set, e.way)).collect();
+            ctrl.make_visible(&coords, now, net);
+            self.flips += 1;
+        }
+    }
+
+    /// Re-requests permission for relinquished entries allowed by the lex
+    /// rule.
+    fn rerequest(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        for idx in self.woq.retry_positions() {
+            if self.auth.may_rerequest(&self.woq, idx) {
+                let line = self.woq.entry(idx).line;
+                ctrl.request_permission(line, now, net);
+            }
+        }
+    }
+
+    /// The Figure 7 flow: writes the oldest WCB group into the L1D as
+    /// temporarily unauthorized data. All-or-nothing per atomic group.
+    fn try_flush(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) -> bool {
+        let idxs = self.wcbs.oldest_group();
+        if idxs.is_empty() {
+            return false;
+        }
+        // ---------------- feasibility checks ----------------
+        let mut new_entries = 0usize;
+        let mut getm_needed = 0usize;
+        let mut per_set_demand: Vec<(usize, usize)> = Vec::new();
+        let mut merge_at: Option<usize> = None;
+        let mut group_lines: Vec<LineAddr> = Vec::new();
+        for &i in &idxs {
+            let b = self.wcbs.buf(i).expect("member");
+            group_lines.push(b.line);
+            match ctrl.probe(b.line) {
+                ProbeResult::Busy => return false,
+                ProbeResult::Miss { ways_free } => {
+                    new_entries += 1;
+                    getm_needed += 1;
+                    let set = ctrl.l1d_set_of(b.line);
+                    match per_set_demand.iter_mut().find(|(s, _)| *s == set) {
+                        Some((_, d)) => *d += 1,
+                        None => per_set_demand.push((set, 1)),
+                    }
+                    let demand = per_set_demand
+                        .iter()
+                        .find(|(s, _)| *s == set)
+                        .map(|(_, d)| *d)
+                        .unwrap_or(0);
+                    if demand > ways_free {
+                        return false; // associativity restriction
+                    }
+                }
+                ProbeResult::HitVisible { writable } => {
+                    new_entries += 1;
+                    if !writable {
+                        getm_needed += 1;
+                    }
+                }
+                ProbeResult::HitUnauth { set, way, .. } => {
+                    // A store cycle: the line already has a WOQ entry.
+                    let Some(e) = self.woq.find(set, way) else {
+                        return false;
+                    };
+                    if self.woq.merge_blocked(e) {
+                        // CanCycle cleared while a conflict resolves: the
+                        // store at the head of the SB may not complete.
+                        return false;
+                    }
+                    merge_at = Some(merge_at.map_or(e, |m| m.min(e)));
+                }
+            }
+        }
+        if self.woq.free() < new_entries {
+            return false;
+        }
+        if ctrl.mshrs_free() < getm_needed {
+            return false;
+        }
+        // Atomic-group size and lex restrictions for the merged result.
+        if let Some(m) = merge_at {
+            if self.woq.merged_size(m) + new_entries > self.max_group {
+                return false;
+            }
+            let mut lines = self.woq.merged_lines(m);
+            lines.extend(group_lines.iter().copied());
+            lines.sort_by_key(|l| l.raw());
+            lines.dedup();
+            for (i, &a) in lines.iter().enumerate() {
+                for &b in lines.iter().skip(i + 1) {
+                    if self.auth.lex_conflict(a, b) {
+                        return false;
+                    }
+                }
+            }
+        }
+        // ---------------- execution ----------------
+        let bufs = self.wcbs.take(&idxs);
+        let mut group = None;
+        for b in &bufs {
+            match ctrl.probe(b.line) {
+                ProbeResult::Miss { .. } => {
+                    let (set, way) = ctrl
+                        .unauthorized_alloc(b.line, &b.data, b.mask, now, net)
+                        .expect("feasibility checked");
+                    match group {
+                        None => {
+                            group = Some(self.woq.push(b.line, set, way, b.mask));
+                            self.groups_formed += 1;
+                        }
+                        Some(g) => self.woq.push_into_group(b.line, set, way, b.mask, g),
+                    }
+                    // The allocation may have completed ready (the L2 held
+                    // write permission for the hierarchy).
+                    if ctrl
+                        .line_state(b.line)
+                        .is_some_and(|(st, unauth, _)| unauth && st.can_write())
+                    {
+                        self.woq.mark_ready(set, way);
+                    }
+                }
+                ProbeResult::HitVisible { writable } => {
+                    let (set, way) = ctrl
+                        .unauth_write_on_visible_hit(b.line, &b.data, b.mask, now, net)
+                        .expect("feasibility checked");
+                    match group {
+                        None => {
+                            group = Some(self.woq.push(b.line, set, way, b.mask));
+                            self.groups_formed += 1;
+                        }
+                        Some(g) => self.woq.push_into_group(b.line, set, way, b.mask, g),
+                    }
+                    if writable {
+                        self.woq.mark_ready(set, way);
+                    }
+                }
+                ProbeResult::HitUnauth { set, way, .. } => {
+                    ctrl.unauthorized_coalesce(set, way, &b.data, b.mask);
+                    let e = self.woq.find(set, way).expect("unauth line tracked");
+                    let still_ready = ctrl
+                        .line_state(b.line)
+                        .is_some_and(|(st, unauth, _)| unauth && st.can_write());
+                    self.woq.coalesce(e, b.mask, still_ready);
+                }
+                ProbeResult::Busy => unreachable!("feasibility checked"),
+            }
+        }
+        if let Some(m) = merge_at {
+            self.woq.merge_to_tail(m);
+        }
+        self.flushes += 1;
+        // Some writes may be immediately ready (write permission already
+        // held via prefetch-at-commit): try to advance.
+        self.advance_visibility(ctrl, net, now);
+        true
+    }
+
+    fn on_event(&mut self, ev: &CacheEvent, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        match *ev {
+            CacheEvent::PermissionReady { set, way, .. } => {
+                self.woq.mark_ready(set, way);
+                self.advance_visibility(ctrl, net, now);
+            }
+            CacheEvent::ExternalConflict { set, way, kind, .. } => {
+                let Some(idx) = self.woq.find(set, way) else {
+                    // The line's atomic group became visible in the same
+                    // cycle (a PermissionReady processed just before this
+                    // event); the controller already answered the request
+                    // in make_visible.
+                    return;
+                };
+                self.woq.forbid_cycle(idx);
+                match self.auth.decide(&self.woq, idx) {
+                    ConflictDecision::Delay => {
+                        let line = self.woq.entry(idx).line;
+                        ctrl.delay_external(line);
+                        self.delays += 1;
+                    }
+                    ConflictDecision::Relinquish => {
+                        ctrl.relinquish(set, way, now, net);
+                        self.woq.mark_relinquished(set, way);
+                        self.relinquishes += 1;
+                    }
+                }
+                let _ = kind;
+            }
+            CacheEvent::LoadDone { .. } | CacheEvent::Invalidated { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,890 @@
+//! The out-of-order core model.
+//!
+//! [`Core::tick`] advances one cycle: front-end refill, dispatch (with the
+//! first-missing-resource stall attribution the paper's Figure 9 is built
+//! on), issue/execute with functional-unit contention, and in-order
+//! commit. Loads reach the memory system through a [`MemPort`]; committed
+//! stores wait in the [`crate::StoreBuffer`] for the drain policy, which
+//! runs *outside* the core between ticks.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use tus_sim::{Addr, CoreId, Cycle, SimConfig, StatSet};
+
+use crate::sb::{ForwardResult, StoreBuffer};
+use crate::trace::{OpClass, TraceInst, TraceSource};
+
+/// The core's window to the memory system and the drain-policy layer.
+pub trait MemPort {
+    /// Attempts store-to-load forwarding from policy-owned buffers (WCBs,
+    /// SSB's TSOB) — searched in parallel with the SB and L1D. Returns the
+    /// value and the access latency on a hit.
+    fn forward_load(&mut self, addr: Addr, size: usize) -> Option<(u64, u64)>;
+
+    /// Issues a load to the memory hierarchy; completion must be delivered
+    /// back via [`Core::load_complete`] with the same token.
+    fn issue_load(&mut self, addr: Addr, size: usize, token: u64, now: Cycle);
+
+    /// Notifies that a store committed (drives prefetch-at-commit and the
+    /// SPB burst detector).
+    fn store_committed(&mut self, addr: Addr, size: usize, now: Cycle);
+
+    /// Whether all policy-side store state (WCBs, WOQ, TSOB) has drained —
+    /// a fence may only commit when this holds *and* the SB is empty.
+    fn fence_drained(&mut self) -> bool;
+}
+
+/// Why dispatch stalled in a given cycle (first missing resource).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// Re-order buffer full.
+    Rob,
+    /// Load queue full.
+    Lq,
+    /// Store buffer full — the stall class TUS removes.
+    Sb,
+    /// No free physical register.
+    Regs,
+}
+
+/// Per-core performance counters.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Stores committed.
+    pub stores: u64,
+    /// Fences committed.
+    pub fences: u64,
+    /// Cycles in which dispatch stalled on a full ROB.
+    pub stall_rob: u64,
+    /// Cycles in which dispatch stalled on a full load queue.
+    pub stall_lq: u64,
+    /// Cycles in which dispatch stalled on a full store buffer.
+    pub stall_sb: u64,
+    /// Cycles in which dispatch stalled on physical registers.
+    pub stall_regs: u64,
+    /// Cycles in which the front end provided no instruction.
+    pub frontend_idle: u64,
+    /// Cycles a fence sat at the ROB head waiting for drain.
+    pub fence_wait: u64,
+    /// Loads forwarded from the SB.
+    pub sb_forwards: u64,
+    /// Loads forwarded from policy buffers (WCB/TSOB).
+    pub policy_forwards: u64,
+    /// Loads sent to the memory hierarchy.
+    pub mem_loads: u64,
+    /// Loads replayed because their line was invalidated before commit
+    /// (x86 memory-ordering machine clears).
+    pub load_replays: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RState {
+    /// Waiting for `deps_left` producers.
+    Waiting,
+    /// In the ready queue (or deferred).
+    Ready,
+    /// Executing; `done_at` holds the completion cycle ([`Cycle::NEVER`]
+    /// for loads still in the memory system).
+    Issued,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    op: OpClass,
+    addr: Addr,
+    size: u8,
+    #[allow(dead_code)] // kept for debugging dumps
+    value: u64,
+    state: RState,
+    deps_left: u8,
+    ready_at: Cycle,
+    done_at: Cycle,
+    load_value: u64,
+    /// The load's value came from the memory hierarchy (not SB/WCB
+    /// forwarding) and must replay if the line is invalidated before
+    /// commit.
+    from_mem: bool,
+}
+
+/// A trace-driven out-of-order core.
+pub struct Core {
+    id: CoreId,
+    cfg: SimConfig,
+    trace: Box<dyn TraceSource>,
+    trace_done: bool,
+    fetch_buf: VecDeque<TraceInst>,
+    rob: VecDeque<RobEntry>,
+    head_seq: u64,
+    next_seq: u64,
+    sb: StoreBuffer,
+    lq_used: usize,
+    int_regs_used: usize,
+    fp_regs_used: usize,
+    ready_q: BinaryHeap<Reverse<(u64, u64)>>,
+    completion: HashMap<u64, Cycle>,
+    waiters: HashMap<u64, Vec<u64>>,
+    record_loads: bool,
+    loaded_values: Vec<u64>,
+    /// Performance counters.
+    pub stats: CoreStats,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("rob", &self.rob.len())
+            .field("sb", &self.sb.len())
+            .field("committed", &self.stats.committed)
+            .finish()
+    }
+}
+
+impl Core {
+    /// Creates a core running `trace` under configuration `cfg`.
+    pub fn new(id: CoreId, cfg: &SimConfig, trace: Box<dyn TraceSource>) -> Self {
+        Core {
+            id,
+            cfg: *cfg,
+            trace,
+            trace_done: false,
+            fetch_buf: VecDeque::new(),
+            rob: VecDeque::with_capacity(cfg.backend.rob_entries),
+            head_seq: 0,
+            next_seq: 0,
+            sb: StoreBuffer::new(cfg.sb.entries, cfg.sb.forward_latency()),
+            lq_used: 0,
+            int_regs_used: 0,
+            fp_regs_used: 0,
+            ready_q: BinaryHeap::new(),
+            completion: HashMap::new(),
+            waiters: HashMap::new(),
+            record_loads: false,
+            loaded_values: Vec::new(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Records every committed load's value (litmus tests, oracles).
+    pub fn record_loads(&mut self, on: bool) {
+        self.record_loads = on;
+    }
+
+    /// Values of committed loads, in program order (when recording).
+    pub fn loaded_values(&self) -> &[u64] {
+        &self.loaded_values
+    }
+
+    /// The store buffer (the drain policy pops committed stores from it).
+    pub fn sb(&self) -> &StoreBuffer {
+        &self.sb
+    }
+
+    /// Mutable access to the store buffer for the drain policy.
+    pub fn sb_mut(&mut self) -> &mut StoreBuffer {
+        &mut self.sb
+    }
+
+    /// Whether the trace is exhausted and the pipeline is empty (the SB
+    /// may still hold committed stores for the drain policy).
+    pub fn finished(&self) -> bool {
+        self.trace_done && self.fetch_buf.is_empty() && self.rob.is_empty()
+    }
+
+    /// Instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
+    /// Debug description of the ROB head (deadlock diagnostics).
+    pub fn describe_head(&self) -> String {
+        match self.rob.front() {
+            None => "rob empty".to_owned(),
+            Some(e) => format!(
+                "seq={} op={:?} state={:?} deps_left={} ready_at={} done_at={:?} addr={}",
+                e.seq, e.op, e.state, e.deps_left, e.ready_at, e.done_at, e.addr
+            ),
+        }
+    }
+
+    /// Delivers a memory-load completion (token = load sequence number).
+    pub fn load_complete(&mut self, token: u64, at: Cycle, value: u64) {
+        if token < self.head_seq {
+            return; // already squashed/committed (cannot happen today)
+        }
+        let Some(e) = self.rob_mut(token) else { return };
+        debug_assert_eq!(e.op, OpClass::Load);
+        if e.state != RState::Issued || e.done_at != Cycle::NEVER {
+            // A stale completion for a load that replayed meanwhile.
+            return;
+        }
+        e.done_at = at;
+        e.load_value = value;
+        e.from_mem = true;
+        self.completion.insert(token, at);
+        self.wake(token, at);
+    }
+
+    /// Replays executed-but-uncommitted loads whose line was invalidated
+    /// by a remote write: their bound value may be stale, so they
+    /// re-execute. This is the load-queue snoop that preserves load→load
+    /// ordering under TSO.
+    pub fn on_line_invalidated(&mut self, line: tus_sim::LineAddr, now: Cycle) {
+        let head = self.head_seq;
+        let mut replays = Vec::new();
+        for (i, e) in self.rob.iter_mut().enumerate() {
+            if e.op == OpClass::Load
+                && e.from_mem
+                && e.state == RState::Issued
+                && e.done_at != Cycle::NEVER
+                && e.addr.line() == line
+            {
+                e.state = RState::Ready;
+                e.done_at = Cycle::NEVER;
+                e.ready_at = now + 1;
+                e.from_mem = false;
+                replays.push(head + i as u64);
+            }
+        }
+        for seq in replays {
+            self.stats.load_replays += 1;
+            self.ready_q.push(Reverse((now.raw() + 1, seq)));
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self, now: Cycle, port: &mut dyn MemPort) {
+        self.stats.cycles += 1;
+        self.sb.sample_occupancy();
+        self.refill_frontend();
+        self.commit(now, port);
+        self.issue(now, port);
+        self.dispatch(now);
+    }
+
+    /// Exports the per-core statistics.
+    pub fn export_stats(&self) -> StatSet {
+        let s = &self.stats;
+        let mut out = StatSet::new();
+        out.set("cycles", s.cycles as f64);
+        out.set("committed", s.committed as f64);
+        out.set("loads", s.loads as f64);
+        out.set("stores", s.stores as f64);
+        out.set("fences", s.fences as f64);
+        out.set("stall_rob", s.stall_rob as f64);
+        out.set("stall_lq", s.stall_lq as f64);
+        out.set("stall_sb", s.stall_sb as f64);
+        out.set("stall_regs", s.stall_regs as f64);
+        out.set("frontend_idle", s.frontend_idle as f64);
+        out.set("fence_wait", s.fence_wait as f64);
+        out.set("sb_forwards", s.sb_forwards as f64);
+        out.set("policy_forwards", s.policy_forwards as f64);
+        out.set("mem_loads", s.mem_loads as f64);
+        out.set("load_replays", s.load_replays as f64);
+        out.set("sb_searches", self.sb.searches() as f64);
+        out.set("sb_peak", self.sb.peak() as f64);
+        out.set("sb_mean_occupancy", self.sb.mean_occupancy());
+        if s.cycles > 0 {
+            out.set("ipc", s.committed as f64 / s.cycles as f64);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+
+    fn rob_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let idx = seq.checked_sub(self.head_seq)? as usize;
+        self.rob.get_mut(idx)
+    }
+
+    fn refill_frontend(&mut self) {
+        // Fetch/decode/rename collapsed into one stage with the narrowest
+        // width (rename, 6) as bandwidth.
+        let width = self
+            .cfg
+            .frontend
+            .rename_width
+            .min(self.cfg.frontend.decode_width)
+            .min(self.cfg.frontend.fetch_width);
+        for _ in 0..width {
+            if self.fetch_buf.len() >= 2 * self.cfg.backend.dispatch_width {
+                break;
+            }
+            match self.trace.next_inst() {
+                Some(i) => self.fetch_buf.push_back(i),
+                None => {
+                    self.trace_done = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle) {
+        let mut dispatched = 0;
+        let mut stall: Option<StallReason> = None;
+        while dispatched < self.cfg.backend.dispatch_width {
+            let Some(&inst) = self.fetch_buf.front() else {
+                if dispatched == 0 {
+                    self.stats.frontend_idle += 1;
+                }
+                break;
+            };
+            if self.rob.len() >= self.cfg.backend.rob_entries {
+                stall = Some(StallReason::Rob);
+                break;
+            }
+            match inst.op {
+                OpClass::Load => {
+                    if self.lq_used >= self.cfg.backend.lq_entries {
+                        stall = Some(StallReason::Lq);
+                        break;
+                    }
+                }
+                OpClass::Store => {
+                    if self.sb.is_full() {
+                        stall = Some(StallReason::Sb);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            let needs_reg = inst.op != OpClass::Store && inst.op != OpClass::Fence;
+            if needs_reg {
+                if inst.op.is_fp() {
+                    if self.fp_regs_used >= self.cfg.backend.fp_regs {
+                        stall = Some(StallReason::Regs);
+                        break;
+                    }
+                } else if self.int_regs_used >= self.cfg.backend.int_regs {
+                    stall = Some(StallReason::Regs);
+                    break;
+                }
+            }
+            // All resources available: allocate.
+            self.fetch_buf.pop_front();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            if needs_reg {
+                if inst.op.is_fp() {
+                    self.fp_regs_used += 1;
+                } else {
+                    self.int_regs_used += 1;
+                }
+            }
+            match inst.op {
+                OpClass::Load => self.lq_used += 1,
+                OpClass::Store => {
+                    self.sb
+                        .push(inst.addr, inst.size, inst.value, seq)
+                        .expect("checked not full");
+                }
+                _ => {}
+            }
+            let mut e = RobEntry {
+                seq,
+                op: inst.op,
+                addr: inst.addr,
+                size: inst.size,
+                value: inst.value,
+                state: RState::Waiting,
+                deps_left: 0,
+                ready_at: now + 1,
+                load_value: 0,
+                done_at: Cycle::NEVER,
+                from_mem: false,
+            };
+            if inst.op == OpClass::Fence {
+                // Fences do not execute; their ordering is enforced at
+                // commit.
+                e.state = RState::Issued;
+                e.done_at = now;
+                self.completion.insert(seq, now);
+            } else {
+                for d in [inst.dep1, inst.dep2] {
+                    if d == 0 {
+                        continue;
+                    }
+                    let Some(p) = seq.checked_sub(d as u64) else {
+                        continue;
+                    };
+                    if let Some(&c) = self.completion.get(&p) {
+                        if e.ready_at < c {
+                            e.ready_at = c;
+                        }
+                    } else if p >= self.head_seq {
+                        // Producer still in flight without a known
+                        // completion time.
+                        self.waiters.entry(p).or_default().push(seq);
+                        e.deps_left += 1;
+                    }
+                    // Producers older than the window completed long ago.
+                }
+                if e.deps_left == 0 {
+                    e.state = RState::Ready;
+                    self.ready_q.push(Reverse((e.ready_at.raw(), seq)));
+                }
+            }
+            self.rob.push_back(e);
+            dispatched += 1;
+        }
+        if let Some(r) = stall {
+            match r {
+                StallReason::Rob => self.stats.stall_rob += 1,
+                StallReason::Lq => self.stats.stall_lq += 1,
+                StallReason::Sb => self.stats.stall_sb += 1,
+                StallReason::Regs => self.stats.stall_regs += 1,
+            }
+        }
+    }
+
+    fn issue(&mut self, now: Cycle, port: &mut dyn MemPort) {
+        let mut issued = 0;
+        let mut int_only_free = self.cfg.backend.int_only_alus;
+        let mut general_free = self.cfg.backend.general_alus;
+        let mut deferred: Vec<(u64, u64)> = Vec::new();
+        while issued < self.cfg.backend.issue_width {
+            let Some(&Reverse((at, seq))) = self.ready_q.peek() else {
+                break;
+            };
+            if at > now.raw() {
+                break;
+            }
+            self.ready_q.pop();
+            let Some(e) = self.rob_mut(seq) else { continue };
+            if e.state != RState::Ready {
+                continue;
+            }
+            let op = e.op;
+            // Functional-unit constraints.
+            match op {
+                OpClass::IntAlu => {
+                    if int_only_free > 0 {
+                        int_only_free -= 1;
+                    } else if general_free > 0 {
+                        general_free -= 1;
+                    } else {
+                        deferred.push((now.raw() + 1, seq));
+                        continue;
+                    }
+                }
+                o if o.needs_general_alu() => {
+                    if general_free > 0 {
+                        general_free -= 1;
+                    } else {
+                        deferred.push((now.raw() + 1, seq));
+                        continue;
+                    }
+                }
+                _ => {} // loads/stores/fences use the AGU/ports
+            }
+            match op {
+                OpClass::Load => {
+                    let (addr, size) = {
+                        let e = self.rob_mut(seq).expect("entry exists");
+                        (e.addr, e.size as usize)
+                    };
+                    match self.sb.forward(addr, size, seq) {
+                        ForwardResult::Hit { value } => {
+                            self.stats.sb_forwards += 1;
+                            let done = now + self.sb.forward_latency();
+                            self.finish_exec(seq, done, Some(value));
+                        }
+                        ForwardResult::NotReady | ForwardResult::Partial => {
+                            deferred.push((now.raw() + 1, seq));
+                            continue;
+                        }
+                        ForwardResult::Miss => {
+                            if let Some((value, lat)) = port.forward_load(addr, size) {
+                                self.stats.policy_forwards += 1;
+                                self.finish_exec(seq, now + lat, Some(value));
+                            } else {
+                                self.stats.mem_loads += 1;
+                                let e = self.rob_mut(seq).expect("entry exists");
+                                e.state = RState::Issued;
+                                port.issue_load(addr, size, seq, now);
+                            }
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    // Execution produces address + data.
+                    self.sb.mark_executed(seq);
+                    self.finish_exec(seq, now + 1, None);
+                }
+                OpClass::Fence => unreachable!("fences never enter the ready queue"),
+                alu => {
+                    let lat = self.latency_of(alu);
+                    self.finish_exec(seq, now + lat, None);
+                }
+            }
+            issued += 1;
+        }
+        for (at, seq) in deferred {
+            if let Some(e) = self.rob_mut(seq) {
+                e.ready_at = Cycle::new(at);
+            }
+            self.ready_q.push(Reverse((at, seq)));
+        }
+    }
+
+    fn latency_of(&self, op: OpClass) -> u64 {
+        let l = &self.cfg.latency;
+        match op {
+            OpClass::IntAlu => l.int_add,
+            OpClass::IntMul => l.int_mul,
+            OpClass::IntDiv => l.int_div,
+            OpClass::FpAdd => l.fp_add,
+            OpClass::FpMul => l.fp_mul,
+            OpClass::FpDiv => l.fp_div,
+            _ => 1,
+        }
+    }
+
+    fn finish_exec(&mut self, seq: u64, done: Cycle, load_value: Option<u64>) {
+        let e = self.rob_mut(seq).expect("entry exists");
+        e.state = RState::Issued;
+        e.done_at = done;
+        if let Some(v) = load_value {
+            e.load_value = v;
+        }
+        self.completion.insert(seq, done);
+        self.wake(seq, done);
+    }
+
+    fn wake(&mut self, producer: u64, done: Cycle) {
+        let Some(ws) = self.waiters.remove(&producer) else {
+            return;
+        };
+        for c in ws {
+            let Some(e) = self.rob_mut(c) else { continue };
+            if e.ready_at < done {
+                e.ready_at = done;
+            }
+            debug_assert!(e.deps_left > 0);
+            e.deps_left -= 1;
+            if e.deps_left == 0 && e.state == RState::Waiting {
+                e.state = RState::Ready;
+                let at = e.ready_at.raw();
+                self.ready_q.push(Reverse((at, c)));
+            }
+        }
+    }
+
+    fn commit(&mut self, now: Cycle, port: &mut dyn MemPort) {
+        let mut committed = 0;
+        while committed < self.cfg.backend.commit_width {
+            let Some(e) = self.rob.front() else { break };
+            if e.state != RState::Issued || e.done_at > now {
+                break;
+            }
+            // A fence commits only once every *older* store has left the
+            // SB (older stores are exactly the committed entries — commit
+            // is in order) and the policy-side buffers have drained.
+            if e.op == OpClass::Fence && (self.sb.has_committed() || !port.fence_drained()) {
+                self.stats.fence_wait += 1;
+                break;
+            }
+            let e = *e;
+            match e.op {
+                OpClass::Load => {
+                    self.lq_used -= 1;
+                    self.int_regs_used -= 1;
+                    self.stats.loads += 1;
+                    if self.record_loads {
+                        self.loaded_values.push(e.load_value);
+                    }
+                }
+                OpClass::Store => {
+                    self.sb.mark_committed(e.seq);
+                    port.store_committed(e.addr, e.size as usize, now);
+                    self.stats.stores += 1;
+                }
+                OpClass::Fence => self.stats.fences += 1,
+                op => {
+                    if op.is_fp() {
+                        self.fp_regs_used -= 1;
+                    } else {
+                        self.int_regs_used -= 1;
+                    }
+                }
+            }
+            self.rob.pop_front();
+            self.head_seq += 1;
+            self.stats.committed += 1;
+            committed += 1;
+        }
+        // Bound the completion map: dependency distances are capped by the
+        // ROB window, so anything far behind the head can be dropped.
+        if self.stats.committed % 8192 == 0 && self.completion.len() > 4 * self.cfg.backend.rob_entries
+        {
+            let floor = self.head_seq.saturating_sub(2 * self.cfg.backend.rob_entries as u64);
+            self.completion.retain(|&s, _| s >= floor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecTrace;
+
+    /// A memory port where every load hits in 5 cycles and fences drain
+    /// instantly (the SB itself is drained by the test).
+    struct NullPort {
+        issued: Vec<(Addr, u64)>,
+        committed_stores: Vec<Addr>,
+    }
+
+    impl NullPort {
+        fn new() -> Self {
+            NullPort {
+                issued: Vec::new(),
+                committed_stores: Vec::new(),
+            }
+        }
+    }
+
+    impl MemPort for NullPort {
+        fn forward_load(&mut self, _addr: Addr, _size: usize) -> Option<(u64, u64)> {
+            Some((0, 5))
+        }
+        fn issue_load(&mut self, addr: Addr, _size: usize, token: u64, _now: Cycle) {
+            self.issued.push((addr, token));
+        }
+        fn store_committed(&mut self, addr: Addr, _size: usize, _now: Cycle) {
+            self.committed_stores.push(addr);
+        }
+        fn fence_drained(&mut self) -> bool {
+            true
+        }
+    }
+
+    fn run(core: &mut Core, port: &mut NullPort, max_cycles: u64, drain_sb: bool) -> u64 {
+        for t in 0..max_cycles {
+            core.tick(Cycle::new(t), port);
+            if drain_sb {
+                while core.sb().head().is_some_and(|e| e.committed) {
+                    core.sb_mut().pop_head();
+                }
+            }
+            if core.finished() && core.sb().is_empty() {
+                return t;
+            }
+        }
+        panic!("core did not finish in {max_cycles} cycles");
+    }
+
+    fn default_core(insts: Vec<TraceInst>) -> Core {
+        let cfg = SimConfig::default();
+        Core::new(CoreId::new(0), &cfg, Box::new(VecTrace::new(insts)))
+    }
+
+    #[test]
+    fn commits_all_instructions() {
+        let mut core = default_core(vec![TraceInst::alu(); 100]);
+        let mut port = NullPort::new();
+        run(&mut core, &mut port, 1000, true);
+        assert_eq!(core.committed(), 100);
+    }
+
+    #[test]
+    fn independent_alus_reach_high_ipc() {
+        let n = 10_000;
+        let mut core = default_core(vec![TraceInst::alu(); n]);
+        let mut port = NullPort::new();
+        let cycles = run(&mut core, &mut port, 100_000, true);
+        let ipc = n as f64 / cycles as f64;
+        // Limited by 4 ALUs; should sustain close to 4.
+        assert!(ipc > 3.0, "ipc {ipc}");
+    }
+
+    #[test]
+    fn dependency_chain_serializes() {
+        let n = 1000;
+        let insts: Vec<_> = (0..n).map(|_| TraceInst::alu().with_deps(1, 0)).collect();
+        let mut core = default_core(insts);
+        let mut port = NullPort::new();
+        let cycles = run(&mut core, &mut port, 100_000, true);
+        // A chain of 1-cycle ops commits about one per cycle.
+        assert!(cycles as usize >= n - 1, "cycles {cycles} for chain of {n}");
+        assert!((cycles as usize) < n + 200, "cycles {cycles}");
+    }
+
+    #[test]
+    fn div_chain_serializes_at_div_latency() {
+        let n = 200;
+        let mut insts = vec![TraceInst::alu()];
+        for _ in 0..n {
+            insts.push(TraceInst {
+                op: OpClass::IntDiv,
+                ..TraceInst::alu().with_deps(1, 0)
+            });
+        }
+        let mut core = default_core(insts);
+        let mut port = NullPort::new();
+        let cycles = run(&mut core, &mut port, 100_000, true);
+        assert!(cycles >= 12 * n as u64, "cycles {cycles}");
+    }
+
+    #[test]
+    fn sb_full_stalls_dispatch_and_attributes() {
+        // Stores are never drained: the SB fills and dispatch stalls on it.
+        let cfg = SimConfig::builder().sb_entries(8).build();
+        let insts: Vec<_> = (0..64)
+            .map(|i| TraceInst::store(Addr::new(i * 64), 8, i))
+            .collect();
+        let mut core = Core::new(CoreId::new(0), &cfg, Box::new(VecTrace::new(insts)));
+        let mut port = NullPort::new();
+        for t in 0..200 {
+            core.tick(Cycle::new(t), &mut port);
+        }
+        assert!(core.stats.stall_sb > 0, "no SB stalls recorded");
+        assert_eq!(core.sb().len(), 8);
+        // Commits stopped at SB capacity.
+        assert_eq!(core.committed(), 8);
+    }
+
+    #[test]
+    fn store_forwarding_to_younger_load() {
+        let a = Addr::new(0x100);
+        let insts = vec![TraceInst::store(a, 8, 42), TraceInst::load(a, 8)];
+        let mut core = default_core(insts);
+        core.record_loads(true);
+        let mut port = NullPort::new();
+        run(&mut core, &mut port, 1000, true);
+        assert_eq!(core.loaded_values(), &[42]);
+        assert_eq!(core.stats.sb_forwards, 1);
+        assert_eq!(core.stats.mem_loads, 0);
+    }
+
+    #[test]
+    fn loads_issue_to_port_on_sb_miss() {
+        let cfg = SimConfig::default();
+        let insts = vec![TraceInst::load(Addr::new(0x200), 8)];
+        let mut core = Core::new(CoreId::new(0), &cfg, Box::new(VecTrace::new(insts)));
+        struct MissPort(Vec<u64>);
+        impl MemPort for MissPort {
+            fn forward_load(&mut self, _a: Addr, _s: usize) -> Option<(u64, u64)> {
+                None
+            }
+            fn issue_load(&mut self, _a: Addr, _s: usize, token: u64, _n: Cycle) {
+                self.0.push(token);
+            }
+            fn store_committed(&mut self, _a: Addr, _s: usize, _n: Cycle) {}
+            fn fence_drained(&mut self) -> bool {
+                true
+            }
+        }
+        let mut port = MissPort(Vec::new());
+        for t in 0..20 {
+            core.tick(Cycle::new(t), &mut port);
+        }
+        assert_eq!(port.0.len(), 1, "load must reach the memory system");
+        let token = port.0[0];
+        assert_eq!(core.committed(), 0, "load cannot commit before data");
+        core.load_complete(token, Cycle::new(25), 7);
+        core.record_loads(true);
+        for t in 20..40 {
+            core.tick(Cycle::new(t), &mut port);
+        }
+        assert_eq!(core.committed(), 1);
+        assert_eq!(core.loaded_values(), &[7]);
+    }
+
+    #[test]
+    fn fence_waits_for_sb_drain() {
+        let insts = vec![
+            TraceInst::store(Addr::new(0), 8, 1),
+            TraceInst::fence(),
+            TraceInst::alu(),
+        ];
+        let mut core = default_core(insts);
+        let mut port = NullPort::new();
+        // Without draining the SB, the fence never commits.
+        for t in 0..100 {
+            core.tick(Cycle::new(t), &mut port);
+        }
+        assert_eq!(core.committed(), 1, "only the store commits");
+        assert!(core.stats.fence_wait > 0);
+        // Drain the SB: the fence and the ALU commit.
+        while core.sb().head().is_some_and(|e| e.committed) {
+            core.sb_mut().pop_head();
+        }
+        for t in 100..200 {
+            core.tick(Cycle::new(t), &mut port);
+        }
+        assert_eq!(core.committed(), 3);
+    }
+
+    #[test]
+    fn store_commit_notifies_port() {
+        let insts = vec![TraceInst::store(Addr::new(0x40), 8, 1)];
+        let mut core = default_core(insts);
+        let mut port = NullPort::new();
+        for t in 0..50 {
+            core.tick(Cycle::new(t), &mut port);
+        }
+        assert_eq!(port.committed_stores, vec![Addr::new(0x40)]);
+    }
+
+    #[test]
+    fn rob_full_attributed_when_load_blocks_head() {
+        // A load that never completes blocks commit; the ROB fills.
+        struct BlackHole;
+        impl MemPort for BlackHole {
+            fn forward_load(&mut self, _a: Addr, _s: usize) -> Option<(u64, u64)> {
+                None
+            }
+            fn issue_load(&mut self, _a: Addr, _s: usize, _t: u64, _n: Cycle) {}
+            fn store_committed(&mut self, _a: Addr, _s: usize, _n: Cycle) {}
+            fn fence_drained(&mut self) -> bool {
+                true
+            }
+        }
+        let cfg = SimConfig::default();
+        let mut insts = vec![TraceInst::load(Addr::new(0), 8)];
+        // Alternate int/fp so physical registers (332+332) outlast the
+        // 512-entry ROB and the ROB is the first missing resource.
+        for i in 0..2000 {
+            insts.push(if i % 2 == 0 {
+                TraceInst::alu()
+            } else {
+                TraceInst {
+                    op: OpClass::FpAdd,
+                    ..TraceInst::alu()
+                }
+            });
+        }
+        let mut core = Core::new(CoreId::new(0), &cfg, Box::new(VecTrace::new(insts)));
+        let mut port = BlackHole;
+        for t in 0..500 {
+            core.tick(Cycle::new(t), &mut port);
+        }
+        assert!(core.stats.stall_rob > 0);
+        assert_eq!(core.committed(), 0);
+    }
+
+    #[test]
+    fn stats_export_contains_ipc() {
+        let mut core = default_core(vec![TraceInst::alu(); 10]);
+        let mut port = NullPort::new();
+        run(&mut core, &mut port, 100, true);
+        let s = core.export_stats();
+        assert!(s.get("ipc") > 0.0);
+        assert_eq!(s.get("committed"), 10.0);
+    }
+}

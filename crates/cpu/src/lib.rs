@@ -1,0 +1,26 @@
+//! Trace-driven out-of-order core model.
+//!
+//! [`Core`] models the processor described in Table I of the paper: an
+//! 8-wide-fetch / 6-wide-rename / 12-wide-issue / 8-wide-commit machine
+//! with a 512-entry ROB, a 192-entry load queue and a unified store buffer
+//! whose size is the paper's central knob (114/64/32 entries).
+//!
+//! The model is *resource-accurate rather than ISA-accurate*: instructions
+//! come from a [`trace::TraceSource`] that provides operation classes,
+//! memory addresses and register-dependency distances. What the evaluation
+//! measures — store-buffer backpressure, ROB-full stalls on long loads,
+//! the race between store drain rate and commit rate — are all resource
+//! effects that this model captures cycle by cycle.
+//!
+//! The store-drain policy is *not* here: the policy layer (the `tus`
+//! crate) pops committed stores from [`sb::StoreBuffer`] between core
+//! ticks. Loads reach the memory hierarchy through the [`MemPort`] trait
+//! implemented by the system assembly.
+
+pub mod core;
+pub mod sb;
+pub mod trace;
+
+pub use crate::core::{Core, CoreStats, MemPort, StallReason};
+pub use sb::{ForwardResult, SbEntry, StoreBuffer};
+pub use trace::{OpClass, TraceInst, TraceSource, VecTrace};

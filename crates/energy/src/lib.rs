@@ -1,0 +1,24 @@
+//! Energy, area and EDP models.
+//!
+//! The paper evaluates energy with McPAT at 22 nm. This crate substitutes
+//! an analytic model with two parts:
+//!
+//! * [`cam`] — area and per-search energy of the CAM structures (SB, WOQ)
+//!   as affine functions of entry count, *fitted to the ratios the paper
+//!   reports*: a 32-entry SB has 2× lower search energy and 21% less area
+//!   than a 114-entry SB; the WOQ is 13× smaller and 10× cheaper per
+//!   search than the 114-entry SB (and ~5× cheaper than a 32-entry SB).
+//! * [`model`] — per-event energy accounting over a run's `StatSet`
+//!   (L1D/L2/L3/DRAM accesses, SB/WOQ/WCB searches, SSB's L2
+//!   write-through, TUS's L2 updates) plus static energy per cycle, and
+//!   the energy-delay product.
+//!
+//! Absolute joules are not the point (the paper's are McPAT's); the
+//! *relative* EDP between policies — driven by delay and event counts —
+//! is what the figures compare.
+
+pub mod cam;
+pub mod model;
+
+pub use cam::{sb_area, sb_search_energy, woq_area, woq_search_energy};
+pub use model::{EnergyBreakdown, EnergyModel};

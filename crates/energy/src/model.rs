@@ -1,0 +1,227 @@
+//! Per-event energy accounting and EDP.
+//!
+//! [`EnergyModel::evaluate`] walks a run's `StatSet` (as exported by
+//! `tus::System`) and charges representative 22 nm per-event energies for
+//! every memory-subsystem event, plus core dynamic energy per committed
+//! instruction and static energy per cycle. The result feeds the EDP
+//! figures (11, 12-right, 14-right, 15).
+//!
+//! The event set deliberately mirrors what the paper identifies as the
+//! energy movers: SB searches (every load), L1D store writes (reduced 2×
+//! by coalescing), SSB's per-store L2 write-through (its EDP downfall),
+//! TUS's L2 updates on visible-hit overwrites (its main overhead), and
+//! DRAM traffic.
+
+use std::collections::BTreeMap;
+
+use tus_sim::{SimConfig, StatSet};
+
+use crate::cam;
+
+/// Per-event energies (pJ) and static power, bundled with the structure
+/// sizes they depend on.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    cores: usize,
+    sb_entries: usize,
+    woq_entries: usize,
+    /// L1D read access (pJ).
+    pub l1d_read: f64,
+    /// L1D write access (pJ).
+    pub l1d_write: f64,
+    /// L2 access (pJ).
+    pub l2_access: f64,
+    /// L3 access (pJ).
+    pub l3_access: f64,
+    /// DRAM line transfer (pJ).
+    pub dram_access: f64,
+    /// WCB search/write (pJ).
+    pub wcb_access: f64,
+    /// TSOB (1K-entry SRAM FIFO) access (pJ).
+    pub tsob_access: f64,
+    /// Core dynamic energy per committed instruction (pJ) — front end,
+    /// rename, ALUs, bypass.
+    pub core_per_inst: f64,
+    /// Static energy per core per cycle (pJ) — ~0.6 W per core at 3 GHz.
+    pub static_per_core_cycle: f64,
+}
+
+impl EnergyModel {
+    /// Builds the model for a machine configuration.
+    pub fn from_config(cfg: &SimConfig) -> Self {
+        EnergyModel {
+            cores: cfg.cores,
+            sb_entries: cfg.sb.entries,
+            woq_entries: cfg.tus.woq_entries,
+            l1d_read: 20.0,
+            l1d_write: 25.0,
+            l2_access: 80.0,
+            l3_access: 300.0,
+            dram_access: 15_000.0,
+            wcb_access: 2.0,
+            tsob_access: 10.0,
+            core_per_inst: 100.0,
+            static_per_core_cycle: 200.0,
+        }
+    }
+
+    /// Evaluates the total energy of a run from its statistics.
+    pub fn evaluate(&self, stats: &StatSet) -> EnergyBreakdown {
+        let mut comp: BTreeMap<String, f64> = BTreeMap::new();
+        let mut add = |name: &str, v: f64| {
+            *comp.entry(name.to_owned()).or_insert(0.0) += v;
+        };
+        let cycles = stats.get("cycles");
+        add(
+            "static",
+            cycles * self.cores as f64 * self.static_per_core_cycle,
+        );
+        for i in 0..self.cores {
+            let g = |suffix: &str| stats.get(&format!("core{i}.{suffix}"));
+            add("core_dynamic", g("cpu.committed") * self.core_per_inst);
+            add(
+                "sb_search",
+                g("cpu.sb_searches") * cam::sb_search_energy(self.sb_entries),
+            );
+            add(
+                "sb_write",
+                g("cpu.stores") * cam::sb_write_energy(self.sb_entries),
+            );
+            let m = |suffix: &str| stats.get(&format!("mem.core{i}.{suffix}"));
+            add("l1d_read", m("l1d_load_hits") * self.l1d_read);
+            add("l1d_write", m("l1d_writes") * self.l1d_write);
+            add(
+                "l2",
+                (m("l2_load_hits") + m("l2_load_misses") + m("prefetches")) * self.l2_access,
+            );
+            add("l2_update", m("l2_updates") * self.l2_access);
+            add("ssb_l2_writes", m("ssb_l2_writes") * self.l2_access);
+            let p = |suffix: &str| stats.get(&format!("core{i}.policy.{suffix}"));
+            add("wcb", p("wcb_searches") * self.wcb_access);
+            add(
+                "woq_search",
+                p("woq_searches") * cam::woq_search_energy(self.woq_entries),
+            );
+            add("tsob", p("tsob_searches") * self.tsob_access);
+        }
+        add("l3", stats.get("mem.dir.l3_hits") * self.l3_access);
+        add("dram", stats.get("mem.dir.l3_misses") * self.dram_access);
+        add(
+            "coherence",
+            stats.get("mem.net.msgs") * 5.0, // per-message interconnect energy
+        );
+        let total: f64 = comp.values().sum();
+        EnergyBreakdown {
+            total_pj: total,
+            cycles,
+            components: comp,
+        }
+    }
+
+    /// Energy-delay product of a run (pJ·cycles).
+    pub fn edp(&self, stats: &StatSet) -> f64 {
+        let b = self.evaluate(stats);
+        b.total_pj * b.cycles
+    }
+}
+
+/// The result of an energy evaluation.
+#[derive(Debug, Clone)]
+pub struct EnergyBreakdown {
+    /// Total energy in pJ.
+    pub total_pj: f64,
+    /// Run length in cycles.
+    pub cycles: f64,
+    /// Per-component energies in pJ.
+    pub components: BTreeMap<String, f64>,
+}
+
+impl EnergyBreakdown {
+    /// Energy-delay product (pJ·cycles).
+    pub fn edp(&self) -> f64 {
+        self.total_pj * self.cycles
+    }
+
+    /// The dynamic fraction (everything but static).
+    pub fn dynamic_fraction(&self) -> f64 {
+        let stat = self.components.get("static").copied().unwrap_or(0.0);
+        if self.total_pj == 0.0 {
+            0.0
+        } else {
+            1.0 - stat / self.total_pj
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(entries: &[(&str, f64)]) -> StatSet {
+        let mut s = StatSet::new();
+        for (k, v) in entries {
+            s.set(k, *v);
+        }
+        s
+    }
+
+    fn model() -> EnergyModel {
+        EnergyModel::from_config(&SimConfig::default())
+    }
+
+    #[test]
+    fn static_energy_scales_with_cycles() {
+        let m = model();
+        let a = m.evaluate(&stats_with(&[("cycles", 1000.0)]));
+        let b = m.evaluate(&stats_with(&[("cycles", 2000.0)]));
+        assert!((b.total_pj / a.total_pj - 2.0).abs() < 1e-9);
+        assert!((b.edp() / a.edp() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1d_writes_charged() {
+        let m = model();
+        let base = m.evaluate(&stats_with(&[("cycles", 100.0)]));
+        let w = m.evaluate(&stats_with(&[
+            ("cycles", 100.0),
+            ("mem.core0.l1d_writes", 10.0),
+        ]));
+        assert!((w.total_pj - base.total_pj - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sb_search_energy_depends_on_sb_size() {
+        let cfg_big = SimConfig::builder().sb_entries(114).build();
+        let cfg_small = SimConfig::builder().sb_entries(32).build();
+        let s = stats_with(&[("cycles", 100.0), ("core0.cpu.sb_searches", 1000.0)]);
+        let e_big = EnergyModel::from_config(&cfg_big).evaluate(&s);
+        let e_small = EnergyModel::from_config(&cfg_small).evaluate(&s);
+        let d_big = e_big.components["sb_search"];
+        let d_small = e_small.components["sb_search"];
+        assert!((d_big / d_small - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_dominates_when_missing() {
+        let m = model();
+        let b = m.evaluate(&stats_with(&[
+            ("cycles", 10.0),
+            ("mem.dir.l3_misses", 100.0),
+        ]));
+        assert!(b.components["dram"] > b.components["static"]);
+        assert!(b.dynamic_fraction() > 0.9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = model();
+        let b = m.evaluate(&stats_with(&[
+            ("cycles", 500.0),
+            ("core0.cpu.committed", 1000.0),
+            ("mem.core0.l1d_load_hits", 300.0),
+            ("mem.net.msgs", 50.0),
+        ]));
+        let sum: f64 = b.components.values().sum();
+        assert!((sum - b.total_pj).abs() < 1e-6);
+    }
+}

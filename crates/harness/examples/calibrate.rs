@@ -1,0 +1,20 @@
+//! Calibration helper: per-workload baseline stall%, IPC and TUS speedup.
+use tus_harness::{run, RunSpec, Scale};
+use tus_sim::PolicyKind;
+use tus_workloads::sb_bound_single;
+
+fn main() {
+    println!("{:22} {:>8} {:>9} {:>9} {:>9} {:>9}", "workload", "baseIPC", "stall%", "TUSspd%", "SSBspd%", "CSBspd%");
+    for w in sb_bound_single() {
+        let r = |p| {
+            let spec = RunSpec { warmup: 10_000, insts: 80_000, ..RunSpec::new(w.clone(), p, 114, Scale::Quick) };
+            run(&spec)
+        };
+        let b = r(PolicyKind::Baseline);
+        let t = r(PolicyKind::Tus);
+        let s = r(PolicyKind::Ssb);
+        let c = r(PolicyKind::Csb);
+        println!("{:22} {:>8.3} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            w.name, b.ipc, b.sb_stall_frac*100.0, (t.ipc/b.ipc-1.0)*100.0, (s.ipc/b.ipc-1.0)*100.0, (c.ipc/b.ipc-1.0)*100.0);
+    }
+}

@@ -1,0 +1,20 @@
+use std::time::Instant;
+use tus_harness::{run, RunSpec, Scale};
+use tus_sim::PolicyKind;
+use tus_workloads::by_name;
+
+fn main() {
+    for (w, p) in [("502.gcc5-like", PolicyKind::Baseline), ("502.gcc5-like", PolicyKind::Tus), ("505.mcf-like", PolicyKind::Tus), ("541.leela-like", PolicyKind::Baseline)] {
+        let spec = RunSpec { warmup: 0, insts: 200_000, ..RunSpec::new(by_name(w).unwrap(), p, 114, Scale::Quick) };
+        let t = Instant::now();
+        let r = run(&spec);
+        let dt = t.elapsed().as_secs_f64();
+        println!("{w} {p:?}: {:.0} insts, {:.0} cycles, ipc {:.3}, sbstall {:.3}, {:.2} s => {:.2} Minst/s", r.committed, r.cycles, r.ipc, r.sb_stall_frac, dt, r.committed/1e6/dt);
+    }
+    // one parallel run
+    let spec = RunSpec { warmup: 0, insts: 20_000, ..RunSpec::new(by_name("dedup-like").unwrap(), PolicyKind::Tus, 114, Scale::Quick) };
+    let t = Instant::now();
+    let r = run(&spec);
+    let dt = t.elapsed().as_secs_f64();
+    println!("dedup16 TUS: {:.0} insts total, ipc {:.3}, {:.2} s => {:.2} Minst/s", r.committed, r.ipc, dt, r.committed/1e6/dt);
+}

@@ -1,0 +1,404 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every function prints the regenerated table(s) and writes CSVs under
+//! the output directory. The paper's absolute numbers came from gem5 +
+//! SPEC/PARSEC reference runs; here the *shape* is the target (see
+//! `EXPERIMENTS.md` for the paper-vs-measured record).
+
+use std::path::Path;
+
+use tus_energy::{sb_area, sb_search_energy, woq_area, woq_search_energy};
+use tus_sim::stats::geomean;
+use tus_sim::{PolicyKind, SimConfig};
+use tus_workloads::{all_single, parsec16, sb_bound_single, Workload};
+
+use crate::runner::{run, RunResult, RunSpec, Scale};
+use crate::table::Table;
+
+/// Shared experiment options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Run-length scaling.
+    pub scale: Scale,
+    /// Base seed.
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub out: std::path::PathBuf,
+    /// Restrict parallel suites to this many workloads (they are 16-core
+    /// and expensive); `None` = all.
+    pub parallel_cap: Option<usize>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: Scale::Normal,
+            seed: 42,
+            out: "results".into(),
+            parallel_cap: None,
+        }
+    }
+}
+
+fn spec(w: &Workload, policy: PolicyKind, sb: usize, opt: &Options) -> RunSpec {
+    RunSpec {
+        seed: opt.seed,
+        ..RunSpec::new(w.clone(), policy, sb, opt.scale)
+    }
+}
+
+fn run_one(w: &Workload, policy: PolicyKind, sb: usize, opt: &Options) -> RunResult {
+    run(&spec(w, policy, sb, opt))
+}
+
+fn parsec_suite(opt: &Options) -> Vec<Workload> {
+    let mut v = parsec16();
+    if let Some(cap) = opt.parallel_cap {
+        v.truncate(cap);
+    }
+    v
+}
+
+fn emit(t: &Table, opt: &Options, file: &str) {
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv(Path::new(&opt.out), file) {
+        eprintln!("warning: could not write {file}.csv: {e}");
+    }
+}
+
+/// Table I: configuration parameters.
+pub fn table1(_opt: &Options) {
+    println!("{}", SimConfig::default().render_table1());
+}
+
+/// Figure 8: speedup (geomean over each suite) vs SB size for every
+/// policy, normalized to the 114-entry-SB baseline of that suite.
+pub fn fig08(opt: &Options) {
+    let sizes = [32usize, 56, 64, 114];
+    for (suite_name, workloads) in [
+        ("spec-tf-sb-bound", sb_bound_single()),
+        ("parsec", parsec_suite(opt)),
+    ] {
+        let mut t = Table::new(
+            format!("Fig. 8 ({suite_name}): geomean speedup vs 114-entry-SB baseline"),
+            PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
+        );
+        let refs: Vec<f64> = workloads
+            .iter()
+            .map(|w| run_one(w, PolicyKind::Baseline, 114, opt).ipc)
+            .collect();
+        for sb in sizes {
+            let mut row = Vec::new();
+            for policy in PolicyKind::ALL {
+                let speedups = workloads.iter().zip(&refs).map(|(w, &r)| {
+                    let ipc = if policy == PolicyKind::Baseline && sb == 114 {
+                        r
+                    } else {
+                        run_one(w, policy, sb, opt).ipc
+                    };
+                    ipc / r
+                });
+                row.push(geomean(speedups));
+            }
+            t.push(format!("SB={sb}"), row);
+        }
+        emit(&t, opt, &format!("fig08_{suite_name}"));
+    }
+}
+
+/// Figure 9: SB-induced dispatch stalls (% of cycles) per SB-bound
+/// workload and policy, 114-entry SB. Lower is better.
+pub fn fig09(opt: &Options) {
+    let mut t = Table::new(
+        "Fig. 9: SB-induced stalls (% of cycles), 114-entry SB",
+        PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
+    );
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for w in sb_bound_single() {
+        let vals: Vec<f64> = PolicyKind::ALL
+            .iter()
+            .map(|&p| run_one(&w, p, 114, opt).sb_stall_frac * 100.0)
+            .collect();
+        rows.push((w.name.to_owned(), vals));
+    }
+    // The paper sorts by baseline stalls, descending.
+    rows.sort_by(|a, b| b.1[0].total_cmp(&a.1[0]));
+    let means: Vec<f64> = (0..PolicyKind::ALL.len())
+        .map(|c| rows.iter().map(|(_, v)| v[c]).sum::<f64>() / rows.len() as f64)
+        .collect();
+    for (name, vals) in rows {
+        t.push(name, vals);
+    }
+    t.push("mean", means);
+    emit(&t, opt, "fig09");
+}
+
+/// Figure 10: speedup S-curve over all applications (left) and the
+/// per-benchmark SB-bound breakdown (right), normalized to the
+/// 114-entry-SB baseline.
+pub fn fig10(opt: &Options) {
+    speedup_figure(opt, 114, "Fig. 10", "fig10");
+}
+
+/// Figure 11: EDP normalized to the 114-entry-SB baseline, single-thread
+/// SB-bound workloads. Lower is better.
+pub fn fig11(opt: &Options) {
+    edp_figure(opt, 114, "Fig. 11", "fig11", sb_bound_single());
+}
+
+/// Figure 12: PARSEC (16 cores) speedup and EDP vs the 114-entry-SB
+/// baseline.
+pub fn fig12(opt: &Options) {
+    parallel_figure(opt, 114, "Fig. 12", "fig12");
+}
+
+/// Figure 13: S-curve + breakdown vs the **32-entry-SB** baseline.
+pub fn fig13(opt: &Options) {
+    speedup_figure(opt, 32, "Fig. 13", "fig13");
+}
+
+/// Figure 14: PARSEC speedup and EDP vs the 32-entry-SB baseline.
+pub fn fig14(opt: &Options) {
+    parallel_figure(opt, 32, "Fig. 14", "fig14");
+}
+
+/// Figure 15: EDP vs the 32-entry-SB baseline, single-thread SB-bound.
+pub fn fig15(opt: &Options) {
+    edp_figure(opt, 32, "Fig. 15", "fig15", sb_bound_single());
+}
+
+fn speedup_figure(opt: &Options, sb: usize, title: &str, file: &str) {
+    // Right panel: per-benchmark speedups for SB-bound workloads.
+    let mut right = Table::new(
+        format!("{title} (right): speedup vs {sb}-entry-SB baseline, SB-bound"),
+        PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
+    );
+    for w in sb_bound_single() {
+        let base = run_one(&w, PolicyKind::Baseline, sb, opt).ipc;
+        let vals: Vec<f64> = PolicyKind::ALL
+            .iter()
+            .map(|&p| {
+                if p == PolicyKind::Baseline {
+                    1.0
+                } else {
+                    run_one(&w, p, sb, opt).ipc / base
+                }
+            })
+            .collect();
+        right.push(w.name.to_owned(), vals);
+    }
+    let mean = right.geomean_row();
+    right.push("geomean", mean);
+    emit(&right, opt, &format!("{file}_breakdown"));
+
+    // Left panel: the S-curve of TUS speedups over *all* applications.
+    let mut curve: Vec<(String, f64)> = all_single()
+        .iter()
+        .map(|w| {
+            let base = run_one(w, PolicyKind::Baseline, sb, opt).ipc;
+            let tus = run_one(w, PolicyKind::Tus, sb, opt).ipc;
+            (w.name.to_owned(), tus / base)
+        })
+        .collect();
+    curve.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let mut left = Table::new(
+        format!("{title} (left): TUS speedup S-curve over all applications vs {sb}-entry SB"),
+        vec!["speedup".to_owned()],
+    );
+    for (name, s) in &curve {
+        left.push(name.clone(), vec![*s]);
+    }
+    left.push("geomean(All)".to_owned(), vec![geomean(curve.iter().map(|c| c.1))]);
+    emit(&left, opt, &format!("{file}_scurve"));
+}
+
+fn edp_figure(opt: &Options, sb: usize, title: &str, file: &str, workloads: Vec<Workload>) {
+    let mut t = Table::new(
+        format!("{title}: EDP normalized to {sb}-entry-SB baseline (lower is better)"),
+        PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
+    );
+    for w in workloads {
+        let base = run_one(&w, PolicyKind::Baseline, sb, opt).edp;
+        let vals: Vec<f64> = PolicyKind::ALL
+            .iter()
+            .map(|&p| {
+                if p == PolicyKind::Baseline {
+                    1.0
+                } else {
+                    run_one(&w, p, sb, opt).edp / base
+                }
+            })
+            .collect();
+        t.push(w.name.to_owned(), vals);
+    }
+    let mean = t.geomean_row();
+    t.push("geomean", mean);
+    emit(&t, opt, file);
+}
+
+fn parallel_figure(opt: &Options, sb: usize, title: &str, file: &str) {
+    let workloads = parsec_suite(opt);
+    let mut speed = Table::new(
+        format!("{title} (left): PARSEC speedup vs {sb}-entry-SB baseline, 16 cores"),
+        PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
+    );
+    let mut edp = Table::new(
+        format!("{title} (right): PARSEC EDP vs {sb}-entry-SB baseline (lower is better)"),
+        PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
+    );
+    for w in &workloads {
+        let base = run_one(w, PolicyKind::Baseline, sb, opt);
+        let mut srow = Vec::new();
+        let mut erow = Vec::new();
+        for policy in PolicyKind::ALL {
+            if policy == PolicyKind::Baseline {
+                srow.push(1.0);
+                erow.push(1.0);
+            } else {
+                let r = run_one(w, policy, sb, opt);
+                srow.push(r.ipc / base.ipc);
+                erow.push(r.edp / base.edp);
+            }
+        }
+        speed.push(w.name.to_owned(), srow);
+        edp.push(w.name.to_owned(), erow);
+    }
+    let m = speed.geomean_row();
+    speed.push("geomean", m);
+    let m = edp.geomean_row();
+    edp.push("geomean", m);
+    emit(&speed, opt, &format!("{file}_speedup"));
+    emit(&edp, opt, &format!("{file}_edp"));
+}
+
+/// In-text claims: SB/WOQ area & energy ratios, L1D-write reduction,
+/// stall totals, hit rates and memory-boundness.
+pub fn intext(opt: &Options) {
+    // Structure ratios (analytic model, Section IV / V of the paper).
+    let mut t = Table::new(
+        "In-text: structure area and search-energy model",
+        vec!["area_um2".into(), "energy_pJ".into()],
+    );
+    for sb in [32usize, 64, 114] {
+        t.push(format!("SB-{sb}"), vec![sb_area(sb), sb_search_energy(sb)]);
+    }
+    t.push("WOQ-64", vec![woq_area(64), woq_search_energy(64)]);
+    t.push(
+        "ratio SB114/SB32",
+        vec![sb_area(114) / sb_area(32), sb_search_energy(114) / sb_search_energy(32)],
+    );
+    t.push(
+        "ratio SB114/WOQ",
+        vec![sb_area(114) / woq_area(64), sb_search_energy(114) / woq_search_energy(64)],
+    );
+    t.push(
+        "ratio SB32/WOQ",
+        vec![sb_area(32) / woq_area(64), sb_search_energy(32) / woq_search_energy(64)],
+    );
+    emit(&t, opt, "intext_structures");
+
+    // L1D write reduction, stalls, hit rates, boundness.
+    let mut t = Table::new(
+        "In-text: per-workload TUS vs baseline (114-entry SB)",
+        vec![
+            "write_reduction_x".into(),
+            "stall_base_pct".into(),
+            "stall_tus_pct".into(),
+            "l1d_hit_base_pct".into(),
+            "l1d_hit_tus_pct".into(),
+        ],
+    );
+    for w in sb_bound_single() {
+        let base = run_one(&w, PolicyKind::Baseline, 114, opt);
+        let tus = run_one(&w, PolicyKind::Tus, 114, opt);
+        let writes = |r: &RunResult| r.stats.get("mem.core0.l1d_writes").max(1.0);
+        let hits = |r: &RunResult| {
+            let h = r.stats.get("mem.core0.l1d_load_hits");
+            let m = r.stats.get("mem.core0.l1d_load_misses");
+            100.0 * h / (h + m).max(1.0)
+        };
+        t.push(
+            w.name.to_owned(),
+            vec![
+                writes(&base) / writes(&tus),
+                base.sb_stall_frac * 100.0,
+                tus.sb_stall_frac * 100.0,
+                hits(&base),
+                hits(&tus),
+            ],
+        );
+    }
+    let mean = t.geomean_row();
+    t.push("geomean", mean);
+    emit(&t, opt, "intext_tus_vs_base");
+}
+
+/// Design-space ablations of the TUS parameters called out in DESIGN.md:
+/// WOQ size, WCB count, atomic-group cap, lex bits, prefetch-at-commit.
+pub fn ablation(opt: &Options) {
+    let w = tus_workloads::by_name("502.gcc4-like").expect("workload exists");
+    let base = run_one(&w, PolicyKind::Baseline, 114, opt).ipc;
+    let run_tweak = |tweak: fn(&mut tus_sim::SimConfigBuilder)| {
+        let mut s = spec(&w, PolicyKind::Tus, 114, opt);
+        s.tweak = Some(tweak);
+        run(&s).ipc / base
+    };
+
+    let mut t = Table::new(
+        "Ablation (502.gcc4-like): TUS speedup vs baseline by design point",
+        vec!["speedup".into()],
+    );
+    t.push(
+        "default (WOQ=64, WCB=2, group<=16, lex=16, pf@commit)",
+        vec![run_one(&w, PolicyKind::Tus, 114, opt).ipc / base],
+    );
+    t.push("WOQ=16", vec![run_tweak(|b| {
+        b.woq_entries(16);
+    })]);
+    t.push("WOQ=32", vec![run_tweak(|b| {
+        b.woq_entries(32);
+    })]);
+    t.push("WOQ=128", vec![run_tweak(|b| {
+        b.woq_entries(128);
+    })]);
+    t.push("WCB=1", vec![run_tweak(|b| {
+        b.wcbs(1);
+    })]);
+    t.push("WCB=4", vec![run_tweak(|b| {
+        b.wcbs(4);
+    })]);
+    t.push("group<=4", vec![run_tweak(|b| {
+        b.max_atomic_group(4);
+    })]);
+    t.push("group<=8", vec![run_tweak(|b| {
+        b.max_atomic_group(8);
+    })]);
+    t.push("lex=8", vec![run_tweak(|b| {
+        b.lex_bits(8);
+    })]);
+    t.push("no prefetch-at-commit", vec![run_tweak(|b| {
+        b.prefetch_at_commit(false);
+    })]);
+    t.push("no stream prefetcher", vec![run_tweak(|b| {
+        b.stream_prefetcher(false);
+    })]);
+    t.push("L1D unauth forwarding on", vec![run_tweak(|b| {
+        b.l1d_unauth_forwarding(true);
+    })]);
+    emit(&t, opt, "ablation");
+}
+
+/// Runs every experiment in figure order.
+pub fn all(opt: &Options) {
+    table1(opt);
+    fig08(opt);
+    fig09(opt);
+    fig10(opt);
+    fig11(opt);
+    fig12(opt);
+    fig13(opt);
+    fig14(opt);
+    fig15(opt);
+    intext(opt);
+    ablation(opt);
+}

@@ -1,0 +1,28 @@
+//! Experiment harness.
+//!
+//! One entry point per table/figure of the paper's evaluation section:
+//!
+//! | Entry | Paper content |
+//! |---|---|
+//! | [`experiments::table1`] | Table I configuration parameters |
+//! | [`experiments::fig08`] | Speedup vs SB size {32,56,64,114}, all policies, per suite |
+//! | [`experiments::fig09`] | SB-induced stalls (% cycles), 114-entry SB |
+//! | [`experiments::fig10`] | Speedup S-curve + SB-bound breakdown vs 114-SB |
+//! | [`experiments::fig11`] | Normalized EDP vs 114-SB (single-thread SB-bound) |
+//! | [`experiments::fig12`] | PARSEC speedup + EDP vs 114-SB (16 cores) |
+//! | [`experiments::fig13`] | Speedup S-curve + breakdown vs 32-SB |
+//! | [`experiments::fig14`] | PARSEC speedup + EDP vs 32-SB |
+//! | [`experiments::fig15`] | Normalized EDP vs 32-SB (single-thread SB-bound) |
+//! | [`experiments::intext`] | In-text claims: SB/WOQ area & energy ratios, L1D write reduction, stall totals |
+//! | [`experiments::ablation`] | Design-space sweeps: WOQ size, WCB count, atomic-group cap, lex bits, prefetch-at-commit |
+//!
+//! Each experiment prints an aligned table and writes a CSV under the
+//! output directory. [`runner`] executes individual simulations with
+//! warm-up subtraction; [`table`] renders results.
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run, RunResult, RunSpec, Scale};
+pub use table::Table;

@@ -1,0 +1,69 @@
+//! `tus-harness` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]
+//!             [--parallel-cap N]
+//!
+//! experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15
+//!              intext ablation all
+//! ```
+
+use tus_harness::experiments::{self, Options};
+use tus_harness::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR] [--parallel-cap N]\n\
+         experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut opt = Options::default();
+    let mut cmd = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opt.scale = Scale::Quick,
+            "--full" => opt.scale = Scale::Full,
+            "--seed" => {
+                opt.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => opt.out = it.next().unwrap_or_else(|| usage()).into(),
+            "--parallel-cap" => {
+                opt.parallel_cap = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            c if cmd.is_none() && !c.starts_with('-') => cmd = Some(c.to_owned()),
+            _ => usage(),
+        }
+    }
+    let started = std::time::Instant::now();
+    match cmd.as_deref() {
+        Some("table1") => experiments::table1(&opt),
+        Some("fig08") => experiments::fig08(&opt),
+        Some("fig09") => experiments::fig09(&opt),
+        Some("fig10") => experiments::fig10(&opt),
+        Some("fig11") => experiments::fig11(&opt),
+        Some("fig12") => experiments::fig12(&opt),
+        Some("fig13") => experiments::fig13(&opt),
+        Some("fig14") => experiments::fig14(&opt),
+        Some("fig15") => experiments::fig15(&opt),
+        Some("intext") => experiments::intext(&opt),
+        Some("ablation") => experiments::ablation(&opt),
+        Some("all") => experiments::all(&opt),
+        _ => usage(),
+    }
+    eprintln!("[{:.1}s]", started.elapsed().as_secs_f64());
+}

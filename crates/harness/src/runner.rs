@@ -1,0 +1,205 @@
+//! Single-simulation execution with warm-up subtraction.
+
+use tus::System;
+use tus_energy::{EnergyBreakdown, EnergyModel};
+use tus_sim::{PolicyKind, SimConfig, StatSet};
+use tus_workloads::Workload;
+
+/// Run-length scaling: experiments default to laptop-friendly lengths;
+/// `Full` approaches paper-like (still far below 2 B instructions, but
+/// the archetypes reach steady state quickly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test lengths (CI).
+    Quick,
+    /// Default lengths.
+    Normal,
+    /// Long runs.
+    Full,
+}
+
+impl Scale {
+    /// Instructions measured per core for single-thread runs.
+    pub fn insts_single(self) -> u64 {
+        match self {
+            Scale::Quick => 40_000,
+            Scale::Normal => 300_000,
+            Scale::Full => 2_000_000,
+        }
+    }
+
+    /// Instructions measured per core for 16-core runs.
+    pub fn insts_parallel(self) -> u64 {
+        match self {
+            Scale::Quick => 10_000,
+            Scale::Normal => 60_000,
+            Scale::Full => 400_000,
+        }
+    }
+
+    /// Warm-up instructions per core (subtracted from the measurement).
+    pub fn warmup(self) -> u64 {
+        match self {
+            Scale::Quick => 5_000,
+            Scale::Normal => 50_000,
+            Scale::Full => 200_000,
+        }
+    }
+}
+
+/// Specification of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The workload.
+    pub workload: Workload,
+    /// Drain policy.
+    pub policy: PolicyKind,
+    /// SB entries.
+    pub sb_entries: usize,
+    /// Core count (1, or 16 for PARSEC).
+    pub cores: usize,
+    /// Warm-up instructions per core.
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub insts: u64,
+    /// Seed.
+    pub seed: u64,
+    /// Extra configuration hook (ablations).
+    pub tweak: Option<fn(&mut tus_sim::SimConfigBuilder)>,
+}
+
+impl RunSpec {
+    /// Builds a spec with defaults from a workload, policy, SB size and
+    /// scale.
+    pub fn new(workload: Workload, policy: PolicyKind, sb_entries: usize, scale: Scale) -> Self {
+        let cores = if workload.parallel { 16 } else { 1 };
+        let insts = if workload.parallel {
+            scale.insts_parallel()
+        } else {
+            scale.insts_single()
+        };
+        RunSpec {
+            workload,
+            policy,
+            sb_entries,
+            cores,
+            warmup: scale.warmup().min(insts / 2),
+            insts,
+            seed: 42,
+            tweak: None,
+        }
+    }
+
+    fn config(&self) -> SimConfig {
+        let mut b = SimConfig::builder();
+        b.cores(self.cores)
+            .sb_entries(self.sb_entries)
+            .policy(self.policy);
+        if let Some(t) = self.tweak {
+            t(&mut b);
+        }
+        b.build()
+    }
+}
+
+/// The measured outcome of one run (warm-up already subtracted).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Measured cycles.
+    pub cycles: f64,
+    /// Committed instructions across cores in the measured window.
+    pub committed: f64,
+    /// System IPC over the measured window.
+    pub ipc: f64,
+    /// SB-induced dispatch-stall cycles as a fraction of cycles (averaged
+    /// over cores).
+    pub sb_stall_frac: f64,
+    /// Energy breakdown of the measured window.
+    pub energy: EnergyBreakdown,
+    /// Energy-delay product.
+    pub edp: f64,
+    /// Raw (delta) statistics.
+    pub stats: StatSet,
+}
+
+/// Executes one run: builds the system, warms it up, measures, and
+/// subtracts the warm-up counters.
+pub fn run(spec: &RunSpec) -> RunResult {
+    let cfg = spec.config();
+    let total = spec.warmup + spec.insts;
+    let traces = spec
+        .workload
+        .traces(spec.cores, spec.seed, total + 10_000);
+    let mut sys = System::new(&cfg, traces, spec.seed);
+    // Generous budget: the slowest archetypes run at IPC ~0.05.
+    let budget = 400 * total + 2_000_000;
+    let warm = if spec.warmup > 0 {
+        sys.run_committed(spec.warmup, budget)
+    } else {
+        StatSet::new()
+    };
+    let end = sys.run_committed(total, budget);
+    let stats = end.minus(&warm);
+    let cycles = stats.get("cycles").max(1.0);
+    let committed = stats.get("total_committed");
+    let sb_stall_frac = (0..spec.cores)
+        .map(|i| stats.get(&format!("core{i}.cpu.stall_sb")))
+        .sum::<f64>()
+        / (cycles * spec.cores as f64);
+    let model = EnergyModel::from_config(&cfg);
+    let energy = model.evaluate(&stats);
+    let edp = energy.edp();
+    RunResult {
+        cycles,
+        committed,
+        ipc: committed / cycles,
+        sb_stall_frac,
+        energy,
+        edp,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tus_workloads::by_name;
+
+    #[test]
+    fn run_produces_consistent_metrics() {
+        let spec = RunSpec {
+            warmup: 2_000,
+            insts: 10_000,
+            ..RunSpec::new(
+                by_name("502.gcc1-like").expect("exists"),
+                PolicyKind::Baseline,
+                114,
+                Scale::Quick,
+            )
+        };
+        let r = run(&spec);
+        assert!(r.cycles > 0.0);
+        assert!(r.committed >= 10_000.0 - 2_000.0);
+        assert!(r.ipc > 0.0 && r.ipc < 8.0);
+        assert!(r.edp > 0.0);
+        assert!((0.0..=1.0).contains(&r.sb_stall_frac));
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let spec = RunSpec {
+            warmup: 0,
+            insts: 5_000,
+            ..RunSpec::new(
+                by_name("557.xz-like").expect("exists"),
+                PolicyKind::Tus,
+                32,
+                Scale::Quick,
+            )
+        };
+        let a = run(&spec);
+        let b = run(&spec);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.edp, b.edp);
+    }
+}

@@ -1,0 +1,149 @@
+//! Result tables: aligned text rendering and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A titled table of named rows × named numeric columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers (not counting the row-label column).
+    pub columns: Vec<String>,
+    /// `(row label, values)` — values align with `columns`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Decimal places.
+    pub precision: usize,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            precision: 3,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([9])
+            .max()
+            .unwrap_or(9);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len().max(self.precision + 4))
+            .collect::<Vec<_>>();
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:label_w$}", "");
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for (v, w) in vals.iter().zip(&col_w) {
+                let _ = write!(out, "  {v:>w$.prec$}", prec = self.precision);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "name");
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label}");
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to `dir/<file>.csv` (creating `dir`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, dir: &Path, file: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{file}.csv")), self.to_csv())
+    }
+
+    /// Geometric mean per column over the current rows (appended by the
+    /// caller if wanted).
+    pub fn geomean_row(&self) -> Vec<f64> {
+        (0..self.columns.len())
+            .map(|c| tus_sim::stats::geomean(self.rows.iter().map(|(_, v)| v[c])))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push("row1", vec![1.0, 2.0]);
+        t.push("row2", vec![4.0, 8.0]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = t().render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("row1"));
+        assert!(r.contains("2.000"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = t().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "name,a,b");
+        assert_eq!(lines[1], "row1,1,2");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn geomean_row_per_column() {
+        let g = t().geomean_row();
+        assert!((g[0] - 2.0).abs() < 1e-12);
+        assert!((g[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        t().push("bad", vec![1.0]);
+    }
+}

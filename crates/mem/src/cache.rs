@@ -1,0 +1,338 @@
+//! Generic set-associative cache array.
+//!
+//! [`CacheArray`] stores tags, MESI state, data and the TUS line-state
+//! extensions (Figure 6 of the paper): a *not visible* bit (`unauth` here,
+//! with the opposite sense — `unauth == true` means the line holds
+//! temporarily unauthorized store data that the coherence protocol must not
+//! see) and a *ready* bit (write permission acquired and data combined).
+//!
+//! Victim selection is LRU with a filter: unauthorized and locked
+//! (transient) lines are never eviction candidates, which implements both
+//! the paper's "cannot be selected for replacement" rule at the L1D and the
+//! NACK-refresh replacement rule at the L2.
+
+use tus_sim::LineAddr;
+
+use crate::line::{zero_line, ByteMask, LineData};
+use crate::mesi::Mesi;
+
+/// State of one cache line (tag array + TUS extensions + data).
+#[derive(Debug, Clone)]
+pub struct CacheLineState {
+    /// Line address stored in this way (valid only if `state != Invalid`
+    /// or `unauth`).
+    pub line: LineAddr,
+    /// Coherence permission actually held for the line.
+    pub state: Mesi,
+    /// Dirty with respect to the next level (write-back).
+    pub dirty: bool,
+    /// TUS: the line holds unauthorized store data not visible to the
+    /// coherence protocol (the paper's *not visible* bit, inverted name).
+    pub unauth: bool,
+    /// TUS: write permission acquired and data combined with memory.
+    pub ready: bool,
+    /// TUS: the non-written bytes of the line are valid (a base copy was
+    /// present when the unauthorized write happened). When true, a
+    /// permission-only upgrade completes the line without a data transfer.
+    pub base_valid: bool,
+    /// TUS: which bytes hold locally written (unauthorized) data.
+    pub mask: ByteMask,
+    /// Transient: a fill for this way is outstanding; the way cannot be
+    /// used or evicted.
+    pub locked: bool,
+    /// Cycle at which the last coherence grant installed/upgraded this
+    /// line (external requests arriving within a few cycles of a grant
+    /// are deferred so the local drain can perform at least one write —
+    /// the minimal fairness window real cores provide).
+    pub granted_at: tus_sim::Cycle,
+    /// Line payload.
+    pub data: Box<LineData>,
+    lru: u64,
+}
+
+impl CacheLineState {
+    fn empty() -> Self {
+        CacheLineState {
+            line: LineAddr::new(0),
+            state: Mesi::Invalid,
+            dirty: false,
+            unauth: false,
+            ready: false,
+            base_valid: false,
+            mask: ByteMask::EMPTY,
+            locked: false,
+            granted_at: tus_sim::Cycle::ZERO,
+            data: zero_line(),
+            lru: 0,
+        }
+    }
+
+    /// Whether the way holds anything (coherent copy, unauthorized data or
+    /// an in-flight fill).
+    pub fn occupied(&self) -> bool {
+        self.state != Mesi::Invalid || self.unauth || self.locked
+    }
+
+    /// Whether this way may be chosen as an eviction victim.
+    pub fn evictable(&self) -> bool {
+        !self.unauth && !self.locked
+    }
+
+    /// Resets the way to empty.
+    pub fn clear(&mut self) {
+        let lru = self.lru;
+        *self = CacheLineState::empty();
+        self.lru = lru;
+    }
+}
+
+/// A set-associative cache array with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use tus_mem::CacheArray;
+/// use tus_sim::LineAddr;
+///
+/// let mut c = CacheArray::new(4, 2);
+/// assert_eq!(c.sets(), 4);
+/// let (set, way) = c.allocate(LineAddr::new(0x10)).expect("empty set has room");
+/// c.way_mut(set, way).state = tus_mem::Mesi::Shared;
+/// assert!(c.lookup(LineAddr::new(0x10)).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: usize,
+    ways: usize,
+    lines: Vec<CacheLineState>,
+    tick: u64,
+}
+
+impl CacheArray {
+    /// Creates an array with `sets` sets (power of two) and `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(ways > 0, "ways must be positive");
+        CacheArray {
+            sets,
+            ways,
+            lines: (0..sets * ways).map(|_| CacheLineState::empty()).collect(),
+            tick: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Set index for a line address.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.sets - 1)
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        debug_assert!(set < self.sets && way < self.ways);
+        set * self.ways + way
+    }
+
+    /// Immutable access to a way.
+    pub fn way(&self, set: usize, way: usize) -> &CacheLineState {
+        &self.lines[self.idx(set, way)]
+    }
+
+    /// Mutable access to a way.
+    pub fn way_mut(&mut self, set: usize, way: usize) -> &mut CacheLineState {
+        let i = self.idx(set, way);
+        &mut self.lines[i]
+    }
+
+    /// Finds the way holding `line` (occupied ways only). Does not update
+    /// LRU — use [`CacheArray::touch`] on an actual access.
+    pub fn lookup(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let set = self.set_of(line);
+        for way in 0..self.ways {
+            let l = self.way(set, way);
+            if l.occupied() && l.line == line {
+                return Some((set, way));
+            }
+        }
+        None
+    }
+
+    /// LRU stamp of a way (higher = more recently used), for callers that
+    /// implement filtered victim selection.
+    pub fn lru_stamp(&self, set: usize, way: usize) -> u64 {
+        self.way(set, way).lru
+    }
+
+    /// Marks `(set, way)` as most recently used.
+    pub fn touch(&mut self, set: usize, way: usize) {
+        self.tick += 1;
+        let t = self.tick;
+        self.way_mut(set, way).lru = t;
+    }
+
+    /// Finds a way to hold `line`: an invalid way if available, otherwise
+    /// the LRU *evictable* way. Returns `None` when every way is pinned
+    /// (locked or unauthorized).
+    ///
+    /// The returned way may still hold a valid victim; the caller must
+    /// handle the eviction (write-back, coherence notification) before
+    /// overwriting it. This is intentional — see C-INTERMEDIATE.
+    pub fn victim(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let set = self.set_of(line);
+        // Prefer an unoccupied way.
+        for way in 0..self.ways {
+            if !self.way(set, way).occupied() {
+                return Some((set, way));
+            }
+        }
+        // Otherwise evict the least recently used evictable way.
+        let mut best: Option<(usize, u64)> = None;
+        for way in 0..self.ways {
+            let l = self.way(set, way);
+            if l.evictable() && best.is_none_or(|(_, lru)| l.lru < lru) {
+                best = Some((way, l.lru));
+            }
+        }
+        best.map(|(way, _)| (set, way))
+    }
+
+    /// Convenience: finds a way for `line` and clears it, returning the
+    /// coordinates. The caller is responsible for having handled any
+    /// victim first (checked in debug builds via [`CacheArray::victim`]).
+    pub fn allocate(&mut self, line: LineAddr) -> Option<(usize, usize)> {
+        let (set, way) = self.victim(line)?;
+        self.way_mut(set, way).clear();
+        self.way_mut(set, way).line = line;
+        self.touch(set, way);
+        Some((set, way))
+    }
+
+    /// Number of ways in `line`'s set that can currently be (re)allocated:
+    /// unoccupied ways plus evictable occupied ways.
+    pub fn free_or_evictable_ways(&self, line: LineAddr) -> usize {
+        let set = self.set_of(line);
+        (0..self.ways)
+            .filter(|&w| {
+                let l = self.way(set, w);
+                !l.occupied() || l.evictable()
+            })
+            .count()
+    }
+
+    /// Iterates over all occupied lines as `(set, way, &state)`.
+    pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, usize, &CacheLineState)> {
+        self.lines.iter().enumerate().filter_map(move |(i, l)| {
+            if l.occupied() {
+                Some((i / self.ways, i % self.ways, l))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Counts occupied ways (for occupancy statistics and tests).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.occupied()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(c: &mut CacheArray, line: u64, state: Mesi) -> (usize, usize) {
+        let (s, w) = c.allocate(LineAddr::new(line)).expect("room");
+        c.way_mut(s, w).state = state;
+        (s, w)
+    }
+
+    #[test]
+    fn lookup_hits_only_same_line() {
+        let mut c = CacheArray::new(4, 2);
+        filled(&mut c, 0x10, Mesi::Shared);
+        assert!(c.lookup(LineAddr::new(0x10)).is_some());
+        assert!(c.lookup(LineAddr::new(0x14)).is_none()); // same set (0x10 & 3 == 0x14 & 3)
+        assert!(c.lookup(LineAddr::new(0x11)).is_none());
+    }
+
+    #[test]
+    fn set_mapping() {
+        let c = CacheArray::new(8, 1);
+        assert_eq!(c.set_of(LineAddr::new(0)), 0);
+        assert_eq!(c.set_of(LineAddr::new(7)), 7);
+        assert_eq!(c.set_of(LineAddr::new(8)), 0);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recent() {
+        let mut c = CacheArray::new(1, 2);
+        let (s0, w0) = filled(&mut c, 0, Mesi::Shared);
+        let (_s1, w1) = filled(&mut c, 1, Mesi::Shared);
+        // Touch way0 so way1 is LRU.
+        c.touch(s0, w0);
+        let (_, v) = c.victim(LineAddr::new(2)).expect("victim");
+        assert_eq!(v, w1);
+    }
+
+    #[test]
+    fn unauth_and_locked_never_victims() {
+        let mut c = CacheArray::new(1, 2);
+        let (s, w0) = filled(&mut c, 0, Mesi::Modified);
+        let (_, w1) = filled(&mut c, 1, Mesi::Modified);
+        c.way_mut(s, w0).unauth = true;
+        c.way_mut(s, w1).locked = true;
+        assert!(c.victim(LineAddr::new(2)).is_none());
+        assert_eq!(c.free_or_evictable_ways(LineAddr::new(2)), 0);
+        c.way_mut(s, w1).locked = false;
+        assert_eq!(c.victim(LineAddr::new(2)), Some((s, w1)));
+        assert_eq!(c.free_or_evictable_ways(LineAddr::new(2)), 1);
+    }
+
+    #[test]
+    fn allocate_prefers_empty_way() {
+        let mut c = CacheArray::new(1, 4);
+        filled(&mut c, 0, Mesi::Shared);
+        let (_, w) = c.allocate(LineAddr::new(1)).expect("room");
+        assert_ne!(w, 0, "should pick an empty way, not evict");
+        assert_eq!(c.occupancy(), 1); // allocate cleared the way; caller sets state
+    }
+
+    #[test]
+    fn unauth_line_counts_as_occupied() {
+        let mut c = CacheArray::new(1, 1);
+        let (s, w) = c.allocate(LineAddr::new(5)).expect("room");
+        let l = c.way_mut(s, w);
+        l.unauth = true; // state stays Invalid (e.g. relinquished line)
+        assert!(c.lookup(LineAddr::new(5)).is_some());
+        assert!(c.victim(LineAddr::new(9)).is_none());
+    }
+
+    #[test]
+    fn iter_occupied_reports_coordinates() {
+        let mut c = CacheArray::new(2, 2);
+        filled(&mut c, 0, Mesi::Shared);
+        filled(&mut c, 1, Mesi::Modified);
+        let v: Vec<_> = c.iter_occupied().map(|(s, w, l)| (s, w, l.line)).collect();
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|&(s, _, l)| s == 0 && l == LineAddr::new(0)));
+        assert!(v.iter().any(|&(s, _, l)| s == 1 && l == LineAddr::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        CacheArray::new(3, 1);
+    }
+}

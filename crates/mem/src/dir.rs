@@ -1,0 +1,763 @@
+//! Full-map directory with the shared L3 and DRAM behind it.
+//!
+//! The directory is the coherence home for every line. It processes one
+//! transaction per line at a time (an *atomic directory*): requests that
+//! arrive for a busy line queue and are replayed in order when the current
+//! transaction completes. Combined with per-channel FIFO delivery in
+//! [`crate::net::Network`], this keeps the protocol race-free without
+//! transient-state explosion, while still exercising the cross-core
+//! interactions TUS cares about — most importantly, forwarded
+//! invalidations that an owner may *delay* (leaving the transaction open
+//! until the line becomes visible) or answer with a *relinquish* carrying
+//! the old copy from its private L2 (paper Section III-C).
+//!
+//! Timing: network hops are charged by the interconnect; DRAM fetches add
+//! the configured latency (plus queuing when more than
+//! `dram_max_inflight` fetches are outstanding). The L3 acts as a latency
+//! filter — lines present in the L3 array grant without the DRAM delay.
+//! The L3 is kept write-through with respect to [`MainMemory`], so memory
+//! always holds the last written-back data.
+
+use std::collections::{HashMap, VecDeque};
+
+use tus_sim::{CoreId, Cycle, DelayQueue, LineAddr, StatSet};
+
+use crate::cache::CacheArray;
+use crate::line::LineData;
+use crate::mainmem::MainMemory;
+use crate::mesi::Mesi;
+use crate::msgs::{FwdKind, Msg, ReqKind};
+use crate::net::{Network, Node};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    owner: Option<CoreId>,
+    sharers: u64,
+}
+
+impl DirEntry {
+    #[allow(dead_code)]
+    fn sharer_count(&self) -> usize {
+        self.sharers.count_ones() as usize
+    }
+    fn is_sharer(&self, c: CoreId) -> bool {
+        self.sharers & (1u64 << c.index()) != 0
+    }
+    fn add_sharer(&mut self, c: CoreId) {
+        self.sharers |= 1u64 << c.index();
+    }
+    fn remove_sharer(&mut self, c: CoreId) {
+        self.sharers &= !(1u64 << c.index());
+    }
+    fn idle_empty(&self) -> bool {
+        self.owner.is_none() && self.sharers == 0
+    }
+}
+
+#[derive(Debug)]
+struct Transaction {
+    requester: CoreId,
+    kind: ReqKind,
+    prefetch: bool,
+    pending_acks: usize,
+    waiting_owner: bool,
+    waiting_mem: bool,
+    perm_only: bool,
+    queued: VecDeque<(CoreId, ReqKind, bool)>,
+}
+
+/// Running counters exported into the run's [`StatSet`].
+#[derive(Debug, Clone, Default)]
+pub struct DirStats {
+    /// GetS requests processed.
+    pub gets: u64,
+    /// GetM requests processed.
+    pub getm: u64,
+    /// Forwards (Inv/Downgrade) sent to owners.
+    pub fwds: u64,
+    /// Invalidations sent to sharers.
+    pub invs: u64,
+    /// L3 data hits.
+    pub l3_hits: u64,
+    /// L3 misses (DRAM fetches).
+    pub l3_misses: u64,
+    /// Relinquish responses received (TUS lex-order deadlock avoidance).
+    pub relinquishes: u64,
+    /// Dirty write-backs received.
+    pub writebacks: u64,
+}
+
+/// The directory / shared-LLC home node.
+pub struct Directory {
+    cores: usize,
+    entries: HashMap<LineAddr, DirEntry>,
+    trans: HashMap<LineAddr, Transaction>,
+    l3: CacheArray,
+    dram: DelayQueue<LineAddr>,
+    dram_busy_until: Cycle,
+    dram_latency: u64,
+    dram_gap: u64,
+    replays: VecDeque<(CoreId, LineAddr, ReqKind, bool)>,
+    /// Statistics.
+    pub stats: DirStats,
+}
+
+impl std::fmt::Debug for Directory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Directory")
+            .field("cores", &self.cores)
+            .field("entries", &self.entries.len())
+            .field("open_transactions", &self.trans.len())
+            .finish()
+    }
+}
+
+impl Directory {
+    /// Creates a directory for `cores` cores with an L3 of the given
+    /// geometry and DRAM latency.
+    pub fn new(
+        cores: usize,
+        l3_sets: usize,
+        l3_ways: usize,
+        dram_latency: u64,
+        dram_max_inflight: usize,
+    ) -> Self {
+        assert!(cores <= 64, "sharer bitset holds at most 64 cores");
+        // A simple bandwidth model: with N permitted in-flight requests and
+        // latency L, a new request can start every L/N cycles.
+        let dram_gap = (dram_latency / dram_max_inflight.max(1) as u64).max(1);
+        Directory {
+            cores,
+            entries: HashMap::new(),
+            trans: HashMap::new(),
+            l3: CacheArray::new(l3_sets, l3_ways),
+            dram: DelayQueue::new(),
+            dram_busy_until: Cycle::ZERO,
+            dram_latency,
+            dram_gap,
+            replays: VecDeque::new(),
+            stats: DirStats::default(),
+        }
+    }
+
+    /// Handles one inbound message.
+    pub fn handle(&mut self, msg: Msg, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
+        match msg {
+            Msg::Req {
+                core,
+                line,
+                kind,
+                prefetch,
+            } => {
+                if let Some(t) = self.trans.get_mut(&line) {
+                    t.queued.push_back((core, kind, prefetch));
+                } else {
+                    self.start(core, line, kind, prefetch, net, mem, now);
+                }
+            }
+            Msg::FwdResp {
+                core,
+                line,
+                data,
+                relinquished,
+            } => self.on_fwd_resp(core, line, data, relinquished, net, mem, now),
+            Msg::InvAck { core, line } => self.on_inv_ack(core, line, net, mem, now),
+            Msg::Evict { core, line, data } => self.on_evict(core, line, data, mem),
+            Msg::Grant { .. } | Msg::Fwd { .. } => {
+                unreachable!("directory received a directory-originated message")
+            }
+        }
+    }
+
+    /// Completes DRAM fetches that are due; must be called every cycle.
+    pub fn tick(&mut self, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
+        while let Some(line) = self.dram.pop_due(now) {
+            let data = mem.read(line);
+            self.fill_l3(line, &data);
+            if self.trans.get(&line).is_some_and(|t| t.waiting_mem) {
+                if let Some(t) = self.trans.get_mut(&line) {
+                    t.waiting_mem = false;
+                }
+                self.grant_with_data(line, Some(data), net, now);
+            }
+        }
+    }
+
+    /// Whether no transaction is open and no DRAM fetch pending (used by
+    /// drain loops and tests).
+    pub fn idle(&self) -> bool {
+        self.trans.is_empty() && self.dram.is_empty()
+    }
+
+    /// Number of open transactions (watchdog diagnostics).
+    pub fn open_transactions(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Debug description of the directory state for one line (deadlock
+    /// diagnostics).
+    pub fn debug_line(&self, line: LineAddr) -> String {
+        let e = self.entries.get(&line);
+        let t = self.trans.get(&line);
+        format!(
+            "entry={:?} trans={:?}",
+            e.map(|e| (e.owner, e.sharers)),
+            t.map(|t| (
+                t.requester,
+                t.kind,
+                t.pending_acks,
+                t.waiting_owner,
+                t.waiting_mem,
+                t.queued.len()
+            ))
+        )
+    }
+
+    /// Exports statistics.
+    pub fn export_stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.set("gets", self.stats.gets as f64);
+        s.set("getm", self.stats.getm as f64);
+        s.set("fwds", self.stats.fwds as f64);
+        s.set("invs", self.stats.invs as f64);
+        s.set("l3_hits", self.stats.l3_hits as f64);
+        s.set("l3_misses", self.stats.l3_misses as f64);
+        s.set("relinquishes", self.stats.relinquishes as f64);
+        s.set("writebacks", self.stats.writebacks as f64);
+        s
+    }
+
+    fn start(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        kind: ReqKind,
+        prefetch: bool,
+        net: &mut Network,
+        mem: &mut MainMemory,
+        now: Cycle,
+    ) {
+        debug_assert!(!self.trans.contains_key(&line));
+        let entry = *self.entries.entry(line).or_default();
+        match kind {
+            ReqKind::GetS => self.stats.gets += 1,
+            ReqKind::GetM => self.stats.getm += 1,
+        }
+        // Owner present (and not the requester): forward.
+        if let Some(owner) = entry.owner {
+            if owner != core {
+                let fwd_kind = match kind {
+                    ReqKind::GetS => FwdKind::Downgrade,
+                    ReqKind::GetM => FwdKind::Inv,
+                };
+                self.stats.fwds += 1;
+                self.trans.insert(
+                    line,
+                    Transaction {
+                        requester: core,
+                        kind,
+                        prefetch,
+                        pending_acks: 0,
+                        waiting_owner: true,
+                        waiting_mem: false,
+                        perm_only: false,
+                        queued: VecDeque::new(),
+                    },
+                );
+                net.send(
+                    Node::Dir,
+                    Node::Core(owner),
+                    now,
+                    Msg::Fwd {
+                        line,
+                        kind: fwd_kind,
+                        to_owner: true,
+                    },
+                );
+                return;
+            }
+            // Redundant request from the owner itself: permission-only.
+            self.send_grant(core, line, Mesi::Modified, None, kind, prefetch, net, now);
+            return;
+        }
+
+        match kind {
+            ReqKind::GetM => {
+                let perm_only = entry.is_sharer(core);
+                let mut acks = 0;
+                for c in 0..self.cores {
+                    let cid = CoreId::new(c as u16);
+                    if cid != core && entry.is_sharer(cid) {
+                        self.stats.invs += 1;
+                        acks += 1;
+                        net.send(
+                            Node::Dir,
+                            Node::Core(cid),
+                            now,
+                            Msg::Fwd {
+                                line,
+                                kind: FwdKind::Inv,
+                                to_owner: false,
+                            },
+                        );
+                    }
+                }
+                self.trans.insert(
+                    line,
+                    Transaction {
+                        requester: core,
+                        kind,
+                        prefetch,
+                        pending_acks: acks,
+                        waiting_owner: false,
+                        waiting_mem: false,
+                        perm_only,
+                        queued: VecDeque::new(),
+                    },
+                );
+                if acks == 0 {
+                    self.grant_after_invs(line, net, mem, now);
+                }
+            }
+            ReqKind::GetS => {
+                self.trans.insert(
+                    line,
+                    Transaction {
+                        requester: core,
+                        kind,
+                        prefetch,
+                        pending_acks: 0,
+                        waiting_owner: false,
+                        waiting_mem: false,
+                        perm_only: entry.is_sharer(core),
+                        queued: VecDeque::new(),
+                    },
+                );
+                self.fetch_then_grant(line, net, mem, now);
+            }
+        }
+    }
+
+    /// GetM path once all sharer invalidations are accounted for.
+    fn grant_after_invs(&mut self, line: LineAddr, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
+        let perm_only = self.trans[&line].perm_only;
+        if perm_only {
+            self.grant_with_data(line, None, net, now);
+        } else {
+            self.fetch_then_grant(line, net, mem, now);
+        }
+    }
+
+    /// Supplies data from L3 (immediately) or DRAM (after the latency),
+    /// then grants.
+    fn fetch_then_grant(&mut self, line: LineAddr, net: &mut Network, _mem: &mut MainMemory, now: Cycle) {
+        if self.trans[&line].perm_only && self.trans[&line].kind == ReqKind::GetS {
+            // Requester already a sharer (e.g. redundant prefetch).
+            self.grant_with_data(line, None, net, now);
+            return;
+        }
+        if let Some((set, way)) = self.l3.lookup(line) {
+            self.stats.l3_hits += 1;
+            self.l3.touch(set, way);
+            let data = Box::new(*self.l3.way(set, way).data);
+            self.grant_with_data(line, Some(data), net, now);
+        } else {
+            self.stats.l3_misses += 1;
+            let start = now.max(self.dram_busy_until);
+            self.dram_busy_until = start + self.dram_gap;
+            self.dram.push(start + self.dram_latency, line);
+            self.trans
+                .get_mut(&line)
+                .expect("transaction open")
+                .waiting_mem = true;
+        }
+    }
+
+    /// Sends the grant for the open transaction on `line` and updates the
+    /// sharing state, then replays queued requests.
+    fn grant_with_data(
+        &mut self,
+        line: LineAddr,
+        data: Option<Box<LineData>>,
+        net: &mut Network,
+        now: Cycle,
+    ) {
+        let t = self.trans.get(&line).expect("transaction open");
+        let (requester, kind, prefetch) = (t.requester, t.kind, t.prefetch);
+        let entry = self.entries.entry(line).or_default();
+        let state = match kind {
+            ReqKind::GetM => {
+                entry.owner = Some(requester);
+                entry.sharers = 0;
+                Mesi::Modified
+            }
+            ReqKind::GetS => {
+                if entry.idle_empty() {
+                    // Unshared: grant Exclusive.
+                    entry.owner = Some(requester);
+                    Mesi::Exclusive
+                } else {
+                    entry.add_sharer(requester);
+                    Mesi::Shared
+                }
+            }
+        };
+        self.send_grant(requester, line, state, data, kind, prefetch, net, now);
+        self.complete(line);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_grant(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        state: Mesi,
+        data: Option<Box<LineData>>,
+        kind: ReqKind,
+        prefetch: bool,
+        net: &mut Network,
+        now: Cycle,
+    ) {
+        net.send(
+            Node::Dir,
+            Node::Core(core),
+            now,
+            Msg::Grant {
+                line,
+                state,
+                data,
+                kind,
+                prefetch,
+            },
+        );
+    }
+
+    fn on_fwd_resp(
+        &mut self,
+        from: CoreId,
+        line: LineAddr,
+        data: Option<Box<LineData>>,
+        relinquished: bool,
+        net: &mut Network,
+        mem: &mut MainMemory,
+        now: Cycle,
+    ) {
+        let kind = match self.trans.get_mut(&line) {
+            Some(t) => {
+                t.waiting_owner = false;
+                t.kind
+            }
+            None => {
+                // Stale response (transaction aborted) — apply data, done.
+                if let Some(d) = data {
+                    self.write_back(line, &d, mem);
+                }
+                return;
+            }
+        };
+        if relinquished {
+            self.stats.relinquishes += 1;
+        }
+        if let Some(d) = &data {
+            self.write_back(line, d, mem);
+        }
+        let entry = self.entries.entry(line).or_default();
+        // The old owner is no longer the owner.
+        entry.owner = None;
+        entry.remove_sharer(from);
+        match kind {
+            ReqKind::GetS if !relinquished => {
+                // Normal downgrade: the old owner retains a shared copy.
+                entry.add_sharer(from);
+            }
+            _ => {}
+        }
+        match data {
+            Some(d) => self.grant_with_data(line, Some(d), net, now),
+            // The owner raced an eviction; its PutM arrived earlier on the
+            // same FIFO channel, so L3/memory hold current data.
+            None => self.fetch_then_grant(line, net, mem, now),
+        }
+    }
+
+    fn on_inv_ack(
+        &mut self,
+        from: CoreId,
+        line: LineAddr,
+        net: &mut Network,
+        mem: &mut MainMemory,
+        now: Cycle,
+    ) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.remove_sharer(from);
+        }
+        let Some(t) = self.trans.get_mut(&line) else {
+            return;
+        };
+        debug_assert!(t.pending_acks > 0, "unexpected InvAck");
+        t.pending_acks -= 1;
+        if t.pending_acks == 0 {
+            self.grant_after_invs(line, net, mem, now);
+        }
+    }
+
+    fn on_evict(&mut self, from: CoreId, line: LineAddr, data: Option<Box<LineData>>, mem: &mut MainMemory) {
+        if let Some(d) = data {
+            self.stats.writebacks += 1;
+            self.write_back(line, &d, mem);
+        }
+        if let Some(e) = self.entries.get_mut(&line) {
+            if e.owner == Some(from) {
+                e.owner = None;
+            }
+            e.remove_sharer(from);
+        }
+    }
+
+    /// Queues the requests that waited on the completed transaction for
+    /// replay. The memory system feeds them back through
+    /// [`Directory::handle`] in the same cycle, which re-serializes them
+    /// correctly if the first replay opens a new transaction.
+    fn complete(&mut self, line: LineAddr) {
+        let t = self.trans.remove(&line).expect("transaction open");
+        for (c, k, p) in t.queued {
+            self.replays.push_back((c, line, k, p));
+        }
+    }
+
+    /// Takes pending replays (filled by `complete`) — the memory system
+    /// feeds them back through [`Directory::handle`] in the same cycle.
+    pub fn take_replays(&mut self) -> Vec<(CoreId, LineAddr, ReqKind, bool)> {
+        self.replays.drain(..).collect()
+    }
+
+    fn write_back(&mut self, line: LineAddr, data: &LineData, mem: &mut MainMemory) {
+        mem.write(line, data);
+        self.fill_l3(line, data);
+    }
+
+    fn fill_l3(&mut self, line: LineAddr, data: &LineData) {
+        if let Some((set, way)) = self.l3.lookup(line) {
+            *self.l3.way_mut(set, way).data = *data;
+            self.l3.touch(set, way);
+        } else if let Some((set, way)) = self.l3.allocate(line) {
+            // L3 is write-through w.r.t. memory, so eviction is a silent
+            // drop and allocation never needs a write-back.
+            let w = self.l3.way_mut(set, way);
+            w.state = Mesi::Shared;
+            *w.data = *data;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tus_sim::SimRng;
+
+    fn setup(cores: usize) -> (Directory, Network, MainMemory) {
+        let dir = Directory::new(cores.max(3), 16, 4, 100, 4);
+        let net = Network::new(cores.max(3), crate::net::NetLatency { hop: 1 }, 0, SimRng::seed(1));
+        (dir, net, MainMemory::new())
+    }
+
+    /// Runs the clock forward, delivering directory-bound messages and
+    /// collecting core-bound ones.
+    fn pump(
+        dir: &mut Directory,
+        net: &mut Network,
+        mem: &mut MainMemory,
+        until: u64,
+        cores: u16,
+    ) -> Vec<(CoreId, Msg)> {
+        let mut out = Vec::new();
+        for t in 0..until {
+            let now = Cycle::new(t);
+            dir.tick(net, mem, now);
+            while let Some((_src, msg)) = net.recv(Node::Dir, now) {
+                dir.handle(msg, net, mem, now);
+            }
+            for (c, l, k, p) in dir.take_replays() {
+                dir.handle(
+                    Msg::Req {
+                        core: c,
+                        line: l,
+                        kind: k,
+                        prefetch: p,
+                    },
+                    net,
+                    mem,
+                    now,
+                );
+            }
+            for c in 0..cores {
+                while let Some((_src, msg)) = net.recv(Node::Core(CoreId::new(c)), now) {
+                    out.push((CoreId::new(c), msg));
+                }
+            }
+        }
+        out
+    }
+
+    fn req(core: u16, line: u64, kind: ReqKind) -> Msg {
+        Msg::Req {
+            core: CoreId::new(core),
+            line: LineAddr::new(line),
+            kind,
+            prefetch: false,
+        }
+    }
+
+    #[test]
+    fn first_gets_grants_exclusive_from_dram() {
+        let (mut dir, mut net, mut mem) = setup(2);
+        let mut d = [0u8; 64];
+        d[0] = 9;
+        mem.write(LineAddr::new(5), &d);
+        dir.handle(req(0, 5, ReqKind::GetS), &mut net, &mut mem, Cycle::ZERO);
+        let msgs = pump(&mut dir, &mut net, &mut mem, 200, 3);
+        assert_eq!(msgs.len(), 1);
+        let (to, m) = &msgs[0];
+        assert_eq!(*to, CoreId::new(0));
+        match m {
+            Msg::Grant { state, data, .. } => {
+                assert_eq!(*state, Mesi::Exclusive);
+                assert_eq!(data.as_ref().expect("data")[0], 9);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert_eq!(dir.stats.l3_misses, 1);
+        assert!(dir.idle());
+    }
+
+    #[test]
+    fn second_gets_grants_shared_from_l3() {
+        let (mut dir, mut net, mut mem) = setup(2);
+        dir.handle(req(0, 5, ReqKind::GetS), &mut net, &mut mem, Cycle::ZERO);
+        pump(&mut dir, &mut net, &mut mem, 200, 3);
+        // Core 1 asks: owner is core 0 (E) -> forward downgrade.
+        dir.handle(req(1, 5, ReqKind::GetS), &mut net, &mut mem, Cycle::new(200));
+        let msgs = pump(&mut dir, &mut net, &mut mem, 300, 3);
+        assert!(matches!(
+            &msgs[..],
+            [(c, Msg::Fwd { kind: FwdKind::Downgrade, to_owner: true, .. })] if *c == CoreId::new(0)
+        ));
+        assert_eq!(dir.stats.fwds, 1);
+    }
+
+    #[test]
+    fn getm_invalidates_sharers_then_grants_perm_only() {
+        let (mut dir, mut net, mut mem) = setup(3);
+        // Make cores 0 and 1 sharers, then let core 0 upgrade.
+        dir.handle(req(0, 7, ReqKind::GetS), &mut net, &mut mem, Cycle::ZERO);
+        pump(&mut dir, &mut net, &mut mem, 200, 3);
+        // Owner(E)=core0; core1 GetS forwards; have core0 answer.
+        dir.handle(req(1, 7, ReqKind::GetS), &mut net, &mut mem, Cycle::new(200));
+        let msgs = pump(&mut dir, &mut net, &mut mem, 210, 3);
+        assert_eq!(msgs.len(), 1); // the Fwd
+        dir.handle(
+            Msg::FwdResp {
+                core: CoreId::new(0),
+                line: LineAddr::new(7),
+                data: Some(Box::new([3u8; 64])),
+                relinquished: false,
+            },
+            &mut net,
+            &mut mem,
+            Cycle::new(210),
+        );
+        let msgs = pump(&mut dir, &mut net, &mut mem, 400, 3);
+        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(1)
+            && matches!(m, Msg::Grant { state: Mesi::Shared, .. })));
+        // Now core 0 (a sharer) upgrades: core 1 must get an Inv; grant is
+        // permission-only.
+        dir.handle(req(0, 7, ReqKind::GetM), &mut net, &mut mem, Cycle::new(400));
+        let msgs = pump(&mut dir, &mut net, &mut mem, 410, 3);
+        assert!(matches!(
+            &msgs[..],
+            [(c, Msg::Fwd { kind: FwdKind::Inv, to_owner: false, .. })] if *c == CoreId::new(1)
+        ));
+        dir.handle(
+            Msg::InvAck {
+                core: CoreId::new(1),
+                line: LineAddr::new(7),
+            },
+            &mut net,
+            &mut mem,
+            Cycle::new(410),
+        );
+        let msgs = pump(&mut dir, &mut net, &mut mem, 500, 3);
+        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(0)
+            && matches!(m, Msg::Grant { state: Mesi::Modified, data: None, .. })));
+        assert!(dir.idle());
+    }
+
+    #[test]
+    fn requests_to_busy_line_queue_and_replay() {
+        let (mut dir, mut net, mut mem) = setup(2);
+        dir.handle(req(0, 9, ReqKind::GetM), &mut net, &mut mem, Cycle::ZERO);
+        // Second request while the first is fetching from DRAM.
+        dir.handle(req(1, 9, ReqKind::GetM), &mut net, &mut mem, Cycle::new(1));
+        assert_eq!(dir.open_transactions(), 1);
+        let msgs = pump(&mut dir, &mut net, &mut mem, 150, 3);
+        // Core 0 granted M, then the replayed request forwards an Inv to
+        // core 0 on behalf of core 1.
+        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(0)
+            && matches!(m, Msg::Grant { state: Mesi::Modified, .. })));
+        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(0)
+            && matches!(m, Msg::Fwd { kind: FwdKind::Inv, to_owner: true, .. })));
+    }
+
+    #[test]
+    fn relinquished_gets_leaves_old_owner_without_copy() {
+        let (mut dir, mut net, mut mem) = setup(2);
+        dir.handle(req(0, 11, ReqKind::GetM), &mut net, &mut mem, Cycle::ZERO);
+        pump(&mut dir, &mut net, &mut mem, 200, 3);
+        dir.handle(req(1, 11, ReqKind::GetS), &mut net, &mut mem, Cycle::new(200));
+        pump(&mut dir, &mut net, &mut mem, 210, 3);
+        dir.handle(
+            Msg::FwdResp {
+                core: CoreId::new(0),
+                line: LineAddr::new(11),
+                data: Some(Box::new([5u8; 64])),
+                relinquished: true,
+            },
+            &mut net,
+            &mut mem,
+            Cycle::new(210),
+        );
+        let msgs = pump(&mut dir, &mut net, &mut mem, 400, 3);
+        // Relinquished: old owner keeps nothing, so the requester is alone
+        // and gets Exclusive.
+        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(1)
+            && matches!(m, Msg::Grant { state: Mesi::Exclusive, .. })));
+        assert_eq!(dir.stats.relinquishes, 1);
+    }
+
+    #[test]
+    fn evict_with_data_updates_memory() {
+        let (mut dir, mut net, mut mem) = setup(1);
+        dir.handle(req(0, 13, ReqKind::GetM), &mut net, &mut mem, Cycle::ZERO);
+        pump(&mut dir, &mut net, &mut mem, 200, 3);
+        dir.handle(
+            Msg::Evict {
+                core: CoreId::new(0),
+                line: LineAddr::new(13),
+                data: Some(Box::new([0x77u8; 64])),
+            },
+            &mut net,
+            &mut mem,
+            Cycle::new(200),
+        );
+        assert_eq!(mem.read(LineAddr::new(13))[0], 0x77);
+        assert_eq!(dir.stats.writebacks, 1);
+        // Next GetS hits L3, no DRAM.
+        let misses = dir.stats.l3_misses;
+        dir.handle(req(0, 13, ReqKind::GetS), &mut net, &mut mem, Cycle::new(201));
+        let msgs = pump(&mut dir, &mut net, &mut mem, 300, 3);
+        assert!(msgs
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::Grant { state: Mesi::Exclusive, .. })));
+        assert_eq!(dir.stats.l3_misses, misses);
+    }
+}

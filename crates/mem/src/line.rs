@@ -1,0 +1,241 @@
+//! Cache-line data and byte masks.
+//!
+//! TUS tracks which bytes of an unauthorized line were written by local
+//! stores with a byte mask ([`ByteMask`], one bit per byte of a 64-byte
+//! line). When write permission and data arrive from the memory subsystem,
+//! the incoming line is *combined* with the locally written bytes using the
+//! mask ([`combine`]).
+
+use std::fmt;
+
+use tus_sim::LINE_BYTES;
+
+/// The payload of one 64-byte cache line.
+pub type LineData = [u8; LINE_BYTES];
+
+/// Returns an all-zero line.
+pub fn zero_line() -> Box<LineData> {
+    Box::new([0u8; LINE_BYTES])
+}
+
+/// A per-byte written mask for one cache line (bit *i* set ⇔ byte *i*
+/// holds locally written data).
+///
+/// The paper stores a 16-bit mask per WOQ entry by restricting coalescing
+/// to 32/64-bit stores; we keep full byte granularity (the 16-bit encoding
+/// is a compression of this) — see `tus::woq` for the encoded width used in
+/// the storage-overhead accounting.
+///
+/// # Example
+///
+/// ```
+/// use tus_mem::ByteMask;
+/// let mut m = ByteMask::EMPTY;
+/// m.set_range(8, 4);
+/// assert!(m.covers(8, 4));
+/// assert!(!m.covers(7, 2));
+/// assert_eq!(m.count(), 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ByteMask(pub u64);
+
+impl ByteMask {
+    /// No bytes written.
+    pub const EMPTY: ByteMask = ByteMask(0);
+
+    /// All 64 bytes written.
+    pub const FULL: ByteMask = ByteMask(u64::MAX);
+
+    /// Mask with `len` bytes starting at `offset` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len > 64`.
+    pub fn range(offset: usize, len: usize) -> ByteMask {
+        let mut m = ByteMask::EMPTY;
+        m.set_range(offset, len);
+        m
+    }
+
+    /// Marks `len` bytes starting at `offset` as written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len > 64`.
+    pub fn set_range(&mut self, offset: usize, len: usize) {
+        assert!(offset + len <= LINE_BYTES, "range escapes line");
+        if len == 0 {
+            return;
+        }
+        let bits = if len >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << len) - 1) << offset
+        };
+        self.0 |= bits;
+    }
+
+    /// Whether all `len` bytes starting at `offset` are written.
+    pub fn covers(&self, offset: usize, len: usize) -> bool {
+        if len == 0 {
+            return true;
+        }
+        if offset + len > LINE_BYTES {
+            return false;
+        }
+        let bits = if len >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << len) - 1) << offset
+        };
+        self.0 & bits == bits
+    }
+
+    /// Whether any of the `len` bytes starting at `offset` is written.
+    pub fn overlaps(&self, offset: usize, len: usize) -> bool {
+        if len == 0 || offset >= LINE_BYTES {
+            return false;
+        }
+        let len = len.min(LINE_BYTES - offset);
+        let bits = if len >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << len) - 1) << offset
+        };
+        self.0 & bits != 0
+    }
+
+    /// Union with another mask.
+    pub fn union(self, other: ByteMask) -> ByteMask {
+        ByteMask(self.0 | other.0)
+    }
+
+    /// Whether no byte is written.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of written bytes.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl fmt::Debug for ByteMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteMask({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for ByteMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+/// Overlays the bytes selected by `mask` from `written` onto `base`.
+///
+/// This is the TUS *combine* operation performed when write permission and
+/// data arrive at the L1D for an unauthorized line: memory supplies `base`,
+/// the locally written bytes win.
+pub fn combine(base: &mut LineData, written: &LineData, mask: ByteMask) {
+    for i in 0..LINE_BYTES {
+        if mask.0 & (1u64 << i) != 0 {
+            base[i] = written[i];
+        }
+    }
+}
+
+/// Writes `size` bytes of `value` (little-endian) into `data` at `offset`.
+///
+/// # Panics
+///
+/// Panics if `offset + size > 64` or `size > 8`.
+pub fn write_value(data: &mut LineData, offset: usize, size: usize, value: u64) {
+    assert!(size <= 8, "stores are at most 8 bytes");
+    assert!(offset + size <= LINE_BYTES, "store escapes line");
+    let bytes = value.to_le_bytes();
+    data[offset..offset + size].copy_from_slice(&bytes[..size]);
+}
+
+/// Reads `size` bytes (little-endian) from `data` at `offset`.
+///
+/// # Panics
+///
+/// Panics if `offset + size > 64` or `size > 8`.
+pub fn read_value(data: &LineData, offset: usize, size: usize) -> u64 {
+    assert!(size <= 8, "loads are at most 8 bytes");
+    assert!(offset + size <= LINE_BYTES, "load escapes line");
+    let mut bytes = [0u8; 8];
+    bytes[..size].copy_from_slice(&data[offset..offset + size]);
+    u64::from_le_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_range_edges() {
+        assert_eq!(ByteMask::range(0, 64), ByteMask::FULL);
+        assert_eq!(ByteMask::range(0, 0), ByteMask::EMPTY);
+        assert_eq!(ByteMask::range(63, 1).0, 1u64 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes line")]
+    fn mask_range_overflow() {
+        ByteMask::range(60, 8);
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        let m = ByteMask::range(8, 8);
+        assert!(m.covers(8, 8));
+        assert!(m.covers(10, 2));
+        assert!(!m.covers(7, 2));
+        assert!(m.overlaps(15, 4));
+        assert!(!m.overlaps(16, 4));
+        assert!(!m.overlaps(0, 8));
+        // Degenerate.
+        assert!(m.covers(0, 0));
+        assert!(!m.overlaps(0, 0));
+    }
+
+    #[test]
+    fn union_counts() {
+        let m = ByteMask::range(0, 4).union(ByteMask::range(2, 4));
+        assert_eq!(m.count(), 6);
+    }
+
+    #[test]
+    fn combine_overlays_written_bytes() {
+        let mut base = [0xAAu8; LINE_BYTES];
+        let mut written = [0u8; LINE_BYTES];
+        written[4] = 0x11;
+        written[5] = 0x22;
+        combine(&mut base, &written, ByteMask::range(4, 2));
+        assert_eq!(base[3], 0xAA);
+        assert_eq!(base[4], 0x11);
+        assert_eq!(base[5], 0x22);
+        assert_eq!(base[6], 0xAA);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let mut d = [0u8; LINE_BYTES];
+        write_value(&mut d, 16, 8, 0x0123_4567_89ab_cdef);
+        assert_eq!(read_value(&d, 16, 8), 0x0123_4567_89ab_cdef);
+        assert_eq!(read_value(&d, 16, 4), 0x89ab_cdef);
+        write_value(&mut d, 0, 1, 0xff);
+        assert_eq!(read_value(&d, 0, 1), 0xff);
+        assert_eq!(read_value(&d, 0, 2), 0xff);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 bytes")]
+    fn oversized_store_rejected() {
+        let mut d = [0u8; LINE_BYTES];
+        write_value(&mut d, 0, 9, 0);
+    }
+}

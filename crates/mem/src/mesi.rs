@@ -1,0 +1,88 @@
+//! MESI coherence states.
+
+use std::fmt;
+
+/// The four MESI states as seen by a private cache hierarchy.
+///
+/// `Modified`/`Exclusive` imply write permission; `Shared` implies read
+/// permission only; `Invalid` implies no permission. The TUS *not visible*
+/// bit is orthogonal to this state (an unauthorized line can hold written
+/// data while its MESI state is anything — the state records the coherence
+/// permission the core *actually* holds for the line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mesi {
+    /// No valid copy.
+    #[default]
+    Invalid,
+    /// Read-only copy; other caches may also hold it.
+    Shared,
+    /// Clean exclusive copy; no other cache holds it; may be written
+    /// without a coherence transaction.
+    Exclusive,
+    /// Dirty exclusive copy.
+    Modified,
+}
+
+impl Mesi {
+    /// Whether the state grants read permission.
+    pub fn can_read(self) -> bool {
+        self != Mesi::Invalid
+    }
+
+    /// Whether the state grants write permission.
+    pub fn can_write(self) -> bool {
+        matches!(self, Mesi::Exclusive | Mesi::Modified)
+    }
+
+    /// Whether the copy differs from memory.
+    pub fn is_dirty(self) -> bool {
+        self == Mesi::Modified
+    }
+
+    /// One-letter label ("I", "S", "E", "M").
+    pub fn letter(self) -> &'static str {
+        match self {
+            Mesi::Invalid => "I",
+            Mesi::Shared => "S",
+            Mesi::Exclusive => "E",
+            Mesi::Modified => "M",
+        }
+    }
+}
+
+impl fmt::Display for Mesi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions() {
+        assert!(!Mesi::Invalid.can_read());
+        assert!(Mesi::Shared.can_read());
+        assert!(!Mesi::Shared.can_write());
+        assert!(Mesi::Exclusive.can_write());
+        assert!(Mesi::Modified.can_write());
+        assert!(Mesi::Modified.is_dirty());
+        assert!(!Mesi::Exclusive.is_dirty());
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(Mesi::default(), Mesi::Invalid);
+    }
+
+    #[test]
+    fn letters_unique() {
+        let set: std::collections::BTreeSet<_> =
+            [Mesi::Invalid, Mesi::Shared, Mesi::Exclusive, Mesi::Modified]
+                .iter()
+                .map(|m| m.letter())
+                .collect();
+        assert_eq!(set.len(), 4);
+    }
+}

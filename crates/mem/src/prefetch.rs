@@ -1,0 +1,226 @@
+//! Hardware prefetchers.
+//!
+//! * [`StreamPrefetcher`] — the baseline L1D stream (stride) prefetcher
+//!   from Table I: detects monotonic line sequences within a 4 KiB region
+//!   and fetches `degree` lines ahead with read permission.
+//! * [`SpbPrefetcher`] — Store Prefetch Burst [Cebrian et al., MICRO'20]:
+//!   when `trigger` committed stores touch consecutive lines of a page, it
+//!   requests write permission for every line of that 4 KiB page.
+//!
+//! Both emit *suggestions*; the cache controller turns them into actual
+//! requests subject to MSHR availability.
+
+use tus_sim::LineAddr;
+
+/// A stride-detecting stream prefetcher trained on demand accesses.
+///
+/// # Example
+///
+/// ```
+/// use tus_mem::prefetch::StreamPrefetcher;
+/// use tus_sim::LineAddr;
+///
+/// let mut p = StreamPrefetcher::new(8, 2);
+/// assert!(p.train(LineAddr::new(100)).is_empty());
+/// assert!(p.train(LineAddr::new(101)).is_empty()); // stride candidate
+/// let out = p.train(LineAddr::new(102)); // confirmed: prefetch ahead
+/// assert_eq!(out, vec![LineAddr::new(103), LineAddr::new(104)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    entries: Vec<StreamEntry>,
+    degree: usize,
+    tick: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamEntry {
+    page: u64,
+    last_line: LineAddr,
+    stride: i64,
+    confidence: u8,
+    lru: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates a prefetcher with a `streams`-entry training table fetching
+    /// `degree` lines ahead.
+    pub fn new(streams: usize, degree: usize) -> Self {
+        StreamPrefetcher {
+            entries: Vec::with_capacity(streams.max(1)),
+            degree,
+            tick: 0,
+        }
+    }
+
+    /// Trains on a demand access and returns the lines to prefetch (empty
+    /// until a stride is confirmed twice).
+    pub fn train(&mut self, line: LineAddr) -> Vec<LineAddr> {
+        self.tick += 1;
+        let page = line.page();
+        let cap = self.entries.capacity();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.page == page) {
+            e.lru = self.tick;
+            let delta = line.raw() as i64 - e.last_line.raw() as i64;
+            if delta == 0 {
+                return Vec::new();
+            }
+            if delta == e.stride {
+                e.confidence = e.confidence.saturating_add(1);
+            } else {
+                e.stride = delta;
+                e.confidence = 0;
+            }
+            e.last_line = line;
+            if e.confidence >= 1 {
+                let stride = e.stride;
+                return (1..=self.degree as i64)
+                    .map(|i| {
+                        let l = line.raw() as i64 + stride * i;
+                        LineAddr::new(l.max(0) as u64)
+                    })
+                    .collect();
+            }
+            return Vec::new();
+        }
+        let fresh = StreamEntry {
+            page,
+            last_line: line,
+            stride: 0,
+            confidence: 0,
+            lru: self.tick,
+        };
+        if self.entries.len() < cap {
+            self.entries.push(fresh);
+        } else if let Some(victim) = self.entries.iter_mut().min_by_key(|e| e.lru) {
+            *victim = fresh;
+        }
+        Vec::new()
+    }
+}
+
+/// Store Prefetch Burst: full-page write-permission prefetch on detecting
+/// a store burst of consecutive lines.
+#[derive(Debug, Clone)]
+pub struct SpbPrefetcher {
+    trigger: usize,
+    last_line: Option<LineAddr>,
+    run: usize,
+    last_burst_page: Option<u64>,
+}
+
+impl SpbPrefetcher {
+    /// Creates an SPB detector that fires after `trigger` consecutive-line
+    /// stores.
+    pub fn new(trigger: usize) -> Self {
+        SpbPrefetcher {
+            trigger: trigger.max(2),
+            last_line: None,
+            run: 1,
+            last_burst_page: None,
+        }
+    }
+
+    /// Observes a committed store's line; returns the 64 lines of the page
+    /// to prefetch with write permission when a burst is detected (at most
+    /// once per page until the burst leaves the page).
+    pub fn observe(&mut self, line: LineAddr) -> Vec<LineAddr> {
+        let consecutive = self
+            .last_line
+            .is_some_and(|l| line.raw() == l.raw() + 1 || line == l);
+        if self.last_line == Some(line) {
+            return Vec::new();
+        }
+        self.run = if consecutive { self.run + 1 } else { 1 };
+        self.last_line = Some(line);
+        if self.run >= self.trigger && self.last_burst_page != Some(line.page()) {
+            self.last_burst_page = Some(line.page());
+            let first = line.page_first_line();
+            return (0..64).map(|i| first.offset(i)).collect();
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_detects_negative_stride() {
+        let mut p = StreamPrefetcher::new(4, 1);
+        p.train(LineAddr::new(100));
+        p.train(LineAddr::new(98));
+        let out = p.train(LineAddr::new(96));
+        assert_eq!(out, vec![LineAddr::new(94)]);
+    }
+
+    #[test]
+    fn stream_ignores_random_pattern() {
+        let mut p = StreamPrefetcher::new(4, 2);
+        assert!(p.train(LineAddr::new(10)).is_empty());
+        assert!(p.train(LineAddr::new(17)).is_empty());
+        assert!(p.train(LineAddr::new(11)).is_empty());
+        assert!(p.train(LineAddr::new(29)).is_empty());
+    }
+
+    #[test]
+    fn stream_table_replacement_lru() {
+        let mut p = StreamPrefetcher::new(1, 1);
+        p.train(LineAddr::new(0)); // page 0
+        p.train(LineAddr::new(64)); // page 1 evicts page 0
+        p.train(LineAddr::new(1));
+        p.train(LineAddr::new(2)); // retrains page 0 from scratch
+        let out = p.train(LineAddr::new(3));
+        assert_eq!(out, vec![LineAddr::new(4)]);
+    }
+
+    #[test]
+    fn stream_repeat_access_is_ignored() {
+        let mut p = StreamPrefetcher::new(4, 1);
+        p.train(LineAddr::new(5));
+        assert!(p.train(LineAddr::new(5)).is_empty());
+        p.train(LineAddr::new(6));
+        let out = p.train(LineAddr::new(7));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn spb_fires_once_per_page_burst() {
+        let mut p = SpbPrefetcher::new(3);
+        assert!(p.observe(LineAddr::new(128)).is_empty());
+        assert!(p.observe(LineAddr::new(129)).is_empty());
+        let burst = p.observe(LineAddr::new(130));
+        assert_eq!(burst.len(), 64);
+        assert_eq!(burst[0], LineAddr::new(128));
+        assert_eq!(burst[63], LineAddr::new(191));
+        // Continuing in the same page does not refire.
+        assert!(p.observe(LineAddr::new(131)).is_empty());
+        assert!(p.observe(LineAddr::new(132)).is_empty());
+        // A burst crossing into the next page fires again.
+        for l in 133..192 {
+            assert!(p.observe(LineAddr::new(l)).is_empty());
+        }
+        let burst2 = p.observe(LineAddr::new(192));
+        assert_eq!(burst2.len(), 64);
+        assert_eq!(burst2[0], LineAddr::new(192));
+    }
+
+    #[test]
+    fn spb_irregular_pattern_never_fires() {
+        let mut p = SpbPrefetcher::new(4);
+        for l in [5u64, 900, 13, 77, 2000, 42, 6, 1001] {
+            assert!(p.observe(LineAddr::new(l)).is_empty());
+        }
+    }
+
+    #[test]
+    fn spb_same_line_does_not_advance_run() {
+        let mut p = SpbPrefetcher::new(3);
+        p.observe(LineAddr::new(10));
+        p.observe(LineAddr::new(10));
+        p.observe(LineAddr::new(11));
+        assert!(p.observe(LineAddr::new(11)).is_empty());
+        assert_eq!(p.observe(LineAddr::new(12)).len(), 64);
+    }
+}

@@ -1,0 +1,39 @@
+//! Simulation kernel for the TUS reproduction.
+//!
+//! This crate provides the substrate every other crate in the workspace is
+//! built on:
+//!
+//! * [`types`] — strongly-typed identifiers for addresses, cache lines,
+//!   cycles and cores ([`Addr`], [`LineAddr`], [`Cycle`], [`CoreId`]).
+//! * [`event`] — a deterministic delay queue used to model latencies
+//!   ([`DelayQueue`]).
+//! * [`rng`] — a seeded, reproducible random-number generator ([`SimRng`]).
+//! * [`stats`] — a hierarchical statistics registry ([`StatSet`]).
+//! * [`config`] — the full Table I machine description ([`SimConfig`]) with
+//!   a builder, plus the store-drain policy selector ([`PolicyKind`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tus_sim::{Addr, Cycle, LineAddr, SimConfig};
+//!
+//! let cfg = SimConfig::builder().cores(1).sb_entries(114).build();
+//! assert_eq!(cfg.sb.entries, 114);
+//!
+//! let a = Addr::new(0x1040);
+//! assert_eq!(a.line(), LineAddr::new(0x41));
+//! assert_eq!(a.line_offset(), 0);
+//! assert_eq!(Cycle::ZERO + 5, Cycle::new(5));
+//! ```
+
+pub mod config;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod types;
+
+pub use config::{PolicyKind, SimConfig, SimConfigBuilder};
+pub use event::DelayQueue;
+pub use rng::SimRng;
+pub use stats::StatSet;
+pub use types::{Addr, CoreId, Cycle, LineAddr, LINE_BYTES, LINE_SHIFT};

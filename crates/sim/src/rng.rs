@@ -1,0 +1,191 @@
+//! Seeded, reproducible randomness.
+//!
+//! Every source of randomness in the simulator goes through [`SimRng`],
+//! which is deterministically seeded so that any simulation can be replayed
+//! exactly. Wall-clock entropy is never used.
+//!
+//! The generator is a self-contained xoshiro256\*\* (seeded via SplitMix64),
+//! which keeps simulation results stable across dependency upgrades.
+
+/// A deterministic random-number generator for simulations.
+///
+/// # Example
+///
+/// ```
+/// use tus_sim::SimRng;
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.range(0, 1000), b.range(0, 1000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        let mut s = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Derives an independent child generator; `salt` distinguishes
+    /// children of the same parent.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.bits();
+        SimRng::seed(s ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Arbitrary 64-bit value (xoshiro256\*\*).
+    pub fn bits(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Lemire-style rejection-free-enough bounded sampling: multiply-shift
+        // is unbiased enough for workload generation and fully deterministic.
+        let x = self.bits();
+        lo + ((x as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty index range");
+        self.range(0, n as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.unit() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sample from a geometric-ish distribution with mean approximately
+    /// `mean` (minimum 1). Used for burst lengths and dependency distances.
+    pub fn geometric(&mut self, mean: f64) -> u64 {
+        if mean <= 1.0 {
+            return 1;
+        }
+        let p = 1.0 / mean;
+        let u = self.unit().max(f64::MIN_POSITIVE);
+        let v = (u.ln() / (1.0 - p).ln()).floor() as u64;
+        v + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.bits(), b.bits());
+        }
+    }
+
+    #[test]
+    fn fork_independence() {
+        let mut a = SimRng::seed(7);
+        let mut c1 = a.fork(1);
+        let mut a2 = SimRng::seed(7);
+        let mut c1b = a2.fork(1);
+        assert_eq!(c1.bits(), c1b.bits());
+        let mut c2 = a.fork(2);
+        assert_ne!(c1.bits(), c2.bits());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = SimRng::seed(1);
+        for _ in 0..1000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_span() {
+        let mut r = SimRng::seed(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.range(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn unit_in_bounds() {
+        let mut r = SimRng::seed(4);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn geometric_mean_roughly_right() {
+        let mut r = SimRng::seed(3);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| r.geometric(8.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((6.0..10.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_degenerate() {
+        let mut r = SimRng::seed(3);
+        assert_eq!(r.geometric(0.5), 1);
+        assert_eq!(r.geometric(1.0), 1);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0)); // clamped
+    }
+}

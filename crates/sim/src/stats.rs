@@ -1,0 +1,219 @@
+//! Statistics registry.
+//!
+//! Components keep their own strongly-typed counters and export them into a
+//! [`StatSet`] (an ordered name → value map) at the end of a run. The
+//! harness merges per-component sets, computes derived metrics (IPC, stall
+//! fractions, energy) and renders tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered collection of named statistics.
+///
+/// Values are `f64` so counters and derived ratios live side by side.
+///
+/// # Example
+///
+/// ```
+/// use tus_sim::StatSet;
+/// let mut s = StatSet::new();
+/// s.set("cycles", 100.0);
+/// s.add("l1d.hits", 3.0);
+/// s.add("l1d.hits", 2.0);
+/// assert_eq!(s.get("l1d.hits"), 5.0);
+/// assert_eq!(s.get("missing"), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatSet {
+    values: BTreeMap<String, f64>,
+}
+
+impl StatSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        StatSet::default()
+    }
+
+    /// Sets `name` to `value`, replacing any previous value.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Adds `value` to `name` (missing names start at 0).
+    pub fn add(&mut self, name: &str, value: f64) {
+        *self.values.entry(name.to_owned()).or_insert(0.0) += value;
+    }
+
+    /// Value of `name`, or `0.0` if absent.
+    pub fn get(&self, name: &str) -> f64 {
+        self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Whether `name` is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Merges `other` into `self`, prefixing each of its names with
+    /// `prefix` and a dot.
+    pub fn absorb(&mut self, prefix: &str, other: &StatSet) {
+        for (k, v) in &other.values {
+            self.add(&format!("{prefix}.{k}"), *v);
+        }
+    }
+
+    /// Merges `other` into `self` by summation, no prefixing.
+    pub fn accumulate(&mut self, other: &StatSet) {
+        for (k, v) in &other.values {
+            self.add(k, *v);
+        }
+    }
+
+    /// Returns `self - other` per name (names missing from `other` count
+    /// as 0). Used to subtract a warm-up snapshot from end-of-run
+    /// counters; derived ratios (e.g. `ipc`) must be recomputed from the
+    /// differences by the caller.
+    pub fn minus(&self, other: &StatSet) -> StatSet {
+        let mut out = self.clone();
+        for (k, v) in &other.values {
+            *out.values.entry(k.clone()).or_insert(0.0) -= v;
+        }
+        out
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of statistics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Renders the set as `name = value` lines (used by examples and
+    /// debugging output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self.values.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (k, v) in &self.values {
+            let line = if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{k:width$} = {}\n", *v as i64)
+            } else {
+                format!("{k:width$} = {v:.4}\n")
+            };
+            out.push_str(&line);
+        }
+        out
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl FromIterator<(String, f64)> for StatSet {
+    fn from_iter<I: IntoIterator<Item = (String, f64)>>(iter: I) -> Self {
+        StatSet {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, f64)> for StatSet {
+    fn extend<I: IntoIterator<Item = (String, f64)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.add(&k, v);
+        }
+    }
+}
+
+/// Geometric mean of an iterator of positive values. Returns 1.0 for an
+/// empty iterator; ignores non-positive values (they would poison the log).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut s = StatSet::new();
+        s.add("a", 1.0);
+        s.add("a", 2.0);
+        s.set("b", 10.0);
+        s.set("b", 4.0);
+        assert_eq!(s.get("a"), 3.0);
+        assert_eq!(s.get("b"), 4.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn absorb_prefixes() {
+        let mut inner = StatSet::new();
+        inner.set("hits", 5.0);
+        let mut outer = StatSet::new();
+        outer.absorb("l1d", &inner);
+        assert_eq!(outer.get("l1d.hits"), 5.0);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = StatSet::new();
+        a.set("x", 1.0);
+        let mut b = StatSet::new();
+        b.set("x", 2.0);
+        b.set("y", 3.0);
+        a.accumulate(&b);
+        assert_eq!(a.get("x"), 3.0);
+        assert_eq!(a.get("y"), 3.0);
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let mut s = StatSet::new();
+        s.set("alpha", 1.0);
+        s.set("beta", 2.5);
+        let r = s.render();
+        assert!(r.contains("alpha"));
+        assert!(r.contains("beta"));
+        assert!(r.contains("2.5"));
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+        // Non-positive ignored.
+        assert!((geomean([0.0, 2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_from_iter() {
+        let s: StatSet = vec![("a".to_owned(), 1.0), ("b".to_owned(), 2.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.get("b"), 2.0);
+    }
+}

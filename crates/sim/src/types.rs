@@ -1,0 +1,302 @@
+//! Strongly-typed identifiers used throughout the simulator.
+//!
+//! Newtypes keep byte addresses, cache-line addresses, cycle counts and core
+//! identifiers from being mixed up (see C-NEWTYPE in the Rust API
+//! guidelines). All of them are `Copy` and cheap.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of bytes in a cache line (64 B throughout the paper).
+pub const LINE_BYTES: usize = 64;
+
+/// `log2(LINE_BYTES)`.
+pub const LINE_SHIFT: u32 = 6;
+
+/// A byte-granularity physical address.
+///
+/// # Example
+///
+/// ```
+/// use tus_sim::{Addr, LineAddr};
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.line(), LineAddr::new(0x48));
+/// assert_eq!(a.line_offset(), 0x34);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Cache line this address falls into.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Byte offset within the cache line.
+    pub const fn line_offset(self) -> usize {
+        (self.0 & (LINE_BYTES as u64 - 1)) as usize
+    }
+
+    /// 4 KiB page this address falls into (used by the SPB prefetcher).
+    pub const fn page(self) -> u64 {
+        self.0 >> 12
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line-granularity address (byte address shifted right by
+/// [`LINE_SHIFT`]).
+///
+/// The lexicographical sub-address used by the TUS authorization unit is a
+/// slice of the low bits of this value — see [`LineAddr::lex_order`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the first byte in the line.
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// 4 KiB page this line falls into.
+    pub const fn page(self) -> u64 {
+        self.0 >> (12 - LINE_SHIFT)
+    }
+
+    /// First line of the 4 KiB page containing this line.
+    pub const fn page_first_line(self) -> LineAddr {
+        LineAddr(self.0 & !((1u64 << (12 - LINE_SHIFT)) - 1))
+    }
+
+    /// The lexicographical sub-address for deadlock avoidance: the `bits`
+    /// least-significant bits of the line address (the paper uses 16, the
+    /// same bits used to index the directory).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tus_sim::LineAddr;
+    /// let a = LineAddr::new(0x1_0042);
+    /// assert_eq!(a.lex_order(16), 0x0042);
+    /// ```
+    pub const fn lex_order(self, bits: u32) -> u64 {
+        self.0 & ((1u64 << bits) - 1)
+    }
+
+    /// Returns the line advanced by `n` lines.
+    pub const fn offset(self, n: u64) -> LineAddr {
+        LineAddr(self.0 + n)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl From<Addr> for LineAddr {
+    fn from(a: Addr) -> Self {
+        a.line()
+    }
+}
+
+/// A simulated clock cycle count.
+///
+/// Supports `Cycle + u64`, `Cycle - Cycle` and ordering, which is all the
+/// simulator needs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Cycle zero (simulation start).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// A cycle value far in the future, used as "never".
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle count.
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Raw cycle count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier` in cycles.
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a simulated core (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier.
+    pub const fn new(raw: u16) -> Self {
+        CoreId(raw)
+    }
+
+    /// Raw index.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Index usable for `Vec` access.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CoreId({})", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_roundtrip() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(a.line().base_addr().raw(), 0xdead_beef & !63);
+        assert_eq!(a.line_offset(), (0xdead_beefu64 & 63) as usize);
+    }
+
+    #[test]
+    fn addr_page() {
+        assert_eq!(Addr::new(0x1fff).page(), 1);
+        assert_eq!(Addr::new(0x2000).page(), 2);
+    }
+
+    #[test]
+    fn line_page_first_line() {
+        // 64 lines per 4 KiB page.
+        let l = LineAddr::new(0x12_34);
+        assert_eq!(l.page_first_line().raw(), 0x12_00);
+        assert_eq!(l.page_first_line().raw() % 64, 0);
+        assert_eq!(l.page(), l.page_first_line().page());
+    }
+
+    #[test]
+    fn lex_order_masks_low_bits() {
+        let l = LineAddr::new(0xffff_ffff);
+        assert_eq!(l.lex_order(16), 0xffff);
+        assert_eq!(l.lex_order(8), 0xff);
+        // Same lex order => lex conflict between distinct lines.
+        let a = LineAddr::new(0x1_0001);
+        let b = LineAddr::new(0x2_0001);
+        assert_ne!(a, b);
+        assert_eq!(a.lex_order(16), b.lex_order(16));
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let c = Cycle::new(10);
+        assert_eq!(c + 5, Cycle::new(15));
+        assert_eq!(Cycle::new(15) - c, 5);
+        assert_eq!(c.since(Cycle::new(20)), 0);
+        assert_eq!(Cycle::new(20).since(c), 10);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{:?}", Addr::default()).is_empty());
+        assert!(!format!("{:?}", LineAddr::default()).is_empty());
+        assert!(!format!("{:?}", Cycle::default()).is_empty());
+        assert!(!format!("{:?}", CoreId::default()).is_empty());
+        assert_eq!(format!("{}", CoreId::new(3)), "core3");
+    }
+}

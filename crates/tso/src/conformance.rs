@@ -1,0 +1,182 @@
+//! Conformance checking: simulator ⊑ x86-TSO.
+//!
+//! A litmus program is compiled onto the full simulator — one core per
+//! thread, each location on its own cache line — and run many times with
+//! varying coherence-message jitter and instruction padding to explore
+//! timings. Every observed outcome must be in the reference model's
+//! allowed set; a single outcome outside it is a TSO violation in the
+//! store-handling machinery under test.
+
+use std::collections::BTreeSet;
+
+use tus::System;
+use tus_cpu::{TraceInst, VecTrace};
+use tus_sim::{Addr, PolicyKind, SimConfig, SimRng};
+
+use crate::prog::{LOp, Outcome, Program};
+use crate::refmodel::tso_outcomes;
+
+/// Base address for litmus locations.
+const LITMUS_BASE: u64 = 0x100_000;
+
+/// Cycle budget per litmus run.
+const RUN_BUDGET: u64 = 2_000_000;
+
+/// Address of a litmus location (one cache line per location).
+pub fn loc_addr(loc: usize) -> Addr {
+    Addr::new(LITMUS_BASE + (loc as u64) * 64)
+}
+
+/// Compiles one thread to a trace, inserting `0..=max_pad` random ALU
+/// instructions between operations to perturb pipeline timing.
+fn compile_thread(ops: &[LOp], rng: &mut SimRng, max_pad: u64) -> VecTrace {
+    let mut insts = Vec::new();
+    for op in ops {
+        if max_pad > 0 {
+            for _ in 0..rng.range(0, max_pad + 1) {
+                insts.push(TraceInst::alu());
+            }
+        }
+        match *op {
+            LOp::Store { loc, val } => insts.push(TraceInst::store(loc_addr(loc.0), 8, val)),
+            LOp::Load { loc } => insts.push(TraceInst::load(loc_addr(loc.0), 8)),
+            LOp::Fence => insts.push(TraceInst::fence()),
+        }
+    }
+    VecTrace::new(insts)
+}
+
+/// Runs `prog` once on the simulator and extracts its outcome.
+pub fn run_once(prog: &Program, policy: PolicyKind, seed: u64) -> Outcome {
+    let mut rng = SimRng::seed(seed);
+    let cfg = SimConfig::builder()
+        .cores(prog.threads.len())
+        .policy(policy)
+        .sb_entries(8)
+        .chaos_jitter(1 + (seed % 24))
+        .scale_caches_down(64)
+        .build();
+    let max_pad = seed % 5;
+    let traces: Vec<Box<dyn tus_cpu::TraceSource>> = prog
+        .threads
+        .iter()
+        .map(|t| Box::new(compile_thread(&t.ops, &mut rng, max_pad)) as Box<dyn tus_cpu::TraceSource>)
+        .collect();
+    let mut sys = System::new(&cfg, traces, seed);
+    for i in 0..prog.threads.len() {
+        sys.core_mut(i).record_loads(true);
+    }
+    sys.run_to_completion(RUN_BUDGET);
+    let regs = (0..prog.threads.len())
+        .map(|i| sys.core(i).loaded_values().to_vec())
+        .collect();
+    let mem = (0..prog.locations())
+        .map(|l| sys.mem().read_coherent(loc_addr(l), 8))
+        .collect();
+    Outcome { regs, mem }
+}
+
+/// Runs `prog` across `seeds` timing variations, collecting the distinct
+/// outcomes the simulator produces.
+pub fn observe_outcomes(prog: &Program, policy: PolicyKind, seeds: u64) -> BTreeSet<Outcome> {
+    (0..seeds).map(|s| run_once(prog, policy, s)).collect()
+}
+
+/// The verdict of a conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// Outcomes the simulator produced.
+    pub observed: BTreeSet<Outcome>,
+    /// Outcomes x86-TSO allows.
+    pub allowed: BTreeSet<Outcome>,
+    /// Observed outcomes outside the allowed set (must be empty).
+    pub violations: Vec<Outcome>,
+}
+
+impl ConformanceReport {
+    /// Whether every observed outcome is TSO-allowed.
+    pub fn conforms(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fraction of the allowed set that was actually observed (coverage;
+    /// informational — narrow coverage is not a failure).
+    pub fn coverage(&self) -> f64 {
+        if self.allowed.is_empty() {
+            return 1.0;
+        }
+        self.observed
+            .iter()
+            .filter(|o| self.allowed.contains(*o))
+            .count() as f64
+            / self.allowed.len() as f64
+    }
+}
+
+/// Checks that `prog` on the simulator under `policy` only produces
+/// TSO-allowed outcomes across `seeds` timing variations.
+pub fn check_conformance(prog: &Program, policy: PolicyKind, seeds: u64) -> ConformanceReport {
+    let allowed = tso_outcomes(prog);
+    let observed = observe_outcomes(prog, policy, seeds);
+    let violations = observed
+        .iter()
+        .filter(|o| !allowed.contains(*o))
+        .cloned()
+        .collect();
+    ConformanceReport {
+        observed,
+        allowed,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::all_litmus_tests;
+    use crate::prog::dsl::*;
+
+    /// Quick smoke conformance for TUS on the two most famous tests (the
+    /// full corpus × policies sweep lives in the integration tests).
+    #[test]
+    fn tus_conforms_on_sb_and_mp() {
+        for t in all_litmus_tests()
+            .into_iter()
+            .filter(|t| t.name == "SB" || t.name == "MP")
+        {
+            let r = check_conformance(&t.program, PolicyKind::Tus, 12);
+            assert!(
+                r.conforms(),
+                "{}: violations {:?}",
+                t.name,
+                r.violations
+            );
+        }
+    }
+
+    /// Same-cycle single-thread sanity: outcome equals the sequential
+    /// semantics.
+    #[test]
+    fn single_thread_outcome_is_sequential() {
+        let p = crate::prog::Program::new(vec![thread(vec![
+            st(0, 5),
+            ld(0),
+            st(1, 6),
+            ld(1),
+            ld(0),
+        ])]);
+        let o = run_once(&p, PolicyKind::Tus, 3);
+        assert_eq!(o.regs, vec![vec![5, 6, 5]]);
+        assert_eq!(o.mem, vec![5, 6]);
+    }
+
+    /// The coverage metric is well-formed.
+    #[test]
+    fn coverage_between_zero_and_one() {
+        let t = &all_litmus_tests()[0];
+        let r = check_conformance(&t.program, PolicyKind::Baseline, 6);
+        assert!(r.conforms());
+        let c = r.coverage();
+        assert!((0.0..=1.0).contains(&c), "coverage {c}");
+    }
+}

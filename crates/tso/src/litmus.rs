@@ -1,0 +1,268 @@
+//! The canonical x86-TSO litmus corpus.
+//!
+//! Tests and classifications follow the x86-TSO paper (Owens, Sarkar &
+//! Sewell, CACM 2010) and the usual herd naming. Each test carries a
+//! *witness* predicate identifying the interesting outcome and whether
+//! TSO allows it; `validate_reference_model` (in the test suite and
+//! callable by downstream users) checks the operational model reproduces
+//! every classification.
+
+use crate::prog::dsl::*;
+use crate::prog::{Outcome, Program};
+use crate::refmodel::tso_outcomes;
+
+/// One litmus test: a program, a named witness outcome, and whether
+/// x86-TSO allows it.
+pub struct LitmusTest {
+    /// Conventional name ("SB", "MP", ...).
+    pub name: &'static str,
+    /// What the test demonstrates.
+    pub description: &'static str,
+    /// The program.
+    pub program: Program,
+    /// Recognizes the witness outcome.
+    pub witness: fn(&Outcome) -> bool,
+    /// Whether x86-TSO allows the witness.
+    pub allowed: bool,
+}
+
+impl std::fmt::Debug for LitmusTest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LitmusTest")
+            .field("name", &self.name)
+            .field("allowed", &self.allowed)
+            .finish()
+    }
+}
+
+impl LitmusTest {
+    /// Whether the witness is reachable under the operational TSO model.
+    pub fn witness_reachable_under_tso(&self) -> bool {
+        tso_outcomes(&self.program).iter().any(self.witness)
+    }
+}
+
+/// The full corpus.
+pub fn all_litmus_tests() -> Vec<LitmusTest> {
+    vec![
+        LitmusTest {
+            name: "SB",
+            description: "store buffering (Dekker): both loads may read 0",
+            program: Program::new(vec![
+                thread(vec![st(0, 1), ld(1)]),
+                thread(vec![st(1, 1), ld(0)]),
+            ]),
+            witness: |o| o.regs[0] == [0] && o.regs[1] == [0],
+            allowed: true,
+        },
+        LitmusTest {
+            name: "SB+mfences",
+            description: "fences restore SC for store buffering",
+            program: Program::new(vec![
+                thread(vec![st(0, 1), mfence(), ld(1)]),
+                thread(vec![st(1, 1), mfence(), ld(0)]),
+            ]),
+            witness: |o| o.regs[0] == [0] && o.regs[1] == [0],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "MP",
+            description: "message passing: stale data after flag is forbidden",
+            program: Program::new(vec![
+                thread(vec![st(0, 1), st(1, 1)]),
+                thread(vec![ld(1), ld(0)]),
+            ]),
+            witness: |o| o.regs[1] == [1, 0],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "LB",
+            description: "load buffering: loads never take values from the future",
+            program: Program::new(vec![
+                thread(vec![ld(0), st(1, 1)]),
+                thread(vec![ld(1), st(0, 1)]),
+            ]),
+            witness: |o| o.regs[0] == [1] && o.regs[1] == [1],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "IRIW",
+            description: "independent readers see independent writes in the same order",
+            program: Program::new(vec![
+                thread(vec![st(0, 1)]),
+                thread(vec![st(1, 1)]),
+                thread(vec![ld(0), ld(1)]),
+                thread(vec![ld(1), ld(0)]),
+            ]),
+            witness: |o| o.regs[2] == [1, 0] && o.regs[3] == [1, 0],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "n6",
+            description: "store-to-load forwarding lets a core see its own store early",
+            program: Program::new(vec![
+                thread(vec![st(0, 1), ld(0), ld(1)]),
+                thread(vec![st(1, 1), st(0, 2)]),
+            ]),
+            witness: |o| o.regs[0] == [1, 0] && o.mem[0] == 1,
+            allowed: true,
+        },
+        LitmusTest {
+            name: "n5",
+            description: "two stores to one location cannot be mutually stale",
+            program: Program::new(vec![
+                thread(vec![st(0, 1), ld(0)]),
+                thread(vec![st(0, 2), ld(0)]),
+            ]),
+            witness: |o| o.regs[0] == [2] && o.regs[1] == [1],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "n4b",
+            description: "loads before stores to the same location stay ordered",
+            program: Program::new(vec![
+                thread(vec![ld(0), st(0, 1)]),
+                thread(vec![ld(0), st(0, 2)]),
+            ]),
+            witness: |o| o.regs[0] == [2] && o.regs[1] == [1],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "2+2W",
+            description: "store-store order: criss-cross final state forbidden",
+            program: Program::new(vec![
+                thread(vec![st(0, 1), st(1, 2)]),
+                thread(vec![st(1, 1), st(0, 2)]),
+            ]),
+            witness: |o| o.mem == [1, 1],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "S",
+            description: "write seen before an earlier write to another location is forbidden",
+            program: Program::new(vec![
+                thread(vec![st(0, 2), st(1, 1)]),
+                thread(vec![ld(1), st(0, 1)]),
+            ]),
+            witness: |o| o.regs[1] == [1] && o.mem[0] == 2,
+            allowed: false,
+        },
+        LitmusTest {
+            name: "R",
+            description: "a read may miss a remote store that loses the coherence race",
+            program: Program::new(vec![
+                thread(vec![st(0, 1), st(1, 1)]),
+                thread(vec![st(1, 2), ld(0)]),
+            ]),
+            witness: |o| o.regs[1] == [0] && o.mem[1] == 2,
+            allowed: true,
+        },
+        LitmusTest {
+            name: "CoRR",
+            description: "per-location coherence: reads of one location never go backwards",
+            program: Program::new(vec![
+                thread(vec![st(0, 1)]),
+                thread(vec![ld(0), ld(0)]),
+            ]),
+            witness: |o| o.regs[1] == [1, 0],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "CoWW",
+            description: "store-store coherence to one location",
+            program: Program::new(vec![thread(vec![st(0, 1), st(0, 2)])]),
+            witness: |o| o.mem == [1],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "WRC",
+            description: "write-read causality: a write seen through a chain stays ordered",
+            program: Program::new(vec![
+                thread(vec![st(0, 1)]),
+                thread(vec![ld(0), st(1, 1)]),
+                thread(vec![ld(1), ld(0)]),
+            ]),
+            witness: |o| o.regs[1] == [1] && o.regs[2] == [1, 0],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "SB+one-mfence",
+            description: "a single fence does not restore SC for store buffering",
+            program: Program::new(vec![
+                thread(vec![st(0, 1), mfence(), ld(1)]),
+                thread(vec![st(1, 1), ld(0)]),
+            ]),
+            witness: |o| o.regs[0] == [0] && o.regs[1] == [0],
+            allowed: true,
+        },
+        LitmusTest {
+            name: "IRIW+mfences",
+            description: "fences cannot make IRIW disagreement appear",
+            program: Program::new(vec![
+                thread(vec![st(0, 1)]),
+                thread(vec![st(1, 1)]),
+                thread(vec![ld(0), mfence(), ld(1)]),
+                thread(vec![ld(1), mfence(), ld(0)]),
+            ]),
+            witness: |o| o.regs[2] == [1, 0] && o.regs[3] == [1, 0],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "CoRW",
+            description: "a load before a store to the same location never sees that store",
+            program: Program::new(vec![
+                thread(vec![ld(0), st(0, 1)]),
+                thread(vec![st(0, 2)]),
+            ]),
+            witness: |o| o.regs[0] == [1],
+            allowed: false,
+        },
+        LitmusTest {
+            name: "SB-3loc",
+            description: "three-way store buffering relaxation",
+            program: Program::new(vec![
+                thread(vec![st(0, 1), ld(1)]),
+                thread(vec![st(1, 1), ld(2)]),
+                thread(vec![st(2, 1), ld(0)]),
+            ]),
+            witness: |o| o.regs[0] == [0] && o.regs[1] == [0] && o.regs[2] == [0],
+            allowed: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The operational model must reproduce every published
+    /// classification — this validates the reference before it is used
+    /// to judge the simulator.
+    #[test]
+    fn reference_model_matches_published_classifications() {
+        for t in all_litmus_tests() {
+            assert_eq!(
+                t.witness_reachable_under_tso(),
+                t.allowed,
+                "reference model misclassifies {}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_names_unique() {
+        let names: std::collections::BTreeSet<_> =
+            all_litmus_tests().iter().map(|t| t.name).collect();
+        assert_eq!(names.len(), all_litmus_tests().len());
+    }
+
+    #[test]
+    fn every_program_is_small_enough_to_enumerate() {
+        for t in all_litmus_tests() {
+            assert!(t.program.ops() <= 12, "{} too large", t.name);
+            let outs = tso_outcomes(&t.program);
+            assert!(!outs.is_empty(), "{} has no outcomes", t.name);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Litmus-program representation.
+//!
+//! A [`Program`] is a set of threads, each a straight-line sequence of
+//! stores, loads and fences over a small set of shared locations. The
+//! observable [`Outcome`] of a run is the sequence of values each
+//! thread's loads returned (in program order) plus the final memory
+//! value of every location.
+
+use std::fmt;
+
+/// A shared memory location (mapped to its own cache line by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(pub usize);
+
+/// One litmus operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LOp {
+    /// Store `val` to `loc`.
+    Store {
+        /// Target location.
+        loc: Loc,
+        /// Value written (should be unique within the program for
+        /// unambiguous outcomes).
+        val: u64,
+    },
+    /// Load from `loc`; the observed value is appended to the thread's
+    /// observation list.
+    Load {
+        /// Source location.
+        loc: Loc,
+    },
+    /// Full memory fence (`mfence`).
+    Fence,
+}
+
+/// One thread of a litmus program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Thread {
+    /// The operations in program order.
+    pub ops: Vec<LOp>,
+}
+
+impl Thread {
+    /// Builds a thread from operations.
+    pub fn new(ops: Vec<LOp>) -> Self {
+        Thread { ops }
+    }
+
+    /// Number of loads (observations) in the thread.
+    pub fn loads(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, LOp::Load { .. })).count()
+    }
+}
+
+/// A complete litmus program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The threads.
+    pub threads: Vec<Thread>,
+}
+
+impl Program {
+    /// Builds a program from threads.
+    pub fn new(threads: Vec<Thread>) -> Self {
+        Program { threads }
+    }
+
+    /// Number of distinct locations used.
+    pub fn locations(&self) -> usize {
+        self.threads
+            .iter()
+            .flat_map(|t| t.ops.iter())
+            .filter_map(|o| match o {
+                LOp::Store { loc, .. } | LOp::Load { loc } => Some(loc.0),
+                LOp::Fence => None,
+            })
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Total operation count.
+    pub fn ops(&self) -> usize {
+        self.threads.iter().map(|t| t.ops.len()).sum()
+    }
+}
+
+/// The observable result of one execution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Outcome {
+    /// Per thread, the values its loads observed, in program order.
+    pub regs: Vec<Vec<u64>>,
+    /// Final value of each location.
+    pub mem: Vec<u64>,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regs{:?} mem{:?}", self.regs, self.mem)
+    }
+}
+
+/// Shorthand constructors used by the litmus corpus and tests.
+pub mod dsl {
+    use super::*;
+
+    /// `st(x, v)` — store.
+    pub fn st(loc: usize, val: u64) -> LOp {
+        LOp::Store { loc: Loc(loc), val }
+    }
+
+    /// `ld(x)` — load.
+    pub fn ld(loc: usize) -> LOp {
+        LOp::Load { loc: Loc(loc) }
+    }
+
+    /// `mfence()`.
+    pub fn mfence() -> LOp {
+        LOp::Fence
+    }
+
+    /// A thread.
+    pub fn thread(ops: Vec<LOp>) -> Thread {
+        Thread::new(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+
+    #[test]
+    fn locations_counts_max_index() {
+        let p = Program::new(vec![
+            thread(vec![st(0, 1), ld(2)]),
+            thread(vec![mfence(), ld(1)]),
+        ]);
+        assert_eq!(p.locations(), 3);
+        assert_eq!(p.ops(), 4);
+        assert_eq!(p.threads[0].loads(), 1);
+    }
+
+    #[test]
+    fn outcome_ordering_is_total() {
+        let a = Outcome {
+            regs: vec![vec![0]],
+            mem: vec![1],
+        };
+        let b = Outcome {
+            regs: vec![vec![1]],
+            mem: vec![1],
+        };
+        assert!(a < b);
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(a.clone());
+        set.insert(b);
+        set.insert(a);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Operational x86-TSO reference model.
+//!
+//! The machine of Owens, Sarkar & Sewell ("x86-TSO: A Rigorous and Usable
+//! Programmer's Model for x86 Multiprocessors", CACM 2010): a single
+//! shared memory plus one FIFO store buffer per hardware thread.
+//! Non-deterministic transitions:
+//!
+//! * a thread executes its next instruction — a load reads the youngest
+//!   matching entry of *its own* store buffer, else memory; a store
+//!   appends to its buffer; a fence requires the buffer to be empty;
+//! * a thread's oldest buffered store drains to memory.
+//!
+//! [`tso_outcomes`] enumerates every reachable final state by exhaustive
+//! DFS over these transitions (with state memoization), giving the exact
+//! set of TSO-allowed outcomes for small litmus programs.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use crate::prog::{LOp, Outcome, Program};
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    mem: Vec<u64>,
+    pcs: Vec<usize>,
+    sbs: Vec<VecDeque<(usize, u64)>>,
+    obs: Vec<Vec<u64>>,
+}
+
+impl State {
+    fn initial(prog: &Program) -> Self {
+        State {
+            mem: vec![0; prog.locations()],
+            pcs: vec![0; prog.threads.len()],
+            sbs: vec![VecDeque::new(); prog.threads.len()],
+            obs: prog.threads.iter().map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn is_final(&self, prog: &Program) -> bool {
+        self.pcs
+            .iter()
+            .zip(&prog.threads)
+            .all(|(&pc, t)| pc == t.ops.len())
+            && self.sbs.iter().all(|sb| sb.is_empty())
+    }
+
+    fn outcome(&self) -> Outcome {
+        Outcome {
+            regs: self.obs.clone(),
+            mem: self.mem.clone(),
+        }
+    }
+}
+
+/// Computes the exact set of x86-TSO-allowed outcomes of `prog`.
+///
+/// # Example
+///
+/// ```
+/// use tus_tso::prog::dsl::*;
+/// use tus_tso::{tso_outcomes, Program};
+///
+/// // Dekker / SB: both loads may see 0 under TSO.
+/// let p = Program::new(vec![
+///     thread(vec![st(0, 1), ld(1)]),
+///     thread(vec![st(1, 1), ld(0)]),
+/// ]);
+/// let outs = tso_outcomes(&p);
+/// assert!(outs.iter().any(|o| o.regs == vec![vec![0], vec![0]]));
+/// ```
+pub fn tso_outcomes(prog: &Program) -> BTreeSet<Outcome> {
+    let mut outcomes = BTreeSet::new();
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut stack = vec![State::initial(prog)];
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s.clone()) {
+            continue;
+        }
+        if s.is_final(prog) {
+            outcomes.insert(s.outcome());
+            continue;
+        }
+        for t in 0..prog.threads.len() {
+            // Transition 1: drain the oldest buffered store.
+            if let Some(&(loc, val)) = s.sbs[t].front() {
+                let mut n = s.clone();
+                n.sbs[t].pop_front();
+                n.mem[loc] = val;
+                stack.push(n);
+            }
+            // Transition 2: execute the next instruction.
+            let pc = s.pcs[t];
+            let Some(op) = prog.threads[t].ops.get(pc) else {
+                continue;
+            };
+            match *op {
+                LOp::Store { loc, val } => {
+                    let mut n = s.clone();
+                    n.sbs[t].push_back((loc.0, val));
+                    n.pcs[t] += 1;
+                    stack.push(n);
+                }
+                LOp::Load { loc } => {
+                    let mut n = s.clone();
+                    // Read own SB (youngest entry) first, else memory.
+                    let v = s.sbs[t]
+                        .iter()
+                        .rev()
+                        .find(|&&(l, _)| l == loc.0)
+                        .map(|&(_, v)| v)
+                        .unwrap_or(s.mem[loc.0]);
+                    n.obs[t].push(v);
+                    n.pcs[t] += 1;
+                    stack.push(n);
+                }
+                LOp::Fence => {
+                    if s.sbs[t].is_empty() {
+                        let mut n = s.clone();
+                        n.pcs[t] += 1;
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+    }
+    outcomes
+}
+
+/// Computes the *sequentially consistent* outcomes (no store buffering) —
+/// useful to demonstrate which outcomes are TSO-only relaxations.
+pub fn sc_outcomes(prog: &Program) -> BTreeSet<Outcome> {
+    let mut outcomes = BTreeSet::new();
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut stack = vec![State::initial(prog)];
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s.clone()) {
+            continue;
+        }
+        if s.is_final(prog) {
+            outcomes.insert(s.outcome());
+            continue;
+        }
+        for t in 0..prog.threads.len() {
+            let pc = s.pcs[t];
+            let Some(op) = prog.threads[t].ops.get(pc) else {
+                continue;
+            };
+            let mut n = s.clone();
+            match *op {
+                LOp::Store { loc, val } => n.mem[loc.0] = val,
+                LOp::Load { loc } => {
+                    let v = n.mem[loc.0];
+                    n.obs[t].push(v);
+                }
+                LOp::Fence => {}
+            }
+            n.pcs[t] += 1;
+            stack.push(n);
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prog::dsl::*;
+    use crate::prog::Program;
+
+    fn sb() -> Program {
+        Program::new(vec![
+            thread(vec![st(0, 1), ld(1)]),
+            thread(vec![st(1, 1), ld(0)]),
+        ])
+    }
+
+    #[test]
+    fn sb_allows_both_zero_under_tso_not_sc() {
+        let both_zero = |outs: &BTreeSet<Outcome>| {
+            outs.iter().any(|o| o.regs == vec![vec![0u64], vec![0u64]])
+        };
+        assert!(both_zero(&tso_outcomes(&sb())));
+        assert!(!both_zero(&sc_outcomes(&sb())));
+    }
+
+    #[test]
+    fn sb_with_fences_is_sc() {
+        let p = Program::new(vec![
+            thread(vec![st(0, 1), mfence(), ld(1)]),
+            thread(vec![st(1, 1), mfence(), ld(0)]),
+        ]);
+        let outs = tso_outcomes(&p);
+        assert!(!outs.iter().any(|o| o.regs == vec![vec![0u64], vec![0u64]]));
+        assert_eq!(outs, sc_outcomes(&p));
+    }
+
+    #[test]
+    fn mp_forbidden_outcome_absent() {
+        // T0: x=1; y=1.  T1: r0=y; r1=x.  r0=1 && r1=0 forbidden.
+        let p = Program::new(vec![
+            thread(vec![st(0, 1), st(1, 1)]),
+            thread(vec![ld(1), ld(0)]),
+        ]);
+        let outs = tso_outcomes(&p);
+        assert!(!outs.iter().any(|o| o.regs[1] == vec![1, 0]));
+        // But r0=0, r1=1 and others are present.
+        assert!(outs.iter().any(|o| o.regs[1] == vec![0, 0]));
+        assert!(outs.iter().any(|o| o.regs[1] == vec![1, 1]));
+    }
+
+    #[test]
+    fn store_forwarding_n6_allowed() {
+        // T0: x=1; r0=x; r1=y.  T1: y=1; x=2.
+        // r0=1, r1=0 with final x=1 is TSO-allowed (reads own SB).
+        let p = Program::new(vec![
+            thread(vec![st(0, 1), ld(0), ld(1)]),
+            thread(vec![st(1, 1), st(0, 2)]),
+        ]);
+        let outs = tso_outcomes(&p);
+        assert!(outs
+            .iter()
+            .any(|o| o.regs[0] == vec![1, 0] && o.mem[0] == 1));
+    }
+
+    #[test]
+    fn final_memory_reflects_drained_stores() {
+        let p = Program::new(vec![thread(vec![st(0, 7), st(1, 9)])]);
+        let outs = tso_outcomes(&p);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs.first().expect("one").mem, vec![7, 9]);
+    }
+
+    #[test]
+    fn coherence_corr_forbidden() {
+        // T0: x=1.  T1: r0=x; r1=x.  r0=1 && r1=0 forbidden (per-location
+        // coherence).
+        let p = Program::new(vec![
+            thread(vec![st(0, 1)]),
+            thread(vec![ld(0), ld(0)]),
+        ]);
+        let outs = tso_outcomes(&p);
+        assert!(!outs.iter().any(|o| o.regs[1] == vec![1, 0]));
+    }
+}

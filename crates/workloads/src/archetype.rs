@@ -1,0 +1,357 @@
+//! The workload archetype model.
+//!
+//! [`ArchetypeParams`] captures the handful of store-traffic properties
+//! the paper's per-benchmark analysis turns on; [`ArchetypeTrace`]
+//! generates an instruction stream with those properties. Generators are
+//! deterministic per seed and never materialize the whole trace.
+
+use tus_cpu::{OpClass, TraceInst, TraceSource};
+use tus_sim::{Addr, SimRng};
+
+/// Store-traffic character of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchetypeParams {
+    /// Fraction of instructions that are memory operations.
+    pub mem_ratio: f64,
+    /// Of the memory operations, the fraction that are stores.
+    pub store_fraction: f64,
+    /// Mean store-burst length in stores (bursts write consecutive
+    /// addresses — the `gcc` pattern that fills the SB faster than it
+    /// drains).
+    pub burst_len_mean: f64,
+    /// Byte stride between consecutive stores of a burst (8 = dense
+    /// line-filling bursts that coalesce well).
+    pub burst_stride: u64,
+    /// Working-set size in bytes; addresses outside the hot set are
+    /// uniform over this range (larger than the LLC ⇒ DRAM misses, the
+    /// `mcf` long-latency pattern).
+    pub working_set: u64,
+    /// Probability that an access targets the hot set instead of the
+    /// cold working set.
+    pub locality: f64,
+    /// Store-specific locality override (`None` = use `locality`). The
+    /// `mcf` archetype keeps loads cache-friendly while stores miss deep
+    /// in the working set — the long-latency-store pattern TUS hides.
+    pub store_locality: Option<f64>,
+    /// Hot-set size in bytes (cache-resident region).
+    pub hot_set: u64,
+    /// Probability that a load depends on the previous load
+    /// (pointer-chasing; serializes misses).
+    pub pointer_chase: f64,
+    /// Mean register-dependency distance of ALU operations.
+    pub dep_mean: f64,
+    /// Fraction of ALU operations that are floating point.
+    pub fp_fraction: f64,
+    /// Fraction of ALU operations that are divisions.
+    pub div_fraction: f64,
+}
+
+impl Default for ArchetypeParams {
+    fn default() -> Self {
+        ArchetypeParams {
+            mem_ratio: 0.35,
+            store_fraction: 0.35,
+            burst_len_mean: 2.0,
+            burst_stride: 8,
+            working_set: 8 << 20,
+            locality: 0.85,
+            store_locality: None,
+            hot_set: 16 << 10,
+            pointer_chase: 0.0,
+            dep_mean: 4.0,
+            fp_fraction: 0.2,
+            div_fraction: 0.01,
+        }
+    }
+}
+
+/// Multi-threaded sharing behaviour (PARSEC archetypes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingParams {
+    /// Probability a memory access targets the shared region.
+    pub shared_fraction: f64,
+    /// Shared-region size in bytes (smaller ⇒ more conflicts).
+    pub shared_set: u64,
+    /// Probability that a shared access is a store (conflict writes).
+    pub shared_store_fraction: f64,
+}
+
+impl Default for SharingParams {
+    fn default() -> Self {
+        SharingParams {
+            shared_fraction: 0.0,
+            shared_set: 64 << 10,
+            shared_store_fraction: 0.5,
+        }
+    }
+}
+
+/// A deterministic trace generator for an archetype.
+#[derive(Debug, Clone)]
+pub struct ArchetypeTrace {
+    p: ArchetypeParams,
+    sharing: SharingParams,
+    rng: SimRng,
+    remaining: u64,
+    private_base: u64,
+    shared_base: u64,
+    burst_left: u64,
+    burst_cursor: u64,
+    since_last_load: u32,
+    value_counter: u64,
+}
+
+/// Base address of the shared region for parallel workloads.
+pub const SHARED_BASE: u64 = 0x4000_0000;
+
+/// Spacing between per-core private regions.
+pub const PRIVATE_SPACING: u64 = 0x1_0000_0000;
+
+impl ArchetypeTrace {
+    /// Creates a generator producing `limit` instructions for logical
+    /// thread `tid` (its private region is disjoint from other threads').
+    pub fn new(
+        p: ArchetypeParams,
+        sharing: SharingParams,
+        tid: usize,
+        seed: u64,
+        limit: u64,
+    ) -> Self {
+        ArchetypeTrace {
+            p,
+            sharing,
+            rng: SimRng::seed(seed ^ (tid as u64).wrapping_mul(0xabcd_ef01_2345_6789)),
+            remaining: limit,
+            private_base: 0x1000_0000 + tid as u64 * PRIVATE_SPACING,
+            shared_base: SHARED_BASE,
+            burst_left: 0,
+            burst_cursor: 0,
+            since_last_load: 0,
+            value_counter: 1,
+        }
+    }
+
+    fn aligned(&mut self, base: u64, span: u64) -> u64 {
+        let slots = (span / 8).max(1);
+        base + self.rng.range(0, slots) * 8
+    }
+
+    fn private_addr(&mut self) -> u64 {
+        self.private_addr_with(self.p.locality)
+    }
+
+    fn private_addr_with(&mut self, locality: f64) -> u64 {
+        if self.rng.chance(locality) {
+            let hot = self.p.hot_set;
+            self.aligned(self.private_base, hot)
+        } else {
+            let ws = self.p.working_set;
+            self.aligned(self.private_base, ws)
+        }
+    }
+
+    fn next_store(&mut self) -> TraceInst {
+        let shared = self.rng.chance(self.sharing.shared_fraction)
+            && self.rng.chance(self.sharing.shared_store_fraction);
+        let addr = if shared {
+            let span = self.sharing.shared_set;
+            self.aligned(self.shared_base, span)
+        } else if self.burst_left > 0 {
+            self.burst_left -= 1;
+            let a = self.burst_cursor;
+            self.burst_cursor += self.p.burst_stride;
+            a
+        } else {
+            let len = self.rng.geometric(self.p.burst_len_mean);
+            let loc = self.p.store_locality.unwrap_or(self.p.locality);
+            let base = self.private_addr_with(loc);
+            self.burst_left = len.saturating_sub(1);
+            self.burst_cursor = base + self.p.burst_stride;
+            base
+        };
+        let v = self.value_counter;
+        self.value_counter += 1;
+        TraceInst::store(Addr::new(addr), 8, v)
+    }
+
+    fn next_load(&mut self) -> TraceInst {
+        let shared = self.rng.chance(self.sharing.shared_fraction);
+        let addr = if shared {
+            let span = self.sharing.shared_set;
+            self.aligned(self.shared_base, span)
+        } else {
+            self.private_addr()
+        };
+        let mut inst = TraceInst::load(Addr::new(addr), 8);
+        if self.rng.chance(self.p.pointer_chase) && self.since_last_load > 0 {
+            // Serialize behind the previous load (pointer chasing).
+            inst = inst.with_deps(self.since_last_load, 0);
+        }
+        self.since_last_load = 0;
+        inst
+    }
+
+    fn next_alu(&mut self) -> TraceInst {
+        let op = if self.rng.chance(self.p.div_fraction) {
+            if self.rng.chance(self.p.fp_fraction) {
+                OpClass::FpDiv
+            } else {
+                OpClass::IntDiv
+            }
+        } else if self.rng.chance(self.p.fp_fraction) {
+            if self.rng.chance(0.5) {
+                OpClass::FpAdd
+            } else {
+                OpClass::FpMul
+            }
+        } else if self.rng.chance(0.1) {
+            OpClass::IntMul
+        } else {
+            OpClass::IntAlu
+        };
+        let dep = self.rng.geometric(self.p.dep_mean).min(256) as u32;
+        TraceInst {
+            op,
+            ..TraceInst::alu().with_deps(dep, 0)
+        }
+    }
+}
+
+impl TraceSource for ArchetypeTrace {
+    fn next_inst(&mut self) -> Option<TraceInst> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.since_last_load = self.since_last_load.saturating_add(1);
+        let inst = if self.rng.chance(self.p.mem_ratio) {
+            if self.rng.chance(self.p.store_fraction) {
+                self.next_store()
+            } else {
+                self.next_load()
+            }
+        } else {
+            self.next_alu()
+        };
+        Some(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(p: ArchetypeParams, n: u64, seed: u64) -> Vec<TraceInst> {
+        let mut t = ArchetypeTrace::new(p, SharingParams::default(), 0, seed, n);
+        std::iter::from_fn(|| t.next_inst()).collect()
+    }
+
+    #[test]
+    fn respects_limit_and_determinism() {
+        let a = collect(ArchetypeParams::default(), 1000, 42);
+        let b = collect(ArchetypeParams::default(), 1000, 42);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+        let c = collect(ArchetypeParams::default(), 1000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mem_ratio_roughly_matches() {
+        let p = ArchetypeParams {
+            mem_ratio: 0.5,
+            ..ArchetypeParams::default()
+        };
+        let insts = collect(p, 20_000, 1);
+        let mem = insts.iter().filter(|i| i.op.is_mem()).count() as f64 / 20_000.0;
+        assert!((0.45..0.55).contains(&mem), "mem ratio {mem}");
+    }
+
+    #[test]
+    fn store_bursts_write_consecutive_addresses() {
+        let p = ArchetypeParams {
+            mem_ratio: 1.0,
+            store_fraction: 1.0,
+            burst_len_mean: 16.0,
+            burst_stride: 8,
+            ..ArchetypeParams::default()
+        };
+        let insts = collect(p, 1000, 7);
+        // Count adjacent store pairs with +8 stride.
+        let consec = insts
+            .windows(2)
+            .filter(|w| w[1].addr.raw() == w[0].addr.raw() + 8)
+            .count();
+        assert!(consec > 500, "bursty trace had only {consec} consecutive pairs");
+    }
+
+    #[test]
+    fn pointer_chase_sets_load_deps() {
+        let p = ArchetypeParams {
+            mem_ratio: 1.0,
+            store_fraction: 0.0,
+            pointer_chase: 1.0,
+            ..ArchetypeParams::default()
+        };
+        let insts = collect(p, 100, 3);
+        let chained = insts.iter().skip(1).filter(|i| i.dep1 > 0).count();
+        assert!(chained > 90, "only {chained} chained loads");
+    }
+
+    #[test]
+    fn addresses_stay_in_private_region() {
+        let p = ArchetypeParams {
+            working_set: 1 << 20,
+            ..ArchetypeParams::default()
+        };
+        let mut t = ArchetypeTrace::new(p, SharingParams::default(), 2, 9, 5000);
+        let base = 0x1000_0000 + 2 * PRIVATE_SPACING;
+        while let Some(i) = t.next_inst() {
+            if i.op.is_mem() {
+                assert!(i.addr.raw() >= base && i.addr.raw() < base + (1 << 20) + 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_targets_shared_region() {
+        let sharing = SharingParams {
+            shared_fraction: 1.0,
+            shared_set: 4096,
+            shared_store_fraction: 1.0,
+        };
+        let mut t = ArchetypeTrace::new(
+            ArchetypeParams {
+                mem_ratio: 1.0,
+                store_fraction: 1.0,
+                ..ArchetypeParams::default()
+            },
+            sharing,
+            0,
+            1,
+            1000,
+        );
+        let mut any = false;
+        while let Some(i) = t.next_inst() {
+            if i.op.is_mem() {
+                assert!(i.addr.raw() >= SHARED_BASE && i.addr.raw() < SHARED_BASE + 4096 + 8);
+                any = true;
+            }
+        }
+        assert!(any);
+    }
+
+    #[test]
+    fn store_values_unique() {
+        let p = ArchetypeParams {
+            mem_ratio: 1.0,
+            store_fraction: 1.0,
+            ..ArchetypeParams::default()
+        };
+        let insts = collect(p, 500, 5);
+        let mut vals: Vec<u64> = insts.iter().map(|i| i.value).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 500);
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic workloads for the TUS reproduction.
+//!
+//! The paper evaluates on SPEC CPU2017, TensorFlow (BigDataBench) and
+//! PARSEC-3.0 reference runs. Those inputs are not redistributable and a
+//! full x86 functional front end is out of scope, so this crate generates
+//! *archetype-calibrated* traces instead: each named workload reproduces
+//! the store-traffic character the paper attributes to that benchmark
+//! (store bursts for `gcc`, long-latency irregular store misses for
+//! `mcf`, streaming stores for `streamcluster`, interleaved bursts for
+//! `ferret`, ...). See `DESIGN.md` §2 for the substitution argument.
+//!
+//! * [`archetype`] — the parameter model and the [`TraceSource`]
+//!   generator built on it.
+//! * [`suites`] — the named workloads and the three suites the figures
+//!   use: `sb_bound_single()`, `all_single()` and `parsec16()`.
+//!
+//! [`TraceSource`]: tus_cpu::TraceSource
+
+pub mod archetype;
+pub mod suites;
+
+pub use archetype::{ArchetypeParams, ArchetypeTrace, SharingParams};
+pub use suites::{all_single, by_name, parsec16, sb_bound_single, Workload};

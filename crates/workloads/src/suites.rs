@@ -1,0 +1,654 @@
+//! Named workloads and the three evaluation suites.
+//!
+//! Names mirror the paper's benchmarks with a `-like` suffix: each entry
+//! is a synthetic archetype calibrated to the store-traffic behaviour the
+//! paper attributes to that benchmark (see the crate docs and DESIGN.md
+//! for the substitution argument). `sb_bound_single()` is the set used in
+//! the per-benchmark figures (9, 10-right, 11, 13-right, 15);
+//! `all_single()` adds the non-SB-bound programs for the S-curves (10,
+//! 13); `parsec16()` is the 16-thread suite (Figures 12, 14).
+
+use tus_cpu::TraceSource;
+
+use crate::archetype::{ArchetypeParams, ArchetypeTrace, SharingParams};
+
+/// A named, runnable workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (paper benchmark + `-like`).
+    pub name: &'static str,
+    /// Whether the paper classifies it as SB-bound (>1% SB stalls).
+    pub sb_bound: bool,
+    /// Whether it is a multi-threaded (PARSEC) workload.
+    pub parallel: bool,
+    /// Generator parameters.
+    pub params: ArchetypeParams,
+    /// Sharing behaviour (parallel workloads).
+    pub sharing: SharingParams,
+}
+
+impl Workload {
+    /// Builds one trace per core (all identical archetype, disjoint
+    /// private regions, shared region per `sharing`).
+    pub fn traces(&self, cores: usize, seed: u64, limit: u64) -> Vec<Box<dyn TraceSource>> {
+        (0..cores)
+            .map(|tid| {
+                Box::new(ArchetypeTrace::new(
+                    self.params.clone(),
+                    self.sharing,
+                    tid,
+                    seed,
+                    limit,
+                )) as Box<dyn TraceSource>
+            })
+            .collect()
+    }
+}
+
+fn single(
+    name: &'static str,
+    sb_bound: bool,
+    params: ArchetypeParams,
+) -> Workload {
+    Workload {
+        name,
+        sb_bound,
+        parallel: false,
+        params,
+        sharing: SharingParams::default(),
+    }
+}
+
+fn parallel(name: &'static str, params: ArchetypeParams, sharing: SharingParams) -> Workload {
+    Workload {
+        name,
+        sb_bound: true,
+        parallel: true,
+        params,
+        sharing,
+    }
+}
+
+fn gcc_like(burst: f64, store_fraction: f64) -> ArchetypeParams {
+    ArchetypeParams {
+        mem_ratio: 0.38,
+        store_fraction,
+        burst_len_mean: burst,
+        burst_stride: 8,
+        working_set: 24 << 20,
+        // Loads are cache-friendly (real gcc hits >95% in L1D); the SB
+        // pressure comes from the cold store bursts, not load MLP.
+        locality: 0.995,
+        store_locality: Some(0.85),
+        hot_set: 32 << 10,
+        pointer_chase: 0.05,
+        dep_mean: 5.0,
+        fp_fraction: 0.05,
+        div_fraction: 0.005,
+    }
+}
+
+fn compute_bound(fp: f64) -> ArchetypeParams {
+    ArchetypeParams {
+        mem_ratio: 0.28,
+        store_fraction: 0.20,
+        burst_len_mean: 1.5,
+        burst_stride: 8,
+        working_set: 2 << 20,
+        locality: 0.96,
+        // Stores are effectively always cache-resident: these programs
+        // show <1% SB stalls at any SB size (the flat S-curve region).
+        store_locality: Some(1.0),
+        hot_set: 24 << 10,
+        pointer_chase: 0.02,
+        dep_mean: 3.0,
+        fp_fraction: fp,
+        div_fraction: 0.01,
+    }
+}
+
+/// The single-threaded SB-bound suite (SPEC CPU2017 + TensorFlow
+/// archetypes the paper's detailed figures break out).
+pub fn sb_bound_single() -> Vec<Workload> {
+    vec![
+        single("502.gcc1-like", true, gcc_like(12.0, 0.44)),
+        single("502.gcc2-like", true, gcc_like(20.0, 0.46)),
+        single("502.gcc3-like", true, gcc_like(28.0, 0.49)),
+        single("502.gcc4-like", true, gcc_like(40.0, 0.52)),
+        single("502.gcc5-like", true, gcc_like(56.0, 0.56)),
+        single(
+            "505.mcf-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.42,
+                store_fraction: 0.32,
+                burst_len_mean: 1.5,
+                burst_stride: 8,
+                working_set: 256 << 20,
+                locality: 0.93,
+                // Long-latency stores: pointer-chasing updates miss deep
+                // in the 256 MiB arc/node arrays while most loads hit —
+                // the paper attributes mcf's SB stalls to exactly this.
+                store_locality: Some(0.10),
+                hot_set: 48 << 10,
+                pointer_chase: 0.40,
+                dep_mean: 4.0,
+                fp_fraction: 0.0,
+                div_fraction: 0.002,
+            },
+        ),
+        single(
+            "503.bw2-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.34,
+                store_fraction: 0.18,
+                burst_len_mean: 4.0,
+                burst_stride: 8,
+                working_set: 12 << 20,
+                locality: 0.9,
+                store_locality: None,
+                hot_set: 64 << 10,
+                pointer_chase: 0.0,
+                dep_mean: 3.5,
+                fp_fraction: 0.7,
+                div_fraction: 0.01,
+            },
+        ),
+        single(
+            "507.cactuBSSN-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.40,
+                store_fraction: 0.30,
+                burst_len_mean: 6.0,
+                burst_stride: 8,
+                working_set: 160 << 20,
+                locality: 0.93,
+                store_locality: Some(0.60),
+                hot_set: 48 << 10,
+                pointer_chase: 0.10,
+                dep_mean: 4.0,
+                fp_fraction: 0.6,
+                div_fraction: 0.01,
+            },
+        ),
+        single(
+            "523.xalancbmk-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.40,
+                store_fraction: 0.35,
+                burst_len_mean: 2.5,
+                burst_stride: 8,
+                working_set: 48 << 20,
+                locality: 0.94,
+                store_locality: Some(0.65),
+                hot_set: 32 << 10,
+                pointer_chase: 0.40,
+                dep_mean: 4.0,
+                fp_fraction: 0.0,
+                div_fraction: 0.002,
+            },
+        ),
+        single(
+            "519.lbm-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.40,
+                store_fraction: 0.45,
+                burst_len_mean: 48.0,
+                burst_stride: 8,
+                working_set: 96 << 20,
+                locality: 0.92,
+                store_locality: Some(0.25),
+                hot_set: 32 << 10,
+                pointer_chase: 0.0,
+                dep_mean: 3.0,
+                fp_fraction: 0.5,
+                div_fraction: 0.002,
+            },
+        ),
+        single(
+            "520.omnetpp-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.42,
+                store_fraction: 0.34,
+                burst_len_mean: 2.0,
+                burst_stride: 8,
+                working_set: 128 << 20,
+                locality: 0.93,
+                store_locality: Some(0.60),
+                hot_set: 32 << 10,
+                pointer_chase: 0.50,
+                dep_mean: 4.0,
+                fp_fraction: 0.0,
+                div_fraction: 0.004,
+            },
+        ),
+        single(
+            "557.xz-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.40,
+                store_fraction: 0.45,
+                burst_len_mean: 8.0,
+                burst_stride: 8,
+                working_set: 64 << 20,
+                locality: 0.95,
+                store_locality: Some(0.50),
+                hot_set: 64 << 10,
+                pointer_chase: 0.15,
+                dep_mean: 4.0,
+                fp_fraction: 0.0,
+                div_fraction: 0.002,
+            },
+        ),
+        single(
+            "510.parest-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.36,
+                store_fraction: 0.28,
+                burst_len_mean: 5.0,
+                burst_stride: 8,
+                working_set: 40 << 20,
+                locality: 0.8,
+                store_locality: None,
+                hot_set: 48 << 10,
+                pointer_chase: 0.05,
+                dep_mean: 4.0,
+                fp_fraction: 0.7,
+                div_fraction: 0.01,
+            },
+        ),
+        single(
+            "tf_matmul-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.36,
+                store_fraction: 0.30,
+                burst_len_mean: 32.0,
+                burst_stride: 8,
+                working_set: 64 << 20,
+                locality: 0.95,
+                store_locality: Some(0.50),
+                hot_set: 96 << 10,
+                pointer_chase: 0.0,
+                dep_mean: 3.0,
+                fp_fraction: 0.8,
+                div_fraction: 0.0,
+            },
+        ),
+        single(
+            "tf_conv-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.38,
+                store_fraction: 0.32,
+                burst_len_mean: 16.0,
+                burst_stride: 8,
+                working_set: 96 << 20,
+                locality: 0.94,
+                store_locality: Some(0.45),
+                hot_set: 64 << 10,
+                pointer_chase: 0.02,
+                dep_mean: 3.0,
+                fp_fraction: 0.8,
+                div_fraction: 0.0,
+            },
+        ),
+        single(
+            "tf_embed-like",
+            true,
+            ArchetypeParams {
+                mem_ratio: 0.38,
+                store_fraction: 0.45,
+                burst_len_mean: 1.3,
+                burst_stride: 8,
+                working_set: 192 << 20,
+                locality: 0.90,
+                store_locality: Some(0.30),
+                hot_set: 32 << 10,
+                pointer_chase: 0.30,
+                dep_mean: 4.0,
+                fp_fraction: 0.3,
+                div_fraction: 0.0,
+            },
+        ),
+    ]
+}
+
+/// All single-threaded workloads: the SB-bound set plus the non-SB-bound
+/// programs that flatten the S-curves.
+pub fn all_single() -> Vec<Workload> {
+    let mut v = sb_bound_single();
+    v.extend([
+        single("500.perlbench-like", false, compute_bound(0.0)),
+        single("525.x264-like", false, compute_bound(0.3)),
+        single("531.deepsjeng-like", false, compute_bound(0.0)),
+        single("541.leela-like", false, compute_bound(0.0)),
+        single("508.namd-like", false, compute_bound(0.8)),
+        single("511.povray-like", false, compute_bound(0.7)),
+        single("526.blender-like", false, compute_bound(0.6)),
+        single("538.imagick-like", false, compute_bound(0.7)),
+        single("544.nab-like", false, compute_bound(0.8)),
+        single("548.exchange2-like", false, compute_bound(0.0)),
+    ]);
+    v
+}
+
+/// The 16-thread PARSEC archetypes (Figures 12 and 14).
+pub fn parsec16() -> Vec<Workload> {
+    vec![
+        parallel(
+            "dedup-like",
+            ArchetypeParams {
+                mem_ratio: 0.42,
+                store_fraction: 0.45,
+                burst_len_mean: 12.0,
+                burst_stride: 8,
+                working_set: 32 << 20,
+                locality: 0.96,
+                store_locality: Some(0.55),
+                hot_set: 32 << 10,
+                pointer_chase: 0.20,
+                dep_mean: 4.0,
+                fp_fraction: 0.0,
+                div_fraction: 0.002,
+            },
+            SharingParams {
+                shared_fraction: 0.06,
+                shared_set: 256 << 10,
+                shared_store_fraction: 0.5,
+            },
+        ),
+        parallel(
+            "ferret-like",
+            ArchetypeParams {
+                mem_ratio: 0.40,
+                store_fraction: 0.42,
+                burst_len_mean: 6.0,
+                burst_stride: 16,
+                working_set: 24 << 20,
+                locality: 0.96,
+                store_locality: Some(0.60),
+                hot_set: 48 << 10,
+                pointer_chase: 0.10,
+                dep_mean: 4.0,
+                fp_fraction: 0.4,
+                div_fraction: 0.005,
+            },
+            SharingParams {
+                shared_fraction: 0.08,
+                shared_set: 512 << 10,
+                shared_store_fraction: 0.4,
+            },
+        ),
+        parallel(
+            "streamcluster-like",
+            ArchetypeParams {
+                mem_ratio: 0.44,
+                store_fraction: 0.40,
+                burst_len_mean: 48.0,
+                burst_stride: 8,
+                working_set: 64 << 20,
+                locality: 0.97,
+                store_locality: Some(0.30),
+                hot_set: 64 << 10,
+                pointer_chase: 0.0,
+                dep_mean: 3.0,
+                fp_fraction: 0.6,
+                div_fraction: 0.002,
+            },
+            SharingParams {
+                shared_fraction: 0.04,
+                shared_set: 64 << 10,
+                shared_store_fraction: 0.3,
+            },
+        ),
+        parallel(
+            "canneal-like",
+            ArchetypeParams {
+                mem_ratio: 0.42,
+                store_fraction: 0.35,
+                burst_len_mean: 1.3,
+                burst_stride: 8,
+                working_set: 96 << 20,
+                locality: 0.94,
+                store_locality: Some(0.40),
+                hot_set: 32 << 10,
+                pointer_chase: 0.40,
+                dep_mean: 4.0,
+                fp_fraction: 0.0,
+                div_fraction: 0.002,
+            },
+            SharingParams {
+                shared_fraction: 0.08,
+                shared_set: 4 << 20,
+                shared_store_fraction: 0.5,
+            },
+        ),
+        parallel(
+            "fluidanimate-like",
+            ArchetypeParams {
+                mem_ratio: 0.38,
+                store_fraction: 0.32,
+                burst_len_mean: 4.0,
+                burst_stride: 8,
+                working_set: 24 << 20,
+                locality: 0.95,
+                store_locality: Some(0.70),
+                hot_set: 48 << 10,
+                pointer_chase: 0.05,
+                dep_mean: 3.5,
+                fp_fraction: 0.7,
+                div_fraction: 0.01,
+            },
+            SharingParams {
+                shared_fraction: 0.10,
+                shared_set: 1 << 20,
+                shared_store_fraction: 0.4,
+            },
+        ),
+        parallel(
+            "bodytrack-like",
+            ArchetypeParams {
+                mem_ratio: 0.32,
+                store_fraction: 0.28,
+                burst_len_mean: 3.0,
+                burst_stride: 8,
+                working_set: 16 << 20,
+                locality: 0.85,
+                store_locality: None,
+                hot_set: 64 << 10,
+                pointer_chase: 0.02,
+                dep_mean: 3.0,
+                fp_fraction: 0.6,
+                div_fraction: 0.01,
+            },
+            SharingParams {
+                shared_fraction: 0.05,
+                shared_set: 512 << 10,
+                shared_store_fraction: 0.3,
+            },
+        ),
+        parallel(
+            "blackscholes-like",
+            ArchetypeParams {
+                mem_ratio: 0.26,
+                store_fraction: 0.18,
+                burst_len_mean: 2.0,
+                burst_stride: 8,
+                working_set: 4 << 20,
+                locality: 0.95,
+                store_locality: None,
+                hot_set: 32 << 10,
+                pointer_chase: 0.0,
+                dep_mean: 3.0,
+                fp_fraction: 0.9,
+                div_fraction: 0.02,
+            },
+            SharingParams {
+                shared_fraction: 0.005,
+                shared_set: 64 << 10,
+                shared_store_fraction: 0.1,
+            },
+        ),
+        parallel(
+            "swaptions-like",
+            ArchetypeParams {
+                mem_ratio: 0.28,
+                store_fraction: 0.22,
+                burst_len_mean: 3.0,
+                burst_stride: 8,
+                working_set: 8 << 20,
+                locality: 0.92,
+                store_locality: None,
+                hot_set: 48 << 10,
+                pointer_chase: 0.0,
+                dep_mean: 3.0,
+                fp_fraction: 0.8,
+                div_fraction: 0.02,
+            },
+            SharingParams {
+                shared_fraction: 0.01,
+                shared_set: 128 << 10,
+                shared_store_fraction: 0.2,
+            },
+        ),
+        parallel(
+            "vips-like",
+            ArchetypeParams {
+                mem_ratio: 0.36,
+                store_fraction: 0.34,
+                burst_len_mean: 10.0,
+                burst_stride: 8,
+                working_set: 48 << 20,
+                locality: 0.95,
+                store_locality: Some(0.60),
+                hot_set: 64 << 10,
+                pointer_chase: 0.02,
+                dep_mean: 3.5,
+                fp_fraction: 0.4,
+                div_fraction: 0.005,
+            },
+            SharingParams {
+                shared_fraction: 0.03,
+                shared_set: 256 << 10,
+                shared_store_fraction: 0.3,
+            },
+        ),
+        parallel(
+            "x264-like",
+            ArchetypeParams {
+                mem_ratio: 0.34,
+                store_fraction: 0.30,
+                burst_len_mean: 8.0,
+                burst_stride: 8,
+                working_set: 32 << 20,
+                locality: 0.95,
+                store_locality: Some(0.70),
+                hot_set: 96 << 10,
+                pointer_chase: 0.03,
+                dep_mean: 3.5,
+                fp_fraction: 0.2,
+                div_fraction: 0.005,
+            },
+            SharingParams {
+                shared_fraction: 0.04,
+                shared_set: 512 << 10,
+                shared_store_fraction: 0.35,
+            },
+        ),
+    ]
+}
+
+/// Looks a workload up by name across all suites.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all_single()
+        .into_iter()
+        .chain(parsec16())
+        .find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_shape() {
+        let sb = sb_bound_single();
+        assert!(sb.len() >= 12, "SB-bound suite too small: {}", sb.len());
+        assert!(sb.iter().all(|w| w.sb_bound && !w.parallel));
+        let all = all_single();
+        assert!(all.len() > sb.len());
+        let par = parsec16();
+        assert!(par.len() >= 10);
+        assert!(par.iter().all(|w| w.parallel));
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = all_single()
+            .iter()
+            .chain(parsec16().iter())
+            .map(|w| w.name)
+            .collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn by_name_finds_workloads() {
+        assert!(by_name("505.mcf-like").is_some());
+        assert!(by_name("dedup-like").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn traces_produce_disjoint_private_regions() {
+        let w = by_name("dedup-like").expect("exists");
+        let mut traces = w.traces(2, 1, 2000);
+        let shared = crate::archetype::SHARED_BASE..crate::archetype::SHARED_BASE + (16 << 20);
+        let collect = |t: &mut Box<dyn TraceSource>| {
+            let mut v = Vec::new();
+            while let Some(i) = t.next_inst() {
+                if i.op.is_mem() && !shared.contains(&i.addr.raw()) {
+                    v.push(i.addr.raw());
+                }
+            }
+            v
+        };
+        let a = collect(&mut traces[0]);
+        let b = collect(&mut traces[1]);
+        assert!(!a.is_empty() && !b.is_empty());
+        let max_a = a.iter().max().expect("nonempty");
+        let min_b = b.iter().min().expect("nonempty");
+        assert!(max_a < min_b, "private regions overlap");
+    }
+
+    #[test]
+    fn gcc5_burstier_than_gcc1() {
+        let burst = |name: &str| {
+            let w = by_name(name).expect("exists");
+            let mut t = w.traces(1, 3, 20_000).remove(0);
+            let mut insts = Vec::new();
+            while let Some(i) = t.next_inst() {
+                insts.push(i);
+            }
+            insts
+                .windows(2)
+                .filter(|p| {
+                    p[0].op == tus_cpu::OpClass::Store
+                        && p[1].op == tus_cpu::OpClass::Store
+                        && p[1].addr.raw() == p[0].addr.raw() + 8
+                })
+                .count()
+        };
+        assert!(burst("502.gcc5-like") > burst("502.gcc1-like"));
+    }
+}

@@ -1,0 +1,46 @@
+//! A 16-core PARSEC-style run (`dedup`-like: bandwidth-hungry store
+//! bursts plus long-latency stores with cross-thread sharing), showing
+//! the TUS conflict machinery — delayed external requests and lex-order
+//! relinquishes — at work.
+//!
+//! ```sh
+//! cargo run --release --example multicore_dedup
+//! ```
+
+use tus::System;
+use tus_sim::{PolicyKind, SimConfig};
+use tus_workloads::by_name;
+
+fn main() {
+    let w = by_name("dedup-like").expect("workload exists");
+    let insts = 20_000u64; // per core
+
+    for policy in [PolicyKind::Baseline, PolicyKind::Tus] {
+        let cfg = SimConfig::builder().cores(16).policy(policy).build();
+        let mut sys = System::new(&cfg, w.traces(16, 11, insts), 11);
+        let stats = sys.run_committed(insts, 500_000_000);
+        let cycles = stats.get("cycles");
+        let ipc = stats.get("total_committed") / cycles;
+        println!("== {} ==", policy.label());
+        println!("  cycles {cycles:.0}, aggregate IPC {ipc:.2}");
+        if policy == PolicyKind::Tus {
+            let delays: f64 = (0..16)
+                .map(|i| stats.get(&format!("core{i}.policy.conflict_delays")))
+                .sum();
+            let relinq: f64 = (0..16)
+                .map(|i| stats.get(&format!("core{i}.policy.conflict_relinquishes")))
+                .sum();
+            let flips: f64 = (0..16)
+                .map(|i| stats.get(&format!("core{i}.policy.visibility_flips")))
+                .sum();
+            println!("  external conflicts on unauthorized lines:");
+            println!("    delayed (lex order held): {delays:.0}");
+            println!("    relinquished (lex order violated): {relinq:.0}");
+            println!("  atomic-group visibility flips: {flips:.0}");
+            println!("  directory-observed relinquishes: {}", stats.get("mem.dir.relinquishes"));
+        }
+        println!();
+    }
+    println!("Even with cores fighting over shared lines, the lex order");
+    println!("guarantees forward progress — no rollbacks, no speculation.");
+}

@@ -1,0 +1,44 @@
+//! The paper's headline trade-off: TUS with a 32-entry SB matches or
+//! beats the 114-entry baseline, while a smaller SB is cheaper (2x lower
+//! search energy, 21% less area) and faster to forward from (3 vs 5
+//! cycles).
+//!
+//! ```sh
+//! cargo run --release --example sb_sizing
+//! ```
+
+use tus::System;
+use tus_energy::{sb_area, sb_search_energy};
+use tus_sim::{PolicyKind, SimConfig};
+use tus_workloads::by_name;
+
+fn ipc(policy: PolicyKind, sb: usize) -> f64 {
+    let w = by_name("502.gcc3-like").expect("workload exists");
+    let cfg = SimConfig::builder().policy(policy).sb_entries(sb).build();
+    let insts = 120_000;
+    let mut sys = System::new(&cfg, w.traces(1, 3, insts), 3);
+    let stats = sys.run_committed(insts, 100_000_000);
+    stats.get("core0.cpu.committed") / stats.get("cycles")
+}
+
+fn main() {
+    println!("502.gcc3-like, IPC by SB size and policy\n");
+    println!("{:>6} {:>10} {:>10} {:>12} {:>12} {:>8}", "SB", "baseline", "TUS", "E/search pJ", "area um^2", "fwd lat");
+    for sb in [32, 56, 64, 114] {
+        println!(
+            "{:>6} {:>10.3} {:>10.3} {:>12.1} {:>12.0} {:>8}",
+            sb,
+            ipc(PolicyKind::Baseline, sb),
+            ipc(PolicyKind::Tus, sb),
+            sb_search_energy(sb),
+            sb_area(sb),
+            tus_sim::config::SbConfig { entries: sb }.forward_latency(),
+        );
+    }
+    let base114 = ipc(PolicyKind::Baseline, 114);
+    let tus32 = ipc(PolicyKind::Tus, 32);
+    println!(
+        "\nTUS @ 32 entries vs baseline @ 114: {:+.1}% performance with 2x lower\nSB search energy and 21% less SB area.",
+        (tus32 / base114 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the TUS reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples, tests and
+//! downstream users can depend on a single package:
+//!
+//! * [`sim`] (`tus-sim`) — simulation kernel and Table I configuration.
+//! * [`mem`] (`tus-mem`) — caches, MESI directory coherence, prefetchers.
+//! * [`cpu`] (`tus-cpu`) — the out-of-order core model.
+//! * [`core`] (`tus`) — the TUS mechanism and the drain-policy zoo.
+//! * [`tso`] (`tus-tso`) — x86-TSO reference model and litmus harness.
+//! * [`workloads`] (`tus-workloads`) — archetype workload generators.
+//! * [`energy`] (`tus-energy`) — energy/area/EDP models.
+//! * [`harness`] (`tus-harness`) — figure/table experiment runners.
+
+pub use tus as core;
+pub use tus_cpu as cpu;
+pub use tus_energy as energy;
+pub use tus_harness as harness;
+pub use tus_mem as mem;
+pub use tus_sim as sim;
+pub use tus_tso as tso;
+pub use tus_workloads as workloads;

@@ -1,0 +1,87 @@
+//! The paper's Section III-D claim as an executable property: under every
+//! drain policy — most importantly TUS — the full simulator only ever
+//! produces x86-TSO-allowed outcomes on the canonical litmus corpus.
+
+use tus_sim::PolicyKind;
+use tus_tso::{all_litmus_tests, check_conformance};
+
+fn conformance_for(policy: PolicyKind, seeds: u64) {
+    for t in all_litmus_tests() {
+        let r = check_conformance(&t.program, policy, seeds);
+        assert!(
+            r.conforms(),
+            "{policy}: litmus {} produced TSO-forbidden outcomes: {:?}\nallowed: {:?}",
+            t.name,
+            r.violations,
+            r.allowed
+        );
+        // If the corpus says the witness is forbidden, the simulator must
+        // never produce it (implied by conformance, but check the witness
+        // directly for a sharper failure message).
+        if !t.allowed {
+            assert!(
+                !r.observed.iter().any(|o| (t.witness)(o)),
+                "{policy}: forbidden witness of {} observed",
+                t.name
+            );
+        }
+    }
+}
+
+#[test]
+fn tus_conforms_to_tso() {
+    conformance_for(PolicyKind::Tus, 14);
+}
+
+#[test]
+fn baseline_conforms_to_tso() {
+    conformance_for(PolicyKind::Baseline, 8);
+}
+
+#[test]
+fn ssb_conforms_to_tso() {
+    conformance_for(PolicyKind::Ssb, 8);
+}
+
+#[test]
+fn csb_conforms_to_tso() {
+    conformance_for(PolicyKind::Csb, 8);
+}
+
+#[test]
+fn spb_conforms_to_tso() {
+    conformance_for(PolicyKind::Spb, 8);
+}
+
+/// The TSO-only relaxed outcome of the store-buffering test (both loads
+/// read 0) must actually be *observable* on the simulator — the SB and
+/// the TUS machinery really do buffer stores past loads.
+#[test]
+fn sb_relaxation_is_observable() {
+    let t = all_litmus_tests()
+        .into_iter()
+        .find(|t| t.name == "SB")
+        .expect("SB test exists");
+    let mut seen = false;
+    for policy in PolicyKind::ALL {
+        let r = check_conformance(&t.program, policy, 16);
+        seen |= r.observed.iter().any(|o| (t.witness)(o));
+    }
+    assert!(
+        seen,
+        "no policy ever exhibited the store-buffering relaxation; the \
+         store path is suspiciously strict"
+    );
+}
+
+/// The store-forwarding test (n6): a core must be able to read its own
+/// buffered store before it is globally visible.
+#[test]
+fn store_forwarding_observable_under_tus() {
+    let t = all_litmus_tests()
+        .into_iter()
+        .find(|t| t.name == "n6")
+        .expect("n6 exists");
+    let r = check_conformance(&t.program, PolicyKind::Tus, 20);
+    assert!(r.conforms());
+}

@@ -1,0 +1,119 @@
+//! Single-core value correctness: whatever the drain policy does with
+//! unauthorized lines, coalescing, or write-through queues, a single
+//! core's loads must observe exactly the sequential semantics of the
+//! program, and the final (coherent) memory must match a software oracle.
+
+use std::collections::HashMap;
+
+use tus::System;
+use tus_cpu::{TraceInst, VecTrace};
+use tus_sim::{Addr, PolicyKind, SimConfig, SimRng};
+
+/// Generates a random single-core program of loads/stores/ALUs/fences
+/// over a small set of 8-byte-aligned slots, plus its expected load
+/// values under sequential semantics.
+fn random_program(seed: u64, len: usize) -> (Vec<TraceInst>, Vec<u64>, HashMap<u64, u64>) {
+    let mut rng = SimRng::seed(seed);
+    let slots: Vec<u64> = (0..24).map(|i| 0x9_0000 + i * 8).collect();
+    let mut mem: HashMap<u64, u64> = HashMap::new();
+    let mut insts = Vec::new();
+    let mut expected = Vec::new();
+    let mut next_val = 1u64;
+    for _ in 0..len {
+        let r = rng.range(0, 100);
+        if r < 35 {
+            let a = slots[rng.index(slots.len())];
+            mem.insert(a, next_val);
+            insts.push(TraceInst::store(Addr::new(a), 8, next_val));
+            next_val += 1;
+        } else if r < 70 {
+            let a = slots[rng.index(slots.len())];
+            expected.push(mem.get(&a).copied().unwrap_or(0));
+            insts.push(TraceInst::load(Addr::new(a), 8));
+        } else if r < 74 {
+            insts.push(TraceInst::fence());
+        } else {
+            insts.push(TraceInst::alu());
+        }
+    }
+    (insts, expected, mem)
+}
+
+fn check_policy(policy: PolicyKind, seed: u64) {
+    let (insts, expected, final_mem) = random_program(seed, 600);
+    let cfg = SimConfig::builder()
+        .policy(policy)
+        .sb_entries(12)
+        .scale_caches_down(64)
+        .build();
+    let mut sys = System::new(&cfg, vec![Box::new(VecTrace::new(insts))], seed);
+    sys.core_mut(0).record_loads(true);
+    sys.run_to_completion(5_000_000);
+    assert_eq!(
+        sys.core(0).loaded_values(),
+        &expected[..],
+        "{policy} seed {seed}: loads diverged from sequential semantics"
+    );
+    for (&addr, &val) in &final_mem {
+        let got = sys.mem().read_coherent(Addr::new(addr), 8);
+        assert_eq!(got, val, "{policy} seed {seed}: final memory at {addr:#x}");
+    }
+}
+
+#[test]
+fn sequential_semantics_baseline() {
+    for seed in 0..6 {
+        check_policy(PolicyKind::Baseline, seed);
+    }
+}
+
+#[test]
+fn sequential_semantics_tus() {
+    for seed in 0..10 {
+        check_policy(PolicyKind::Tus, seed);
+    }
+}
+
+#[test]
+fn sequential_semantics_ssb() {
+    for seed in 0..6 {
+        check_policy(PolicyKind::Ssb, seed);
+    }
+}
+
+#[test]
+fn sequential_semantics_csb() {
+    for seed in 0..6 {
+        check_policy(PolicyKind::Csb, seed);
+    }
+}
+
+#[test]
+fn sequential_semantics_spb() {
+    for seed in 0..6 {
+        check_policy(PolicyKind::Spb, seed);
+    }
+}
+
+/// The same program must leave the same final memory under every policy —
+/// policies change *timing*, never architecture.
+#[test]
+fn final_memory_agrees_across_policies() {
+    let (insts, _, final_mem) = random_program(99, 800);
+    for policy in PolicyKind::ALL {
+        let cfg = SimConfig::builder()
+            .policy(policy)
+            .sb_entries(16)
+            .scale_caches_down(64)
+            .build();
+        let mut sys = System::new(&cfg, vec![Box::new(VecTrace::new(insts.clone()))], 99);
+        sys.run_to_completion(5_000_000);
+        for (&addr, &val) in &final_mem {
+            assert_eq!(
+                sys.mem().read_coherent(Addr::new(addr), 8),
+                val,
+                "{policy}: final memory at {addr:#x}"
+            );
+        }
+    }
+}

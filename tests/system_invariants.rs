@@ -1,0 +1,226 @@
+//! System-level invariants across crates: drain guarantees, the paper's
+//! headline behaviours (write coalescing, small-SB viability), and
+//! multicore progress under contention for every policy.
+
+use tus::System;
+use tus_sim::{PolicyKind, SimConfig, StatSet};
+use tus_workloads::by_name;
+
+fn run_workload(name: &str, policy: PolicyKind, sb: usize, insts: u64, cores: usize) -> StatSet {
+    let w = by_name(name).expect("workload exists");
+    let cfg = SimConfig::builder()
+        .cores(cores)
+        .policy(policy)
+        .sb_entries(sb)
+        .build();
+    let mut sys = System::new(&cfg, w.traces(cores, 5, insts), 5);
+    sys.run_committed(insts, 500_000_000)
+}
+
+/// The paper's L1D-write-reduction claim: coalescing policies (CSB, TUS)
+/// cut store write accesses by at least 2x on the burstiest workload
+/// (paper: 2x average, 5.5x for 502.gcc5).
+#[test]
+fn coalescing_reduces_l1d_writes() {
+    let writes = |p| run_workload("502.gcc5-like", p, 114, 60_000, 1).get("mem.core0.l1d_writes");
+    let base = writes(PolicyKind::Baseline);
+    let tus = writes(PolicyKind::Tus);
+    let csb = writes(PolicyKind::Csb);
+    assert!(tus * 2.0 < base, "TUS writes {tus} vs baseline {base}");
+    assert!(csb * 2.0 < base, "CSB writes {csb} vs baseline {base}");
+}
+
+/// TUS removes SB-induced stalls on an SB-bound workload.
+#[test]
+fn tus_cuts_sb_stalls() {
+    let stalls = |p| {
+        let s = run_workload("502.gcc4-like", p, 114, 60_000, 1);
+        s.get("core0.cpu.stall_sb") / s.get("cycles")
+    };
+    let base = stalls(PolicyKind::Baseline);
+    let tus = stalls(PolicyKind::Tus);
+    assert!(base > 0.05, "workload not SB-bound under baseline ({base})");
+    assert!(tus < base * 0.7, "TUS stalls {tus} vs baseline {base}");
+}
+
+/// The paper's headline: TUS with a 32-entry SB at least matches the
+/// 114-entry baseline on SB-bound work. Measured over a warmed window,
+/// as in the harness (caches and prefetchers need a few tens of
+/// thousands of instructions to reach steady state).
+#[test]
+fn tus_32_matches_baseline_114() {
+    let ipc = |p, sb| {
+        let w = by_name("502.gcc3-like").expect("workload exists");
+        let cfg = SimConfig::builder().policy(p).sb_entries(sb).build();
+        let mut sys = System::new(&cfg, w.traces(1, 5, 100_000), 5);
+        let warm = sys.run_committed(20_000, 500_000_000);
+        let end = sys.run_committed(80_000, 500_000_000);
+        let d = end.minus(&warm);
+        d.get("core0.cpu.committed") / d.get("cycles")
+    };
+    let base114 = ipc(PolicyKind::Baseline, 114);
+    let tus32 = ipc(PolicyKind::Tus, 32);
+    assert!(
+        tus32 >= base114 * 0.95,
+        "TUS@32 ({tus32:.3}) should match baseline@114 ({base114:.3})"
+    );
+}
+
+/// On compute-bound work no policy should change performance appreciably
+/// (the flat part of the paper's S-curves).
+#[test]
+fn compute_bound_unaffected() {
+    let ipc = |p| {
+        let s = run_workload("541.leela-like", p, 114, 40_000, 1);
+        s.get("core0.cpu.committed") / s.get("cycles")
+    };
+    let base = ipc(PolicyKind::Baseline);
+    for p in PolicyKind::ALL {
+        let v = ipc(p);
+        assert!(
+            (v / base - 1.0).abs() < 0.02,
+            "{p} moved compute-bound IPC by {:.1}%",
+            (v / base - 1.0) * 100.0
+        );
+    }
+}
+
+/// Every policy survives a 16-core run with true sharing and drains.
+#[test]
+fn parallel_progress_all_policies() {
+    for policy in PolicyKind::ALL {
+        let w = by_name("canneal-like").expect("exists");
+        let cfg = SimConfig::builder()
+            .cores(16)
+            .policy(policy)
+            .sb_entries(32)
+            .scale_caches_down(16)
+            .build();
+        let mut sys = System::new(&cfg, w.traces(16, 9, 3_000), 9);
+        let stats = sys.run_to_completion(100_000_000);
+        assert!(sys.finished(), "{policy} did not drain");
+        assert!(stats.get("total_committed") >= 16.0 * 3_000.0);
+    }
+}
+
+/// The TUS conflict machinery is exercised under contention and the
+/// directory sees relinquishes. Prefetch-at-commit is disabled so
+/// unauthorized windows span full permission round trips.
+#[test]
+fn tus_conflicts_exercised_under_contention() {
+    use tus_cpu::{TraceInst, VecTrace};
+    use tus_sim::Addr;
+    let cfg = SimConfig::builder()
+        .cores(8)
+        .policy(PolicyKind::Tus)
+        .sb_entries(16)
+        .prefetch_at_commit(false)
+        .scale_caches_down(16)
+        .build();
+    // Eight cores hammer the same four lines: unauthorized windows span
+    // full permission round trips, so external requests must hit
+    // not-visible lines.
+    let traces: Vec<Box<dyn tus_cpu::TraceSource>> = (0..8u64)
+        .map(|salt| {
+            let insts: Vec<_> = (0..800u64)
+                .map(|i| {
+                    TraceInst::store(Addr::new(0x8000 + ((i + salt) % 4) * 64), 8, salt * 10_000 + i)
+                })
+                .collect();
+            Box::new(VecTrace::new(insts)) as Box<dyn tus_cpu::TraceSource>
+        })
+        .collect();
+    let mut sys = System::new(&cfg, traces, 21);
+    let stats = sys.run_to_completion(200_000_000);
+    let conflicts: f64 = (0..8)
+        .map(|i| {
+            stats.get(&format!("core{i}.policy.conflict_delays"))
+                + stats.get(&format!("core{i}.policy.conflict_relinquishes"))
+        })
+        .sum();
+    assert!(conflicts > 0.0, "no external conflicts on unauthorized lines");
+}
+
+/// Fences are honored by every policy: after a fence commits, everything
+/// before it has fully drained (checked via run_to_completion on a
+/// fence-heavy trace).
+#[test]
+fn fence_heavy_traces_drain() {
+    use tus_cpu::{TraceInst, VecTrace};
+    use tus_sim::Addr;
+    for policy in PolicyKind::ALL {
+        let mut insts = Vec::new();
+        for i in 0..200u64 {
+            insts.push(TraceInst::store(Addr::new(0x5000 + (i % 16) * 64), 8, i));
+            if i % 5 == 4 {
+                insts.push(TraceInst::fence());
+            }
+        }
+        let cfg = SimConfig::builder()
+            .policy(policy)
+            .sb_entries(8)
+            .scale_caches_down(64)
+            .build();
+        let mut sys = System::new(&cfg, vec![Box::new(VecTrace::new(insts))], 3);
+        sys.run_to_completion(10_000_000);
+        assert!(sys.finished(), "{policy} stuck on fences");
+        assert!(sys.core(0).stats.fences > 0);
+    }
+}
+
+/// Ablation knobs build and run: tiny WOQ, single WCB, small groups.
+#[test]
+fn extreme_tus_configurations_work() {
+    let w = by_name("502.gcc1-like").expect("exists");
+    for (woq, wcbs, group) in [(4usize, 1usize, 2usize), (8, 4, 4), (128, 8, 32)] {
+        let cfg = SimConfig::builder()
+            .policy(PolicyKind::Tus)
+            .woq_entries(woq)
+            .wcbs(wcbs)
+            .max_atomic_group(group)
+            .sb_entries(16)
+            .scale_caches_down(64)
+            .build();
+        let mut sys = System::new(&cfg, w.traces(1, 1, 5_000), 1);
+        sys.run_to_completion(50_000_000);
+        assert!(sys.finished(), "WOQ={woq} WCB={wcbs} group={group} stuck");
+    }
+}
+
+/// The paper's disabled variant — store-to-load forwarding from
+/// not-ready unauthorized lines — must stay value-correct when enabled.
+#[test]
+fn l1d_unauth_forwarding_is_value_correct() {
+    use tus_cpu::{TraceInst, VecTrace};
+    use tus_sim::Addr;
+    let cfg = SimConfig::builder()
+        .policy(PolicyKind::Tus)
+        .sb_entries(8)
+        .prefetch_at_commit(false)
+        .l1d_unauth_forwarding(true)
+        .scale_caches_down(64)
+        .build();
+    // Stores first (they coalesce and land unauthorized in the L1D while
+    // permission is fetched), then loads that arrive while the lines are
+    // still not ready — the forwarding knob's window.
+    let mut insts = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..64u64 {
+        let a = Addr::new(0x7000 + (i % 8) * 64 + (i / 8) * 8);
+        insts.push(TraceInst::store(a, 8, i + 1));
+    }
+    for i in 0..64u64 {
+        let a = Addr::new(0x7000 + (i % 8) * 64 + (i / 8) * 8);
+        insts.push(TraceInst::load(a, 8));
+        expected.push(i + 1);
+    }
+    let mut sys = System::new(&cfg, vec![Box::new(VecTrace::new(insts))], 5);
+    sys.core_mut(0).record_loads(true);
+    let stats = sys.run_to_completion(10_000_000);
+    assert_eq!(sys.core(0).loaded_values(), &expected[..]);
+    // The knob must actually trigger in this unauthorized-heavy pattern.
+    assert!(
+        stats.get("mem.core0.l1d_unauth_forwards") > 0.0,
+        "forwarding knob never used: {stats}"
+    );
+}
