@@ -5,118 +5,67 @@
 //! together they exercise every experiment code path under `cargo bench`
 //! and track end-to-end simulator throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
 
-use tus_bench::short_run;
+use tus_bench::{short_run, Bench};
 use tus_sim::{PolicyKind, SimConfig};
 
 const INSTS: u64 = 4_000;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1/render", |b| {
-        b.iter(|| black_box(SimConfig::default().render_table1()))
-    });
-}
+fn main() {
+    let mut b = Bench::from_args();
 
-/// Fig. 8: one point of the SB-size scalability sweep per policy.
-fn bench_fig08(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08_sb_scaling");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(500));
-    g.measurement_time(Duration::from_secs(2));
+    b.bench("table1/render", || {
+        black_box(SimConfig::default().render_table1())
+    });
+
+    // Fig. 8: one point of the SB-size scalability sweep per policy.
     for policy in PolicyKind::ALL {
         for sb in [32usize, 114] {
-            g.bench_function(format!("{}_sb{}", policy.label(), sb), |b| {
-                b.iter(|| black_box(short_run("502.gcc3-like", policy, sb, INSTS).ipc))
+            b.bench(&format!("fig08_sb_scaling/{}_sb{}", policy.label(), sb), || {
+                black_box(short_run("502.gcc3-like", policy, sb, INSTS).ipc)
             });
         }
     }
-    g.finish();
-}
 
-/// Fig. 9: SB-stall attribution on the burstiest workload.
-fn bench_fig09(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig09_sb_stalls");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(500));
-    g.measurement_time(Duration::from_secs(2));
+    // Fig. 9: SB-stall attribution on the burstiest workload.
     for policy in [PolicyKind::Baseline, PolicyKind::Tus] {
-        g.bench_function(policy.label(), |b| {
-            b.iter(|| black_box(short_run("502.gcc5-like", policy, 114, INSTS).sb_stall_frac))
+        b.bench(&format!("fig09_sb_stalls/{}", policy.label()), || {
+            black_box(short_run("502.gcc5-like", policy, 114, INSTS).sb_stall_frac)
         });
     }
-    g.finish();
-}
 
-/// Figs. 10/13: speedup measurement (one SB-bound, one compute-bound
-/// S-curve point) at both baseline SB sizes.
-fn bench_fig10_13(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_13_speedup");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(500));
-    g.measurement_time(Duration::from_secs(2));
+    // Figs. 10/13: speedup measurement (one SB-bound, one compute-bound
+    // S-curve point) at both baseline SB sizes.
     for (name, wl) in [("sb_bound", "502.gcc2-like"), ("flat", "541.leela-like")] {
         for sb in [114usize, 32] {
-            g.bench_function(format!("{name}_sb{sb}"), |b| {
-                b.iter(|| black_box(short_run(wl, PolicyKind::Tus, sb, INSTS).ipc))
+            b.bench(&format!("fig10_13_speedup/{name}_sb{sb}"), || {
+                black_box(short_run(wl, PolicyKind::Tus, sb, INSTS).ipc)
             });
         }
     }
-    g.finish();
-}
 
-/// Figs. 11/15: the EDP pipeline (simulation + energy accounting).
-fn bench_fig11_15(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_15_edp");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(500));
-    g.measurement_time(Duration::from_secs(2));
+    // Figs. 11/15: the EDP pipeline (simulation + energy accounting).
     for policy in [PolicyKind::Baseline, PolicyKind::Ssb, PolicyKind::Tus] {
-        g.bench_function(policy.label(), |b| {
-            b.iter(|| black_box(short_run("557.xz-like", policy, 114, INSTS).edp))
+        b.bench(&format!("fig11_15_edp/{}", policy.label()), || {
+            black_box(short_run("557.xz-like", policy, 114, INSTS).edp)
         });
     }
-    g.finish();
-}
 
-/// Figs. 12/14: a 16-core PARSEC slice (speedup + EDP inputs).
-fn bench_fig12_14(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_14_parsec16");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(500));
-    g.measurement_time(Duration::from_secs(2));
+    // Figs. 12/14: a 16-core PARSEC slice (speedup + EDP inputs).
     for policy in [PolicyKind::Baseline, PolicyKind::Tus] {
-        g.bench_function(format!("dedup_{}", policy.label()), |b| {
-            b.iter(|| black_box(short_run("dedup-like", policy, 114, 2_000).ipc))
+        b.bench(&format!("fig12_14_parsec16/dedup_{}", policy.label()), || {
+            black_box(short_run("dedup-like", policy, 114, 2_000).ipc)
         });
     }
-    g.finish();
-}
 
-/// In-text: energy/area model evaluation.
-fn bench_intext(c: &mut Criterion) {
-    c.bench_function("intext/structure_models", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for sb in [32usize, 64, 114] {
-                acc += tus_energy::sb_area(sb) + tus_energy::sb_search_energy(sb);
-            }
-            acc += tus_energy::woq_area(64) + tus_energy::woq_search_energy(64);
-            black_box(acc)
-        })
+    // In-text: energy/area model evaluation.
+    b.bench("intext/structure_models", || {
+        let mut acc = 0.0;
+        for sb in [32usize, 64, 114] {
+            acc += tus_energy::sb_area(sb) + tus_energy::sb_search_energy(sb);
+        }
+        acc += tus_energy::woq_area(64) + tus_energy::woq_search_energy(64);
+        black_box(acc)
     });
 }
-
-criterion_group!(
-    figures,
-    bench_table1,
-    bench_fig08,
-    bench_fig09,
-    bench_fig10_13,
-    bench_fig11_15,
-    bench_fig12_14,
-    bench_intext
-);
-criterion_main!(figures);

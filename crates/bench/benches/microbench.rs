@@ -2,59 +2,49 @@
 //! authorization unit), the SB forwarding CAM, the TSO enumerator, and
 //! raw simulation throughput per policy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
 
 use tus::{AuthorizationUnit, WcbSet, Woq};
+use tus_bench::Bench;
 use tus_cpu::StoreBuffer;
 use tus_mem::ByteMask;
 use tus_sim::{Addr, Cycle, LineAddr, PolicyKind};
 use tus_tso::{all_litmus_tests, tso_outcomes};
 
-fn bench_woq(c: &mut Criterion) {
-    let mut g = c.benchmark_group("woq");
-    g.bench_function("push_find_pop", |b| {
-        b.iter(|| {
-            let mut w = Woq::new(64);
-            for i in 0..64u64 {
-                w.push(LineAddr::new(i), (i % 64) as usize, (i % 12) as usize, ByteMask::FULL);
-            }
-            for i in 0..64u64 {
-                black_box(w.find((i % 64) as usize, (i % 12) as usize));
-                w.mark_ready((i % 64) as usize, (i % 12) as usize);
-            }
-            while !w.is_empty() && w.head_group_ready() {
-                black_box(w.pop_head_group());
-            }
-        })
-    });
-    g.bench_function("merge_to_tail", |b| {
-        b.iter(|| {
-            let mut w = Woq::new(64);
-            for i in 0..32u64 {
-                w.push(LineAddr::new(i), i as usize, 0, ByteMask::FULL);
-            }
-            black_box(w.merge_to_tail(0));
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let mut b = Bench::from_args();
 
-fn bench_wcb(c: &mut Criterion) {
-    c.bench_function("wcb/coalesce_64_stores", |b| {
-        b.iter(|| {
-            let mut w = WcbSet::new(2);
-            for i in 0..64u64 {
-                let _ = w.write(Addr::new(0x1000 + (i % 8) * 8), 8, i, Cycle::new(i));
-            }
-            black_box(w.occupied())
-        })
+    b.bench("woq/push_find_pop", || {
+        let mut w = Woq::new(64);
+        for i in 0..64u64 {
+            w.push(LineAddr::new(i), (i % 64) as usize, (i % 12) as usize, ByteMask::FULL);
+        }
+        for i in 0..64u64 {
+            black_box(w.find((i % 64) as usize, (i % 12) as usize));
+            w.mark_ready((i % 64) as usize, (i % 12) as usize);
+        }
+        while !w.is_empty() && w.head_group_ready() {
+            black_box(w.pop_head_group());
+        }
     });
-}
 
-fn bench_auth_unit(c: &mut Criterion) {
-    c.bench_function("auth_unit/decide_64_entries", |b| {
+    b.bench("woq/merge_to_tail", || {
+        let mut w = Woq::new(64);
+        for i in 0..32u64 {
+            w.push(LineAddr::new(i), i as usize, 0, ByteMask::FULL);
+        }
+        black_box(w.merge_to_tail(0));
+    });
+
+    b.bench("wcb/coalesce_64_stores", || {
+        let mut w = WcbSet::new(2);
+        for i in 0..64u64 {
+            let _ = w.write(Addr::new(0x1000 + (i % 8) * 8), 8, i, Cycle::new(i));
+        }
+        black_box(w.occupied())
+    });
+
+    {
         let unit = AuthorizationUnit::new(16);
         let mut w = Woq::new(64);
         for i in 0..64u64 {
@@ -63,52 +53,29 @@ fn bench_auth_unit(c: &mut Criterion) {
                 w.mark_ready(i as usize, 0);
             }
         }
-        b.iter(|| black_box(unit.decide(&w, 63)))
-    });
-}
+        b.bench("auth_unit/decide_64_entries", || black_box(unit.decide(&w, 63)));
+    }
 
-fn bench_sb_forwarding(c: &mut Criterion) {
-    c.bench_function("sb/forward_114_entries", |b| {
+    {
         let mut sb = StoreBuffer::new(114, 5);
         for i in 0..114u64 {
             sb.push(Addr::new(i * 8), 8, i, i).expect("room");
             sb.mark_executed(i);
         }
-        b.iter(|| black_box(sb.forward(Addr::new(56 * 8), 8, 200)))
-    });
-}
-
-fn bench_tso_enumeration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tso_enumeration");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(500));
-    g.measurement_time(Duration::from_secs(2));
-    for t in all_litmus_tests().into_iter().take(4) {
-        g.bench_function(t.name, |b| b.iter(|| black_box(tso_outcomes(&t.program).len())));
-    }
-    g.finish();
-}
-
-fn bench_sim_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_throughput_10k_insts");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(500));
-    g.measurement_time(Duration::from_secs(2));
-    for policy in PolicyKind::ALL {
-        g.bench_function(policy.label(), |b| {
-            b.iter(|| black_box(tus_bench::short_run("523.xalancbmk-like", policy, 114, 10_000).cycles))
+        b.bench("sb/forward_114_entries", || {
+            black_box(sb.forward(Addr::new(56 * 8), 8, 200))
         });
     }
-    g.finish();
-}
 
-criterion_group!(
-    micro,
-    bench_woq,
-    bench_wcb,
-    bench_auth_unit,
-    bench_sb_forwarding,
-    bench_tso_enumeration,
-    bench_sim_throughput
-);
-criterion_main!(micro);
+    for t in all_litmus_tests().into_iter().take(4) {
+        b.bench(&format!("tso_enumeration/{}", t.name), || {
+            black_box(tso_outcomes(&t.program).len())
+        });
+    }
+
+    for policy in PolicyKind::ALL {
+        b.bench(&format!("sim_throughput_10k_insts/{}", policy.label()), || {
+            black_box(tus_bench::short_run("523.xalancbmk-like", policy, 114, 10_000).cycles)
+        });
+    }
+}

@@ -1,6 +1,8 @@
 //! Benchmark support for the TUS reproduction.
 //!
-//! The actual Criterion benchmarks live under `benches/`:
+//! The benchmarks live under `benches/` as `harness = false` targets
+//! driven by the self-contained [`Bench`] timer below (the workspace is
+//! std-only, so no external benchmark framework):
 //!
 //! * `figures` — one benchmark per paper table/figure, running the same
 //!   experiment code as `tus-harness` at smoke-test scale so `cargo
@@ -11,6 +13,9 @@
 //!   throughput per policy.
 //!
 //! This library exposes the shared helpers.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use tus_harness::{run, RunResult, RunSpec, Scale};
 use tus_sim::PolicyKind;
@@ -25,6 +30,55 @@ pub fn short_run(workload: &str, policy: PolicyKind, sb: usize, insts: u64) -> R
         ..RunSpec::new(w, policy, sb, Scale::Quick)
     };
     run(&spec)
+}
+
+/// A minimal wall-clock benchmark driver (std-only `cargo bench` stand-in).
+///
+/// Each named benchmark is warmed up briefly, then timed over an
+/// adaptively chosen iteration count targeting ~200 ms of measurement;
+/// the mean ns/iter is printed. A substring filter can be passed on the
+/// command line (as with Criterion); flags from `cargo bench` are ignored.
+pub struct Bench {
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// Creates a driver, reading an optional name filter from the
+    /// command line.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Bench { filter }
+    }
+
+    /// Times `f` under `name` unless filtered out.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(flt) = &self.filter {
+            if !name.contains(flt.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: run for ~50 ms or at least one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters == 0 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters as u128;
+        // Measure: enough iterations for ~200 ms.
+        let iters = (200_000_000u128 / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("{name:<44} {ns:>14.1} ns/iter  ({iters} iters)");
+    }
 }
 
 #[cfg(test)]

@@ -8,9 +8,9 @@
 //! runs *outside* the core between ticks.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
-use tus_sim::{Addr, CoreId, Cycle, SimConfig, StatSet};
+use tus_sim::{Addr, CoreId, Cycle, FxHashMap, SimConfig, StatSet};
 
 use crate::sb::{ForwardResult, StoreBuffer};
 use crate::trace::{OpClass, TraceInst, TraceSource};
@@ -129,8 +129,8 @@ pub struct Core {
     int_regs_used: usize,
     fp_regs_used: usize,
     ready_q: BinaryHeap<Reverse<(u64, u64)>>,
-    completion: HashMap<u64, Cycle>,
-    waiters: HashMap<u64, Vec<u64>>,
+    completion: FxHashMap<u64, Cycle>,
+    waiters: FxHashMap<u64, Vec<u64>>,
     record_loads: bool,
     loaded_values: Vec<u64>,
     /// Performance counters.
@@ -165,8 +165,8 @@ impl Core {
             int_regs_used: 0,
             fp_regs_used: 0,
             ready_q: BinaryHeap::new(),
-            completion: HashMap::new(),
-            waiters: HashMap::new(),
+            completion: FxHashMap::default(),
+            waiters: FxHashMap::default(),
             record_loads: false,
             loaded_values: Vec::new(),
             stats: CoreStats::default(),

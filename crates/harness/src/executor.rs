@@ -1,0 +1,406 @@
+//! Parallel run execution with memoization.
+//!
+//! The paper's evaluation is a large sweep of *independent, seeded,
+//! deterministic* simulations — hundreds of (workload × policy × SB-size)
+//! points, many of which repeat across figures (every figure normalizes
+//! to the same baseline runs). [`Executor`] exploits both properties:
+//!
+//! * **Parallelism** — [`Executor::run_many`] fans the deduplicated spec
+//!   list out over a worker pool of scoped `std` threads (`--jobs N`,
+//!   default [`std::thread::available_parallelism`]). Results land in
+//!   per-spec slots, so output order — and therefore every table and CSV
+//!   byte — is independent of scheduling.
+//! * **Memoization** — each [`RunSpec`] has a stable content key
+//!   ([`RunSpec::memo_key`]); results are cached in-process across all
+//!   figures of an `all` run, and optionally on disk (under
+//!   `<out>/.runcache/`) so a repeated invocation executes zero
+//!   simulations.
+//!
+//! Results are bit-identical to the sequential path: simulations are
+//! single-threaded and fully seeded, so the only thing parallelism
+//! changes is wall-clock time.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tus_energy::EnergyBreakdown;
+use tus_sim::hash::fx_hash_one;
+use tus_sim::StatSet;
+
+use crate::runner::{run, RunResult, RunSpec};
+
+/// Counter snapshot of an [`Executor`] (monotonic over its lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Simulations actually executed.
+    pub executed: u64,
+    /// Requests served from the in-process memo.
+    pub memo_hits: u64,
+    /// Keys loaded from the on-disk cache.
+    pub disk_hits: u64,
+}
+
+impl ExecCounters {
+    /// Difference against an earlier snapshot.
+    pub fn since(self, earlier: ExecCounters) -> ExecCounters {
+        ExecCounters {
+            executed: self.executed - earlier.executed,
+            memo_hits: self.memo_hits - earlier.memo_hits,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+        }
+    }
+}
+
+/// A parallel, memoizing simulation executor.
+pub struct Executor {
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    memo: Mutex<HashMap<String, RunResult>>,
+    executed: AtomicU64,
+    memo_hits: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("jobs", &self.jobs)
+            .field("cache_dir", &self.cache_dir)
+            .field("memoized", &self.memo.lock().expect("memo lock").len())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with `jobs` workers and an optional on-disk
+    /// result cache directory.
+    pub fn new(jobs: usize, cache_dir: Option<PathBuf>) -> Self {
+        Executor {
+            jobs: jobs.max(1),
+            cache_dir,
+            memo: Mutex::new(HashMap::new()),
+            executed: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The machine's available parallelism (the `--jobs` default).
+    pub fn default_jobs() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> ExecCounters {
+        ExecCounters {
+            executed: self.executed.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes every spec and returns results in spec order.
+    ///
+    /// Duplicate specs (same [`RunSpec::memo_key`]) are simulated once;
+    /// previously seen keys are served from the memo (or the disk cache)
+    /// without executing anything.
+    pub fn run_many(&self, specs: &[RunSpec]) -> Vec<RunResult> {
+        // Dedup against the memo and the disk cache.
+        let keys: Vec<String> = specs.iter().map(RunSpec::memo_key).collect();
+        let mut todo: Vec<RunSpec> = Vec::new();
+        {
+            let mut memo = self.memo.lock().expect("memo lock");
+            let mut scheduled: Vec<&str> = Vec::new();
+            for (spec, key) in specs.iter().zip(&keys) {
+                if memo.contains_key(key) {
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if scheduled.iter().any(|k| k == key) {
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let Some(r) = self.load_cached(key) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    memo.insert(key.clone(), r);
+                    continue;
+                }
+                scheduled.push(key);
+                todo.push(spec.clone());
+            }
+        }
+
+        // Simulate the remainder on the worker pool.
+        let fresh = self.execute(&todo);
+        self.executed.fetch_add(todo.len() as u64, Ordering::Relaxed);
+        {
+            let mut memo = self.memo.lock().expect("memo lock");
+            for (spec, result) in todo.iter().zip(&fresh) {
+                let key = spec.memo_key();
+                self.store_cached(&key, result);
+                memo.insert(key, result.clone());
+            }
+        }
+
+        // Assemble results in input order.
+        let memo = self.memo.lock().expect("memo lock");
+        keys.iter()
+            .map(|k| memo.get(k).expect("every key resolved").clone())
+            .collect()
+    }
+
+    /// Executes every spec and returns a [`ResultSet`] for keyed lookup.
+    pub fn run_set(&self, specs: &[RunSpec]) -> ResultSet {
+        let results = self.run_many(specs);
+        ResultSet {
+            map: specs
+                .iter()
+                .map(RunSpec::memo_key)
+                .zip(results)
+                .collect(),
+        }
+    }
+
+    /// Executes (or recalls) a single spec.
+    pub fn run_one(&self, spec: &RunSpec) -> RunResult {
+        self.run_many(std::slice::from_ref(spec))
+            .pop()
+            .expect("one spec, one result")
+    }
+
+    /// Runs `todo` (already deduplicated) on scoped worker threads,
+    /// returning results in order.
+    fn execute(&self, todo: &[RunSpec]) -> Vec<RunResult> {
+        let n = todo.len();
+        let jobs = self.jobs.min(n);
+        if jobs <= 1 {
+            return todo.iter().map(run).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = run(&todo[i]);
+                    *slots[i].lock().expect("slot lock") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot lock")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    fn cache_path(&self, key: &str) -> Option<PathBuf> {
+        self.cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}.run", fx_hash_one(&key))))
+    }
+
+    fn load_cached(&self, key: &str) -> Option<RunResult> {
+        let path = self.cache_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        decode_result(&text, key)
+    }
+
+    fn store_cached(&self, key: &str, result: &RunResult) {
+        let Some(path) = self.cache_path(key) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create run cache {}: {e}", dir.display());
+                return;
+            }
+        }
+        if let Err(e) = std::fs::write(&path, encode_result(result, key)) {
+            eprintln!("warning: cannot write run cache {}: {e}", path.display());
+        }
+    }
+}
+
+/// Results of a batch, addressable by spec.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    map: HashMap<String, RunResult>,
+}
+
+impl ResultSet {
+    /// The result for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` was not part of the batch.
+    pub fn get(&self, spec: &RunSpec) -> &RunResult {
+        let key = spec.memo_key();
+        self.map
+            .get(&key)
+            .unwrap_or_else(|| panic!("spec not in batch: {key}"))
+    }
+}
+
+fn push_f64(out: &mut String, name: &str, v: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{name}={:016x}", v.to_bits());
+}
+
+/// Serializes a result to the cache's text format.
+///
+/// Floats are stored as the hex of their IEEE-754 bits, so a decoded
+/// result is bit-identical to the original — cached and fresh runs
+/// produce the same CSV bytes.
+pub fn encode_result(r: &RunResult, key: &str) -> String {
+    let mut out = String::new();
+    out.push_str("tusrun v1\n");
+    out.push_str("key=");
+    out.push_str(key);
+    out.push('\n');
+    push_f64(&mut out, "cycles", r.cycles);
+    push_f64(&mut out, "committed", r.committed);
+    push_f64(&mut out, "ipc", r.ipc);
+    push_f64(&mut out, "sb_stall_frac", r.sb_stall_frac);
+    push_f64(&mut out, "edp", r.edp);
+    push_f64(&mut out, "energy.total_pj", r.energy.total_pj);
+    push_f64(&mut out, "energy.cycles", r.energy.cycles);
+    for (name, v) in &r.energy.components {
+        push_f64(&mut out, &format!("ecomp.{name}"), *v);
+    }
+    for (name, v) in r.stats.iter() {
+        push_f64(&mut out, &format!("stat.{name}"), v);
+    }
+    out
+}
+
+/// Parses the cache text format; `None` on any mismatch (treated as a
+/// cache miss), including a `key=` line differing from `expect_key`
+/// (hash-name collision or stale format).
+pub fn decode_result(text: &str, expect_key: &str) -> Option<RunResult> {
+    let mut lines = text.lines();
+    if lines.next()? != "tusrun v1" {
+        return None;
+    }
+    if lines.next()?.strip_prefix("key=")? != expect_key {
+        return None;
+    }
+    let mut fields: HashMap<&str, f64> = HashMap::new();
+    let mut components = std::collections::BTreeMap::new();
+    let mut stats = StatSet::new();
+    for line in lines {
+        let (name, hex) = line.split_once('=')?;
+        let v = f64::from_bits(u64::from_str_radix(hex, 16).ok()?);
+        if let Some(comp) = name.strip_prefix("ecomp.") {
+            components.insert(comp.to_owned(), v);
+        } else if let Some(stat) = name.strip_prefix("stat.") {
+            stats.set(stat, v);
+        } else {
+            fields.insert(name, v);
+        }
+    }
+    Some(RunResult {
+        cycles: *fields.get("cycles")?,
+        committed: *fields.get("committed")?,
+        ipc: *fields.get("ipc")?,
+        sb_stall_frac: *fields.get("sb_stall_frac")?,
+        edp: *fields.get("edp")?,
+        energy: EnergyBreakdown {
+            total_pj: *fields.get("energy.total_pj")?,
+            cycles: *fields.get("energy.cycles")?,
+            components,
+        },
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Scale;
+    use tus_sim::PolicyKind;
+    use tus_workloads::by_name;
+
+    fn quick_spec(name: &str, policy: PolicyKind, sb: usize) -> RunSpec {
+        RunSpec {
+            warmup: 500,
+            insts: 3_000,
+            ..RunSpec::new(by_name(name).expect("exists"), policy, sb, Scale::Quick)
+        }
+    }
+
+    #[test]
+    fn duplicate_specs_execute_once() {
+        let ex = Executor::new(2, None);
+        let spec = quick_spec("502.gcc1-like", PolicyKind::Baseline, 114);
+        let results = ex.run_many(&[spec.clone(), spec.clone(), spec.clone()]);
+        assert_eq!(results.len(), 3);
+        let c = ex.counters();
+        assert_eq!(c.executed, 1, "identical specs must simulate once");
+        assert_eq!(c.memo_hits, 2);
+        assert_eq!(
+            encode_result(&results[0], "k"),
+            encode_result(&results[1], "k"),
+            "memoized results identical"
+        );
+    }
+
+    #[test]
+    fn memo_persists_across_calls() {
+        let ex = Executor::new(1, None);
+        let spec = quick_spec("557.xz-like", PolicyKind::Tus, 32);
+        let a = ex.run_one(&spec);
+        let b = ex.run_one(&spec);
+        assert_eq!(ex.counters().executed, 1);
+        assert_eq!(ex.counters().memo_hits, 1);
+        assert_eq!(encode_result(&a, "k"), encode_result(&b, "k"));
+    }
+
+    #[test]
+    fn disk_cache_round_trips_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("tus-runcache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = quick_spec("505.mcf-like", PolicyKind::Ssb, 64);
+
+        let ex1 = Executor::new(1, Some(dir.clone()));
+        let a = ex1.run_one(&spec);
+        assert_eq!(ex1.counters().executed, 1);
+
+        // A fresh executor (fresh process stand-in) hits the disk cache.
+        let ex2 = Executor::new(1, Some(dir.clone()));
+        let b = ex2.run_one(&spec);
+        let c = ex2.counters();
+        assert_eq!(c.executed, 0, "warm cache must execute zero simulations");
+        assert_eq!(c.disk_hits, 1);
+        let key = spec.memo_key();
+        assert_eq!(encode_result(&a, &key), encode_result(&b, &key));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_key_and_garbage() {
+        let spec = quick_spec("502.gcc1-like", PolicyKind::Baseline, 114);
+        let ex = Executor::new(1, None);
+        let r = ex.run_one(&spec);
+        let enc = encode_result(&r, "the-key");
+        assert!(decode_result(&enc, "the-key").is_some());
+        assert!(decode_result(&enc, "other-key").is_none());
+        assert!(decode_result("junk", "the-key").is_none());
+        assert!(decode_result("tusrun v1\nkey=the-key\nbadline\n", "the-key").is_none());
+    }
+}

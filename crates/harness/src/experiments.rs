@@ -1,5 +1,13 @@
 //! One function per table/figure of the paper's evaluation.
 //!
+//! Every experiment is *declarative*: it first enumerates the full list
+//! of [`RunSpec`]s it needs, hands the batch to the [`Executor`] (which
+//! deduplicates, memoizes and parallelizes), and only then formats
+//! tables from the results. Baseline runs shared between figures are
+//! therefore simulated once per `all` invocation, regardless of figure
+//! order, and `--jobs N` parallelizes every batch without changing a
+//! single output byte.
+//!
 //! Every function prints the regenerated table(s) and writes CSVs under
 //! the output directory. The paper's absolute numbers came from gem5 +
 //! SPEC/PARSEC reference runs; here the *shape* is the target (see
@@ -12,7 +20,8 @@ use tus_sim::stats::geomean;
 use tus_sim::{PolicyKind, SimConfig};
 use tus_workloads::{all_single, parsec16, sb_bound_single, Workload};
 
-use crate::runner::{run, RunResult, RunSpec, Scale};
+use crate::executor::Executor;
+use crate::runner::{RunResult, RunSpec, Scale, Tweak};
 use crate::table::Table;
 
 /// Shared experiment options.
@@ -40,15 +49,27 @@ impl Default for Options {
     }
 }
 
+/// Every experiment, in figure order (the `all` command and the CLI
+/// dispatch both iterate this table).
+pub const EXPERIMENTS: &[(&str, fn(&Executor, &Options))] = &[
+    ("table1", table1),
+    ("fig08", fig08),
+    ("fig09", fig09),
+    ("fig10", fig10),
+    ("fig11", fig11),
+    ("fig12", fig12),
+    ("fig13", fig13),
+    ("fig14", fig14),
+    ("fig15", fig15),
+    ("intext", intext),
+    ("ablation", ablation),
+];
+
 fn spec(w: &Workload, policy: PolicyKind, sb: usize, opt: &Options) -> RunSpec {
     RunSpec {
         seed: opt.seed,
         ..RunSpec::new(w.clone(), policy, sb, opt.scale)
     }
-}
-
-fn run_one(w: &Workload, policy: PolicyKind, sb: usize, opt: &Options) -> RunResult {
-    run(&spec(w, policy, sb, opt))
 }
 
 fn parsec_suite(opt: &Options) -> Vec<Workload> {
@@ -66,26 +87,50 @@ fn emit(t: &Table, opt: &Options, file: &str) {
     }
 }
 
+/// Enumerates the cross product of workloads × policies at one SB size.
+fn sweep_specs(
+    workloads: &[Workload],
+    policies: &[PolicyKind],
+    sb: usize,
+    opt: &Options,
+) -> Vec<RunSpec> {
+    workloads
+        .iter()
+        .flat_map(|w| policies.iter().map(|&p| spec(w, p, sb, opt)))
+        .collect()
+}
+
 /// Table I: configuration parameters.
-pub fn table1(_opt: &Options) {
+pub fn table1(_ex: &Executor, _opt: &Options) {
     println!("{}", SimConfig::default().render_table1());
 }
 
 /// Figure 8: speedup (geomean over each suite) vs SB size for every
 /// policy, normalized to the 114-entry-SB baseline of that suite.
-pub fn fig08(opt: &Options) {
+pub fn fig08(ex: &Executor, opt: &Options) {
     let sizes = [32usize, 56, 64, 114];
     for (suite_name, workloads) in [
         ("spec-tf-sb-bound", sb_bound_single()),
         ("parsec", parsec_suite(opt)),
     ] {
+        // Declare the whole sweep up front: the per-suite baseline plus
+        // every (size × policy × workload) point.
+        let mut specs: Vec<RunSpec> = workloads
+            .iter()
+            .map(|w| spec(w, PolicyKind::Baseline, 114, opt))
+            .collect();
+        for sb in sizes {
+            specs.extend(sweep_specs(&workloads, &PolicyKind::ALL, sb, opt));
+        }
+        let rs = ex.run_set(&specs);
+
         let mut t = Table::new(
             format!("Fig. 8 ({suite_name}): geomean speedup vs 114-entry-SB baseline"),
             PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
         );
         let refs: Vec<f64> = workloads
             .iter()
-            .map(|w| run_one(w, PolicyKind::Baseline, 114, opt).ipc)
+            .map(|w| rs.get(&spec(w, PolicyKind::Baseline, 114, opt)).ipc)
             .collect();
         for sb in sizes {
             let mut row = Vec::new();
@@ -94,7 +139,7 @@ pub fn fig08(opt: &Options) {
                     let ipc = if policy == PolicyKind::Baseline && sb == 114 {
                         r
                     } else {
-                        run_one(w, policy, sb, opt).ipc
+                        rs.get(&spec(w, policy, sb, opt)).ipc
                     };
                     ipc / r
                 });
@@ -108,16 +153,19 @@ pub fn fig08(opt: &Options) {
 
 /// Figure 9: SB-induced dispatch stalls (% of cycles) per SB-bound
 /// workload and policy, 114-entry SB. Lower is better.
-pub fn fig09(opt: &Options) {
+pub fn fig09(ex: &Executor, opt: &Options) {
+    let workloads = sb_bound_single();
+    let rs = ex.run_set(&sweep_specs(&workloads, &PolicyKind::ALL, 114, opt));
+
     let mut t = Table::new(
         "Fig. 9: SB-induced stalls (% of cycles), 114-entry SB",
         PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
     );
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
-    for w in sb_bound_single() {
+    for w in &workloads {
         let vals: Vec<f64> = PolicyKind::ALL
             .iter()
-            .map(|&p| run_one(&w, p, 114, opt).sb_stall_frac * 100.0)
+            .map(|&p| rs.get(&spec(w, p, 114, opt)).sb_stall_frac * 100.0)
             .collect();
         rows.push((w.name.to_owned(), vals));
     }
@@ -136,52 +184,65 @@ pub fn fig09(opt: &Options) {
 /// Figure 10: speedup S-curve over all applications (left) and the
 /// per-benchmark SB-bound breakdown (right), normalized to the
 /// 114-entry-SB baseline.
-pub fn fig10(opt: &Options) {
-    speedup_figure(opt, 114, "Fig. 10", "fig10");
+pub fn fig10(ex: &Executor, opt: &Options) {
+    speedup_figure(ex, opt, 114, "Fig. 10", "fig10");
 }
 
 /// Figure 11: EDP normalized to the 114-entry-SB baseline, single-thread
 /// SB-bound workloads. Lower is better.
-pub fn fig11(opt: &Options) {
-    edp_figure(opt, 114, "Fig. 11", "fig11", sb_bound_single());
+pub fn fig11(ex: &Executor, opt: &Options) {
+    edp_figure(ex, opt, 114, "Fig. 11", "fig11", sb_bound_single());
 }
 
 /// Figure 12: PARSEC (16 cores) speedup and EDP vs the 114-entry-SB
 /// baseline.
-pub fn fig12(opt: &Options) {
-    parallel_figure(opt, 114, "Fig. 12", "fig12");
+pub fn fig12(ex: &Executor, opt: &Options) {
+    parallel_figure(ex, opt, 114, "Fig. 12", "fig12");
 }
 
 /// Figure 13: S-curve + breakdown vs the **32-entry-SB** baseline.
-pub fn fig13(opt: &Options) {
-    speedup_figure(opt, 32, "Fig. 13", "fig13");
+pub fn fig13(ex: &Executor, opt: &Options) {
+    speedup_figure(ex, opt, 32, "Fig. 13", "fig13");
 }
 
 /// Figure 14: PARSEC speedup and EDP vs the 32-entry-SB baseline.
-pub fn fig14(opt: &Options) {
-    parallel_figure(opt, 32, "Fig. 14", "fig14");
+pub fn fig14(ex: &Executor, opt: &Options) {
+    parallel_figure(ex, opt, 32, "Fig. 14", "fig14");
 }
 
 /// Figure 15: EDP vs the 32-entry-SB baseline, single-thread SB-bound.
-pub fn fig15(opt: &Options) {
-    edp_figure(opt, 32, "Fig. 15", "fig15", sb_bound_single());
+pub fn fig15(ex: &Executor, opt: &Options) {
+    edp_figure(ex, opt, 32, "Fig. 15", "fig15", sb_bound_single());
 }
 
-fn speedup_figure(opt: &Options, sb: usize, title: &str, file: &str) {
+fn speedup_figure(ex: &Executor, opt: &Options, sb: usize, title: &str, file: &str) {
+    let bound = sb_bound_single();
+    let everything = all_single();
+    // One batch covers both panels: the SB-bound suite under every
+    // policy, plus baseline/TUS for the S-curve over all applications.
+    let mut specs = sweep_specs(&bound, &PolicyKind::ALL, sb, opt);
+    specs.extend(sweep_specs(
+        &everything,
+        &[PolicyKind::Baseline, PolicyKind::Tus],
+        sb,
+        opt,
+    ));
+    let rs = ex.run_set(&specs);
+
     // Right panel: per-benchmark speedups for SB-bound workloads.
     let mut right = Table::new(
         format!("{title} (right): speedup vs {sb}-entry-SB baseline, SB-bound"),
         PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
     );
-    for w in sb_bound_single() {
-        let base = run_one(&w, PolicyKind::Baseline, sb, opt).ipc;
+    for w in &bound {
+        let base = rs.get(&spec(w, PolicyKind::Baseline, sb, opt)).ipc;
         let vals: Vec<f64> = PolicyKind::ALL
             .iter()
             .map(|&p| {
                 if p == PolicyKind::Baseline {
                     1.0
                 } else {
-                    run_one(&w, p, sb, opt).ipc / base
+                    rs.get(&spec(w, p, sb, opt)).ipc / base
                 }
             })
             .collect();
@@ -192,11 +253,11 @@ fn speedup_figure(opt: &Options, sb: usize, title: &str, file: &str) {
     emit(&right, opt, &format!("{file}_breakdown"));
 
     // Left panel: the S-curve of TUS speedups over *all* applications.
-    let mut curve: Vec<(String, f64)> = all_single()
+    let mut curve: Vec<(String, f64)> = everything
         .iter()
         .map(|w| {
-            let base = run_one(w, PolicyKind::Baseline, sb, opt).ipc;
-            let tus = run_one(w, PolicyKind::Tus, sb, opt).ipc;
+            let base = rs.get(&spec(w, PolicyKind::Baseline, sb, opt)).ipc;
+            let tus = rs.get(&spec(w, PolicyKind::Tus, sb, opt)).ipc;
             (w.name.to_owned(), tus / base)
         })
         .collect();
@@ -212,20 +273,29 @@ fn speedup_figure(opt: &Options, sb: usize, title: &str, file: &str) {
     emit(&left, opt, &format!("{file}_scurve"));
 }
 
-fn edp_figure(opt: &Options, sb: usize, title: &str, file: &str, workloads: Vec<Workload>) {
+fn edp_figure(
+    ex: &Executor,
+    opt: &Options,
+    sb: usize,
+    title: &str,
+    file: &str,
+    workloads: Vec<Workload>,
+) {
+    let rs = ex.run_set(&sweep_specs(&workloads, &PolicyKind::ALL, sb, opt));
+
     let mut t = Table::new(
         format!("{title}: EDP normalized to {sb}-entry-SB baseline (lower is better)"),
         PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
     );
-    for w in workloads {
-        let base = run_one(&w, PolicyKind::Baseline, sb, opt).edp;
+    for w in &workloads {
+        let base = rs.get(&spec(w, PolicyKind::Baseline, sb, opt)).edp;
         let vals: Vec<f64> = PolicyKind::ALL
             .iter()
             .map(|&p| {
                 if p == PolicyKind::Baseline {
                     1.0
                 } else {
-                    run_one(&w, p, sb, opt).edp / base
+                    rs.get(&spec(w, p, sb, opt)).edp / base
                 }
             })
             .collect();
@@ -236,8 +306,10 @@ fn edp_figure(opt: &Options, sb: usize, title: &str, file: &str, workloads: Vec<
     emit(&t, opt, file);
 }
 
-fn parallel_figure(opt: &Options, sb: usize, title: &str, file: &str) {
+fn parallel_figure(ex: &Executor, opt: &Options, sb: usize, title: &str, file: &str) {
     let workloads = parsec_suite(opt);
+    let rs = ex.run_set(&sweep_specs(&workloads, &PolicyKind::ALL, sb, opt));
+
     let mut speed = Table::new(
         format!("{title} (left): PARSEC speedup vs {sb}-entry-SB baseline, 16 cores"),
         PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
@@ -247,7 +319,7 @@ fn parallel_figure(opt: &Options, sb: usize, title: &str, file: &str) {
         PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
     );
     for w in &workloads {
-        let base = run_one(w, PolicyKind::Baseline, sb, opt);
+        let base = rs.get(&spec(w, PolicyKind::Baseline, sb, opt));
         let mut srow = Vec::new();
         let mut erow = Vec::new();
         for policy in PolicyKind::ALL {
@@ -255,7 +327,7 @@ fn parallel_figure(opt: &Options, sb: usize, title: &str, file: &str) {
                 srow.push(1.0);
                 erow.push(1.0);
             } else {
-                let r = run_one(w, policy, sb, opt);
+                let r = rs.get(&spec(w, policy, sb, opt));
                 srow.push(r.ipc / base.ipc);
                 erow.push(r.edp / base.edp);
             }
@@ -273,7 +345,7 @@ fn parallel_figure(opt: &Options, sb: usize, title: &str, file: &str) {
 
 /// In-text claims: SB/WOQ area & energy ratios, L1D-write reduction,
 /// stall totals, hit rates and memory-boundness.
-pub fn intext(opt: &Options) {
+pub fn intext(ex: &Executor, opt: &Options) {
     // Structure ratios (analytic model, Section IV / V of the paper).
     let mut t = Table::new(
         "In-text: structure area and search-energy model",
@@ -298,6 +370,14 @@ pub fn intext(opt: &Options) {
     emit(&t, opt, "intext_structures");
 
     // L1D write reduction, stalls, hit rates, boundness.
+    let workloads = sb_bound_single();
+    let rs = ex.run_set(&sweep_specs(
+        &workloads,
+        &[PolicyKind::Baseline, PolicyKind::Tus],
+        114,
+        opt,
+    ));
+
     let mut t = Table::new(
         "In-text: per-workload TUS vs baseline (114-entry SB)",
         vec![
@@ -308,9 +388,9 @@ pub fn intext(opt: &Options) {
             "l1d_hit_tus_pct".into(),
         ],
     );
-    for w in sb_bound_single() {
-        let base = run_one(&w, PolicyKind::Baseline, 114, opt);
-        let tus = run_one(&w, PolicyKind::Tus, 114, opt);
+    for w in &workloads {
+        let base = rs.get(&spec(w, PolicyKind::Baseline, 114, opt));
+        let tus = rs.get(&spec(w, PolicyKind::Tus, 114, opt));
         let writes = |r: &RunResult| r.stats.get("mem.core0.l1d_writes").max(1.0);
         let hits = |r: &RunResult| {
             let h = r.stats.get("mem.core0.l1d_load_hits");
@@ -320,11 +400,11 @@ pub fn intext(opt: &Options) {
         t.push(
             w.name.to_owned(),
             vec![
-                writes(&base) / writes(&tus),
+                writes(base) / writes(tus),
                 base.sb_stall_frac * 100.0,
                 tus.sb_stall_frac * 100.0,
-                hits(&base),
-                hits(&tus),
+                hits(base),
+                hits(tus),
             ],
         );
     }
@@ -333,72 +413,56 @@ pub fn intext(opt: &Options) {
     emit(&t, opt, "intext_tus_vs_base");
 }
 
+/// The named design points of the ablation (also the memo/cache keys of
+/// the tweaked runs).
+const ABLATION_TWEAKS: &[(&str, Tweak)] = &[
+    ("WOQ=16", Tweak { name: "woq16", apply: |b| { b.woq_entries(16); } }),
+    ("WOQ=32", Tweak { name: "woq32", apply: |b| { b.woq_entries(32); } }),
+    ("WOQ=128", Tweak { name: "woq128", apply: |b| { b.woq_entries(128); } }),
+    ("WCB=1", Tweak { name: "wcb1", apply: |b| { b.wcbs(1); } }),
+    ("WCB=4", Tweak { name: "wcb4", apply: |b| { b.wcbs(4); } }),
+    ("group<=4", Tweak { name: "group4", apply: |b| { b.max_atomic_group(4); } }),
+    ("group<=8", Tweak { name: "group8", apply: |b| { b.max_atomic_group(8); } }),
+    ("lex=8", Tweak { name: "lex8", apply: |b| { b.lex_bits(8); } }),
+    ("no prefetch-at-commit", Tweak { name: "no-pf-commit", apply: |b| { b.prefetch_at_commit(false); } }),
+    ("no stream prefetcher", Tweak { name: "no-stream-pf", apply: |b| { b.stream_prefetcher(false); } }),
+    ("L1D unauth forwarding on", Tweak { name: "unauth-fwd", apply: |b| { b.l1d_unauth_forwarding(true); } }),
+];
+
 /// Design-space ablations of the TUS parameters called out in DESIGN.md:
 /// WOQ size, WCB count, atomic-group cap, lex bits, prefetch-at-commit.
-pub fn ablation(opt: &Options) {
+pub fn ablation(ex: &Executor, opt: &Options) {
     let w = tus_workloads::by_name("502.gcc4-like").expect("workload exists");
-    let base = run_one(&w, PolicyKind::Baseline, 114, opt).ipc;
-    let run_tweak = |tweak: fn(&mut tus_sim::SimConfigBuilder)| {
-        let mut s = spec(&w, PolicyKind::Tus, 114, opt);
-        s.tweak = Some(tweak);
-        run(&s).ipc / base
-    };
+    let mut specs = vec![
+        spec(&w, PolicyKind::Baseline, 114, opt),
+        spec(&w, PolicyKind::Tus, 114, opt),
+    ];
+    for (_, tweak) in ABLATION_TWEAKS {
+        specs.push(RunSpec {
+            tweak: Some(*tweak),
+            ..spec(&w, PolicyKind::Tus, 114, opt)
+        });
+    }
+    let rs = ex.run_set(&specs);
 
+    let base = rs.get(&specs[0]).ipc;
     let mut t = Table::new(
         "Ablation (502.gcc4-like): TUS speedup vs baseline by design point",
         vec!["speedup".into()],
     );
     t.push(
         "default (WOQ=64, WCB=2, group<=16, lex=16, pf@commit)",
-        vec![run_one(&w, PolicyKind::Tus, 114, opt).ipc / base],
+        vec![rs.get(&specs[1]).ipc / base],
     );
-    t.push("WOQ=16", vec![run_tweak(|b| {
-        b.woq_entries(16);
-    })]);
-    t.push("WOQ=32", vec![run_tweak(|b| {
-        b.woq_entries(32);
-    })]);
-    t.push("WOQ=128", vec![run_tweak(|b| {
-        b.woq_entries(128);
-    })]);
-    t.push("WCB=1", vec![run_tweak(|b| {
-        b.wcbs(1);
-    })]);
-    t.push("WCB=4", vec![run_tweak(|b| {
-        b.wcbs(4);
-    })]);
-    t.push("group<=4", vec![run_tweak(|b| {
-        b.max_atomic_group(4);
-    })]);
-    t.push("group<=8", vec![run_tweak(|b| {
-        b.max_atomic_group(8);
-    })]);
-    t.push("lex=8", vec![run_tweak(|b| {
-        b.lex_bits(8);
-    })]);
-    t.push("no prefetch-at-commit", vec![run_tweak(|b| {
-        b.prefetch_at_commit(false);
-    })]);
-    t.push("no stream prefetcher", vec![run_tweak(|b| {
-        b.stream_prefetcher(false);
-    })]);
-    t.push("L1D unauth forwarding on", vec![run_tweak(|b| {
-        b.l1d_unauth_forwarding(true);
-    })]);
+    for ((label, _), spec) in ABLATION_TWEAKS.iter().zip(&specs[2..]) {
+        t.push(*label, vec![rs.get(spec).ipc / base]);
+    }
     emit(&t, opt, "ablation");
 }
 
 /// Runs every experiment in figure order.
-pub fn all(opt: &Options) {
-    table1(opt);
-    fig08(opt);
-    fig09(opt);
-    fig10(opt);
-    fig11(opt);
-    fig12(opt);
-    fig13(opt);
-    fig14(opt);
-    fig15(opt);
-    intext(opt);
-    ablation(opt);
+pub fn all(ex: &Executor, opt: &Options) {
+    for (_, f) in EXPERIMENTS {
+        f(ex, opt);
+    }
 }

@@ -18,11 +18,15 @@
 //!
 //! Each experiment prints an aligned table and writes a CSV under the
 //! output directory. [`runner`] executes individual simulations with
-//! warm-up subtraction; [`table`] renders results.
+//! warm-up subtraction; [`executor`] batches them — deduplicating,
+//! memoizing (in process and on disk) and running them on a worker
+//! pool — without changing a byte of output; [`table`] renders results.
 
+pub mod executor;
 pub mod experiments;
 pub mod runner;
 pub mod table;
 
-pub use runner::{run, RunResult, RunSpec, Scale};
+pub use executor::{ExecCounters, Executor, ResultSet};
+pub use runner::{run, RunResult, RunSpec, Scale, Tweak};
 pub use table::Table;

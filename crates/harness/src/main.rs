@@ -2,21 +2,84 @@
 //!
 //! ```text
 //! tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]
-//!             [--parallel-cap N]
+//!             [--parallel-cap N] [--jobs N] [--no-cache]
 //!
 //! experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15
 //!              intext ablation all
 //! ```
+//!
+//! Runs are executed by a worker pool (`--jobs`, default: available
+//! parallelism), deduplicated across figures, and memoized on disk under
+//! `<out>/.runcache` (`--no-cache` disables the disk cache). All of this
+//! is output-neutral: simulations are seeded and deterministic, so the
+//! tables and CSVs are byte-identical to a sequential, uncached run.
+//! Each experiment reports wall-clock time and simulation throughput;
+//! `all` additionally writes `BENCH_harness.json` next to the CSVs.
 
-use tus_harness::experiments::{self, Options};
-use tus_harness::Scale;
+use std::io::Write as _;
+
+use tus_harness::experiments::{Options, EXPERIMENTS};
+use tus_harness::{ExecCounters, Executor, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR] [--parallel-cap N]\n\
+        "usage: tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]\n\
+         \x20                  [--parallel-cap N] [--jobs N] [--no-cache]\n\
          experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation all"
     );
     std::process::exit(2);
+}
+
+/// One experiment's measured execution cost.
+struct Timing {
+    name: &'static str,
+    seconds: f64,
+    counters: ExecCounters,
+}
+
+impl Timing {
+    fn sims_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.counters.executed as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+fn report(t: &Timing) {
+    eprintln!(
+        "[{}: {:.1}s, {} sims ({:.1} sims/s), {} memo hits, {} cache hits]",
+        t.name,
+        t.seconds,
+        t.counters.executed,
+        t.sims_per_sec(),
+        t.counters.memo_hits,
+        t.counters.disk_hits,
+    );
+}
+
+/// Writes `BENCH_harness.json`: per-experiment wall-clock seconds and
+/// simulation throughput (hand-rolled JSON; the workspace is std-only).
+fn write_bench_json(out: &std::path::Path, timings: &[Timing]) -> std::io::Result<()> {
+    std::fs::create_dir_all(out)?;
+    let mut f = std::fs::File::create(out.join("BENCH_harness.json"))?;
+    writeln!(f, "{{")?;
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        writeln!(
+            f,
+            "  \"{}\": {{\"seconds\": {:.3}, \"sims\": {}, \"sims_per_sec\": {:.2}, \"memo_hits\": {}, \"disk_hits\": {}}}{comma}",
+            t.name,
+            t.seconds,
+            t.counters.executed,
+            t.sims_per_sec(),
+            t.counters.memo_hits,
+            t.counters.disk_hits,
+        )?;
+    }
+    writeln!(f, "}}")?;
+    Ok(())
 }
 
 fn main() {
@@ -26,6 +89,8 @@ fn main() {
     }
     let mut opt = Options::default();
     let mut cmd = None;
+    let mut jobs = Executor::default_jobs();
+    let mut cache = true;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -45,25 +110,51 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--no-cache" => cache = false,
             c if cmd.is_none() && !c.starts_with('-') => cmd = Some(c.to_owned()),
             _ => usage(),
         }
     }
+    let Some(cmd) = cmd else { usage() };
+    let cache_dir = cache.then(|| opt.out.join(".runcache"));
+    let ex = Executor::new(jobs, cache_dir);
+
+    let run_timed = |name: &'static str, f: fn(&Executor, &Options)| -> Timing {
+        let before = ex.counters();
+        let started = std::time::Instant::now();
+        f(&ex, &opt);
+        Timing {
+            name,
+            seconds: started.elapsed().as_secs_f64(),
+            counters: ex.counters().since(before),
+        }
+    };
+
     let started = std::time::Instant::now();
-    match cmd.as_deref() {
-        Some("table1") => experiments::table1(&opt),
-        Some("fig08") => experiments::fig08(&opt),
-        Some("fig09") => experiments::fig09(&opt),
-        Some("fig10") => experiments::fig10(&opt),
-        Some("fig11") => experiments::fig11(&opt),
-        Some("fig12") => experiments::fig12(&opt),
-        Some("fig13") => experiments::fig13(&opt),
-        Some("fig14") => experiments::fig14(&opt),
-        Some("fig15") => experiments::fig15(&opt),
-        Some("intext") => experiments::intext(&opt),
-        Some("ablation") => experiments::ablation(&opt),
-        Some("all") => experiments::all(&opt),
-        _ => usage(),
+    if cmd == "all" {
+        let timings: Vec<Timing> = EXPERIMENTS
+            .iter()
+            .map(|&(name, f)| {
+                let t = run_timed(name, f);
+                report(&t);
+                t
+            })
+            .collect();
+        if let Err(e) = write_bench_json(&opt.out, &timings) {
+            eprintln!("warning: could not write BENCH_harness.json: {e}");
+        }
+    } else {
+        let Some(&(name, f)) = EXPERIMENTS.iter().find(|&&(n, _)| n == cmd) else {
+            usage()
+        };
+        report(&run_timed(name, f));
     }
     eprintln!("[{:.1}s]", started.elapsed().as_secs_f64());
 }

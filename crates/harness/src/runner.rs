@@ -47,6 +47,24 @@ impl Scale {
     }
 }
 
+/// A named configuration tweak (ablations).
+///
+/// The name participates in the run's [`RunSpec::memo_key`], so it must
+/// uniquely identify the tweak's effect on the configuration.
+#[derive(Clone, Copy)]
+pub struct Tweak {
+    /// Stable identifier (part of the memo/cache key).
+    pub name: &'static str,
+    /// The configuration edit.
+    pub apply: fn(&mut tus_sim::SimConfigBuilder),
+}
+
+impl std::fmt::Debug for Tweak {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tweak").field("name", &self.name).finish()
+    }
+}
+
 /// Specification of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
@@ -65,7 +83,7 @@ pub struct RunSpec {
     /// Seed.
     pub seed: u64,
     /// Extra configuration hook (ablations).
-    pub tweak: Option<fn(&mut tus_sim::SimConfigBuilder)>,
+    pub tweak: Option<Tweak>,
 }
 
 impl RunSpec {
@@ -90,13 +108,35 @@ impl RunSpec {
         }
     }
 
+    /// A stable content key identifying the simulation this spec runs.
+    ///
+    /// Two specs with equal keys produce bit-identical [`RunResult`]s
+    /// (simulations are seeded and deterministic), so the executor
+    /// memoizes on it, in process and on disk. Every input that can
+    /// change the outcome participates: workload (named, static
+    /// parameters), policy, SB size, core count, run lengths, seed, and
+    /// the ablation tweak's name.
+    pub fn memo_key(&self) -> String {
+        format!(
+            "{}|{}|sb{}|c{}|w{}|i{}|s{}|{}",
+            self.workload.name,
+            self.policy.label(),
+            self.sb_entries,
+            self.cores,
+            self.warmup,
+            self.insts,
+            self.seed,
+            self.tweak.map_or("-", |t| t.name),
+        )
+    }
+
     fn config(&self) -> SimConfig {
         let mut b = SimConfig::builder();
         b.cores(self.cores)
             .sb_entries(self.sb_entries)
             .policy(self.policy);
         if let Some(t) = self.tweak {
-            t(&mut b);
+            (t.apply)(&mut b);
         }
         b.build()
     }
@@ -183,6 +223,39 @@ mod tests {
         assert!(r.ipc > 0.0 && r.ipc < 8.0);
         assert!(r.edp > 0.0);
         assert!((0.0..=1.0).contains(&r.sb_stall_frac));
+    }
+
+    #[test]
+    fn memo_key_distinguishes_specs() {
+        let base = RunSpec::new(
+            by_name("502.gcc1-like").expect("exists"),
+            PolicyKind::Baseline,
+            114,
+            Scale::Quick,
+        );
+        let mut keys = std::collections::HashSet::new();
+        assert!(keys.insert(base.memo_key()));
+        // Identical spec → identical key.
+        assert!(!keys.insert(base.clone().memo_key()));
+        // Every varied dimension → a fresh key.
+        for varied in [
+            RunSpec { policy: PolicyKind::Tus, ..base.clone() },
+            RunSpec { sb_entries: 32, ..base.clone() },
+            RunSpec { seed: 43, ..base.clone() },
+            RunSpec { insts: base.insts + 1, ..base.clone() },
+            RunSpec { warmup: base.warmup + 1, ..base.clone() },
+            RunSpec { cores: 2, ..base.clone() },
+            RunSpec {
+                workload: by_name("557.xz-like").expect("exists"),
+                ..base.clone()
+            },
+            RunSpec {
+                tweak: Some(Tweak { name: "woq16", apply: |b| { b.woq_entries(16); } }),
+                ..base.clone()
+            },
+        ] {
+            assert!(keys.insert(varied.memo_key()), "collision: {}", varied.memo_key());
+        }
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Parallel execution must be output-neutral: `run_many` with a worker
+//! pool produces results bit-identical to a sequential (`jobs = 1`)
+//! uncached run, down to the CSV bytes the tables serialize to.
+
+use tus_harness::{Executor, RunSpec, Scale, Table, Tweak};
+use tus_sim::PolicyKind;
+use tus_workloads::by_name;
+
+/// A mixed spec list: several workloads × policies × SB sizes, a second
+/// seed, a 16-core run and an ablation tweak, with duplicates sprinkled
+/// in so dedup/memoization is on the path under test.
+fn mixed_specs() -> Vec<RunSpec> {
+    let short = |mut s: RunSpec| {
+        s.warmup = 1_000;
+        s.insts = 6_000;
+        s
+    };
+    let w = |name: &str| by_name(name).expect("workload exists");
+    let mut specs = Vec::new();
+    for (wl, policy, sb) in [
+        ("502.gcc1-like", PolicyKind::Baseline, 114),
+        ("502.gcc1-like", PolicyKind::Tus, 114),
+        ("502.gcc1-like", PolicyKind::Tus, 32),
+        ("557.xz-like", PolicyKind::Baseline, 56),
+        ("557.xz-like", PolicyKind::Ssb, 56),
+        ("510.parest-like", PolicyKind::Spb, 64),
+    ] {
+        specs.push(short(RunSpec::new(w(wl), policy, sb, Scale::Quick)));
+    }
+    // Different seed → distinct run.
+    specs.push(RunSpec {
+        seed: 7,
+        ..specs[0].clone()
+    });
+    // A (shortened) 16-core PARSEC run.
+    let mut par = RunSpec::new(w("canneal-like"), PolicyKind::Tus, 114, Scale::Quick);
+    par.warmup = 500;
+    par.insts = 2_000;
+    specs.push(par);
+    // An ablation tweak.
+    specs.push(RunSpec {
+        tweak: Some(Tweak {
+            name: "woq16",
+            apply: |b| {
+                b.woq_entries(16);
+            },
+        }),
+        ..specs[1].clone()
+    });
+    // Duplicates of earlier entries.
+    specs.push(specs[0].clone());
+    specs.push(specs[3].clone());
+    specs
+}
+
+fn to_csv(results: &[tus_harness::RunResult]) -> String {
+    let mut t = Table::new(
+        "determinism",
+        vec!["ipc".into(), "sb_stall".into(), "edp".into()],
+    );
+    for (i, r) in results.iter().enumerate() {
+        t.push(format!("run{i}"), vec![r.ipc, r.sb_stall_frac, r.edp]);
+    }
+    t.to_csv()
+}
+
+#[test]
+fn jobs8_matches_jobs1_bit_exactly() {
+    let specs = mixed_specs();
+    let seq = Executor::new(1, None).run_many(&specs);
+    let par = Executor::new(8, None).run_many(&specs);
+
+    assert_eq!(seq.len(), specs.len());
+    assert_eq!(par.len(), specs.len());
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        let key = specs[i].memo_key();
+        assert_eq!(a.cycles.to_bits(), b.cycles.to_bits(), "cycles differ: {key}");
+        assert_eq!(a.committed.to_bits(), b.committed.to_bits(), "committed differ: {key}");
+        assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "ipc differs: {key}");
+        assert_eq!(
+            a.sb_stall_frac.to_bits(),
+            b.sb_stall_frac.to_bits(),
+            "sb_stall_frac differs: {key}"
+        );
+        assert_eq!(a.edp.to_bits(), b.edp.to_bits(), "edp differs: {key}");
+        assert_eq!(
+            a.energy.total_pj.to_bits(),
+            b.energy.total_pj.to_bits(),
+            "energy differs: {key}"
+        );
+    }
+    // The rendered CSV bytes must match too.
+    assert_eq!(to_csv(&seq), to_csv(&par));
+}
+
+#[test]
+fn duplicate_specs_share_one_result() {
+    let specs = mixed_specs();
+    let ex = Executor::new(4, None);
+    let results = ex.run_many(&specs);
+    // The trailing duplicates are bit-identical to their originals…
+    let n = specs.len();
+    assert_eq!(results[n - 2].ipc.to_bits(), results[0].ipc.to_bits());
+    assert_eq!(results[n - 1].ipc.to_bits(), results[3].ipc.to_bits());
+    // …and were not re-executed.
+    let c = ex.counters();
+    assert_eq!(c.executed, n as u64 - 2);
+    assert_eq!(c.memo_hits, 2);
+}

@@ -18,9 +18,9 @@
 //! The L3 is kept write-through with respect to [`MainMemory`], so memory
 //! always holds the last written-back data.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use tus_sim::{CoreId, Cycle, DelayQueue, LineAddr, StatSet};
+use tus_sim::{CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, StatSet};
 
 use crate::cache::CacheArray;
 use crate::line::LineData;
@@ -90,8 +90,8 @@ pub struct DirStats {
 /// The directory / shared-LLC home node.
 pub struct Directory {
     cores: usize,
-    entries: HashMap<LineAddr, DirEntry>,
-    trans: HashMap<LineAddr, Transaction>,
+    entries: FxHashMap<LineAddr, DirEntry>,
+    trans: FxHashMap<LineAddr, Transaction>,
     l3: CacheArray,
     dram: DelayQueue<LineAddr>,
     dram_busy_until: Cycle,
@@ -128,8 +128,8 @@ impl Directory {
         let dram_gap = (dram_latency / dram_max_inflight.max(1) as u64).max(1);
         Directory {
             cores,
-            entries: HashMap::new(),
-            trans: HashMap::new(),
+            entries: FxHashMap::default(),
+            trans: FxHashMap::default(),
             l3: CacheArray::new(l3_sets, l3_ways),
             dram: DelayQueue::new(),
             dram_busy_until: Cycle::ZERO,

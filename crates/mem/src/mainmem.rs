@@ -4,9 +4,7 @@
 //! been written back. Unwritten lines read as zero. The timing of DRAM is
 //! modeled in the directory; this type is purely functional.
 
-use std::collections::HashMap;
-
-use tus_sim::{Addr, LineAddr};
+use tus_sim::{Addr, FxHashMap, LineAddr};
 
 use crate::line::{read_value, zero_line, LineData};
 
@@ -27,7 +25,7 @@ use crate::line::{read_value, zero_line, LineData};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MainMemory {
-    lines: HashMap<LineAddr, Box<LineData>>,
+    lines: FxHashMap<LineAddr, Box<LineData>>,
 }
 
 impl MainMemory {

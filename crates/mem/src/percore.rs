@@ -19,9 +19,7 @@
 //! order — lives in the `tus` crate and drives this controller through its
 //! public methods; decisions flow back via [`CacheEvent`]s.
 
-use std::collections::HashMap;
-
-use tus_sim::{Addr, CoreId, Cycle, DelayQueue, LineAddr, SimConfig, StatSet};
+use tus_sim::{Addr, CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, SimConfig, StatSet};
 
 use crate::cache::CacheArray;
 use crate::line::{combine, read_value, write_value, ByteMask, LineData};
@@ -151,10 +149,10 @@ pub struct PrivateCache {
     l2_rt: u64,
     stream: Option<StreamPrefetcher>,
     unauth_forwarding: bool,
-    outstanding: HashMap<LineAddr, Outstanding>,
-    unauth_waiters: HashMap<LineAddr, Vec<Waiter>>,
-    pending_fwd: HashMap<LineAddr, PendingFwd>,
-    delayed_fwd: HashMap<LineAddr, PendingFwd>,
+    outstanding: FxHashMap<LineAddr, Outstanding>,
+    unauth_waiters: FxHashMap<LineAddr, Vec<Waiter>>,
+    pending_fwd: FxHashMap<LineAddr, PendingFwd>,
+    delayed_fwd: FxHashMap<LineAddr, PendingFwd>,
     deferred_fwd: DelayQueue<(LineAddr, FwdKind, bool)>,
     events: Vec<CacheEvent>,
     /// Counters.
@@ -188,10 +186,10 @@ impl PrivateCache {
                 None
             },
             unauth_forwarding: cfg.tus.l1d_unauth_forwarding,
-            outstanding: HashMap::new(),
-            unauth_waiters: HashMap::new(),
-            pending_fwd: HashMap::new(),
-            delayed_fwd: HashMap::new(),
+            outstanding: FxHashMap::default(),
+            unauth_waiters: FxHashMap::default(),
+            pending_fwd: FxHashMap::default(),
+            delayed_fwd: FxHashMap::default(),
             deferred_fwd: DelayQueue::new(),
             events: Vec::new(),
             stats: MemStats::default(),

@@ -28,12 +28,14 @@
 
 pub mod config;
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod types;
 
 pub use config::{PolicyKind, SimConfig, SimConfigBuilder};
 pub use event::DelayQueue;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SimRng;
 pub use stats::StatSet;
 pub use types::{Addr, CoreId, Cycle, LineAddr, LINE_BYTES, LINE_SHIFT};

@@ -14,7 +14,9 @@
 //! DFS over these transitions (with state memoization), giving the exact
 //! set of TSO-allowed outcomes for small litmus programs.
 
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+
+use tus_sim::FxHashSet;
 
 use crate::prog::{LOp, Outcome, Program};
 
@@ -70,7 +72,7 @@ impl State {
 /// ```
 pub fn tso_outcomes(prog: &Program) -> BTreeSet<Outcome> {
     let mut outcomes = BTreeSet::new();
-    let mut seen: HashSet<State> = HashSet::new();
+    let mut seen: FxHashSet<State> = FxHashSet::default();
     let mut stack = vec![State::initial(prog)];
     while let Some(s) = stack.pop() {
         if !seen.insert(s.clone()) {
@@ -130,7 +132,7 @@ pub fn tso_outcomes(prog: &Program) -> BTreeSet<Outcome> {
 /// useful to demonstrate which outcomes are TSO-only relaxations.
 pub fn sc_outcomes(prog: &Program) -> BTreeSet<Outcome> {
     let mut outcomes = BTreeSet::new();
-    let mut seen: HashSet<State> = HashSet::new();
+    let mut seen: FxHashSet<State> = FxHashSet::default();
     let mut stack = vec![State::initial(prog)];
     while let Some(s) = stack.pop() {
         if !seen.insert(s.clone()) {

@@ -1,67 +1,89 @@
-//! Property-based tests over the core data structures and, at the top,
-//! randomized end-to-end value checking of the full simulator against a
-//! sequential oracle.
-
-use proptest::prelude::*;
+//! Randomized-property tests over the core data structures and, at the
+//! top, randomized end-to-end value checking of the full simulator
+//! against a sequential oracle.
+//!
+//! The inputs are generated with the workspace's own deterministic
+//! [`SimRng`] (the registry is unreachable offline, so no external
+//! property-testing framework): every case is seeded, so a failure
+//! message's seed reproduces the exact input.
 
 use tus::{AuthorizationUnit, ConflictDecision, WcbSet, Woq};
 use tus_mem::line::{combine, read_value, write_value};
 use tus_mem::ByteMask;
-use tus_sim::{Addr, Cycle, LineAddr};
+use tus_sim::{Addr, Cycle, LineAddr, SimRng};
 
-proptest! {
-    /// Byte-mask range bookkeeping is exact.
-    #[test]
-    fn mask_covers_exactly_what_was_set(
-        ranges in prop::collection::vec((0usize..64, 1usize..8), 0..10)
-    ) {
+/// Byte-mask range bookkeeping is exact.
+#[test]
+fn mask_covers_exactly_what_was_set() {
+    for seed in 0..200u64 {
+        let mut rng = SimRng::seed(seed);
         let mut m = ByteMask::EMPTY;
         let mut model = [false; 64];
-        for (off, len) in &ranges {
-            let len = (*len).min(64 - off);
-            m.set_range(*off, len);
-            for b in model.iter_mut().skip(*off).take(len) {
+        for _ in 0..rng.index(10) {
+            let off = rng.index(64);
+            let len = (1 + rng.index(7)).min(64 - off);
+            m.set_range(off, len);
+            for b in model.iter_mut().skip(off).take(len) {
                 *b = true;
             }
         }
         for i in 0..64 {
-            prop_assert_eq!(m.covers(i, 1), model[i], "byte {}", i);
+            assert_eq!(m.covers(i, 1), model[i], "seed {seed}, byte {i}");
         }
-        prop_assert_eq!(m.count() as usize, model.iter().filter(|&&b| b).count());
+        assert_eq!(
+            m.count() as usize,
+            model.iter().filter(|&&b| b).count(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// combine() is exactly a masked byte-wise select.
-    #[test]
-    fn combine_selects_masked_bytes(mask_bits in any::<u64>(), a in any::<u8>(), b in any::<u8>()) {
+/// combine() is exactly a masked byte-wise select.
+#[test]
+fn combine_selects_masked_bytes() {
+    for seed in 0..200u64 {
+        let mut rng = SimRng::seed(seed);
+        let mask_bits = rng.bits();
+        let a = rng.range(0, 256) as u8;
+        let b = rng.range(0, 256) as u8;
         let base = [a; 64];
         let written = [b; 64];
         let mut out = base;
         combine(&mut out, &written, ByteMask(mask_bits));
         for (i, &v) in out.iter().enumerate() {
             let expect = if mask_bits & (1 << i) != 0 { b } else { a };
-            prop_assert_eq!(v, expect);
+            assert_eq!(v, expect, "seed {seed}, byte {i}");
         }
     }
+}
 
-    /// Line read/write round-trips at any alignment and size.
-    #[test]
-    fn line_value_roundtrip(off in 0usize..57, size in 1usize..8, val in any::<u64>()) {
+/// Line read/write round-trips at any alignment and size.
+#[test]
+fn line_value_roundtrip() {
+    for seed in 0..200u64 {
+        let mut rng = SimRng::seed(seed);
+        let off = rng.index(57);
+        let size = 1 + rng.index(7);
+        let val = rng.bits();
         let mut d = [0u8; 64];
         write_value(&mut d, off, size, val);
         let mask = if size >= 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
-        prop_assert_eq!(read_value(&d, off, size), val & mask);
+        assert_eq!(read_value(&d, off, size), val & mask, "seed {seed}");
     }
+}
 
-    /// WOQ: entries pop in FIFO group order, each exactly once, and
-    /// merge_to_tail preserves the entry count while making membership
-    /// transitively closed.
-    #[test]
-    fn woq_fifo_and_merge_invariants(
-        ops in prop::collection::vec((0u8..3, 0usize..16), 1..60)
-    ) {
+/// WOQ: entries pop in FIFO group order, each exactly once, and
+/// merge_to_tail preserves the entry count while making membership
+/// transitively closed.
+#[test]
+fn woq_fifo_and_merge_invariants() {
+    for seed in 0..150u64 {
+        let mut rng = SimRng::seed(seed);
         let mut w = Woq::new(64);
         let mut pushed = 0usize;
-        for (op, arg) in ops {
+        for _ in 0..(1 + rng.index(59)) {
+            let op = rng.index(3) as u8;
+            let arg = rng.index(16);
             match op {
                 0 if !w.is_full() => {
                     w.push(LineAddr::new(pushed as u64), pushed % 64, pushed % 12, ByteMask::FULL);
@@ -75,7 +97,7 @@ proptest! {
                     // merge point equals the count of its group members.
                     let g = w.entry(idx).group;
                     let members = w.iter().filter(|e| e.group == g).count();
-                    prop_assert!(members >= w.len() - idx);
+                    assert!(members >= w.len() - idx, "seed {seed}");
                 }
                 2 if !w.is_empty() => {
                     // Ready the whole head group and pop it.
@@ -88,26 +110,30 @@ proptest! {
                     for (s, wy) in coords {
                         w.mark_ready(s, wy);
                     }
-                    prop_assert!(w.head_group_ready());
+                    assert!(w.head_group_ready(), "seed {seed}");
                     let popped = w.pop_head_group();
-                    prop_assert!(!popped.is_empty());
-                    prop_assert!(popped.iter().all(|e| e.group == g));
-                    prop_assert!(w.iter().all(|e| e.group != g));
+                    assert!(!popped.is_empty(), "seed {seed}");
+                    assert!(popped.iter().all(|e| e.group == g), "seed {seed}");
+                    assert!(w.iter().all(|e| e.group != g), "seed {seed}");
                 }
                 _ => {}
             }
         }
     }
+}
 
-    /// Authorization unit: the decision is exactly "delay iff the core is
-    /// ready on every older-or-same-group entry with lex ≤ the target's".
-    #[test]
-    fn auth_unit_decision_matches_definition(
-        lines in prop::collection::vec((0u64..32, any::<bool>()), 1..20),
-        target in 0usize..20,
-        lex_bits in 1u32..8,
-    ) {
-        let target = target % lines.len();
+/// Authorization unit: the decision is exactly "delay iff the core is
+/// ready on every older-or-same-group entry with lex ≤ the target's".
+#[test]
+fn auth_unit_decision_matches_definition() {
+    for seed in 0..200u64 {
+        let mut rng = SimRng::seed(seed);
+        let n = 1 + rng.index(19);
+        let lines: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.range(0, 32), rng.chance(0.5)))
+            .collect();
+        let target = rng.index(n);
+        let lex_bits = 1 + rng.index(7) as u32;
         let unit = AuthorizationUnit::new(lex_bits);
         let mut w = Woq::new(64);
         for (i, (line, ready)) in lines.iter().enumerate() {
@@ -125,23 +151,26 @@ proptest! {
             let relevant = i <= target || e.group == tg;
             !relevant || unit.lex(e.line) > tl || e.ready
         });
-        prop_assert_eq!(got == ConflictDecision::Delay, expect_delay);
+        assert_eq!(got == ConflictDecision::Delay, expect_delay, "seed {seed}");
     }
+}
 
-    /// WCB forwarding returns exactly the bytes of the latest coalesced
-    /// stores.
-    #[test]
-    fn wcb_forwarding_matches_model(
-        stores in prop::collection::vec((0u64..16, 1usize..8, any::<u64>()), 1..30)
-    ) {
+/// WCB forwarding returns exactly the bytes of the latest coalesced
+/// stores.
+#[test]
+fn wcb_forwarding_matches_model() {
+    for seed in 0..150u64 {
+        let mut rng = SimRng::seed(seed);
         let mut w = WcbSet::new(4);
         let mut model = std::collections::HashMap::<u64, u8>::new();
         let base = 0x4000u64;
-        for (i, (slot, size, val)) in stores.iter().enumerate() {
+        for i in 0..(1 + rng.index(29)) {
             // Two lines' worth of slots, 8-byte aligned so sizes fit.
+            let slot = rng.range(0, 16);
+            let size = 1 + rng.index(7);
+            let val = rng.bits();
             let addr = base + slot * 8;
-            let size = (*size).min(8);
-            if w.write(Addr::new(addr), size, *val, Cycle::new(i as u64)).is_ok() {
+            if w.write(Addr::new(addr), size, val, Cycle::new(i as u64)).is_ok() {
                 for b in 0..size {
                     model.insert(addr + b as u64, val.to_le_bytes()[b]);
                 }
@@ -153,28 +182,26 @@ proptest! {
                 // Full-cover hit: every byte must match the model.
                 for b in 0..8u64 {
                     let expect = model.get(&(addr + b)).copied();
-                    prop_assert_eq!(Some(v.to_le_bytes()[b as usize]), expect, "byte {}", b);
+                    assert_eq!(
+                        Some(v.to_le_bytes()[b as usize]),
+                        expect,
+                        "seed {seed}, byte {b}"
+                    );
                 }
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        max_shrink_iters: 200,
-        ..ProptestConfig::default()
-    })]
+/// End-to-end randomized check: a random single-core program under
+/// TUS returns sequential values (slow — few cases).
+#[test]
+fn full_system_matches_sequential_oracle() {
+    use tus::System;
+    use tus_cpu::{TraceInst, VecTrace};
+    use tus_sim::{PolicyKind, SimConfig};
 
-    /// End-to-end randomized check: a random single-core program under
-    /// TUS returns sequential values (slow — few cases).
-    #[test]
-    fn full_system_matches_sequential_oracle(seed in 0u64..5000) {
-        use tus::System;
-        use tus_cpu::{TraceInst, VecTrace};
-        use tus_sim::{PolicyKind, SimConfig, SimRng};
-
+    for seed in (0..5000u64).step_by(417) {
         let mut rng = SimRng::seed(seed);
         let mut insts = Vec::new();
         let mut expected = Vec::new();
@@ -197,6 +224,6 @@ proptest! {
         let mut sys = System::new(&cfg, vec![Box::new(VecTrace::new(insts))], seed);
         sys.core_mut(0).record_loads(true);
         sys.run_to_completion(5_000_000);
-        prop_assert_eq!(sys.core(0).loaded_values(), &expected[..]);
+        assert_eq!(sys.core(0).loaded_values(), &expected[..], "seed {seed}");
     }
 }
