@@ -72,6 +72,16 @@ impl AuthorizationUnit {
         a != b && self.lex(a) == self.lex(b)
     }
 
+    /// The lex order extended to a *total* order over lines: ties in the
+    /// sub-address (two lines sharing all `lex_bits` LSBs, possible when
+    /// WOQ entries come from different atomic groups) are broken by the
+    /// full line address. Without the tie-break, two cores each holding
+    /// one line of a same-lex pair would both relinquish and then both
+    /// re-request at once, livelocking; with it, exactly one side delays.
+    pub fn total_lex(&self, line: LineAddr) -> (u64, u64) {
+        (self.lex(line), line.raw())
+    }
+
     /// Decides the fate of an external request targeting the WOQ entry at
     /// `idx` (which must be ready — the core holds its permission).
     ///
@@ -87,14 +97,14 @@ impl AuthorizationUnit {
     /// Panics if `idx` is out of bounds.
     pub fn decide(&self, woq: &Woq, idx: usize) -> ConflictDecision {
         let target = woq.entry(idx);
-        let target_lex = self.lex(target.line);
+        let target_lex = self.total_lex(target.line);
         let target_group = target.group;
         for (i, e) in woq.iter().enumerate() {
             let older_or_grouped = i <= idx || e.group == target_group;
             if !older_or_grouped {
                 continue;
             }
-            if self.lex(e.line) <= target_lex && !e.ready {
+            if self.total_lex(e.line) <= target_lex && !e.ready {
                 return ConflictDecision::Relinquish;
             }
         }
@@ -114,9 +124,9 @@ impl AuthorizationUnit {
         if target.group != head_group {
             return false;
         }
-        let target_lex = self.lex(target.line);
+        let target_lex = self.total_lex(target.line);
         woq.iter()
-            .filter(|e| e.group == target.group && self.lex(e.line) < target_lex)
+            .filter(|e| e.group == target.group && self.total_lex(e.line) < target_lex)
             .all(|e| e.ready)
     }
 }
@@ -186,6 +196,56 @@ mod tests {
         // Once the older line is acquired, the same request is delayed.
         woq.mark_ready(0, 0);
         assert_eq!(u.decide(&woq, 1), ConflictDecision::Delay);
+    }
+
+    /// Regression: two lines sharing all 16 LSBs (equal lex order) must
+    /// still have a *total* visibility order. The full line address
+    /// breaks the tie, so in the symmetric two-core configuration one
+    /// side delays and the other relinquishes — not both relinquishing
+    /// (the livelock shape).
+    #[test]
+    fn lex_tie_is_broken_by_full_address() {
+        let u = AuthorizationUnit::new(16);
+        let lo = LineAddr::new(0x1_0003); // lex 3
+        let hi = LineAddr::new(0x2_0003); // lex 3, larger full address
+        assert_eq!(u.lex(lo), u.lex(hi));
+        assert!(u.total_lex(lo) < u.total_lex(hi), "tie-break gives a total order");
+
+        // Core A: holds `lo` (ready), waiting on `hi` in the same group.
+        let mut a = Woq::new(8);
+        let ga = a.push(lo, 0, 0, mask());
+        a.push_into_group(hi, 0, 1, mask(), ga);
+        a.mark_ready(0, 0);
+        // Core B: holds `hi` (ready), waiting on `lo` in the same group.
+        let mut b = Woq::new(8);
+        let gb = b.push(hi, 0, 0, mask());
+        b.push_into_group(lo, 0, 1, mask(), gb);
+        b.mark_ready(0, 0);
+
+        // A is asked for `lo` while waiting on the *larger* `hi`: delay.
+        // B is asked for `hi` while waiting on the *smaller* `lo`:
+        // relinquish. Exactly one side gives way.
+        assert_eq!(u.decide(&a, 0), ConflictDecision::Delay);
+        assert_eq!(u.decide(&b, 0), ConflictDecision::Relinquish);
+    }
+
+    /// Regression: with equal lex orders, re-request eligibility must be
+    /// serialized by the tie-break too — otherwise both relinquished
+    /// lines re-request simultaneously and collide again.
+    #[test]
+    fn lex_tie_serializes_rerequests() {
+        let u = AuthorizationUnit::new(16);
+        let lo = LineAddr::new(0x1_0003);
+        let hi = LineAddr::new(0x2_0003);
+        let mut woq = Woq::new(8);
+        let g = woq.push(lo, 0, 0, mask());
+        woq.push_into_group(hi, 0, 1, mask(), g);
+        // Neither line held: only the tie-break-smaller `lo` may
+        // re-request; `hi` must wait for `lo` to become ready.
+        assert!(u.may_rerequest(&woq, 0), "smaller full address goes first");
+        assert!(!u.may_rerequest(&woq, 1), "larger full address must wait");
+        woq.mark_ready(0, 0);
+        assert!(u.may_rerequest(&woq, 1));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod wcb;
 pub mod woq;
 
 pub use lex::{AuthorizationUnit, ConflictDecision};
-pub use policy::Policy;
-pub use system::System;
+pub use policy::{Policy, PolicyOccupancy};
+pub use system::{CoreDeadlockState, DeadlockKind, DeadlockReport, System};
 pub use wcb::WcbSet;
 pub use woq::{GroupId, Woq, WoqEntry};

@@ -31,7 +31,7 @@ use tus_sim::{Addr, Cycle, LineAddr, PolicyKind, SimConfig, StatSet};
 
 use crate::lex::{AuthorizationUnit, ConflictDecision};
 use crate::wcb::{WcbRefusal, WcbSet};
-use crate::woq::Woq;
+use crate::woq::{Woq, WoqEntry};
 
 /// How many stores may move from the SB into the WCBs per cycle.
 const SB_TO_WCB_PER_CYCLE: usize = 4;
@@ -42,6 +42,22 @@ const WCB_FLUSH_AGE: u64 = 100;
 
 /// Maximum SPB backlog prefetches issued per cycle.
 const SPB_ISSUE_PER_CYCLE: usize = 4;
+
+/// Policy-side buffer occupancy at the moment a run stopped making
+/// progress (WOQ/WCB/TSOB state for deadlock reports).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicyOccupancy {
+    /// WOQ entries still queued (TUS only).
+    pub woq_len: usize,
+    /// WOQ entries whose permission is already granted.
+    pub woq_ready: usize,
+    /// WOQ entries waiting on a lex-order re-request.
+    pub woq_retries: usize,
+    /// Occupied write-combining buffers (CSB/TUS).
+    pub wcb_occupied: usize,
+    /// TSOB entries (SSB only).
+    pub tsob_len: usize,
+}
 
 /// A per-core store-drain policy.
 #[derive(Debug)]
@@ -153,6 +169,28 @@ impl Policy {
     /// loops to decide when a program has fully drained).
     pub fn holds_stores(&self) -> bool {
         !self.drained()
+    }
+
+    /// Snapshots policy-side buffer occupancy for deadlock diagnostics.
+    pub fn occupancy(&self) -> PolicyOccupancy {
+        match self {
+            Policy::Baseline(_) | Policy::Spb(_) => PolicyOccupancy::default(),
+            Policy::Ssb(p) => PolicyOccupancy {
+                tsob_len: p.tsob.len(),
+                ..PolicyOccupancy::default()
+            },
+            Policy::Csb(p) => PolicyOccupancy {
+                wcb_occupied: p.wcbs.occupied(),
+                ..PolicyOccupancy::default()
+            },
+            Policy::Tus(p) => PolicyOccupancy {
+                wcb_occupied: p.wcbs.occupied(),
+                woq_len: p.woq.len(),
+                woq_ready: p.woq.iter().filter(|e| e.ready).count(),
+                woq_retries: p.woq.iter().filter(|e| e.retry).count(),
+                tsob_len: 0,
+            },
+        }
     }
 
     /// Exports policy statistics.
@@ -586,12 +624,32 @@ impl TusPolicy {
     /// Makes every fully-ready atomic group at the head of the WOQ
     /// visible (bulk *not visible* reset).
     fn advance_visibility(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
-        while self.woq.head_group_ready() {
-            let entries = self.woq.pop_head_group();
+        while let Some(entries) = self.next_visible_group() {
             let coords: Vec<(usize, usize)> = entries.iter().map(|e| (e.set, e.way)).collect();
             ctrl.make_visible(&coords, now, net);
             self.flips += 1;
         }
+    }
+
+    /// The next atomic group to flip visible: the head group, once every
+    /// member is ready — WOQ order is what preserves TSO.
+    #[cfg(not(feature = "bug-woq-reorder"))]
+    fn next_visible_group(&mut self) -> Option<Vec<WoqEntry>> {
+        if self.woq.head_group_ready() {
+            Some(self.woq.pop_head_group())
+        } else {
+            None
+        }
+    }
+
+    /// Fault injection (`bug-woq-reorder`): drain *any* fully-ready
+    /// group, youngest first, ignoring queue order. Deliberately breaks
+    /// store ordering so the differential fuzzer has a real bug to
+    /// catch; never enabled in normal builds.
+    #[cfg(feature = "bug-woq-reorder")]
+    fn next_visible_group(&mut self) -> Option<Vec<WoqEntry>> {
+        let g = self.woq.youngest_ready_group()?;
+        Some(self.woq.pop_group(g))
     }
 
     /// Re-requests permission for relinquished entries allowed by the lex

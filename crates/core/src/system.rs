@@ -16,13 +16,89 @@
 //! of hanging.
 
 use tus_cpu::{Core, MemPort, TraceSource};
-use tus_mem::{CacheEvent, MemorySystem, Network, PrivateCache};
+use tus_mem::{CacheEvent, MemDeadlockSnapshot, MemorySystem, Network, PrivateCache};
 use tus_sim::{Addr, CoreId, Cycle, PolicyKind, SimConfig, SimRng, StatSet};
 
-use crate::policy::Policy;
+use crate::policy::{Policy, PolicyOccupancy};
 
 /// Cycles without global progress after which a run aborts.
 const WATCHDOG_CYCLES: u64 = 500_000;
+
+/// Why a run loop gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlockKind {
+    /// The caller-provided cycle budget elapsed before completion.
+    BudgetExhausted {
+        /// The budget that elapsed.
+        budget: u64,
+    },
+    /// The progress watchdog fired: no instruction committed and no
+    /// network message was sent for this many consecutive cycles.
+    NoProgress {
+        /// Length of the progress-free window.
+        cycles: u64,
+    },
+}
+
+/// Per-core pipeline/store-path occupancy at the moment a run stalled.
+#[derive(Debug, Clone, Default)]
+pub struct CoreDeadlockState {
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Whether the trace was already exhausted.
+    pub finished: bool,
+    /// Store-buffer entries still queued.
+    pub sb_len: usize,
+    /// Policy-side buffer occupancy (WOQ/WCB/TSOB).
+    pub policy: PolicyOccupancy,
+}
+
+/// Structured diagnostics for a hung or over-budget run: per-core SB/WOQ/
+/// WCB occupancy, pending lex-order retries and in-flight directory
+/// traffic, plus a rendered state dump. Returned by the `try_run_*`
+/// loops so one stuck case is a recorded counterexample rather than an
+/// aborted process.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// What tripped.
+    pub kind: DeadlockKind,
+    /// Cycle at which the run gave up.
+    pub cycle: u64,
+    /// Per-core pipeline and policy state.
+    pub cores: Vec<CoreDeadlockState>,
+    /// Memory-side (controller/directory/network) state.
+    pub mem: MemDeadlockSnapshot,
+    /// Full human-readable state dump (`System::dump_state`).
+    pub dump: String,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            DeadlockKind::BudgetExhausted { budget } => {
+                writeln!(f, "cycle budget of {budget} exhausted at cycle {}", self.cycle)?
+            }
+            DeadlockKind::NoProgress { cycles } => {
+                writeln!(f, "no progress for {cycles} cycles (at cycle {})", self.cycle)?
+            }
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            writeln!(
+                f,
+                "core{i}: committed={} finished={} sb={} woq={} (ready={} retry={}) wcb={} tsob={}",
+                c.committed,
+                c.finished,
+                c.sb_len,
+                c.policy.woq_len,
+                c.policy.woq_ready,
+                c.policy.woq_retries,
+                c.policy.wcb_occupied,
+                c.policy.tsob_len
+            )?;
+        }
+        write!(f, "{}", self.mem)
+    }
+}
 
 /// The complete simulated machine.
 pub struct System {
@@ -160,36 +236,73 @@ impl System {
             && self.mem.quiesced()
     }
 
+    /// Assembles the structured deadlock diagnostics for the current
+    /// machine state.
+    pub fn deadlock_report(&self, kind: DeadlockKind) -> DeadlockReport {
+        DeadlockReport {
+            kind,
+            cycle: self.now.raw(),
+            cores: self
+                .cores
+                .iter()
+                .zip(&self.policies)
+                .map(|(c, p)| CoreDeadlockState {
+                    committed: c.committed(),
+                    finished: c.finished(),
+                    sb_len: c.sb().len(),
+                    policy: p.occupancy(),
+                })
+                .collect(),
+            mem: self.mem.deadlock_snapshot(),
+            dump: self.dump_state(),
+        }
+    }
+
+    /// Runs until [`System::finished`], giving up after `max_cycles` or
+    /// when the progress watchdog fires. A stuck run returns a
+    /// [`DeadlockReport`] instead of aborting the process, so callers
+    /// (the fuzzer in particular) can record it as a counterexample.
+    pub fn try_run_to_completion(&mut self, max_cycles: u64) -> Result<StatSet, Box<DeadlockReport>> {
+        let mut watchdog = Watchdog::new();
+        while !self.finished() {
+            if self.now.raw() >= max_cycles {
+                return Err(Box::new(
+                    self.deadlock_report(DeadlockKind::BudgetExhausted { budget: max_cycles }),
+                ));
+            }
+            self.tick();
+            if !watchdog.check(self) {
+                return Err(Box::new(
+                    self.deadlock_report(DeadlockKind::NoProgress { cycles: WATCHDOG_CYCLES }),
+                ));
+            }
+        }
+        Ok(self.export_stats())
+    }
+
     /// Runs until [`System::finished`], aborting after `max_cycles` or on
     /// a progress watchdog.
     ///
     /// # Panics
     ///
     /// Panics when the cycle budget is exhausted or no global progress is
-    /// made for a long time (deadlock diagnostics).
+    /// made for a long time (deadlock diagnostics). Use
+    /// [`System::try_run_to_completion`] to get a [`DeadlockReport`]
+    /// instead.
     pub fn run_to_completion(&mut self, max_cycles: u64) -> StatSet {
-        let mut watchdog = Watchdog::new();
-        while !self.finished() {
-            assert!(
-                self.now.raw() < max_cycles,
-                "cycle budget exhausted at {} (cores committed: {:?})",
-                self.now,
-                self.cores.iter().map(|c| c.committed()).collect::<Vec<_>>()
-            );
-            self.tick();
-            watchdog.check(self);
-        }
-        self.export_stats()
+        self.try_run_to_completion(max_cycles)
+            .unwrap_or_else(|r| panic!("{r}\n{}", r.dump))
     }
 
-    /// Runs until every core has committed at least `insts` instructions
-    /// (or finished its trace), then returns statistics. This is the
-    /// fixed-work measurement loop the performance experiments use.
-    ///
-    /// # Panics
-    ///
-    /// Panics on the progress watchdog or when `max_cycles` elapse first.
-    pub fn run_committed(&mut self, insts: u64, max_cycles: u64) -> StatSet {
+    /// Fallible variant of [`System::run_committed`]: runs until every
+    /// core has committed at least `insts` instructions (or finished its
+    /// trace), returning a [`DeadlockReport`] on budget exhaustion or a
+    /// watchdog trip.
+    pub fn try_run_committed(
+        &mut self,
+        insts: u64,
+        max_cycles: u64,
+    ) -> Result<StatSet, Box<DeadlockReport>> {
         let mut watchdog = Watchdog::new();
         loop {
             let done = self
@@ -199,16 +312,32 @@ impl System {
             if done {
                 break;
             }
-            assert!(
-                self.now.raw() < max_cycles,
-                "cycle budget exhausted at {} (committed: {:?})",
-                self.now,
-                self.cores.iter().map(|c| c.committed()).collect::<Vec<_>>()
-            );
+            if self.now.raw() >= max_cycles {
+                return Err(Box::new(
+                    self.deadlock_report(DeadlockKind::BudgetExhausted { budget: max_cycles }),
+                ));
+            }
             self.tick();
-            watchdog.check(self);
+            if !watchdog.check(self) {
+                return Err(Box::new(
+                    self.deadlock_report(DeadlockKind::NoProgress { cycles: WATCHDOG_CYCLES }),
+                ));
+            }
         }
-        self.export_stats()
+        Ok(self.export_stats())
+    }
+
+    /// Runs until every core has committed at least `insts` instructions
+    /// (or finished its trace), then returns statistics. This is the
+    /// fixed-work measurement loop the performance experiments use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the progress watchdog or when `max_cycles` elapse first.
+    /// Use [`System::try_run_committed`] for structured diagnostics.
+    pub fn run_committed(&mut self, insts: u64, max_cycles: u64) -> StatSet {
+        self.try_run_committed(insts, max_cycles)
+            .unwrap_or_else(|r| panic!("{r}\n{}", r.dump))
     }
 
     /// Exports all statistics: `cycles`, per-core `coreN.cpu.*` and
@@ -289,20 +418,17 @@ impl Watchdog {
         Watchdog { last: None, since: 0 }
     }
 
-    fn check(&mut self, sys: &System) {
+    /// Returns `false` when no progress has been made for
+    /// [`WATCHDOG_CYCLES`] consecutive cycles.
+    fn check(&mut self, sys: &System) -> bool {
         let sig = sys.progress_signature();
         if self.last == Some(sig) {
             self.since += 1;
-            assert!(
-                self.since < WATCHDOG_CYCLES,
-                "no progress for {} cycles: committed/net {:?}\n{}",
-                WATCHDOG_CYCLES,
-                sig,
-                sys.dump_state()
-            );
+            self.since < WATCHDOG_CYCLES
         } else {
             self.last = Some(sig);
             self.since = 0;
+            true
         }
     }
 }

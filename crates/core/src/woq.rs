@@ -299,6 +299,10 @@ impl Woq {
     /// Panics if the queue is empty.
     pub fn pop_head_group(&mut self) -> Vec<WoqEntry> {
         let g = self.head_group().expect("pop from empty WOQ");
+        self.pop_group_members(g)
+    }
+
+    fn pop_group_members(&mut self, g: GroupId) -> Vec<WoqEntry> {
         let mut popped = Vec::new();
         let mut rest = VecDeque::with_capacity(self.entries.len());
         for e in self.entries.drain(..) {
@@ -310,6 +314,26 @@ impl Woq {
         }
         self.entries = rest;
         popped
+    }
+
+    /// Fault-injection hook (`bug-woq-reorder` feature only): the
+    /// youngest fully-ready group, regardless of queue position.
+    #[cfg(feature = "bug-woq-reorder")]
+    pub fn youngest_ready_group(&self) -> Option<GroupId> {
+        let mut groups: Vec<GroupId> = self.entries.iter().map(|e| e.group).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups
+            .into_iter()
+            .rev()
+            .find(|&g| self.entries.iter().filter(|e| e.group == g).all(|e| e.ready))
+    }
+
+    /// Fault-injection hook (`bug-woq-reorder` feature only): pops every
+    /// member of `g`, wherever it sits in the queue.
+    #[cfg(feature = "bug-woq-reorder")]
+    pub fn pop_group(&mut self, g: GroupId) -> Vec<WoqEntry> {
+        self.pop_group_members(g)
     }
 
     /// Queue positions of entries with the retry flag set.

@@ -392,6 +392,30 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// A result cached under one simulator version must be a disk miss
+    /// under a bumped version — stale entries are never served.
+    #[test]
+    fn bumped_cache_version_misses_disk_cache() {
+        let dir = std::env::temp_dir()
+            .join(format!("tus-runcache-vbump-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = quick_spec("502.gcc1-like", PolicyKind::Csb, 64);
+
+        let ex = Executor::new(1, Some(dir.clone()));
+        let r = ex.run_one(&spec);
+        assert!(ex.load_cached(&spec.memo_key()).is_some(), "warm under current version");
+
+        let bumped = spec.memo_key_versioned(crate::runner::CACHE_FORMAT_VERSION + 1);
+        assert_ne!(bumped, spec.memo_key());
+        assert!(
+            ex.load_cached(&bumped).is_none(),
+            "a version bump must invalidate every cached run"
+        );
+        // Even a forged hash collision is rejected by the embedded key.
+        assert!(decode_result(&encode_result(&r, &spec.memo_key()), &bumped).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn decode_rejects_wrong_key_and_garbage() {
         let spec = quick_spec("502.gcc1-like", PolicyKind::Baseline, 114);

@@ -1,0 +1,352 @@
+//! The `tus-harness fuzz` subcommand: differential TSO fuzzing at scale.
+//!
+//! Drives [`tus_tso::fuzz`] from the command line: generates `--programs`
+//! random litmus cases (deterministically from `--seed`), checks each one
+//! across all five drain policies × `--seeds` timing variations against
+//! the axiomatic x86-TSO reference model, shrinks any failure, and
+//! persists both the original and the shrunk counterexample under
+//! `<out>/fuzz-corpus/` as replayable text files (`--replay FILE`).
+//!
+//! The sweep fans out over a scoped-thread worker pool (`--jobs`);
+//! results are keyed by program index, so generation — and therefore
+//! every finding — is independent of scheduling.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tus_sim::{PolicyKind, SimRng};
+use tus_tso::fuzz::{
+    check_case, check_policy, decode_case, encode_case, generate_case, shrink_case, CaseFailure,
+    FailureKind, FuzzCase,
+};
+
+use crate::executor::Executor;
+
+/// Parsed `fuzz` subcommand options.
+#[derive(Debug)]
+pub struct FuzzOptions {
+    /// Number of random programs to generate and check.
+    pub programs: u64,
+    /// Timing seeds per (program, policy) pair.
+    pub seeds: u64,
+    /// Base seed: the whole sweep is a pure function of it.
+    pub base_seed: u64,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Restrict the differential check to one policy (default: all five).
+    pub policy: Option<PolicyKind>,
+    /// Output directory; counterexamples land in `<out>/fuzz-corpus/`.
+    pub out: PathBuf,
+    /// Replay a persisted corpus file instead of generating programs.
+    pub replay: Option<PathBuf>,
+    /// Whether to shrink failures before reporting (`--no-shrink` off).
+    pub shrink: bool,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            programs: 500,
+            seeds: 16,
+            base_seed: 0,
+            jobs: Executor::default_jobs(),
+            policy: None,
+            out: PathBuf::from("results"),
+            replay: None,
+            shrink: true,
+        }
+    }
+}
+
+fn fuzz_usage() -> ! {
+    eprintln!(
+        "usage: tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
+         \x20                      [--policy base|SSB|CSB|SPB|TUS] [--out DIR]\n\
+         \x20                      [--replay FILE] [--no-shrink]\n\
+         checks N random litmus programs across all five policies against the\n\
+         x86-TSO reference model; failures are shrunk and persisted under\n\
+         <out>/fuzz-corpus/ as replayable files"
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(label: &str) -> Option<PolicyKind> {
+    PolicyKind::ALL
+        .into_iter()
+        .find(|p| p.label().eq_ignore_ascii_case(label))
+}
+
+/// Parses the arguments following the `fuzz` keyword.
+pub fn parse_fuzz_args(args: &[String]) -> FuzzOptions {
+    let mut opt = FuzzOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("fuzz: {name} needs a number");
+                    fuzz_usage()
+                })
+        };
+        match a.as_str() {
+            "--programs" => opt.programs = num("--programs"),
+            "--seeds" => opt.seeds = num("--seeds").max(1),
+            "--seed" => opt.base_seed = num("--seed"),
+            "--jobs" => opt.jobs = (num("--jobs") as usize).max(1),
+            "--policy" => {
+                let label = it.next().unwrap_or_else(|| fuzz_usage());
+                opt.policy = Some(parse_policy(label).unwrap_or_else(|| {
+                    eprintln!("fuzz: unknown policy {label:?}");
+                    fuzz_usage()
+                }));
+            }
+            "--out" => opt.out = it.next().unwrap_or_else(|| fuzz_usage()).into(),
+            "--replay" => opt.replay = Some(it.next().unwrap_or_else(|| fuzz_usage()).into()),
+            "--no-shrink" => opt.shrink = false,
+            _ => fuzz_usage(),
+        }
+    }
+    opt
+}
+
+/// The RNG for program `index`: index-stable (workers may pick programs
+/// in any order) and a pure function of the base seed.
+fn case_rng(base_seed: u64, index: u64) -> SimRng {
+    SimRng::seed(base_seed).fork(index.wrapping_add(1))
+}
+
+fn check(case: &FuzzCase, policy: Option<PolicyKind>, seeds: u64) -> Option<CaseFailure> {
+    match policy {
+        Some(p) => check_policy(case, p, seeds),
+        None => check_case(case, seeds),
+    }
+}
+
+/// One confirmed finding of the sweep.
+struct Finding {
+    index: u64,
+    case: FuzzCase,
+    failure: CaseFailure,
+}
+
+/// Renders, shrinks and persists one finding. Returns the corpus paths.
+fn report_finding(opt: &FuzzOptions, f: &Finding) -> std::io::Result<Vec<PathBuf>> {
+    let corpus = opt.out.join("fuzz-corpus");
+    std::fs::create_dir_all(&corpus)?;
+    let stem = format!("seed{}-case{}", opt.base_seed, f.index);
+    let mut written = Vec::new();
+
+    eprintln!("--- VIOLATION (program {}) ---", f.index);
+    eprintln!("{}", f.failure);
+    if let FailureKind::Timeout { report, .. } = &f.failure.kind {
+        eprintln!("{report}");
+    }
+    eprint!("{}", f.case);
+
+    let orig = corpus.join(format!("{stem}.orig.txt"));
+    std::fs::write(&orig, encode_case(&f.case, Some(f.failure.policy), opt.seeds))?;
+    written.push(orig);
+
+    if opt.shrink {
+        eprintln!("shrinking ...");
+        let (small, small_fail) = shrink_case(&f.case, f.failure.policy, opt.seeds);
+        eprintln!(
+            "shrunk to {} thread(s), {} op(s): {}",
+            small.program.threads.len(),
+            small.program.ops(),
+            small_fail
+        );
+        eprint!("{small}");
+        let path = corpus.join(format!("{stem}.txt"));
+        std::fs::write(&path, encode_case(&small, Some(small_fail.policy), opt.seeds))?;
+        written.push(path);
+    }
+    for p in &written {
+        eprintln!("persisted: {}", p.display());
+    }
+    Ok(written)
+}
+
+/// Replays one corpus file; returns the process exit code.
+fn replay(opt: &FuzzOptions, path: &Path) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fuzz: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let entry = match decode_case(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("fuzz: cannot parse {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let policy = opt.policy.or(entry.policy);
+    let seeds = opt.seeds.max(entry.seeds);
+    eprintln!(
+        "replaying {} ({} thread(s), {} op(s), {} seeds, policy {})",
+        path.display(),
+        entry.case.program.threads.len(),
+        entry.case.program.ops(),
+        seeds,
+        policy.map_or("all", |p| p.label()),
+    );
+    eprint!("{}", entry.case);
+    match check(&entry.case, policy, seeds) {
+        Some(fail) => {
+            eprintln!("still failing: {fail}");
+            if let FailureKind::Timeout { report, .. } = &fail.kind {
+                eprintln!("{report}");
+            }
+            1
+        }
+        None => {
+            eprintln!("case passes: every outcome TSO-allowed, no hangs");
+            0
+        }
+    }
+}
+
+/// Runs the fuzz subcommand; returns the process exit code (0 = clean,
+/// 1 = violation found, 2 = usage/IO error).
+pub fn run_fuzz(opt: &FuzzOptions) -> i32 {
+    if let Some(path) = &opt.replay {
+        return replay(opt, &path.clone());
+    }
+    let started = std::time::Instant::now();
+    let policies = opt.policy.map_or(PolicyKind::ALL.len() as u64, |_| 1);
+    eprintln!(
+        "fuzzing {} programs x {} policies x {} seeds (base seed {}, {} jobs)",
+        opt.programs, policies, opt.seeds, opt.base_seed, opt.jobs
+    );
+
+    let next = AtomicUsize::new(0);
+    let done = AtomicU64::new(0);
+    let findings: Mutex<Vec<Finding>> = Mutex::new(Vec::new());
+    let n = opt.programs;
+    std::thread::scope(|s| {
+        for _ in 0..opt.jobs.min(n.max(1) as usize) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as u64;
+                if i >= n {
+                    break;
+                }
+                let case = generate_case(&mut case_rng(opt.base_seed, i));
+                if let Some(failure) = check(&case, opt.policy, opt.seeds) {
+                    findings
+                        .lock()
+                        .expect("findings lock")
+                        .push(Finding { index: i, case, failure });
+                }
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if d % 100 == 0 || d == n {
+                    eprintln!(
+                        "[{d}/{n} programs, {} violation(s), {:.1}s]",
+                        findings.lock().expect("findings lock").len(),
+                        started.elapsed().as_secs_f64()
+                    );
+                }
+            });
+        }
+    });
+
+    let mut findings = findings.into_inner().expect("findings lock");
+    findings.sort_by_key(|f| f.index);
+    let sims = opt.programs * policies * opt.seeds;
+    let secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "[fuzz: {:.1}s, {} sims ({:.1} sims/s), {} violation(s)]",
+        secs,
+        sims,
+        if secs > 0.0 { sims as f64 / secs } else { 0.0 },
+        findings.len()
+    );
+    if findings.is_empty() {
+        return 0;
+    }
+    for f in &findings {
+        if let Err(e) = report_finding(opt, f) {
+            eprintln!("fuzz: cannot persist counterexample: {e}");
+        }
+    }
+    1
+}
+
+/// Entry point called from `main` for `tus-harness fuzz ...`.
+pub fn main_fuzz(args: &[String]) -> ! {
+    let opt = parse_fuzz_args(args);
+    std::process::exit(run_fuzz(&opt));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rng_is_index_stable() {
+        let a = generate_case(&mut case_rng(7, 3));
+        let b = generate_case(&mut case_rng(7, 3));
+        assert_eq!(a, b);
+        let c = generate_case(&mut case_rng(7, 4));
+        assert_ne!(a, c, "different indices give different cases");
+    }
+
+    #[test]
+    fn parse_fuzz_args_covers_flags() {
+        let args: Vec<String> = [
+            "--programs", "10", "--seeds", "4", "--seed", "9", "--jobs", "2", "--policy", "tus",
+            "--out", "/tmp/x", "--no-shrink",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_fuzz_args(&args);
+        assert_eq!(o.programs, 10);
+        assert_eq!(o.seeds, 4);
+        assert_eq!(o.base_seed, 9);
+        assert_eq!(o.jobs, 2);
+        assert_eq!(o.policy, Some(PolicyKind::Tus));
+        assert_eq!(o.out, PathBuf::from("/tmp/x"));
+        assert!(!o.shrink);
+        assert!(o.replay.is_none());
+    }
+
+    /// A tiny end-to-end sweep is clean and deterministic.
+    #[test]
+    fn small_sweep_is_clean() {
+        let opt = FuzzOptions {
+            programs: 3,
+            seeds: 2,
+            base_seed: 1,
+            jobs: 2,
+            ..FuzzOptions::default()
+        };
+        assert_eq!(run_fuzz(&opt), 0);
+    }
+
+    /// Replay of a hand-written passing corpus file returns 0; garbage
+    /// returns 2.
+    #[test]
+    fn replay_roundtrip() {
+        let dir = std::env::temp_dir().join("tus-fuzz-replay-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("sb.txt");
+        std::fs::write(
+            &path,
+            "tusfuzz v1\npolicy TUS\nseeds 2\nthread\nst 0 1\nld 1\nthread\nst 1 2\nld 0\n",
+        )
+        .expect("write");
+        let opt = FuzzOptions {
+            replay: Some(path.clone()),
+            seeds: 2,
+            ..FuzzOptions::default()
+        };
+        assert_eq!(run_fuzz(&opt), 0);
+        std::fs::write(&path, "garbage").expect("write");
+        assert_eq!(run_fuzz(&opt), 2);
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod executor;
 pub mod experiments;
+pub mod fuzz_cmd;
 pub mod runner;
 pub mod table;
 

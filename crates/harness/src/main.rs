@@ -3,6 +3,8 @@
 //! ```text
 //! tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]
 //!             [--parallel-cap N] [--jobs N] [--no-cache]
+//! tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]
+//!             [--policy P] [--out DIR] [--replay FILE] [--no-shrink]
 //!
 //! experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15
 //!              intext ablation all
@@ -25,6 +27,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N] [--no-cache]\n\
+         \x20      tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
+         \x20                  [--policy P] [--out DIR] [--replay FILE] [--no-shrink]\n\
          experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation all"
     );
     std::process::exit(2);
@@ -86,6 +90,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "fuzz" {
+        tus_harness::fuzz_cmd::main_fuzz(&args[1..]);
     }
     let mut opt = Options::default();
     let mut cmd = None;

@@ -5,6 +5,19 @@ use tus_energy::{EnergyBreakdown, EnergyModel};
 use tus_sim::{PolicyKind, SimConfig, StatSet};
 use tus_workloads::Workload;
 
+/// Version stamp of the simulator's observable behaviour, folded into
+/// every [`RunSpec::memo_key`].
+///
+/// Bump this whenever a simulator change can alter any run's measured
+/// output (timing, drain policies, cache geometry, energy model, stat
+/// definitions): the new keys miss the on-disk `.runcache/`, forcing
+/// regeneration instead of silently serving stale results recorded by
+/// an older simulator.
+///
+/// v1 — implicit (unversioned keys, PR 1); v2 — deadlock-reporting and
+/// lex tie-break changes.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
+
 /// Run-length scaling: experiments default to laptop-friendly lengths;
 /// `Full` approaches paper-like (still far below 2 B instructions, but
 /// the archetypes reach steady state quickly).
@@ -113,12 +126,19 @@ impl RunSpec {
     /// Two specs with equal keys produce bit-identical [`RunResult`]s
     /// (simulations are seeded and deterministic), so the executor
     /// memoizes on it, in process and on disk. Every input that can
-    /// change the outcome participates: workload (named, static
-    /// parameters), policy, SB size, core count, run lengths, seed, and
-    /// the ablation tweak's name.
+    /// change the outcome participates: the simulator behaviour version
+    /// ([`CACHE_FORMAT_VERSION`]), workload (named, static parameters),
+    /// policy, SB size, core count, run lengths, seed, and the ablation
+    /// tweak's name.
     pub fn memo_key(&self) -> String {
+        self.memo_key_versioned(CACHE_FORMAT_VERSION)
+    }
+
+    /// [`RunSpec::memo_key`] under an explicit version stamp (tests).
+    pub(crate) fn memo_key_versioned(&self, version: u32) -> String {
         format!(
-            "{}|{}|sb{}|c{}|w{}|i{}|s{}|{}",
+            "v{}|{}|{}|sb{}|c{}|w{}|i{}|s{}|{}",
+            version,
             self.workload.name,
             self.policy.label(),
             self.sb_entries,
@@ -256,6 +276,24 @@ mod tests {
         ] {
             assert!(keys.insert(varied.memo_key()), "collision: {}", varied.memo_key());
         }
+    }
+
+    /// Bumping the cache-format version changes every key, so results
+    /// recorded by an older simulator can never be served for a newer
+    /// one.
+    #[test]
+    fn memo_key_includes_cache_format_version() {
+        let spec = RunSpec::new(
+            by_name("502.gcc1-like").expect("exists"),
+            PolicyKind::Tus,
+            114,
+            Scale::Quick,
+        );
+        assert!(spec.memo_key().starts_with(&format!("v{CACHE_FORMAT_VERSION}|")));
+        assert_ne!(
+            spec.memo_key_versioned(CACHE_FORMAT_VERSION),
+            spec.memo_key_versioned(CACHE_FORMAT_VERSION + 1),
+        );
     }
 
     #[test]

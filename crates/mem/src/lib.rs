@@ -44,4 +44,4 @@ pub use mesi::Mesi;
 pub use msgs::{CacheEvent, ConflictKind, FwdKind, Msg, ReqKind};
 pub use net::Network;
 pub use percore::{PrivateCache, ProbeResult, StoreWriteOutcome, UnauthAllocError};
-pub use system::MemorySystem;
+pub use system::{CoreMemSnapshot, MemDeadlockSnapshot, MemorySystem};

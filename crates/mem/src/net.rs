@@ -127,6 +127,11 @@ impl Network {
         self.queues.iter().all(|q| q.is_empty())
     }
 
+    /// Number of messages currently in flight (deadlock diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
     /// Total messages ever sent (traffic statistic).
     pub fn sent_count(&self) -> u64 {
         self.sent

@@ -253,6 +253,24 @@ impl PrivateCache {
         self.mshrs.saturating_sub(self.outstanding.len())
     }
 
+    /// Number of requests in flight to the directory (diagnostics).
+    pub fn outstanding_requests(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Lines with a request in flight, sorted (diagnostics).
+    pub fn outstanding_lines(&self) -> Vec<LineAddr> {
+        let mut v: Vec<LineAddr> = self.outstanding.keys().copied().collect();
+        v.sort_by_key(|l| l.raw());
+        v
+    }
+
+    /// External requests parked on this core: pending a policy decision
+    /// plus explicitly delayed ones (diagnostics).
+    pub fn parked_externals(&self) -> usize {
+        self.pending_fwd.len() + self.delayed_fwd.len() + self.deferred_fwd.len()
+    }
+
     /// Whether the private hierarchy holds write permission for `line`
     /// (M/E in the L1D or the L2) — the CSB flush feasibility test.
     pub fn hierarchy_writable(&self, line: LineAddr) -> bool {

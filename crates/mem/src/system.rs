@@ -13,6 +13,65 @@ use crate::msgs::{CacheEvent, Msg};
 use crate::net::{NetLatency, Network};
 use crate::percore::PrivateCache;
 
+/// Memory-side snapshot of one core taken when a run fails to make
+/// progress (part of the structured deadlock diagnostics).
+#[derive(Debug, Clone, Default)]
+pub struct CoreMemSnapshot {
+    /// Requests in flight from this core to the directory.
+    pub outstanding: usize,
+    /// Lines those requests target.
+    pub outstanding_lines: Vec<tus_sim::LineAddr>,
+    /// External requests parked on this core (pending decision, delayed,
+    /// or deferred by the grant-hold window).
+    pub parked_externals: usize,
+}
+
+/// Memory-side half of a deadlock report: what the coherence fabric was
+/// doing when progress stopped. The policy-side half (SB/WOQ/WCB
+/// occupancy) is assembled by the full-system layer.
+#[derive(Debug, Clone, Default)]
+pub struct MemDeadlockSnapshot {
+    /// Per-core controller state.
+    pub cores: Vec<CoreMemSnapshot>,
+    /// Directory transactions still open.
+    pub dir_open_transactions: usize,
+    /// Interconnect messages still in flight.
+    pub net_in_flight: usize,
+}
+
+impl MemDeadlockSnapshot {
+    /// Whether the memory side was fully quiescent (the hang is then in
+    /// the policy/pipeline layer).
+    pub fn quiescent(&self) -> bool {
+        self.dir_open_transactions == 0
+            && self.net_in_flight == 0
+            && self
+                .cores
+                .iter()
+                .all(|c| c.outstanding == 0 && c.parked_externals == 0)
+    }
+}
+
+impl std::fmt::Display for MemDeadlockSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "directory: {} open transaction(s); network: {} message(s) in flight",
+            self.dir_open_transactions, self.net_in_flight
+        )?;
+        for (i, c) in self.cores.iter().enumerate() {
+            writeln!(
+                f,
+                "core{i} mem: {} outstanding request(s) {:?}, {} parked external(s)",
+                c.outstanding,
+                c.outstanding_lines.iter().map(|l| l.raw()).collect::<Vec<_>>(),
+                c.parked_externals
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// All memory-side components of the simulated machine.
 pub struct MemorySystem {
     /// Per-core private cache controllers.
@@ -115,6 +174,25 @@ impl MemorySystem {
         self.net.idle() && self.dir.idle() && self.ctrls.iter().all(|c| c.quiesced())
     }
 
+    /// Snapshots the memory-side state for a deadlock report: what each
+    /// controller, the directory and the interconnect still had in
+    /// flight when forward progress stopped.
+    pub fn deadlock_snapshot(&self) -> MemDeadlockSnapshot {
+        MemDeadlockSnapshot {
+            cores: self
+                .ctrls
+                .iter()
+                .map(|c| CoreMemSnapshot {
+                    outstanding: c.outstanding_requests(),
+                    outstanding_lines: c.outstanding_lines(),
+                    parked_externals: c.parked_externals(),
+                })
+                .collect(),
+            dir_open_transactions: self.dir.open_transactions(),
+            net_in_flight: self.net.in_flight(),
+        }
+    }
+
     /// Reads the *coherent* value of `size` bytes at `addr`: the dirty
     /// copy of the owning core if one exists, else memory. Intended for
     /// post-run final-state extraction (the system should be quiesced).
@@ -156,20 +234,36 @@ mod tests {
     }
 
     /// Runs ticks until `f` yields a value or the cycle budget is hit.
-    fn run_until<T>(
+    /// Budget exhaustion is an `Err` carrying the memory-side snapshot,
+    /// never a process abort — callers decide how to surface it.
+    fn try_run_until<T>(
         sys: &mut MemorySystem,
         start: u64,
         budget: u64,
         mut f: impl FnMut(&mut MemorySystem, Cycle) -> Option<T>,
-    ) -> (Cycle, T) {
+    ) -> Result<(Cycle, T), MemDeadlockSnapshot> {
         for t in start..start + budget {
             let now = Cycle::new(t);
             sys.tick(now);
             if let Some(v) = f(sys, now) {
-                return (now, v);
+                return Ok((now, v));
             }
         }
-        panic!("condition not reached within {budget} cycles");
+        Err(sys.deadlock_snapshot())
+    }
+
+    fn run_until<T>(
+        sys: &mut MemorySystem,
+        start: u64,
+        budget: u64,
+        f: impl FnMut(&mut MemorySystem, Cycle) -> Option<T>,
+    ) -> (Cycle, T) {
+        match try_run_until(sys, start, budget, f) {
+            Ok(v) => v,
+            Err(snap) => {
+                unreachable!("condition not reached within {budget} cycles:\n{snap}")
+            }
+        }
     }
 
     #[test]
@@ -287,13 +381,14 @@ mod tests {
             let (ctrl, net) = (&mut sys.ctrls[(i % 2) as usize], &mut sys.net);
             ctrl.load(Addr::new(0x100 * i), 4, i, now, net);
         }
-        for t in 20..20_000u64 {
-            sys.tick(Cycle::new(t));
-            if sys.quiesced() {
-                return;
-            }
-        }
-        panic!("memory system failed to quiesce");
+        let quiesced = try_run_until(&mut sys, 20, 20_000, |sys, _| {
+            sys.quiesced().then_some(())
+        });
+        assert!(
+            quiesced.is_ok(),
+            "memory system failed to quiesce:\n{}",
+            quiesced.expect_err("checked")
+        );
     }
 
     #[test]

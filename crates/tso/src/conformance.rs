@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use tus::System;
+use tus::{DeadlockReport, System};
 use tus_cpu::{TraceInst, VecTrace};
 use tus_sim::{Addr, PolicyKind, SimConfig, SimRng};
 
@@ -27,9 +27,50 @@ pub fn loc_addr(loc: usize) -> Addr {
     Addr::new(LITMUS_BASE + (loc as u64) * 64)
 }
 
+/// The default location→address map: one cache line per location.
+pub fn default_addrs(prog: &Program) -> Vec<Addr> {
+    (0..prog.locations()).map(loc_addr).collect()
+}
+
+/// The result of one simulator run of a litmus program.
+///
+/// Only [`RunVerdict::Outcome`] carries register/memory values that may
+/// be compared against the reference model; the other verdicts mean the
+/// run produced *no* trustworthy outcome and must be surfaced, not
+/// silently treated as an observation.
+#[derive(Debug)]
+pub enum RunVerdict {
+    /// The run completed; all registers and final memory collected.
+    Outcome(Outcome),
+    /// The run exhausted its cycle budget or tripped the progress
+    /// watchdog; the report says what was stuck where.
+    Timeout(Box<DeadlockReport>),
+    /// The run "completed" but a thread collected a different number of
+    /// load values than the program contains — the outcome would be
+    /// fabricated, so it is rejected (defense against harness bugs).
+    Truncated {
+        /// Thread whose register file is inconsistent.
+        thread: usize,
+        /// Loads the program performs on that thread.
+        expected: usize,
+        /// Values actually collected.
+        got: usize,
+    },
+}
+
+impl RunVerdict {
+    /// The completed outcome, if any.
+    pub fn outcome(self) -> Option<Outcome> {
+        match self {
+            RunVerdict::Outcome(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
 /// Compiles one thread to a trace, inserting `0..=max_pad` random ALU
 /// instructions between operations to perturb pipeline timing.
-fn compile_thread(ops: &[LOp], rng: &mut SimRng, max_pad: u64) -> VecTrace {
+fn compile_thread(ops: &[LOp], addrs: &[Addr], rng: &mut SimRng, max_pad: u64) -> VecTrace {
     let mut insts = Vec::new();
     for op in ops {
         if max_pad > 0 {
@@ -38,16 +79,31 @@ fn compile_thread(ops: &[LOp], rng: &mut SimRng, max_pad: u64) -> VecTrace {
             }
         }
         match *op {
-            LOp::Store { loc, val } => insts.push(TraceInst::store(loc_addr(loc.0), 8, val)),
-            LOp::Load { loc } => insts.push(TraceInst::load(loc_addr(loc.0), 8)),
+            LOp::Store { loc, val } => insts.push(TraceInst::store(addrs[loc.0], 8, val)),
+            LOp::Load { loc } => insts.push(TraceInst::load(addrs[loc.0], 8)),
             LOp::Fence => insts.push(TraceInst::fence()),
         }
     }
     VecTrace::new(insts)
 }
 
-/// Runs `prog` once on the simulator and extracts its outcome.
-pub fn run_once(prog: &Program, policy: PolicyKind, seed: u64) -> Outcome {
+/// Runs `prog` once with locations mapped through `addrs` (one 8-byte
+/// slot per location; distinct locations may share a cache line or
+/// collide in the lex order — that is the point of custom maps).
+///
+/// # Panics
+///
+/// Panics if `addrs` is shorter than the program's location count.
+pub fn try_run_once_at(
+    prog: &Program,
+    addrs: &[Addr],
+    policy: PolicyKind,
+    seed: u64,
+) -> RunVerdict {
+    assert!(
+        addrs.len() >= prog.locations(),
+        "address map covers every location"
+    );
     let mut rng = SimRng::seed(seed);
     let cfg = SimConfig::builder()
         .cores(prog.threads.len())
@@ -60,20 +116,57 @@ pub fn run_once(prog: &Program, policy: PolicyKind, seed: u64) -> Outcome {
     let traces: Vec<Box<dyn tus_cpu::TraceSource>> = prog
         .threads
         .iter()
-        .map(|t| Box::new(compile_thread(&t.ops, &mut rng, max_pad)) as Box<dyn tus_cpu::TraceSource>)
+        .map(|t| {
+            Box::new(compile_thread(&t.ops, addrs, &mut rng, max_pad))
+                as Box<dyn tus_cpu::TraceSource>
+        })
         .collect();
     let mut sys = System::new(&cfg, traces, seed);
     for i in 0..prog.threads.len() {
         sys.core_mut(i).record_loads(true);
     }
-    sys.run_to_completion(RUN_BUDGET);
-    let regs = (0..prog.threads.len())
+    if let Err(report) = sys.try_run_to_completion(RUN_BUDGET) {
+        return RunVerdict::Timeout(report);
+    }
+    let regs: Vec<Vec<u64>> = (0..prog.threads.len())
         .map(|i| sys.core(i).loaded_values().to_vec())
         .collect();
+    for (i, (r, t)) in regs.iter().zip(&prog.threads).enumerate() {
+        if r.len() != t.loads() {
+            return RunVerdict::Truncated {
+                thread: i,
+                expected: t.loads(),
+                got: r.len(),
+            };
+        }
+    }
     let mem = (0..prog.locations())
-        .map(|l| sys.mem().read_coherent(loc_addr(l), 8))
+        .map(|l| sys.mem().read_coherent(addrs[l], 8))
         .collect();
-    Outcome { regs, mem }
+    RunVerdict::Outcome(Outcome { regs, mem })
+}
+
+/// Runs `prog` once with the default one-line-per-location map.
+pub fn try_run_once(prog: &Program, policy: PolicyKind, seed: u64) -> RunVerdict {
+    try_run_once_at(prog, &default_addrs(prog), policy, seed)
+}
+
+/// Runs `prog` once on the simulator and extracts its outcome.
+///
+/// # Panics
+///
+/// Panics on timeout or truncated register collection — use
+/// [`try_run_once`] where a hang must be recorded instead of aborting.
+pub fn run_once(prog: &Program, policy: PolicyKind, seed: u64) -> Outcome {
+    match try_run_once(prog, policy, seed) {
+        RunVerdict::Outcome(o) => o,
+        RunVerdict::Timeout(r) => panic!("litmus run timed out:\n{r}"),
+        RunVerdict::Truncated {
+            thread,
+            expected,
+            got,
+        } => panic!("thread {thread} collected {got}/{expected} load values"),
+    }
 }
 
 /// Runs `prog` across `seeds` timing variations, collecting the distinct
@@ -91,12 +184,21 @@ pub struct ConformanceReport {
     pub allowed: BTreeSet<Outcome>,
     /// Observed outcomes outside the allowed set (must be empty).
     pub violations: Vec<Outcome>,
+    /// Seeds whose runs timed out or tripped the watchdog, with the
+    /// deadlock diagnostics (must be empty).
+    pub timeouts: Vec<(u64, Box<DeadlockReport>)>,
+    /// Seeds whose runs collected an inconsistent register count
+    /// (must be empty).
+    pub truncated_seeds: Vec<u64>,
 }
 
 impl ConformanceReport {
-    /// Whether every observed outcome is TSO-allowed.
+    /// Whether every run completed and every observed outcome is
+    /// TSO-allowed. Timeouts and truncated runs are non-conforming: they
+    /// are not evidence of correctness, and under a fuzzer they are
+    /// counterexamples in their own right.
     pub fn conforms(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.timeouts.is_empty() && self.truncated_seeds.is_empty()
     }
 
     /// Fraction of the allowed set that was actually observed (coverage;
@@ -116,8 +218,32 @@ impl ConformanceReport {
 /// Checks that `prog` on the simulator under `policy` only produces
 /// TSO-allowed outcomes across `seeds` timing variations.
 pub fn check_conformance(prog: &Program, policy: PolicyKind, seeds: u64) -> ConformanceReport {
+    check_conformance_at(prog, &default_addrs(prog), policy, seeds)
+}
+
+/// [`check_conformance`] with a custom location→address map. The
+/// reference set depends only on the program (addresses change timing
+/// and lex-order interactions, never TSO semantics), so the same
+/// axiomatic set applies to every map.
+pub fn check_conformance_at(
+    prog: &Program,
+    addrs: &[Addr],
+    policy: PolicyKind,
+    seeds: u64,
+) -> ConformanceReport {
     let allowed = tso_outcomes(prog);
-    let observed = observe_outcomes(prog, policy, seeds);
+    let mut observed = BTreeSet::new();
+    let mut timeouts = Vec::new();
+    let mut truncated_seeds = Vec::new();
+    for seed in 0..seeds {
+        match try_run_once_at(prog, addrs, policy, seed) {
+            RunVerdict::Outcome(o) => {
+                observed.insert(o);
+            }
+            RunVerdict::Timeout(r) => timeouts.push((seed, r)),
+            RunVerdict::Truncated { .. } => truncated_seeds.push(seed),
+        }
+    }
     let violations = observed
         .iter()
         .filter(|o| !allowed.contains(*o))
@@ -127,6 +253,8 @@ pub fn check_conformance(prog: &Program, policy: PolicyKind, seeds: u64) -> Conf
         observed,
         allowed,
         violations,
+        timeouts,
+        truncated_seeds,
     }
 }
 

@@ -16,13 +16,24 @@
 //!   (one core per thread), runs them across many seeds with coherence-
 //!   message jitter to explore timings, and checks that every observed
 //!   outcome is TSO-allowed.
+//! * [`fuzz`] — differential fuzzing: a seeded random litmus generator
+//!   biased toward TUS-stressing shapes, a five-policy differential
+//!   checker against the reference model, a counterexample shrinker and
+//!   the corpus text format used by `tus-harness fuzz`.
 
 pub mod conformance;
+pub mod fuzz;
 pub mod litmus;
 pub mod prog;
 pub mod refmodel;
 
-pub use conformance::{check_conformance, observe_outcomes, ConformanceReport};
+pub use conformance::{
+    check_conformance, check_conformance_at, observe_outcomes, ConformanceReport, RunVerdict,
+};
+pub use fuzz::{
+    check_case, decode_case, encode_case, generate_case, shrink_case, CaseFailure, CorpusEntry,
+    FailureKind, FuzzCase,
+};
 pub use litmus::{all_litmus_tests, LitmusTest};
 pub use prog::{LOp, Loc, Outcome, Program, Thread};
 pub use refmodel::tso_outcomes;

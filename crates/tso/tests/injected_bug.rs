@@ -1,0 +1,77 @@
+//! Fuzzer validation against a real, deliberately injected ordering bug.
+//!
+//! Built only with `--features bug-woq-reorder`, which makes the TUS
+//! policy drain *any* fully-ready WOQ group (youngest first) instead of
+//! only the head group — younger stores can become globally visible
+//! before older ones, which is exactly the class of bug the WOQ exists
+//! to prevent. These tests prove the differential fuzzer (a) detects
+//! the resulting non-TSO outcomes from randomly generated programs and
+//! (b) shrinks a failing program to a minimal counterexample.
+//!
+//! Run with:
+//! ```sh
+//! cargo test -p tus-tso --features bug-woq-reorder --release --test injected_bug
+//! ```
+#![cfg(feature = "bug-woq-reorder")]
+
+use tus_sim::{PolicyKind, SimRng};
+use tus_tso::fuzz::{check_policy, generate_case, shrink_case, FailureKind, FuzzCase};
+
+/// Timing seeds per check: enough scheduling diversity to expose the
+/// readiness races the bug needs, small enough to keep the test quick.
+const SEEDS: u64 = 8;
+
+/// Generated programs to try before giving up. The reorder is easy to
+/// hit (any two independently-granted WOQ groups can invert), so the
+/// fuzzer finds it within the first handful of programs in practice.
+const MAX_PROGRAMS: u64 = 120;
+
+/// Scans generated programs under the TUS policy until the injected
+/// reorder shows up as a differential failure.
+fn find_failing_case() -> (FuzzCase, u64) {
+    for i in 0..MAX_PROGRAMS {
+        let case = generate_case(&mut SimRng::seed(0xB06).fork(i + 1));
+        if check_policy(&case, PolicyKind::Tus, SEEDS).is_some() {
+            return (case, i);
+        }
+    }
+    panic!("fuzzer failed to catch the injected WOQ reorder in {MAX_PROGRAMS} programs");
+}
+
+#[test]
+fn fuzzer_catches_injected_woq_reorder() {
+    let (case, index) = find_failing_case();
+    let failure = check_policy(&case, PolicyKind::Tus, SEEDS).expect("still fails");
+    // The injected bug reorders visibility; it must surface as a non-TSO
+    // outcome (or, at worst, a structural failure), never pass silently.
+    match &failure.kind {
+        FailureKind::Violation(outcome) => {
+            eprintln!("caught at program {index}: non-TSO outcome {outcome}\n{case}");
+        }
+        other => eprintln!("caught at program {index}: {other}\n{case}"),
+    }
+    assert_eq!(failure.policy, PolicyKind::Tus);
+}
+
+#[test]
+fn injected_bug_shrinks_to_minimal_counterexample() {
+    let (case, _) = find_failing_case();
+    let (small, fail) = shrink_case(&case, PolicyKind::Tus, SEEDS);
+    eprintln!(
+        "shrunk to {} thread(s) / {} op(s): {fail}\n{small}",
+        small.program.threads.len(),
+        small.program.ops()
+    );
+    assert!(
+        small.program.threads.len() <= 3,
+        "shrunk case still has {} threads",
+        small.program.threads.len()
+    );
+    assert!(
+        small.program.ops() <= 6,
+        "shrunk case still has {} ops",
+        small.program.ops()
+    );
+    // The minimized case must reproduce the failure on its own.
+    assert!(check_policy(&small, PolicyKind::Tus, SEEDS).is_some());
+}

@@ -123,7 +123,9 @@ fn woq_fifo_and_merge_invariants() {
 }
 
 /// Authorization unit: the decision is exactly "delay iff the core is
-/// ready on every older-or-same-group entry with lex ≤ the target's".
+/// ready on every older-or-same-group entry with lex ≤ the target's",
+/// under the *total* lex order (sub-address ties broken by the full
+/// line address).
 #[test]
 fn auth_unit_decision_matches_definition() {
     for seed in 0..200u64 {
@@ -145,11 +147,11 @@ fn auth_unit_decision_matches_definition() {
         // The target must be ready (a conflict implies held permission).
         w.mark_ready(target, 0);
         let got = unit.decide(&w, target);
-        let tl = unit.lex(w.entry(target).line);
+        let tl = unit.total_lex(w.entry(target).line);
         let tg = w.entry(target).group;
         let expect_delay = w.iter().enumerate().all(|(i, e)| {
             let relevant = i <= target || e.group == tg;
-            !relevant || unit.lex(e.line) > tl || e.ready
+            !relevant || unit.total_lex(e.line) > tl || e.ready
         });
         assert_eq!(got == ConflictDecision::Delay, expect_delay, "seed {seed}");
     }
