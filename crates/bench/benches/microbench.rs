@@ -78,4 +78,19 @@ fn main() {
             black_box(tus_bench::short_run("523.xalancbmk-like", policy, 114, 10_000).cycles)
         });
     }
+
+    // Lockstep vs idle-skipping kernel on a latency-bound workload (long
+    // DRAM waits — the skip kernel's best case) and a compute-bound one
+    // (its worst case: every cycle has due work, the scan is pure
+    // overhead).
+    for workload in ["505.mcf-like", "523.xalancbmk-like"] {
+        for kernel in tus_sim::KernelKind::ALL {
+            b.bench(&format!("kernel/{workload}/{kernel}"), || {
+                black_box(
+                    tus_bench::short_run_kernel(workload, PolicyKind::Baseline, 114, 10_000, kernel)
+                        .cycles,
+                )
+            });
+        }
+    }
 }

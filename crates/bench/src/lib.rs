@@ -18,15 +18,28 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use tus_harness::{run, RunResult, RunSpec, Scale};
-use tus_sim::PolicyKind;
+use tus_sim::{KernelKind, PolicyKind};
 
 /// Runs one short measurement of `workload` under `policy` (shared by the
 /// benches).
 pub fn short_run(workload: &str, policy: PolicyKind, sb: usize, insts: u64) -> RunResult {
+    short_run_kernel(workload, policy, sb, insts, KernelKind::default())
+}
+
+/// [`short_run`] under an explicit simulation kernel (the kernel
+/// comparison benches).
+pub fn short_run_kernel(
+    workload: &str,
+    policy: PolicyKind,
+    sb: usize,
+    insts: u64,
+    kernel: KernelKind,
+) -> RunResult {
     let w = tus_workloads::by_name(workload).expect("workload exists");
     let spec = RunSpec {
         warmup: 0,
         insts,
+        kernel,
         ..RunSpec::new(w, policy, sb, Scale::Quick)
     };
     run(&spec)

@@ -25,7 +25,7 @@ use std::collections::VecDeque;
 use tus_cpu::StoreBuffer;
 use tus_mem::prefetch::SpbPrefetcher;
 use tus_mem::{
-    CacheEvent, Network, PrivateCache, ProbeResult, StoreWriteOutcome,
+    CacheEvent, Network, PrivateCache, ProbeResult, StoreAttemptClass, StoreWriteOutcome,
 };
 use tus_sim::{Addr, Cycle, LineAddr, PolicyKind, SimConfig, StatSet};
 
@@ -171,6 +171,34 @@ impl Policy {
         !self.drained()
     }
 
+    /// Earliest cycle at or after `now` at which [`Policy::drain`] would
+    /// change any buffer, cache, network, or counter state, or `None`
+    /// when nothing will change until another component acts first (the
+    /// idle-skipping kernel's per-policy contract; see
+    /// [`tus_sim::Schedulable`] for the conservatism rules).
+    pub fn next_work(&self, sb: &StoreBuffer, ctrl: &PrivateCache, now: Cycle) -> Option<Cycle> {
+        match self {
+            Policy::Baseline(p) => p.next_work(sb, ctrl, now),
+            Policy::Spb(p) => p.next_work(sb, ctrl, now),
+            Policy::Ssb(p) => p.next_work(sb, ctrl, now),
+            Policy::Csb(p) => p.next_work(sb, now),
+            Policy::Tus(p) => p.next_work(sb, ctrl, now),
+        }
+    }
+
+    /// Charges `n` skipped idle cycles with exactly the per-cycle counter
+    /// increments that `n` lockstep [`Policy::drain`] calls would have
+    /// made in this (idle) state. Only the baseline family counts blocked
+    /// retry cycles; an idle CSB/TUS drain mutates nothing.
+    pub fn charge_idle(&mut self, sb: &StoreBuffer, ctrl: &mut PrivateCache, n: u64) {
+        match self {
+            Policy::Baseline(p) => p.charge_idle(sb, ctrl, n),
+            Policy::Spb(p) => p.charge_idle(sb, ctrl, n),
+            Policy::Ssb(p) => p.charge_idle(ctrl, n),
+            Policy::Csb(_) | Policy::Tus(_) => {}
+        }
+    }
+
     /// Snapshots policy-side buffer occupancy for deadlock diagnostics.
     pub fn occupancy(&self) -> PolicyOccupancy {
         match self {
@@ -278,6 +306,38 @@ impl BaselinePolicy {
             }
         }
     }
+
+    fn next_work(&self, sb: &StoreBuffer, ctrl: &PrivateCache, now: Cycle) -> Option<Cycle> {
+        let head = sb.head()?;
+        if !head.committed {
+            return None;
+        }
+        match ctrl.store_write_class(head.addr.line()) {
+            // A write or a fresh GetM would happen this cycle.
+            StoreAttemptClass::WouldComplete | StoreAttemptClass::BlockedWouldRequest => Some(now),
+            // Retry cycles only move counters; chargeable in bulk. The
+            // line state changes on a network delivery, which the memory
+            // side schedules.
+            StoreAttemptClass::BlockedCounting | StoreAttemptClass::BlockedQuiet => None,
+        }
+    }
+
+    fn charge_idle(&mut self, sb: &StoreBuffer, ctrl: &mut PrivateCache, n: u64) {
+        let Some(head) = sb.head() else { return };
+        if !head.committed {
+            return;
+        }
+        match ctrl.store_write_class(head.addr.line()) {
+            StoreAttemptClass::BlockedCounting => {
+                self.head_block_cycles += n;
+                ctrl.charge_blocked_store_cycles(n);
+            }
+            StoreAttemptClass::BlockedQuiet => self.head_block_cycles += n,
+            StoreAttemptClass::WouldComplete | StoreAttemptClass::BlockedWouldRequest => {
+                unreachable!("idle cycle cannot have a drainable store")
+            }
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -323,6 +383,26 @@ impl SpbPolicy {
             ctrl.ensure_write_permission(l, true, now, net);
         }
         self.inner.drain(sb, ctrl, net, now);
+        self.head_block_cycles = self.inner.head_block_cycles;
+        self.drained = self.inner.drained;
+    }
+
+    fn next_work(&self, sb: &StoreBuffer, ctrl: &PrivateCache, now: Cycle) -> Option<Cycle> {
+        // Backlogged prefetches issue as soon as more than two MSHRs are
+        // free; MSHR occupancy only drops on a grant (a network event).
+        if !self.backlog.is_empty() && ctrl.mshrs_free() > 2 {
+            return Some(now);
+        }
+        self.inner.next_work(sb, ctrl, now)
+    }
+
+    fn charge_idle(&mut self, sb: &StoreBuffer, ctrl: &mut PrivateCache, n: u64) {
+        // The burst counter ticks every cycle the backlog is non-empty,
+        // even when no prefetch can issue.
+        if !self.backlog.is_empty() {
+            self.bursts += n;
+        }
+        self.inner.charge_idle(sb, ctrl, n);
         self.head_block_cycles = self.inner.head_block_cycles;
         self.drained = self.inner.drained;
     }
@@ -392,6 +472,28 @@ impl SsbPolicy {
         }
     }
 
+    fn next_work(&self, sb: &StoreBuffer, ctrl: &PrivateCache, now: Cycle) -> Option<Cycle> {
+        // SB → TSOB movement is unconditional while there is room.
+        if self.tsob.len() < self.cap && sb.head().is_some_and(|h| h.committed) {
+            return Some(now);
+        }
+        let &(addr, _, _) = self.tsob.front()?;
+        match ctrl.store_write_class(addr.line()) {
+            StoreAttemptClass::WouldComplete | StoreAttemptClass::BlockedWouldRequest => Some(now),
+            StoreAttemptClass::BlockedCounting | StoreAttemptClass::BlockedQuiet => None,
+        }
+    }
+
+    fn charge_idle(&mut self, ctrl: &mut PrivateCache, n: u64) {
+        // An idle SSB cycle is one blocked TSOB-head write attempt (the
+        // peak tracker is idempotent while the queue is untouched).
+        if let Some(&(addr, _, _)) = self.tsob.front() {
+            if ctrl.store_write_class(addr.line()) == StoreAttemptClass::BlockedCounting {
+                ctrl.charge_blocked_store_cycles(n);
+            }
+        }
+    }
+
     fn forward_load(&mut self, addr: Addr, size: usize) -> Option<(u64, u64)> {
         self.searches += 1;
         for &(a, s, v) in self.tsob.iter().rev() {
@@ -410,6 +512,97 @@ impl SsbPolicy {
             }
         }
         None
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shared coalescing-drain machinery (CSB and TUS)
+// ----------------------------------------------------------------------
+
+/// The WCB-side state the two coalescing policies (CSB and TUS) share, so
+/// the per-cycle SB→WCB drain loop and the merge-time lex check exist
+/// once. The policies differ only in what flushing the oldest group does:
+/// CSB writes visible data and stalls without permission, TUS writes
+/// temporarily unauthorized data.
+trait CoalescingDrain {
+    fn wcbs(&self) -> &WcbSet;
+    fn wcbs_mut(&mut self) -> &mut WcbSet;
+    fn auth(&self) -> &AuthorizationUnit;
+    /// Counts a cycle in which the SB head could not leave the buffer.
+    fn note_head_block(&mut self);
+    /// Attempts to flush the oldest WCB group; `true` when it left the
+    /// buffers.
+    fn flush_oldest(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) -> bool;
+}
+
+/// Whether adding `line` to the WCBs would merge groups containing a lex
+/// conflict (disallowed: such a group could never be authorized
+/// together).
+fn lex_conflict_on_merge(p: &impl CoalescingDrain, line: LineAddr) -> bool {
+    if p.wcbs().find(line).is_none() {
+        return false;
+    }
+    // Writing to an existing buffer may merge all buffers; check all
+    // pairs.
+    let lines: Vec<LineAddr> = (0..p.wcbs().capacity())
+        .filter_map(|i| p.wcbs().buf(i).map(|b| b.line))
+        .collect();
+    lines
+        .iter()
+        .enumerate()
+        .any(|(i, &a)| lines.iter().skip(i + 1).any(|&b| p.auth().lex_conflict(a, b)))
+}
+
+/// Moves up to [`SB_TO_WCB_PER_CYCLE`] committed stores from the SB into
+/// the WCBs, flushing the oldest group when refused — the per-cycle drain
+/// loop shared by CSB and TUS.
+fn drain_sb_into_wcbs(
+    p: &mut impl CoalescingDrain,
+    sb: &mut StoreBuffer,
+    ctrl: &mut PrivateCache,
+    net: &mut Network,
+    now: Cycle,
+) {
+    let mut moved = 0;
+    while moved < SB_TO_WCB_PER_CYCLE {
+        let Some(head) = sb.head() else { return };
+        if !head.committed {
+            return;
+        }
+        if lex_conflict_on_merge(p, head.addr.line()) {
+            // Lex conflicts in a group are disallowed; wait for the
+            // conflicting store to flush.
+            p.flush_oldest(ctrl, net, now);
+            p.note_head_block();
+            return;
+        }
+        match p.wcbs_mut().write(head.addr, head.size as usize, head.value, now) {
+            Ok(_) => {
+                sb.pop_head();
+                moved += 1;
+            }
+            Err(WcbRefusal::NeedFlush) => {
+                if !p.flush_oldest(ctrl, net, now) {
+                    p.note_head_block();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// When the WCB age-flush branch next runs: `Some(now)` while the
+/// threshold is already exceeded, the cycle the oldest buffer will cross
+/// it otherwise, `None` with no buffered stores.
+fn wcb_age_work(wcbs: &WcbSet, now: Cycle) -> Option<Cycle> {
+    if wcbs.is_empty() {
+        return None;
+    }
+    let age = wcbs.oldest_age(now);
+    if age > WCB_FLUSH_AGE {
+        Some(now)
+    } else {
+        Some(now + (WCB_FLUSH_AGE - age + 1))
     }
 }
 
@@ -447,50 +640,21 @@ impl CsbPolicy {
         if self.wcbs.oldest_age(now) > WCB_FLUSH_AGE {
             self.try_flush(ctrl, net, now);
         }
-        let mut moved = 0;
-        while moved < SB_TO_WCB_PER_CYCLE {
-            let Some(head) = sb.head() else { return };
-            if !head.committed {
-                return;
-            }
-            if self.lex_conflict_on_merge(head.addr.line()) {
-                // Lex conflicts in a group are disallowed; wait for the
-                // conflicting store to flush.
-                self.try_flush(ctrl, net, now);
-                self.head_block_cycles += 1;
-                return;
-            }
-            match self.wcbs.write(head.addr, head.size as usize, head.value, now) {
-                Ok(_) => {
-                    sb.pop_head();
-                    moved += 1;
-                }
-                Err(WcbRefusal::NeedFlush) => {
-                    if !self.try_flush(ctrl, net, now) {
-                        // CSB's weakness: a write miss stops the drain.
-                        self.head_block_cycles += 1;
-                        return;
-                    }
-                }
-            }
-        }
+        drain_sb_into_wcbs(self, sb, ctrl, net, now);
     }
 
-    /// Whether adding `line` to the WCBs would merge groups containing a
-    /// lex conflict.
-    fn lex_conflict_on_merge(&self, line: LineAddr) -> bool {
-        if self.wcbs.find(line).is_none() {
-            return false;
+    fn next_work(&self, sb: &StoreBuffer, now: Cycle) -> Option<Cycle> {
+        // A committed SB head always enters the drain loop (and a blocked
+        // head counts a stall cycle), so it is work even when the WCB
+        // write will be refused.
+        if sb.head().is_some_and(|h| h.committed) {
+            return Some(now);
         }
-        // Writing to an existing buffer may merge all buffers; check all
-        // pairs.
-        let lines: Vec<LineAddr> = (0..self.wcbs.capacity())
-            .filter_map(|i| self.wcbs.buf(i).map(|b| b.line))
-            .collect();
-        lines
-            .iter()
-            .enumerate()
-            .any(|(i, &a)| lines.iter().skip(i + 1).any(|&b| self.auth.lex_conflict(a, b)))
+        // Otherwise the only self-driven activity is the age flush. A
+        // failing CSB flush attempt is side-effect-free only while the
+        // permission request is in flight, so conservatively treat the
+        // whole over-age window as work (it degrades to lockstep there).
+        wcb_age_work(&self.wcbs, now)
     }
 
     /// Attempts to write the oldest WCB group to the L1D; all lines need
@@ -523,6 +687,25 @@ impl CsbPolicy {
         self.wcbs.take(&idxs);
         self.flushes += 1;
         true
+    }
+}
+
+impl CoalescingDrain for CsbPolicy {
+    fn wcbs(&self) -> &WcbSet {
+        &self.wcbs
+    }
+    fn wcbs_mut(&mut self) -> &mut WcbSet {
+        &mut self.wcbs
+    }
+    fn auth(&self) -> &AuthorizationUnit {
+        &self.auth
+    }
+    fn note_head_block(&mut self) {
+        // CSB's weakness: a write miss stops the drain.
+        self.head_block_cycles += 1;
+    }
+    fn flush_oldest(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) -> bool {
+        self.try_flush(ctrl, net, now)
     }
 }
 
@@ -582,43 +765,37 @@ impl TusPolicy {
         if self.wcbs.oldest_age(now) > WCB_FLUSH_AGE {
             self.try_flush(ctrl, net, now);
         }
-        let mut moved = 0;
-        while moved < SB_TO_WCB_PER_CYCLE {
-            let Some(head) = sb.head() else { return };
-            if !head.committed {
-                return;
-            }
-            if self.lex_conflict_on_merge(head.addr.line()) {
-                self.try_flush(ctrl, net, now);
-                self.head_block_cycles += 1;
-                return;
-            }
-            match self.wcbs.write(head.addr, head.size as usize, head.value, now) {
-                Ok(_) => {
-                    sb.pop_head();
-                    moved += 1;
-                }
-                Err(WcbRefusal::NeedFlush) => {
-                    if !self.try_flush(ctrl, net, now) {
-                        self.head_block_cycles += 1;
-                        return;
-                    }
-                }
-            }
-        }
+        drain_sb_into_wcbs(self, sb, ctrl, net, now);
     }
 
-    fn lex_conflict_on_merge(&self, line: LineAddr) -> bool {
-        if self.wcbs.find(line).is_none() {
-            return false;
+    fn next_work(&self, sb: &StoreBuffer, ctrl: &PrivateCache, now: Cycle) -> Option<Cycle> {
+        // A fully-ready head group flips visible this cycle.
+        if self.woq.head_group_ready() {
+            return Some(now);
         }
-        let lines: Vec<LineAddr> = (0..self.wcbs.capacity())
-            .filter_map(|i| self.wcbs.buf(i).map(|b| b.line))
-            .collect();
-        lines
-            .iter()
-            .enumerate()
-            .any(|(i, &a)| lines.iter().skip(i + 1).any(|&b| self.auth.lex_conflict(a, b)))
+        // A lex-order re-request that can actually go out sends a GetM.
+        if self.rerequest_would_send(ctrl) {
+            return Some(now);
+        }
+        if sb.head().is_some_and(|h| h.committed) {
+            return Some(now);
+        }
+        // The age-flush branch must run in lockstep even when the flush
+        // will fail: the TUS feasibility probe searches the WOQ
+        // ([`Woq::find`] counts every search), so a failing attempt still
+        // moves a counter.
+        wcb_age_work(&self.wcbs, now)
+    }
+
+    /// Whether [`TusPolicy::rerequest`] would issue a permission request
+    /// this cycle (the request only goes out when the lex order allows
+    /// it, none is in flight, and an MSHR is free).
+    fn rerequest_would_send(&self, ctrl: &PrivateCache) -> bool {
+        self.woq.retry_positions().into_iter().any(|idx| {
+            self.auth.may_rerequest(&self.woq, idx)
+                && !ctrl.request_in_flight(self.woq.entry(idx).line)
+                && ctrl.mshrs_free() > 0
+        })
     }
 
     /// Makes every fully-ready atomic group at the head of the WOQ
@@ -833,5 +1010,23 @@ impl TusPolicy {
             }
             CacheEvent::LoadDone { .. } | CacheEvent::Invalidated { .. } => {}
         }
+    }
+}
+
+impl CoalescingDrain for TusPolicy {
+    fn wcbs(&self) -> &WcbSet {
+        &self.wcbs
+    }
+    fn wcbs_mut(&mut self) -> &mut WcbSet {
+        &mut self.wcbs
+    }
+    fn auth(&self) -> &AuthorizationUnit {
+        &self.auth
+    }
+    fn note_head_block(&mut self) {
+        self.head_block_cycles += 1;
+    }
+    fn flush_oldest(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) -> bool {
+        self.try_flush(ctrl, net, now)
     }
 }

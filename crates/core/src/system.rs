@@ -17,12 +17,20 @@
 
 use tus_cpu::{Core, MemPort, TraceSource};
 use tus_mem::{CacheEvent, MemDeadlockSnapshot, MemorySystem, Network, PrivateCache};
-use tus_sim::{Addr, CoreId, Cycle, PolicyKind, SimConfig, SimRng, StatSet};
+use tus_sim::sched::earliest;
+use tus_sim::{Addr, CoreId, Cycle, KernelKind, PolicyKind, Schedulable, SimConfig, SimRng, StatSet};
 
 use crate::policy::{Policy, PolicyOccupancy};
 
 /// Cycles without global progress after which a run aborts.
 const WATCHDOG_CYCLES: u64 = 500_000;
+
+/// After a next-work scan finds due work, the skip kernel ticks this many
+/// further cycles without re-scanning (see `System::advance`). Busy
+/// stretches pay the machine-wide scan once per `SCAN_BACKOFF + 1` cycles
+/// instead of every cycle; entering an idle jump is deferred by at most
+/// this many ticks, which the jump itself then absorbs.
+const SCAN_BACKOFF: u32 = 7;
 
 /// Why a run loop gave up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +236,125 @@ impl System {
         self.now += 1;
     }
 
+    /// Machine-wide earliest next-work cycle: the minimum over the memory
+    /// system (network, directory, per-core controllers), every drain
+    /// policy, and every core pipeline. `None` means no component will
+    /// ever act again without external input — the watchdog's domain.
+    /// Returns early once any component claims work at or before `now`.
+    fn next_work(&self, now: Cycle) -> Option<Cycle> {
+        // Cheapest checks first: an actively dispatching core answers
+        // `Some(now)` after one or two branch tests, and this function
+        // runs before every tick — the memory walk (network queues,
+        // directory, every controller) must only be paid once the cores
+        // are actually quiet.
+        let mut next: Option<Cycle> = None;
+        for i in 0..self.cores.len() {
+            let drained = self.policies[i].drained();
+            next = earliest(next, self.cores[i].next_work_at(now, drained));
+            if next.is_some_and(|c| c <= now) {
+                return next;
+            }
+            next = earliest(
+                next,
+                self.policies[i].next_work(self.cores[i].sb(), &self.mem.ctrls[i], now),
+            );
+            if next.is_some_and(|c| c <= now) {
+                return next;
+            }
+        }
+        earliest(next, self.mem.next_work(now))
+    }
+
+    /// Charges `n` skipped cycles to every component's stall/occupancy
+    /// counters — exactly what `n` lockstep ticks would have recorded in
+    /// this (idle) state — and advances the clock past them.
+    fn skip_idle(&mut self, n: u64) {
+        let now = self.now;
+        for i in 0..self.cores.len() {
+            let drained = self.policies[i].drained();
+            self.policies[i].charge_idle(self.cores[i].sb(), &mut self.mem.ctrls[i], n);
+            self.cores[i].charge_idle(n, now, drained);
+        }
+        self.now += n;
+    }
+
+    /// Advances the machine: one lockstep tick, or — under the
+    /// idle-skipping kernel — a bulk-charged jump over a span in which no
+    /// component has work. Returns the deadlock kind when the progress
+    /// watchdog fires. The caller is responsible for the budget check
+    /// (`now < max_cycles`) before each call.
+    ///
+    /// `unscanned` is the caller-kept scan-backoff budget: when a scan
+    /// finds due work, the next [`SCAN_BACKOFF`] calls tick without
+    /// re-scanning. Ticking is exactly what lockstep does, so this is
+    /// equivalence-preserving by construction; it only defers *entering*
+    /// an idle jump by at most [`SCAN_BACKOFF`] cycles, trading a sliver
+    /// of each long skip window for not paying the machine-wide scan on
+    /// every busy cycle.
+    fn advance(
+        &mut self,
+        watchdog: &mut Watchdog,
+        max_cycles: u64,
+        unscanned: &mut u32,
+    ) -> Option<DeadlockKind> {
+        let no_progress = DeadlockKind::NoProgress { cycles: WATCHDOG_CYCLES };
+        if self.cfg.kernel == KernelKind::Lockstep {
+            self.tick();
+            return (!watchdog.check(self)).then_some(no_progress);
+        }
+        if *unscanned > 0 {
+            *unscanned -= 1;
+            self.tick();
+            return (!watchdog.check(self)).then_some(no_progress);
+        }
+        match self.next_work(self.now) {
+            Some(at) if at <= self.now => {
+                *unscanned = SCAN_BACKOFF;
+                self.tick();
+                (!watchdog.check(self)).then_some(no_progress)
+            }
+            horizon => {
+                // Nothing will change before `horizon`: lockstep would
+                // spend pure idle ticks up to there with the progress
+                // signature frozen, each one charged to the same stall
+                // counters and each one advancing the watchdog. Charge
+                // them in bulk, bounded by the cycle budget and by the
+                // tick on which the watchdog would fire.
+                let sig = self.progress_signature();
+                let until_work = match horizon {
+                    Some(at) => at.raw() - self.now.raw(),
+                    None => u64::MAX,
+                };
+                let until_budget = max_cycles - self.now.raw();
+                let cap = watchdog.idle_capacity(sig);
+                let n = until_work.min(until_budget).min(cap);
+                self.skip_idle(n);
+                watchdog.advance_idle(sig, n);
+                (n == cap).then_some(no_progress)
+            }
+        }
+    }
+
+    fn run_loop(
+        &mut self,
+        max_cycles: u64,
+        done: impl Fn(&System) -> bool,
+    ) -> Result<StatSet, Box<DeadlockReport>> {
+        let mut watchdog = Watchdog::new();
+        let mut unscanned = 0u32;
+        while !done(self) {
+            if self.now.raw() >= max_cycles {
+                return Err(Box::new(
+                    self.deadlock_report(DeadlockKind::BudgetExhausted { budget: max_cycles }),
+                ));
+            }
+            if let Some(kind) = self.advance(&mut watchdog, max_cycles, &mut unscanned) {
+                return Err(Box::new(self.deadlock_report(kind)));
+            }
+        }
+        Ok(self.export_stats())
+    }
+
     /// Whether every trace has finished, every store has reached the
     /// memory system and it has quiesced.
     pub fn finished(&self) -> bool {
@@ -263,21 +390,7 @@ impl System {
     /// [`DeadlockReport`] instead of aborting the process, so callers
     /// (the fuzzer in particular) can record it as a counterexample.
     pub fn try_run_to_completion(&mut self, max_cycles: u64) -> Result<StatSet, Box<DeadlockReport>> {
-        let mut watchdog = Watchdog::new();
-        while !self.finished() {
-            if self.now.raw() >= max_cycles {
-                return Err(Box::new(
-                    self.deadlock_report(DeadlockKind::BudgetExhausted { budget: max_cycles }),
-                ));
-            }
-            self.tick();
-            if !watchdog.check(self) {
-                return Err(Box::new(
-                    self.deadlock_report(DeadlockKind::NoProgress { cycles: WATCHDOG_CYCLES }),
-                ));
-            }
-        }
-        Ok(self.export_stats())
+        self.run_loop(max_cycles, System::finished)
     }
 
     /// Runs until [`System::finished`], aborting after `max_cycles` or on
@@ -303,28 +416,9 @@ impl System {
         insts: u64,
         max_cycles: u64,
     ) -> Result<StatSet, Box<DeadlockReport>> {
-        let mut watchdog = Watchdog::new();
-        loop {
-            let done = self
-                .cores
-                .iter()
-                .all(|c| c.committed() >= insts || c.finished());
-            if done {
-                break;
-            }
-            if self.now.raw() >= max_cycles {
-                return Err(Box::new(
-                    self.deadlock_report(DeadlockKind::BudgetExhausted { budget: max_cycles }),
-                ));
-            }
-            self.tick();
-            if !watchdog.check(self) {
-                return Err(Box::new(
-                    self.deadlock_report(DeadlockKind::NoProgress { cycles: WATCHDOG_CYCLES }),
-                ));
-            }
-        }
-        Ok(self.export_stats())
+        self.run_loop(max_cycles, |s| {
+            s.cores.iter().all(|c| c.committed() >= insts || c.finished())
+        })
     }
 
     /// Runs until every core has committed at least `insts` instructions
@@ -429,6 +523,32 @@ impl Watchdog {
             self.last = Some(sig);
             self.since = 0;
             true
+        }
+    }
+
+    /// How many consecutive idle (signature-frozen) ticks can elapse
+    /// until — and including — the one whose [`Watchdog::check`] would
+    /// fire, given the current signature. Always at least 1.
+    fn idle_capacity(&self, sig: (u64, u64)) -> u64 {
+        if self.last == Some(sig) {
+            WATCHDOG_CYCLES - self.since
+        } else {
+            // The first check records the new signature without counting,
+            // then WATCHDOG_CYCLES more checks run before firing.
+            WATCHDOG_CYCLES + 1
+        }
+    }
+
+    /// Accounts for `n` consecutive idle ticks at signature `sig` in one
+    /// step — the arithmetic image of `n` sequential [`Watchdog::check`]
+    /// calls that all see the same signature.
+    fn advance_idle(&mut self, sig: (u64, u64), n: u64) {
+        debug_assert!(n >= 1);
+        if self.last == Some(sig) {
+            self.since += n;
+        } else {
+            self.last = Some(sig);
+            self.since = n - 1;
         }
     }
 }
@@ -631,5 +751,159 @@ mod tests {
         assert!(stats.get("core0.cpu.committed") >= 1_000.0);
         assert!(stats.get("core0.cpu.committed") < 10_000.0);
         assert!(stats.get("system_ipc") > 0.0);
+    }
+
+    // --- kernel equivalence ---------------------------------------------
+    //
+    // The idle-skipping kernel must be observationally identical to the
+    // lockstep kernel: same StatSet (every counter, including stall and
+    // occupancy integrals), same final cycle, same deadlock verdicts.
+
+    use tus_cpu::TraceSource;
+    use tus_sim::KernelKind;
+
+    fn run_kernel(
+        cfg: &SimConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        seed: u64,
+        kernel: KernelKind,
+        max_cycles: u64,
+    ) -> Result<StatSet, (DeadlockKind, u64)> {
+        let mut c = *cfg;
+        c.kernel = kernel;
+        let mut sys = System::new(&c, traces, seed);
+        sys.try_run_to_completion(max_cycles)
+            .map_err(|r| (r.kind, r.cycle))
+    }
+
+    fn assert_kernels_agree(cfg: &SimConfig, mk: impl Fn() -> Vec<Box<dyn TraceSource>>, seed: u64) {
+        let lock = run_kernel(cfg, mk(), seed, KernelKind::Lockstep, 4_000_000);
+        let skip = run_kernel(cfg, mk(), seed, KernelKind::Skip, 4_000_000);
+        assert_eq!(lock, skip, "kernels diverged for {:?}", cfg.policy);
+    }
+
+    /// Single-core store/load bursts: both kernels produce identical
+    /// statistics for every policy.
+    #[test]
+    fn kernels_agree_single_core_all_policies() {
+        for policy in PolicyKind::ALL {
+            let cfg = cfg_with(policy, 16);
+            assert_kernels_agree(&cfg, || vec![Box::new(burst_trace(12, 4, 0x50_000))], 23);
+        }
+    }
+
+    /// Fences force full drains (long idle windows while the SB/WCB
+    /// empties); both kernels must charge the wait identically.
+    #[test]
+    fn kernels_agree_with_fences() {
+        for policy in PolicyKind::ALL {
+            let cfg = cfg_with(policy, 8);
+            let mk = || -> Vec<Box<dyn TraceSource>> {
+                let mut v = Vec::new();
+                for i in 0..40u64 {
+                    v.push(TraceInst::store(Addr::new(0x60_000 + (i % 6) * 64), 8, i));
+                    if i % 5 == 4 {
+                        v.push(TraceInst::fence());
+                    }
+                }
+                vec![Box::new(VecTrace::new(v))]
+            };
+            assert_kernels_agree(&cfg, mk, 29);
+        }
+    }
+
+    /// Two cores contending for the same lines exercise the conflict,
+    /// relinquish and grant-hold paths under TUS; the skip kernel must
+    /// not perturb any of them.
+    #[test]
+    fn kernels_agree_two_core_contention() {
+        for policy in PolicyKind::ALL {
+            let cfg = SimConfig::builder()
+                .policy(policy)
+                .cores(2)
+                .sb_entries(8)
+                .prefetch_at_commit(false)
+                .scale_caches_down(64)
+                .build();
+            let mk = || -> Vec<Box<dyn TraceSource>> {
+                let tr = |salt: u64| {
+                    let mut v = Vec::new();
+                    for i in 0..300u64 {
+                        let line = (i + salt) % 4;
+                        v.push(TraceInst::store(Addr::new(0x9000 + line * 64), 8, salt * 1000 + i));
+                        if i % 7 == 2 {
+                            v.push(TraceInst::load(Addr::new(0x9000 + ((line + 2) % 4) * 64), 8));
+                        }
+                    }
+                    VecTrace::new(v)
+                };
+                vec![Box::new(tr(0)), Box::new(tr(1))]
+            };
+            assert_kernels_agree(&cfg, mk, 31);
+        }
+    }
+
+    /// The fixed-instruction-count loop must stop at the same cycle with
+    /// the same counters under both kernels.
+    #[test]
+    fn kernels_agree_run_committed() {
+        for policy in PolicyKind::ALL {
+            let run = |kernel| {
+                let mut cfg = cfg_with(policy, 8);
+                cfg.kernel = kernel;
+                let mut v = Vec::new();
+                for i in 0..500u64 {
+                    v.push(TraceInst::store(Addr::new(0x70_000 + (i % 10) * 64), 8, i));
+                    v.push(TraceInst::alu());
+                }
+                let mut sys = System::new(&cfg, vec![Box::new(VecTrace::new(v))], 37);
+                sys.try_run_committed(400, 2_000_000).map(|s| (sys.now(), s))
+            };
+            let lock = run(KernelKind::Lockstep).expect("lockstep deadlock");
+            let skip = run(KernelKind::Skip).expect("skip deadlock");
+            assert_eq!(lock, skip, "run_committed diverged for {policy}");
+        }
+    }
+
+    /// A too-small cycle budget must trip `BudgetExhausted` at the same
+    /// cycle under both kernels (the skip kernel clamps its jumps to the
+    /// budget horizon rather than overshooting it).
+    #[test]
+    fn kernels_agree_on_budget_exhaustion() {
+        let cfg = cfg_with(PolicyKind::Tus, 8);
+        let mk = || -> Vec<Box<dyn TraceSource>> { vec![Box::new(burst_trace(16, 4, 0x80_000))] };
+        let lock = run_kernel(&cfg, mk(), 41, KernelKind::Lockstep, 200);
+        let skip = run_kernel(&cfg, mk(), 41, KernelKind::Skip, 200);
+        assert!(lock.is_err(), "budget of 200 cycles unexpectedly sufficed");
+        assert_eq!(
+            lock.as_ref().map_err(|e| *e).err(),
+            skip.as_ref().map_err(|e| *e).err(),
+            "budget verdicts diverged"
+        );
+    }
+
+    /// A genuine no-progress hang (a fence that can never drain is not
+    /// constructible here, so instead: budget far beyond the watchdog with
+    /// an empty machine cannot happen — `finished()` short-circuits; use a
+    /// two-core livelock-free case and just assert the watchdog arithmetic
+    /// matches check()'s step behaviour).
+    #[test]
+    fn watchdog_idle_capacity_matches_check_steps() {
+        // Fresh watchdog, unseen signature: capacity counts the recording
+        // check plus WATCHDOG_CYCLES counting checks.
+        let w = Watchdog::new();
+        let sig = (3, 4);
+        assert_eq!(w.idle_capacity(sig), WATCHDOG_CYCLES + 1);
+
+        // Advancing by n then asking again is consistent: total capacity
+        // consumed never changes.
+        let mut w2 = Watchdog::new();
+        w2.advance_idle(sig, 100);
+        assert_eq!(w2.idle_capacity(sig), WATCHDOG_CYCLES - 99);
+        w2.advance_idle(sig, WATCHDOG_CYCLES - 100);
+        // One idle tick of capacity left: the next check fires.
+        assert_eq!(w2.idle_capacity(sig), 1);
+        // A new signature resets the window.
+        assert_eq!(w2.idle_capacity((9, 9)), WATCHDOG_CYCLES + 1);
     }
 }

@@ -10,7 +10,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use tus_sim::{Addr, CoreId, Cycle, FxHashMap, SimConfig, StatSet};
+use tus_sim::sched::earliest;
+use tus_sim::{Addr, CoreId, Cycle, FxHashMap, Schedulable, SimConfig, StatSet};
 
 use crate::sb::{ForwardResult, StoreBuffer};
 use crate::trace::{OpClass, TraceInst, TraceSource};
@@ -46,6 +47,20 @@ pub enum StallReason {
     Sb,
     /// No free physical register.
     Regs,
+}
+
+/// What `dispatch` would do this cycle if nothing else changes first — a
+/// read-only mirror of the first iteration of the dispatch loop, used by
+/// the idle-skipping kernel both to detect pending work and to attribute
+/// skipped cycles to the same stall counter lockstep would have bumped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchClass {
+    /// The front end has no instruction to offer (`frontend_idle`).
+    FrontEmpty,
+    /// The next instruction is blocked on a back-end resource.
+    Stall(StallReason),
+    /// At least one instruction would dispatch.
+    Dispatch,
 }
 
 /// Per-core performance counters.
@@ -301,6 +316,115 @@ impl Core {
             out.set("ipc", s.committed as f64 / s.cycles as f64);
         }
         out
+    }
+
+    /// Earliest cycle at which `tick` could change core state, given the
+    /// drain policy's current answer to [`MemPort::fence_drained`].
+    ///
+    /// `Some(now)` means "tick me now". A later cycle (or `None`) is only
+    /// returned when every pipeline stage is provably a no-op until then:
+    /// the front end cannot fetch, the ROB head cannot pop, no ready-queue
+    /// entry is due, and dispatch is blocked. External events (memory-load
+    /// completions, policy drains freeing the SB) wake the core through the
+    /// layers that deliver them, which report their own work.
+    pub fn next_work_at(&self, now: Cycle, fence_drained: bool) -> Option<Cycle> {
+        // Front-end refill would fetch (or would discover the trace end).
+        if !self.trace_done && self.fetch_buf.len() < 2 * self.cfg.backend.dispatch_width {
+            return Some(now);
+        }
+        let mut future: Option<Cycle> = None;
+        // Commit: the head pops unless it is a blocked fence; a head still
+        // executing completes at `done_at`.
+        if let Some(e) = self.rob.front() {
+            if e.state == RState::Issued {
+                if e.done_at <= now {
+                    if !self.fence_blocked(now, fence_drained) {
+                        return Some(now);
+                    }
+                    // A blocked fence only accrues `fence_wait`; the event
+                    // that unblocks it lives in the policy/memory layers.
+                } else if e.done_at != Cycle::NEVER {
+                    future = earliest(future, Some(e.done_at));
+                }
+            }
+        }
+        // Issue: any due ready-queue entry is work (popping a stale entry
+        // also changes state, so due-ness alone decides).
+        if let Some(&Reverse((at, _))) = self.ready_q.peek() {
+            if at <= now.raw() {
+                return Some(now);
+            }
+            future = earliest(future, Some(Cycle::new(at)));
+        }
+        // Dispatch would allocate.
+        if self.dispatch_class() == DispatchClass::Dispatch {
+            return Some(now);
+        }
+        future
+    }
+
+    /// Charges `n` skipped cycles exactly as `n` lockstep ticks would have,
+    /// given that [`Core::next_work_at`] reported no due work throughout
+    /// (so the classification below is constant over the stretch).
+    pub fn charge_idle(&mut self, n: u64, now: Cycle, fence_drained: bool) {
+        self.stats.cycles += n;
+        self.sb.sample_occupancy_n(n);
+        if self.fence_blocked(now, fence_drained) {
+            self.stats.fence_wait += n;
+        }
+        match self.dispatch_class() {
+            DispatchClass::FrontEmpty => self.stats.frontend_idle += n,
+            DispatchClass::Stall(StallReason::Rob) => self.stats.stall_rob += n,
+            DispatchClass::Stall(StallReason::Lq) => self.stats.stall_lq += n,
+            DispatchClass::Stall(StallReason::Sb) => self.stats.stall_sb += n,
+            DispatchClass::Stall(StallReason::Regs) => self.stats.stall_regs += n,
+            DispatchClass::Dispatch => unreachable!("idle cycle cannot dispatch"),
+        }
+    }
+
+    /// Whether the ROB head is a fence that commit would hold this cycle.
+    fn fence_blocked(&self, now: Cycle, fence_drained: bool) -> bool {
+        self.rob.front().is_some_and(|e| {
+            e.op == OpClass::Fence
+                && e.state == RState::Issued
+                && e.done_at <= now
+                && (self.sb.has_committed() || !fence_drained)
+        })
+    }
+
+    /// Read-only mirror of the first `dispatch` iteration (see
+    /// [`DispatchClass`]).
+    fn dispatch_class(&self) -> DispatchClass {
+        let Some(inst) = self.fetch_buf.front() else {
+            return DispatchClass::FrontEmpty;
+        };
+        if self.rob.len() >= self.cfg.backend.rob_entries {
+            return DispatchClass::Stall(StallReason::Rob);
+        }
+        match inst.op {
+            OpClass::Load => {
+                if self.lq_used >= self.cfg.backend.lq_entries {
+                    return DispatchClass::Stall(StallReason::Lq);
+                }
+            }
+            OpClass::Store => {
+                if self.sb.is_full() {
+                    return DispatchClass::Stall(StallReason::Sb);
+                }
+            }
+            _ => {}
+        }
+        let needs_reg = inst.op != OpClass::Store && inst.op != OpClass::Fence;
+        if needs_reg {
+            if inst.op.is_fp() {
+                if self.fp_regs_used >= self.cfg.backend.fp_regs {
+                    return DispatchClass::Stall(StallReason::Regs);
+                }
+            } else if self.int_regs_used >= self.cfg.backend.int_regs {
+                return DispatchClass::Stall(StallReason::Regs);
+            }
+        }
+        DispatchClass::Dispatch
     }
 
     // ------------------------------------------------------------------
@@ -637,6 +761,16 @@ impl Core {
     }
 }
 
+impl Schedulable for Core {
+    fn next_work(&self, now: Cycle) -> Option<Cycle> {
+        // Without the policy's fence answer, assume drained: that weakens
+        // the fence-blocked test and can only over-claim work, which is the
+        // safe direction for the skip kernel. The system kernel uses
+        // `next_work_at` with the real answer.
+        self.next_work_at(now, true)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -876,6 +1010,45 @@ mod tests {
         }
         assert!(core.stats.stall_rob > 0);
         assert_eq!(core.committed(), 0);
+    }
+
+    #[test]
+    fn finished_core_reports_no_work_and_charges_idle() {
+        let mut core = default_core(vec![TraceInst::alu(); 10]);
+        let mut port = NullPort::new();
+        let end = run(&mut core, &mut port, 100, true);
+        let now = Cycle::new(end + 1);
+        assert_eq!(core.next_work_at(now, true), None);
+        let before = core.stats.frontend_idle;
+        core.charge_idle(41, now, true);
+        assert_eq!(core.stats.frontend_idle, before + 41);
+        assert_eq!(core.stats.cycles, end + 1 + 41);
+    }
+
+    #[test]
+    fn busy_core_claims_work_now() {
+        let core = default_core(vec![TraceInst::alu(); 10]);
+        // Nothing fetched yet: the refill stage alone is pending work.
+        assert_eq!(core.next_work(Cycle::ZERO), Some(Cycle::ZERO));
+    }
+
+    #[test]
+    fn sb_blocked_store_charges_stall_sb() {
+        let cfg = SimConfig::builder().sb_entries(8).build();
+        let insts: Vec<_> = (0..64)
+            .map(|i| TraceInst::store(Addr::new(i * 64), 8, i))
+            .collect();
+        let mut core = Core::new(CoreId::new(0), &cfg, Box::new(VecTrace::new(insts)));
+        let mut port = NullPort::new();
+        for t in 0..200 {
+            core.tick(Cycle::new(t), &mut port);
+        }
+        // SB full, nothing drains: idle until the policy frees an entry.
+        let now = Cycle::new(200);
+        assert_eq!(core.next_work_at(now, true), None);
+        let before = core.stats.stall_sb;
+        core.charge_idle(17, now, true);
+        assert_eq!(core.stats.stall_sb, before + 17);
     }
 
     #[test]

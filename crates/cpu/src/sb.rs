@@ -227,6 +227,13 @@ impl StoreBuffer {
         self.occupancy_samples += 1;
     }
 
+    /// Samples occupancy for `n` cycles at once (the idle-skipping kernel
+    /// charging a stretch of cycles during which the SB did not change).
+    pub fn sample_occupancy_n(&mut self, n: u64) {
+        self.occupancy_sum += n * self.entries.len() as u64;
+        self.occupancy_samples += n;
+    }
+
     /// Number of associative searches performed (the SB energy driver).
     pub fn searches(&self) -> u64 {
         self.searches
@@ -359,5 +366,21 @@ mod tests {
         b.sample_occupancy();
         assert_eq!(b.peak(), 2);
         assert!((b.mean_occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bulk_occupancy_sample_matches_repeated() {
+        let mut a = sb();
+        let mut b = sb();
+        for buf in [&mut a, &mut b] {
+            buf.push(Addr::new(0), 8, 1, 0).expect("room");
+            buf.push(Addr::new(8), 8, 1, 1).expect("room");
+        }
+        for _ in 0..7 {
+            a.sample_occupancy();
+        }
+        b.sample_occupancy_n(7);
+        assert!((a.mean_occupancy() - b.mean_occupancy()).abs() < 1e-12);
+        assert_eq!(a.peak(), b.peak());
     }
 }

@@ -17,7 +17,7 @@ use std::path::Path;
 
 use tus_energy::{sb_area, sb_search_energy, woq_area, woq_search_energy};
 use tus_sim::stats::geomean;
-use tus_sim::{PolicyKind, SimConfig};
+use tus_sim::{KernelKind, PolicyKind, SimConfig};
 use tus_workloads::{all_single, parsec16, sb_bound_single, Workload};
 
 use crate::executor::Executor;
@@ -36,6 +36,9 @@ pub struct Options {
     /// Restrict parallel suites to this many workloads (they are 16-core
     /// and expensive); `None` = all.
     pub parallel_cap: Option<usize>,
+    /// Simulation kernel for every run (`--kernel`). Either kernel yields
+    /// byte-identical CSVs; lockstep exists for equivalence checking.
+    pub kernel: KernelKind,
 }
 
 impl Default for Options {
@@ -45,6 +48,7 @@ impl Default for Options {
             seed: 42,
             out: "results".into(),
             parallel_cap: None,
+            kernel: KernelKind::default(),
         }
     }
 }
@@ -68,6 +72,7 @@ pub const EXPERIMENTS: &[(&str, fn(&Executor, &Options))] = &[
 fn spec(w: &Workload, policy: PolicyKind, sb: usize, opt: &Options) -> RunSpec {
     RunSpec {
         seed: opt.seed,
+        kernel: opt.kernel,
         ..RunSpec::new(w.clone(), policy, sb, opt.scale)
     }
 }

@@ -15,10 +15,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use tus_sim::{PolicyKind, SimRng};
+use tus_sim::{KernelKind, PolicyKind, SimRng};
 use tus_tso::fuzz::{
-    check_case, check_policy, decode_case, encode_case, generate_case, shrink_case, CaseFailure,
-    FailureKind, FuzzCase,
+    check_case_kernel, check_policy_kernel, decode_case, encode_case, generate_case, shrink_case,
+    CaseFailure, FailureKind, FuzzCase,
 };
 
 use crate::executor::Executor;
@@ -42,6 +42,9 @@ pub struct FuzzOptions {
     pub replay: Option<PathBuf>,
     /// Whether to shrink failures before reporting (`--no-shrink` off).
     pub shrink: bool,
+    /// Simulation kernel the sweep runs under (`--kernel`); verdicts must
+    /// not depend on it, so sweeping both kernels is itself a check.
+    pub kernel: KernelKind,
 }
 
 impl Default for FuzzOptions {
@@ -55,6 +58,7 @@ impl Default for FuzzOptions {
             out: PathBuf::from("results"),
             replay: None,
             shrink: true,
+            kernel: KernelKind::default(),
         }
     }
 }
@@ -63,7 +67,7 @@ fn fuzz_usage() -> ! {
     eprintln!(
         "usage: tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                      [--policy base|SSB|CSB|SPB|TUS] [--out DIR]\n\
-         \x20                      [--replay FILE] [--no-shrink]\n\
+         \x20                      [--replay FILE] [--no-shrink] [--kernel lockstep|skip]\n\
          checks N random litmus programs across all five policies against the\n\
          x86-TSO reference model; failures are shrunk and persisted under\n\
          <out>/fuzz-corpus/ as replayable files"
@@ -105,6 +109,13 @@ pub fn parse_fuzz_args(args: &[String]) -> FuzzOptions {
             "--out" => opt.out = it.next().unwrap_or_else(|| fuzz_usage()).into(),
             "--replay" => opt.replay = Some(it.next().unwrap_or_else(|| fuzz_usage()).into()),
             "--no-shrink" => opt.shrink = false,
+            "--kernel" => {
+                let label = it.next().unwrap_or_else(|| fuzz_usage());
+                opt.kernel = KernelKind::parse(label).unwrap_or_else(|| {
+                    eprintln!("fuzz: unknown kernel {label:?}");
+                    fuzz_usage()
+                });
+            }
             _ => fuzz_usage(),
         }
     }
@@ -117,10 +128,15 @@ fn case_rng(base_seed: u64, index: u64) -> SimRng {
     SimRng::seed(base_seed).fork(index.wrapping_add(1))
 }
 
-fn check(case: &FuzzCase, policy: Option<PolicyKind>, seeds: u64) -> Option<CaseFailure> {
+fn check(
+    case: &FuzzCase,
+    policy: Option<PolicyKind>,
+    seeds: u64,
+    kernel: KernelKind,
+) -> Option<CaseFailure> {
     match policy {
-        Some(p) => check_policy(case, p, seeds),
-        None => check_case(case, seeds),
+        Some(p) => check_policy_kernel(case, p, seeds, kernel),
+        None => check_case_kernel(case, seeds, kernel),
     }
 }
 
@@ -196,7 +212,7 @@ fn replay(opt: &FuzzOptions, path: &Path) -> i32 {
         policy.map_or("all", |p| p.label()),
     );
     eprint!("{}", entry.case);
-    match check(&entry.case, policy, seeds) {
+    match check(&entry.case, policy, seeds, opt.kernel) {
         Some(fail) => {
             eprintln!("still failing: {fail}");
             if let FailureKind::Timeout { report, .. } = &fail.kind {
@@ -220,8 +236,8 @@ pub fn run_fuzz(opt: &FuzzOptions) -> i32 {
     let started = std::time::Instant::now();
     let policies = opt.policy.map_or(PolicyKind::ALL.len() as u64, |_| 1);
     eprintln!(
-        "fuzzing {} programs x {} policies x {} seeds (base seed {}, {} jobs)",
-        opt.programs, policies, opt.seeds, opt.base_seed, opt.jobs
+        "fuzzing {} programs x {} policies x {} seeds (base seed {}, {} jobs, {} kernel)",
+        opt.programs, policies, opt.seeds, opt.base_seed, opt.jobs, opt.kernel
     );
 
     let next = AtomicUsize::new(0);
@@ -236,7 +252,7 @@ pub fn run_fuzz(opt: &FuzzOptions) -> i32 {
                     break;
                 }
                 let case = generate_case(&mut case_rng(opt.base_seed, i));
-                if let Some(failure) = check(&case, opt.policy, opt.seeds) {
+                if let Some(failure) = check(&case, opt.policy, opt.seeds, opt.kernel) {
                     findings
                         .lock()
                         .expect("findings lock")
@@ -299,7 +315,7 @@ mod tests {
     fn parse_fuzz_args_covers_flags() {
         let args: Vec<String> = [
             "--programs", "10", "--seeds", "4", "--seed", "9", "--jobs", "2", "--policy", "tus",
-            "--out", "/tmp/x", "--no-shrink",
+            "--out", "/tmp/x", "--no-shrink", "--kernel", "lockstep",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -313,6 +329,7 @@ mod tests {
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
         assert!(!o.shrink);
         assert!(o.replay.is_none());
+        assert_eq!(o.kernel, KernelKind::Lockstep);
     }
 
     /// A tiny end-to-end sweep is clean and deterministic.

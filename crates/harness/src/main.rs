@@ -2,34 +2,47 @@
 //!
 //! ```text
 //! tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]
-//!             [--parallel-cap N] [--jobs N] [--no-cache]
+//!             [--parallel-cap N] [--jobs N] [--no-cache] [--kernel K]
 //! tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]
 //!             [--policy P] [--out DIR] [--replay FILE] [--no-shrink]
+//!             [--kernel K]
+//! tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]
+//!             [--parallel-cap N] [--jobs N]
 //!
 //! experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15
 //!              intext ablation all
+//! kernels (K): lockstep skip (default: skip)
 //! ```
 //!
 //! Runs are executed by a worker pool (`--jobs`, default: available
 //! parallelism), deduplicated across figures, and memoized on disk under
 //! `<out>/.runcache` (`--no-cache` disables the disk cache). All of this
 //! is output-neutral: simulations are seeded and deterministic, so the
-//! tables and CSVs are byte-identical to a sequential, uncached run.
-//! Each experiment reports wall-clock time and simulation throughput;
-//! `all` additionally writes `BENCH_harness.json` next to the CSVs.
+//! tables and CSVs are byte-identical to a sequential, uncached run —
+//! under **either** simulation kernel (`--kernel`), which is what the CI
+//! kernel-equivalence job checks. Each experiment reports wall-clock time
+//! and simulation throughput; `all` additionally writes
+//! `BENCH_harness.json` next to the CSVs, and `bench-kernel` runs the
+//! whole suite cold under both kernels and writes `BENCH_kernel.json`
+//! with the measured lockstep-vs-skip wall-clock.
 
 use std::io::Write as _;
 
-use tus_harness::experiments::{Options, EXPERIMENTS};
+use tus_harness::experiments::{self, Options, EXPERIMENTS};
 use tus_harness::{ExecCounters, Executor, Scale};
+use tus_sim::KernelKind;
 
 fn usage() -> ! {
     eprintln!(
         "usage: tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]\n\
-         \x20                  [--parallel-cap N] [--jobs N] [--no-cache]\n\
+         \x20                  [--parallel-cap N] [--jobs N] [--no-cache] [--kernel K]\n\
          \x20      tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                  [--policy P] [--out DIR] [--replay FILE] [--no-shrink]\n\
-         experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation all"
+         \x20                  [--kernel K]\n\
+         \x20      tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]\n\
+         \x20                  [--parallel-cap N] [--jobs N]\n\
+         experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation all\n\
+         kernels (K): lockstep skip (default: skip)"
     );
     std::process::exit(2);
 }
@@ -86,6 +99,78 @@ fn write_bench_json(out: &std::path::Path, timings: &[Timing]) -> std::io::Resul
     Ok(())
 }
 
+/// `bench-kernel`: runs the full experiment suite **cold** (fresh
+/// executor, no disk cache) once per kernel and records the wall-clock
+/// of each in `<out>/BENCH_kernel.json`. The CSVs land in per-kernel
+/// subdirectories, so a byte-level diff of the two trees doubles as an
+/// equivalence check. Returns the process exit code.
+fn bench_kernel(opt: &Options, jobs: usize) -> i32 {
+    let mut rows: Vec<(KernelKind, f64, ExecCounters)> = Vec::new();
+    for kernel in KernelKind::ALL {
+        let kopt = Options {
+            kernel,
+            out: opt.out.join("bench-kernel").join(kernel.label()),
+            ..opt.clone()
+        };
+        let ex = Executor::new(jobs, None);
+        eprintln!("[bench-kernel: running all experiments, {kernel} kernel]");
+        let started = std::time::Instant::now();
+        experiments::all(&ex, &kopt);
+        let seconds = started.elapsed().as_secs_f64();
+        let counters = ex.counters();
+        eprintln!(
+            "[bench-kernel: {kernel} kernel took {seconds:.1}s, {} sims]",
+            counters.executed
+        );
+        rows.push((kernel, seconds, counters));
+    }
+    match write_bench_kernel_json(&opt.out, &rows) {
+        Ok(()) => {
+            let lockstep = rows[0].1;
+            let skip = rows[1].1;
+            eprintln!(
+                "[bench-kernel: lockstep {lockstep:.1}s, skip {skip:.1}s, speedup {:.2}x]",
+                lockstep / skip.max(1e-9)
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("bench-kernel: cannot write BENCH_kernel.json: {e}");
+            2
+        }
+    }
+}
+
+/// Writes `BENCH_kernel.json`: cold wall-clock per kernel plus the
+/// lockstep/skip ratio (hand-rolled JSON; the workspace is std-only).
+fn write_bench_kernel_json(
+    out: &std::path::Path,
+    rows: &[(KernelKind, f64, ExecCounters)],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(out)?;
+    let mut f = std::fs::File::create(out.join("BENCH_kernel.json"))?;
+    writeln!(f, "{{")?;
+    for (kernel, seconds, counters) in rows {
+        let sims_per_sec = if *seconds > 0.0 {
+            counters.executed as f64 / seconds
+        } else {
+            0.0
+        };
+        writeln!(
+            f,
+            "  \"{kernel}\": {{\"seconds\": {seconds:.3}, \"sims\": {}, \"sims_per_sec\": {sims_per_sec:.2}}},",
+            counters.executed,
+        )?;
+    }
+    let lockstep = rows.iter().find(|r| r.0 == KernelKind::Lockstep);
+    let skip = rows.iter().find(|r| r.0 == KernelKind::Skip);
+    if let (Some(l), Some(s)) = (lockstep, skip) {
+        writeln!(f, "  \"skip_speedup\": {:.3}", l.1 / s.1.max(1e-9))?;
+    }
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -125,11 +210,20 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--no-cache" => cache = false,
+            "--kernel" => {
+                opt.kernel = it
+                    .next()
+                    .and_then(|v| KernelKind::parse(&v))
+                    .unwrap_or_else(|| usage())
+            }
             c if cmd.is_none() && !c.starts_with('-') => cmd = Some(c.to_owned()),
             _ => usage(),
         }
     }
     let Some(cmd) = cmd else { usage() };
+    if cmd == "bench-kernel" {
+        std::process::exit(bench_kernel(&opt, jobs));
+    }
     let cache_dir = cache.then(|| opt.out.join(".runcache"));
     let ex = Executor::new(jobs, cache_dir);
 

@@ -2,7 +2,7 @@
 
 use tus::System;
 use tus_energy::{EnergyBreakdown, EnergyModel};
-use tus_sim::{PolicyKind, SimConfig, StatSet};
+use tus_sim::{KernelKind, PolicyKind, SimConfig, StatSet};
 use tus_workloads::Workload;
 
 /// Version stamp of the simulator's observable behaviour, folded into
@@ -15,8 +15,9 @@ use tus_workloads::Workload;
 /// an older simulator.
 ///
 /// v1 — implicit (unversioned keys, PR 1); v2 — deadlock-reporting and
-/// lex tie-break changes.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// lex tie-break changes; v3 — keys gained the simulation-kernel
+/// dimension (lockstep vs idle-skipping).
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// Run-length scaling: experiments default to laptop-friendly lengths;
 /// `Full` approaches paper-like (still far below 2 B instructions, but
@@ -95,6 +96,10 @@ pub struct RunSpec {
     pub insts: u64,
     /// Seed.
     pub seed: u64,
+    /// Simulation kernel (lockstep or idle-skipping). The kernels are
+    /// observationally identical, but the key keeps them distinct so an
+    /// equivalence sweep actually runs both instead of hitting the cache.
+    pub kernel: KernelKind,
     /// Extra configuration hook (ablations).
     pub tweak: Option<Tweak>,
 }
@@ -117,6 +122,7 @@ impl RunSpec {
             warmup: scale.warmup().min(insts / 2),
             insts,
             seed: 42,
+            kernel: KernelKind::default(),
             tweak: None,
         }
     }
@@ -128,8 +134,8 @@ impl RunSpec {
     /// memoizes on it, in process and on disk. Every input that can
     /// change the outcome participates: the simulator behaviour version
     /// ([`CACHE_FORMAT_VERSION`]), workload (named, static parameters),
-    /// policy, SB size, core count, run lengths, seed, and the ablation
-    /// tweak's name.
+    /// policy, SB size, core count, run lengths, seed, simulation kernel,
+    /// and the ablation tweak's name.
     pub fn memo_key(&self) -> String {
         self.memo_key_versioned(CACHE_FORMAT_VERSION)
     }
@@ -137,7 +143,7 @@ impl RunSpec {
     /// [`RunSpec::memo_key`] under an explicit version stamp (tests).
     pub(crate) fn memo_key_versioned(&self, version: u32) -> String {
         format!(
-            "v{}|{}|{}|sb{}|c{}|w{}|i{}|s{}|{}",
+            "v{}|{}|{}|sb{}|c{}|w{}|i{}|s{}|k{}|{}",
             version,
             self.workload.name,
             self.policy.label(),
@@ -146,6 +152,7 @@ impl RunSpec {
             self.warmup,
             self.insts,
             self.seed,
+            self.kernel.label(),
             self.tweak.map_or("-", |t| t.name),
         )
     }
@@ -154,7 +161,8 @@ impl RunSpec {
         let mut b = SimConfig::builder();
         b.cores(self.cores)
             .sb_entries(self.sb_entries)
-            .policy(self.policy);
+            .policy(self.policy)
+            .kernel(self.kernel);
         if let Some(t) = self.tweak {
             (t.apply)(&mut b);
         }
@@ -273,6 +281,7 @@ mod tests {
                 tweak: Some(Tweak { name: "woq16", apply: |b| { b.woq_entries(16); } }),
                 ..base.clone()
             },
+            RunSpec { kernel: KernelKind::Lockstep, ..base.clone() },
         ] {
             assert!(keys.insert(varied.memo_key()), "collision: {}", varied.memo_key());
         }

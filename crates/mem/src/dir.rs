@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 
-use tus_sim::{CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, StatSet};
+use tus_sim::{CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, Schedulable, StatSet};
 
 use crate::cache::CacheArray;
 use crate::line::LineData;
@@ -187,6 +187,11 @@ impl Directory {
     /// drain loops and tests).
     pub fn idle(&self) -> bool {
         self.trans.is_empty() && self.dram.is_empty()
+    }
+
+    /// Completion cycle of the earliest pending DRAM fetch.
+    pub fn next_dram_due(&self) -> Option<Cycle> {
+        self.dram.next_due()
     }
 
     /// Number of open transactions (watchdog diagnostics).
@@ -547,6 +552,21 @@ impl Directory {
             w.state = Mesi::Shared;
             *w.data = *data;
         }
+    }
+}
+
+impl Schedulable for Directory {
+    fn next_work(&self, now: Cycle) -> Option<Cycle> {
+        // Replays are drained by the memory system within the same tick
+        // they are produced, so they are normally never pending between
+        // ticks; claim work defensively if any are.
+        if !self.replays.is_empty() {
+            return Some(now);
+        }
+        // Open transactions advance only on inbound messages (tracked by
+        // the network) or DRAM completions; the tick itself only pops the
+        // DRAM queue.
+        self.dram.next_due()
     }
 }
 

@@ -43,5 +43,5 @@ pub use mainmem::MainMemory;
 pub use mesi::Mesi;
 pub use msgs::{CacheEvent, ConflictKind, FwdKind, Msg, ReqKind};
 pub use net::Network;
-pub use percore::{PrivateCache, ProbeResult, StoreWriteOutcome, UnauthAllocError};
+pub use percore::{PrivateCache, ProbeResult, StoreAttemptClass, StoreWriteOutcome, UnauthAllocError};
 pub use system::{CoreMemSnapshot, MemDeadlockSnapshot, MemorySystem};

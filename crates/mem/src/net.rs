@@ -12,7 +12,7 @@
 //!    across runs. The optional `chaos_jitter` adds bounded random latency
 //!    per message so the TSO litmus harness can explore interleavings.
 
-use tus_sim::{CoreId, Cycle, DelayQueue, SimRng};
+use tus_sim::{CoreId, Cycle, DelayQueue, Schedulable, SimRng};
 
 use crate::msgs::Msg;
 
@@ -140,6 +140,21 @@ impl Network {
     /// Configured hop latency.
     pub fn hop_latency(&self) -> u64 {
         self.latency.hop
+    }
+
+    /// Delivery cycle of the earliest in-flight message at any endpoint.
+    ///
+    /// Jitter is drawn in [`Network::send`], never while a message waits,
+    /// so the earliest delivery cycle is fixed once the message is queued —
+    /// which makes it safe for the idle-skipping kernel to jump to it.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.queues.iter().filter_map(|q| q.next_due()).min()
+    }
+}
+
+impl Schedulable for Network {
+    fn next_work(&self, _now: Cycle) -> Option<Cycle> {
+        self.next_due()
     }
 }
 

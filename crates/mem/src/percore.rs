@@ -19,7 +19,7 @@
 //! order — lives in the `tus` crate and drives this controller through its
 //! public methods; decisions flow back via [`CacheEvent`]s.
 
-use tus_sim::{Addr, CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, SimConfig, StatSet};
+use tus_sim::{Addr, CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, Schedulable, SimConfig, StatSet};
 
 use crate::cache::CacheArray;
 use crate::line::{combine, read_value, write_value, ByteMask, LineData};
@@ -62,6 +62,25 @@ pub enum StoreWriteOutcome {
     Done,
     /// Permission is missing; a request is (already) in flight — retry.
     NotYet,
+}
+
+/// What [`PrivateCache::write_line_visible`] would do for a line *right
+/// now*, without doing it — a read-only mirror used by the idle-skipping
+/// kernel to decide whether a blocked store drain is pending work, a
+/// counting retry (chargeable in bulk), or fully quiet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreAttemptClass {
+    /// The write would complete ([`StoreWriteOutcome::Done`]) — work now.
+    WouldComplete,
+    /// The write would miss and *send a new GetM* — work now (state
+    /// changes: MSHR allocation plus a network message).
+    BlockedWouldRequest,
+    /// The write would miss with the request already in flight (or MSHRs
+    /// full): each retry cycle only bumps `l1d_store_misses`.
+    BlockedCounting,
+    /// The write would bounce off an unauthorized line with no counter
+    /// charged at all.
+    BlockedQuiet,
 }
 
 /// Why an unauthorized allocation could not be performed.
@@ -269,6 +288,62 @@ impl PrivateCache {
     /// plus explicitly delayed ones (diagnostics).
     pub fn parked_externals(&self) -> usize {
         self.pending_fwd.len() + self.delayed_fwd.len() + self.deferred_fwd.len()
+    }
+
+    /// Whether a request for `line` is currently in flight to the
+    /// directory.
+    pub fn request_in_flight(&self, line: LineAddr) -> bool {
+        self.outstanding.contains_key(&line)
+    }
+
+    /// Whether events are queued for the policy/core layer to consume.
+    pub fn has_pending_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Due cycle of the earliest deferred external request (grant-hold
+    /// window expiry).
+    pub fn next_deferred_fwd(&self) -> Option<Cycle> {
+        self.deferred_fwd.next_due()
+    }
+
+    /// Read-only classification of what [`PrivateCache::write_line_visible`]
+    /// (and therefore the baseline/SSB/CSB store-drain attempts built on
+    /// it) would do for `line` this cycle. Mirrors that method's control
+    /// flow exactly; see [`StoreAttemptClass`].
+    pub fn store_write_class(&self, line: LineAddr) -> StoreAttemptClass {
+        if let Some((set, way)) = self.l1d.lookup(line) {
+            let l2_writable = self
+                .l2
+                .lookup(line)
+                .is_some_and(|(s2, w2)| self.l2.way(s2, w2).state.can_write());
+            let l = self.l1d.way(set, way);
+            if l.unauth {
+                return StoreAttemptClass::BlockedQuiet;
+            }
+            if l.state.can_write() || (l.state.can_read() && l2_writable) {
+                return StoreAttemptClass::WouldComplete;
+            }
+        } else if let Some((s2, w2)) = self.l2.lookup(line) {
+            if self.l2.way(s2, w2).state.can_write() {
+                return StoreAttemptClass::WouldComplete;
+            }
+        }
+        // Miss path: `ensure_write_permission` is a no-op exactly when a
+        // request is already in flight or MSHRs are exhausted.
+        if self.outstanding.contains_key(&line) || self.outstanding.len() >= self.mshrs {
+            StoreAttemptClass::BlockedCounting
+        } else {
+            StoreAttemptClass::BlockedWouldRequest
+        }
+    }
+
+    /// Charges `n` skipped idle cycles to the blocked-store retry
+    /// counter: the bulk equivalent of `n` consecutive failed
+    /// [`PrivateCache::write_line_visible`] attempts in the
+    /// [`StoreAttemptClass::BlockedCounting`] state.
+    pub fn charge_blocked_store_cycles(&mut self, n: u64) {
+        self.stats.l1d_store_misses += n;
     }
 
     /// Whether the private hierarchy holds write permission for `line`
@@ -1384,6 +1459,19 @@ impl PrivateCache {
         out.set("invs_received", s.invs_received as f64);
         out.set("l2_evictions", s.l2_evictions as f64);
         out
+    }
+}
+
+impl Schedulable for PrivateCache {
+    fn next_work(&self, now: Cycle) -> Option<Cycle> {
+        // Undelivered events must reach the policy/core layer next tick.
+        if !self.events.is_empty() {
+            return Some(now);
+        }
+        // The controller's own tick only drains the deferred-forward
+        // queue; everything else advances on inbound messages (tracked by
+        // the network) or on policy calls (tracked by the policy layer).
+        self.deferred_fwd.next_due()
     }
 }
 

@@ -5,7 +5,8 @@
 //! cycle at a time. The policy layer (the `tus` crate) drives the per-core
 //! controllers between ticks and consumes their events.
 
-use tus_sim::{CoreId, Cycle, SimConfig, SimRng, StatSet};
+use tus_sim::sched::earliest;
+use tus_sim::{CoreId, Cycle, Schedulable, SimConfig, SimRng, StatSet};
 
 use crate::dir::Directory;
 use crate::mainmem::MainMemory;
@@ -217,6 +218,25 @@ impl MemorySystem {
         s.absorb("dir", &self.dir.export_stats());
         s.set("net.msgs", self.net.sent_count() as f64);
         s
+    }
+}
+
+impl Schedulable for MemorySystem {
+    /// Earliest cycle at which ticking the memory system could change
+    /// state: pending controller events, deferred external requests, DRAM
+    /// completions, or in-flight network messages. Directory replays never
+    /// persist across ticks (they are drained within the producing tick),
+    /// and the network's jitter RNG is only consulted in `send`, so an
+    /// idle stretch is provably a no-op until the reported cycle.
+    fn next_work(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = earliest(self.net.next_work(now), self.dir.next_work(now));
+        for c in &self.ctrls {
+            next = earliest(next, c.next_work(now));
+            if next.is_some_and(|c| c <= now) {
+                break;
+            }
+        }
+        next
     }
 }
 

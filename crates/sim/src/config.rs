@@ -57,6 +57,56 @@ impl fmt::Display for PolicyKind {
     }
 }
 
+/// Which simulation kernel advances the clock.
+///
+/// Both kernels produce bit-identical statistics; `Skip` is the default
+/// because it fast-forwards over idle stretches (DRAM waits, WCB age
+/// timers, lex-order backoff) instead of ticking every component each
+/// cycle. `Lockstep` is kept for differential checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Tick every component every cycle (the reference kernel).
+    Lockstep,
+    /// Jump the clock to the machine-wide next event when no component has
+    /// due work, charging the skipped cycles to the same counters.
+    Skip,
+}
+
+impl KernelKind {
+    /// Both kernels, lockstep (the reference) first.
+    pub const ALL: [KernelKind; 2] = [KernelKind::Lockstep, KernelKind::Skip];
+
+    /// Short label used in flags and cache keys ("lockstep", "skip").
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Lockstep => "lockstep",
+            KernelKind::Skip => "skip",
+        }
+    }
+
+    /// Parses a `--kernel` flag value.
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s {
+            "lockstep" => Some(KernelKind::Lockstep),
+            "skip" => Some(KernelKind::Skip),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Default for KernelKind {
+    /// [`KernelKind::Skip`], matching [`SimConfig`]'s default.
+    fn default() -> Self {
+        KernelKind::Skip
+    }
+}
+
 /// Front-end widths (instructions per cycle).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrontEndConfig {
@@ -342,6 +392,9 @@ pub struct SimConfig {
     /// message, used by the TSO litmus harness to explore interleavings.
     /// 0 disables jitter (the default for performance studies).
     pub chaos_jitter: u64,
+    /// Simulation kernel (idle-skipping by default; both kernels are
+    /// statistic-for-statistic identical).
+    pub kernel: KernelKind,
 }
 
 impl Default for SimConfig {
@@ -356,6 +409,7 @@ impl Default for SimConfig {
             tus: TusConfig::default(),
             policy: PolicyKind::Baseline,
             chaos_jitter: 0,
+            kernel: KernelKind::Skip,
         }
     }
 }
@@ -569,6 +623,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects the simulation kernel (idle-skipping vs lockstep).
+    pub fn kernel(&mut self, k: KernelKind) -> &mut Self {
+        self.cfg.kernel = k;
+        self
+    }
+
     /// Shrinks the caches (useful for unit tests that want misses and
     /// evictions without large footprints). Divides every cache size by
     /// `factor`, keeping associativity.
@@ -654,6 +714,7 @@ mod tests {
             .prefetch_at_commit(false)
             .stream_prefetcher(false)
             .chaos_jitter(3)
+            .kernel(KernelKind::Lockstep)
             .build();
         assert_eq!(c.cores, 16);
         assert_eq!(c.sb.entries, 32);
@@ -665,6 +726,16 @@ mod tests {
         assert!(!c.tus.prefetch_at_commit);
         assert!(!c.mem.stream_prefetcher);
         assert_eq!(c.chaos_jitter, 3);
+        assert_eq!(c.kernel, KernelKind::Lockstep);
+    }
+
+    #[test]
+    fn kernel_labels_roundtrip() {
+        assert_eq!(SimConfig::default().kernel, KernelKind::Skip);
+        for k in KernelKind::ALL {
+            assert_eq!(KernelKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(KernelKind::parse("warp"), None);
     }
 
     #[test]

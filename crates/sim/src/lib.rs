@@ -10,7 +10,10 @@
 //! * [`rng`] — a seeded, reproducible random-number generator ([`SimRng`]).
 //! * [`stats`] — a hierarchical statistics registry ([`StatSet`]).
 //! * [`config`] — the full Table I machine description ([`SimConfig`]) with
-//!   a builder, plus the store-drain policy selector ([`PolicyKind`]).
+//!   a builder, plus the store-drain policy selector ([`PolicyKind`]) and
+//!   the simulation-kernel selector ([`KernelKind`]).
+//! * [`sched`] — the [`Schedulable`] contract the idle-skipping kernel uses
+//!   to compute the machine-wide next-event cycle.
 //!
 //! # Example
 //!
@@ -30,10 +33,12 @@ pub mod config;
 pub mod event;
 pub mod hash;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod types;
 
-pub use config::{PolicyKind, SimConfig, SimConfigBuilder};
+pub use config::{KernelKind, PolicyKind, SimConfig, SimConfigBuilder};
+pub use sched::Schedulable;
 pub use event::DelayQueue;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SimRng;

@@ -35,13 +35,29 @@ impl StatSet {
     }
 
     /// Sets `name` to `value`, replacing any previous value.
+    ///
+    /// Only allocates a key `String` when `name` is not yet present; this
+    /// sits on the per-run export/merge path of every experiment.
     pub fn set(&mut self, name: &str, value: f64) {
-        self.values.insert(name.to_owned(), value);
+        match self.values.get_mut(name) {
+            Some(slot) => *slot = value,
+            None => {
+                self.values.insert(name.to_owned(), value);
+            }
+        }
     }
 
-    /// Adds `value` to `name` (missing names start at 0).
+    /// Adds `value` to `name` (missing names start at 0). Like [`set`],
+    /// allocates only when the key is new.
+    ///
+    /// [`set`]: StatSet::set
     pub fn add(&mut self, name: &str, value: f64) {
-        *self.values.entry(name.to_owned()).or_insert(0.0) += value;
+        match self.values.get_mut(name) {
+            Some(slot) => *slot += value,
+            None => {
+                self.values.insert(name.to_owned(), value);
+            }
+        }
     }
 
     /// Value of `name`, or `0.0` if absent.

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 
 use tus::{DeadlockReport, System};
 use tus_cpu::{TraceInst, VecTrace};
-use tus_sim::{Addr, PolicyKind, SimConfig, SimRng};
+use tus_sim::{Addr, KernelKind, PolicyKind, SimConfig, SimRng};
 
 use crate::prog::{LOp, Outcome, Program};
 use crate::refmodel::tso_outcomes;
@@ -100,6 +100,19 @@ pub fn try_run_once_at(
     policy: PolicyKind,
     seed: u64,
 ) -> RunVerdict {
+    try_run_once_at_kernel(prog, addrs, policy, seed, KernelKind::default())
+}
+
+/// [`try_run_once_at`] under an explicit simulation kernel. Verdicts and
+/// outcomes must not depend on the kernel; the fuzzer exploits this by
+/// sweeping the same corpus through both kernels.
+pub fn try_run_once_at_kernel(
+    prog: &Program,
+    addrs: &[Addr],
+    policy: PolicyKind,
+    seed: u64,
+    kernel: KernelKind,
+) -> RunVerdict {
     assert!(
         addrs.len() >= prog.locations(),
         "address map covers every location"
@@ -111,6 +124,7 @@ pub fn try_run_once_at(
         .sb_entries(8)
         .chaos_jitter(1 + (seed % 24))
         .scale_caches_down(64)
+        .kernel(kernel)
         .build();
     let max_pad = seed % 5;
     let traces: Vec<Box<dyn tus_cpu::TraceSource>> = prog
@@ -231,12 +245,23 @@ pub fn check_conformance_at(
     policy: PolicyKind,
     seeds: u64,
 ) -> ConformanceReport {
+    check_conformance_at_kernel(prog, addrs, policy, seeds, KernelKind::default())
+}
+
+/// [`check_conformance_at`] under an explicit simulation kernel.
+pub fn check_conformance_at_kernel(
+    prog: &Program,
+    addrs: &[Addr],
+    policy: PolicyKind,
+    seeds: u64,
+    kernel: KernelKind,
+) -> ConformanceReport {
     let allowed = tso_outcomes(prog);
     let mut observed = BTreeSet::new();
     let mut timeouts = Vec::new();
     let mut truncated_seeds = Vec::new();
     for seed in 0..seeds {
-        match try_run_once_at(prog, addrs, policy, seed) {
+        match try_run_once_at_kernel(prog, addrs, policy, seed, kernel) {
             RunVerdict::Outcome(o) => {
                 observed.insert(o);
             }
@@ -296,6 +321,31 @@ mod tests {
         let o = run_once(&p, PolicyKind::Tus, 3);
         assert_eq!(o.regs, vec![vec![5, 6, 5]]);
         assert_eq!(o.mem, vec![5, 6]);
+    }
+
+    /// Both kernels observe the *identical* outcome set on litmus tests:
+    /// the skip kernel may not suppress or invent timings.
+    #[test]
+    fn kernels_observe_identical_outcome_sets() {
+        for t in all_litmus_tests()
+            .into_iter()
+            .filter(|t| t.name == "SB" || t.name == "MP")
+        {
+            for policy in [PolicyKind::Baseline, PolicyKind::Tus] {
+                let addrs = default_addrs(&t.program);
+                let lock = check_conformance_at_kernel(
+                    &t.program, &addrs, policy, 8, KernelKind::Lockstep,
+                );
+                let skip =
+                    check_conformance_at_kernel(&t.program, &addrs, policy, 8, KernelKind::Skip);
+                assert!(lock.conforms() && skip.conforms(), "{} non-conforming", t.name);
+                assert_eq!(
+                    lock.observed, skip.observed,
+                    "{} ({policy:?}): kernels observed different outcome sets",
+                    t.name
+                );
+            }
+        }
     }
 
     /// The coverage metric is well-formed.

@@ -15,9 +15,9 @@
 //! Everything is deterministic in the base seed, so a CI failure is
 //! replayable bit-for-bit from its corpus file.
 
-use tus_sim::{Addr, PolicyKind, SimRng};
+use tus_sim::{Addr, KernelKind, PolicyKind, SimRng};
 
-use crate::conformance::{check_conformance_at, default_addrs};
+use crate::conformance::{check_conformance_at_kernel, default_addrs};
 use crate::prog::{LOp, Loc, Outcome, Program, Thread};
 
 /// Maximum threads per generated program (one simulator core each).
@@ -208,7 +208,18 @@ impl std::fmt::Display for CaseFailure {
 /// Differentially checks `case` under one policy across `seeds` timing
 /// variations; `None` means every run completed and stayed within TSO.
 pub fn check_policy(case: &FuzzCase, policy: PolicyKind, seeds: u64) -> Option<CaseFailure> {
-    let report = check_conformance_at(&case.program, &case.addrs, policy, seeds);
+    check_policy_kernel(case, policy, seeds, KernelKind::default())
+}
+
+/// [`check_policy`] under an explicit simulation kernel.
+pub fn check_policy_kernel(
+    case: &FuzzCase,
+    policy: PolicyKind,
+    seeds: u64,
+    kernel: KernelKind,
+) -> Option<CaseFailure> {
+    let report =
+        check_conformance_at_kernel(&case.program, &case.addrs, policy, seeds, kernel);
     if let Some(o) = report.violations.first() {
         return Some(CaseFailure {
             policy,
@@ -235,9 +246,14 @@ pub fn check_policy(case: &FuzzCase, policy: PolicyKind, seeds: u64) -> Option<C
 
 /// Differentially checks `case` across **all five** drain policies.
 pub fn check_case(case: &FuzzCase, seeds: u64) -> Option<CaseFailure> {
+    check_case_kernel(case, seeds, KernelKind::default())
+}
+
+/// [`check_case`] under an explicit simulation kernel.
+pub fn check_case_kernel(case: &FuzzCase, seeds: u64, kernel: KernelKind) -> Option<CaseFailure> {
     PolicyKind::ALL
         .iter()
-        .find_map(|&p| check_policy(case, p, seeds))
+        .find_map(|&p| check_policy_kernel(case, p, seeds, kernel))
 }
 
 /// Drops threads that became empty and compacts location indices,
@@ -636,6 +652,25 @@ mod tests {
             let case = generate_case(&mut rng);
             let fail = check_case(&case, 3);
             assert!(fail.is_none(), "case {i} failed: {}\n{case}", fail.expect("some"));
+        }
+    }
+
+    /// The idle-skipping kernel must reach the same verdict as lockstep
+    /// on generated fuzz cases — a differential check of the kernel
+    /// itself (the full 500-case sweep is the harness `fuzz` subcommand
+    /// run with `--kernel`).
+    #[test]
+    fn kernels_agree_on_fuzz_verdicts() {
+        let mut rng = SimRng::seed(0xBEEF);
+        for i in 0..4 {
+            let case = generate_case(&mut rng);
+            let lock = check_case_kernel(&case, 3, KernelKind::Lockstep);
+            let skip = check_case_kernel(&case, 3, KernelKind::Skip);
+            assert_eq!(
+                lock.is_none(),
+                skip.is_none(),
+                "case {i}: kernels disagree (lockstep {lock:?}, skip {skip:?})\n{case}"
+            );
         }
     }
 }
