@@ -43,6 +43,9 @@ pub mod woq;
 
 pub use lex::{AuthorizationUnit, ConflictDecision};
 pub use policy::{Policy, PolicyOccupancy};
-pub use system::{CoreDeadlockState, DeadlockKind, DeadlockReport, System};
+pub use system::{
+    set_trace_default, trace_default, CoreDeadlockState, DeadlockKind, DeadlockReport, System,
+    DEFAULT_TRACE_CAP,
+};
 pub use wcb::WcbSet;
 pub use woq::{GroupId, Woq, WoqEntry};

@@ -27,6 +27,7 @@ use tus_mem::prefetch::SpbPrefetcher;
 use tus_mem::{
     CacheEvent, Network, PrivateCache, ProbeResult, StoreAttemptClass, StoreWriteOutcome,
 };
+use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
 use tus_sim::{Addr, Cycle, LineAddr, PolicyKind, SimConfig, StatSet};
 
 use crate::lex::{AuthorizationUnit, ConflictDecision};
@@ -219,6 +220,44 @@ impl Policy {
                 tsob_len: 0,
             },
         }
+    }
+
+    /// Arms tracing on this policy and its store-path buffers (WCBs, WOQ).
+    /// The baseline family has no policy-side buffers and records nothing.
+    pub fn trace_enable(&mut self, cap: usize) {
+        match self {
+            Policy::Baseline(_) | Policy::Spb(_) | Policy::Ssb(_) => {}
+            Policy::Csb(p) => {
+                p.tracer.enable(cap);
+                p.wcbs.trace_enable(cap);
+            }
+            Policy::Tus(p) => {
+                p.tracer.enable(cap);
+                p.wcbs.trace_enable(cap);
+                p.woq.trace_enable(cap);
+            }
+        }
+    }
+
+    /// Drains the buffered trace records of the policy and its buffers,
+    /// merged into a single timestamp-ordered stream.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        let mut out = match self {
+            Policy::Baseline(_) | Policy::Spb(_) | Policy::Ssb(_) => Vec::new(),
+            Policy::Csb(p) => {
+                let mut v = p.tracer.take();
+                v.extend(p.wcbs.take_trace());
+                v
+            }
+            Policy::Tus(p) => {
+                let mut v = p.tracer.take();
+                v.extend(p.wcbs.take_trace());
+                v.extend(p.woq.take_trace());
+                v
+            }
+        };
+        out.sort_by_key(|r| r.at);
+        out
     }
 
     /// Exports policy statistics.
@@ -528,6 +567,7 @@ trait CoalescingDrain {
     fn wcbs(&self) -> &WcbSet;
     fn wcbs_mut(&mut self) -> &mut WcbSet;
     fn auth(&self) -> &AuthorizationUnit;
+    fn tracer_mut(&mut self) -> &mut Tracer;
     /// Counts a cycle in which the SB head could not leave the buffer.
     fn note_head_block(&mut self);
     /// Attempts to flush the oldest WCB group; `true` when it left the
@@ -565,16 +605,16 @@ fn drain_sb_into_wcbs(
 ) {
     let mut moved = 0;
     while moved < SB_TO_WCB_PER_CYCLE {
-        let Some(head) = sb.head() else { return };
+        let Some(head) = sb.head() else { break };
         if !head.committed {
-            return;
+            break;
         }
         if lex_conflict_on_merge(p, head.addr.line()) {
             // Lex conflicts in a group are disallowed; wait for the
             // conflicting store to flush.
             p.flush_oldest(ctrl, net, now);
             p.note_head_block();
-            return;
+            break;
         }
         match p.wcbs_mut().write(head.addr, head.size as usize, head.value, now) {
             Ok(_) => {
@@ -584,10 +624,14 @@ fn drain_sb_into_wcbs(
             Err(WcbRefusal::NeedFlush) => {
                 if !p.flush_oldest(ctrl, net, now) {
                     p.note_head_block();
-                    return;
+                    break;
                 }
             }
         }
+    }
+    if moved > 0 {
+        p.tracer_mut()
+            .emit(now, 0, TraceEvent::SbWcbDrain { stores: moved as u32 });
     }
 }
 
@@ -616,6 +660,7 @@ fn wcb_age_work(wcbs: &WcbSet, now: Cycle) -> Option<Cycle> {
 pub struct CsbPolicy {
     wcbs: WcbSet,
     auth: AuthorizationUnit,
+    tracer: Tracer,
     prefetch_at_commit: bool,
     l1_lat: u64,
     flushes: u64,
@@ -628,6 +673,7 @@ impl CsbPolicy {
         CsbPolicy {
             wcbs: WcbSet::new(cfg.tus.wcbs),
             auth: AuthorizationUnit::new(cfg.tus.lex_bits),
+            tracer: Tracer::default(),
             prefetch_at_commit: cfg.tus.prefetch_at_commit,
             l1_lat: cfg.mem.l1d.latency,
             flushes: 0,
@@ -700,6 +746,9 @@ impl CoalescingDrain for CsbPolicy {
     fn auth(&self) -> &AuthorizationUnit {
         &self.auth
     }
+    fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
     fn note_head_block(&mut self) {
         // CSB's weakness: a write miss stops the drain.
         self.head_block_cycles += 1;
@@ -719,6 +768,7 @@ pub struct TusPolicy {
     wcbs: WcbSet,
     woq: Woq,
     auth: AuthorizationUnit,
+    tracer: Tracer,
     max_group: usize,
     prefetch_at_commit: bool,
     l1_lat: u64,
@@ -737,6 +787,7 @@ impl TusPolicy {
             wcbs: WcbSet::new(cfg.tus.wcbs),
             woq: Woq::new(cfg.tus.woq_entries),
             auth: AuthorizationUnit::new(cfg.tus.lex_bits),
+            tracer: Tracer::default(),
             max_group: cfg.tus.max_atomic_group,
             prefetch_at_commit: cfg.tus.prefetch_at_commit,
             l1_lat: cfg.mem.l1d.latency,
@@ -760,6 +811,7 @@ impl TusPolicy {
     }
 
     fn drain(&mut self, sb: &mut StoreBuffer, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        self.woq.trace_set_now(now);
         self.advance_visibility(ctrl, net, now);
         self.rerequest(ctrl, net, now);
         if self.wcbs.oldest_age(now) > WCB_FLUSH_AGE {
@@ -836,6 +888,8 @@ impl TusPolicy {
             if self.auth.may_rerequest(&self.woq, idx) {
                 let line = self.woq.entry(idx).line;
                 ctrl.request_permission(line, now, net);
+                self.tracer
+                    .emit(now, 0, TraceEvent::LexRetry { line: line.raw() });
             }
         }
     }
@@ -980,6 +1034,7 @@ impl TusPolicy {
     }
 
     fn on_event(&mut self, ev: &CacheEvent, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        self.woq.trace_set_now(now);
         match *ev {
             CacheEvent::PermissionReady { set, way, .. } => {
                 self.woq.mark_ready(set, way);
@@ -1022,6 +1077,9 @@ impl CoalescingDrain for TusPolicy {
     }
     fn auth(&self) -> &AuthorizationUnit {
         &self.auth
+    }
+    fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
     fn note_head_block(&mut self) {
         self.head_block_cycles += 1;

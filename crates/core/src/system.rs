@@ -15,15 +15,41 @@
 //! protocol or the drain policy aborts the run with diagnostics instead
 //! of hanging.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use tus_cpu::{Core, MemPort, TraceSource};
 use tus_mem::{CacheEvent, MemDeadlockSnapshot, MemorySystem, Network, PrivateCache};
 use tus_sim::sched::earliest;
+use tus_sim::trace::{Attribution, TraceEvent, TraceRecord, Tracer};
 use tus_sim::{Addr, CoreId, Cycle, KernelKind, PolicyKind, Schedulable, SimConfig, SimRng, StatSet};
 
 use crate::policy::{Policy, PolicyOccupancy};
 
 /// Cycles without global progress after which a run aborts.
 const WATCHDOG_CYCLES: u64 = 500_000;
+
+/// Ring capacity used when tracing is armed through the process-wide
+/// default ([`set_trace_default`]) rather than an explicit
+/// [`System::enable_trace`] call.
+pub const DEFAULT_TRACE_CAP: usize = 1 << 16;
+
+/// Process-wide default-tracing switch. When set, every subsequently
+/// constructed [`System`] arms tracing on itself (ring capacity
+/// [`DEFAULT_TRACE_CAP`]). This exists for harness paths that build
+/// systems deep inside other crates (the differential fuzzer constructs
+/// its own `System`s), where threading a flag through every call site
+/// would churn APIs for an observation-only feature.
+static TRACE_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide default-tracing switch (see [`TRACE_DEFAULT`]).
+pub fn set_trace_default(on: bool) {
+    TRACE_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// Reads the process-wide default-tracing switch.
+pub fn trace_default() -> bool {
+    TRACE_DEFAULT.load(Ordering::Relaxed)
+}
 
 /// After a next-work scan finds due work, the skip kernel ticks this many
 /// further cycles without re-scanning (see `System::advance`). Busy
@@ -115,6 +141,8 @@ pub struct System {
     policies: Vec<Policy>,
     mem: MemorySystem,
     now: Cycle,
+    /// System-level tracer (bulk-idle spans from the skip kernel).
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for System {
@@ -163,12 +191,76 @@ impl System {
             .map(|(i, t)| Core::new(CoreId::new(i as u16), cfg, t))
             .collect();
         let policies = (0..cfg.cores).map(|_| Policy::new(cfg)).collect();
-        System {
+        let mut sys = System {
             cfg: *cfg,
             cores,
             policies,
             mem,
             now: Cycle::ZERO,
+            tracer: Tracer::default(),
+        };
+        if trace_default() {
+            sys.enable_trace(DEFAULT_TRACE_CAP);
+        }
+        sys
+    }
+
+    /// Arms structured tracing on every component (cores, policies,
+    /// memory side, the system itself), each with a ring of `cap`
+    /// records. Tracing is observation-only: it never changes simulated
+    /// state, statistics, or timing.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.tracer.enable(cap);
+        for c in &mut self.cores {
+            c.trace_enable(cap);
+        }
+        for p in &mut self.policies {
+            p.trace_enable(cap);
+        }
+        self.mem.enable_trace(cap);
+    }
+
+    /// Whether tracing has been armed on this system.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Drains every component's trace buffer as named tracks, each a
+    /// timestamp-ordered record list: `core<i>.cpu`, `core<i>.policy`,
+    /// `mem.core<i>`, `dir`, `net`, and `system` (bulk-idle spans).
+    pub fn take_traces(&mut self) -> Vec<(String, Vec<TraceRecord>)> {
+        let now = self.now;
+        let mut out = Vec::new();
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            out.push((format!("core{i}.cpu"), c.take_trace(now)));
+        }
+        for (i, p) in self.policies.iter_mut().enumerate() {
+            out.push((format!("core{i}.policy"), p.take_trace()));
+        }
+        out.extend(self.mem.take_traces());
+        out.push(("system".to_owned(), self.tracer.take()));
+        out
+    }
+
+    /// Per-core cycle-attribution ledgers (always on, independent of
+    /// tracing).
+    pub fn attributions(&self) -> Vec<Attribution> {
+        self.cores.iter().map(|c| c.attribution()).collect()
+    }
+
+    /// Asserts the accountant's partition invariant: on every core, the
+    /// attribution categories sum to exactly the cycles that core has
+    /// run. Cheap (six additions per core); called at the end of every
+    /// run loop.
+    pub fn check_attribution(&self) {
+        for (i, c) in self.cores.iter().enumerate() {
+            let total = c.attribution().total();
+            assert_eq!(
+                total,
+                self.now.raw(),
+                "core{i}: stall-attribution categories sum to {total}, expected {} cycles",
+                self.now.raw()
+            );
         }
     }
 
@@ -275,6 +367,9 @@ impl System {
             self.policies[i].charge_idle(self.cores[i].sb(), &mut self.mem.ctrls[i], n);
             self.cores[i].charge_idle(n, now, drained);
         }
+        // One bulk-idle span per jump keeps traced timelines gap-free
+        // under the skip kernel.
+        self.tracer.emit(now, n, TraceEvent::BulkIdle);
         self.now += n;
     }
 
@@ -352,6 +447,7 @@ impl System {
                 return Err(Box::new(self.deadlock_report(kind)));
             }
         }
+        self.check_attribution();
         Ok(self.export_stats())
     }
 
@@ -862,6 +958,42 @@ mod tests {
             let lock = run(KernelKind::Lockstep).expect("lockstep deadlock");
             let skip = run(KernelKind::Skip).expect("skip deadlock");
             assert_eq!(lock, skip, "run_committed diverged for {policy}");
+        }
+    }
+
+    /// Tracing must be observation-only (bit-identical statistics with it
+    /// on or off), and the stall-attribution ledger must partition every
+    /// cycle, under both kernels.
+    #[test]
+    fn tracing_is_observation_only_and_partitions_cycles() {
+        for kernel in [KernelKind::Lockstep, KernelKind::Skip] {
+            let mut cfg = cfg_with(PolicyKind::Tus, 8);
+            cfg.kernel = kernel;
+            let run = |trace: bool| {
+                let mut sys = System::new(&cfg, vec![Box::new(burst_trace(8, 4, 0x90_000))], 3);
+                if trace {
+                    sys.enable_trace(4096);
+                }
+                let stats = sys.run_to_completion(2_000_000);
+                sys.check_attribution();
+                (stats, sys)
+            };
+            let (s_off, _) = run(false);
+            let (s_on, mut sys_on) = run(true);
+            assert_eq!(s_off, s_on, "tracing changed statistics under {kernel:?}");
+            let tracks = sys_on.take_traces();
+            assert!(
+                tracks.iter().any(|(_, recs)| !recs.is_empty()),
+                "tracing armed but no records captured under {kernel:?}"
+            );
+            // The skip kernel must explain idle jumps with bulk-idle spans.
+            if kernel == KernelKind::Skip {
+                let sys_track = tracks.iter().find(|(n, _)| n == "system").expect("system track");
+                assert!(
+                    sys_track.1.iter().any(|r| matches!(r.ev, tus_sim::TraceEvent::BulkIdle)),
+                    "no bulk-idle span under the skip kernel"
+                );
+            }
         }
     }
 

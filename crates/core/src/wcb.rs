@@ -10,6 +10,7 @@
 //! one atomic group that must be written to the L1D together.
 
 use tus_mem::{ByteMask, LineData};
+use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
 use tus_sim::{Addr, Cycle, LineAddr};
 
 /// One write-combining buffer.
@@ -52,6 +53,7 @@ pub struct WcbSet {
     searches: u64,
     coalesced_stores: u64,
     cycle_merges: u64,
+    tracer: Tracer,
 }
 
 /// Why a store could not enter the WCBs.
@@ -77,7 +79,18 @@ impl WcbSet {
             searches: 0,
             coalesced_stores: 0,
             cycle_merges: 0,
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Enables trace recording into a ring of `cap` records.
+    pub fn trace_enable(&mut self, cap: usize) {
+        self.tracer.enable(cap);
+    }
+
+    /// Drains recorded trace events, oldest first.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.take()
     }
 
     /// Number of buffers.
@@ -129,6 +142,10 @@ impl WcbSet {
                     b.cid = cid;
                 }
                 self.cycle_merges += 1;
+                if self.tracer.is_enabled() {
+                    let size = self.group_members(cid).len() as u32;
+                    self.tracer.emit(now, 0, TraceEvent::AtomicGroupMerge { group: cid, size });
+                }
                 true
             } else {
                 false

@@ -20,7 +20,8 @@
 use std::collections::VecDeque;
 
 use tus_mem::ByteMask;
-use tus_sim::LineAddr;
+use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
+use tus_sim::{Cycle, LineAddr};
 
 /// Identifier of an atomic group of WOQ entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -74,6 +75,7 @@ pub struct Woq {
     next_group: u32,
     searches: u64,
     peak: usize,
+    tracer: Tracer,
 }
 
 impl Woq {
@@ -90,7 +92,26 @@ impl Woq {
             next_group: 0,
             searches: 0,
             peak: 0,
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Enables trace recording into a ring of `cap` records.
+    pub fn trace_enable(&mut self, cap: usize) {
+        self.tracer.enable(cap);
+    }
+
+    /// Sets the clock stamped on subsequently recorded events (the WOQ's
+    /// own methods carry no cycle parameter; the owning policy advances
+    /// this once per drain step).
+    #[inline]
+    pub fn trace_set_now(&mut self, now: Cycle) {
+        self.tracer.set_now(now);
+    }
+
+    /// Drains recorded trace events, oldest first.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.take()
     }
 
     /// Capacity in entries.
@@ -171,6 +192,7 @@ impl Woq {
             retry: false,
         });
         self.peak = self.peak.max(self.entries.len());
+        self.tracer.emit_now(TraceEvent::WoqEnqueue { line: line.raw(), group: group.0 });
     }
 
     /// Finds the queue position of the entry at L1D `set`/`way` (the
@@ -210,6 +232,10 @@ impl Woq {
             if ids.contains(&e.group) {
                 e.group = g;
             }
+        }
+        if self.tracer.is_enabled() {
+            let size = self.entries.iter().filter(|e| e.group == g).count() as u32;
+            self.tracer.emit_now(TraceEvent::AtomicGroupMerge { group: g.0, size });
         }
         g
     }
@@ -268,6 +294,8 @@ impl Woq {
             e.ready = false;
             e.retry = true;
             e.can_cycle = false;
+            let line = e.line.raw();
+            self.tracer.emit_now(TraceEvent::LexRelinquish { line });
         }
     }
 
@@ -299,7 +327,12 @@ impl Woq {
     /// Panics if the queue is empty.
     pub fn pop_head_group(&mut self) -> Vec<WoqEntry> {
         let g = self.head_group().expect("pop from empty WOQ");
-        self.pop_group_members(g)
+        let popped = self.pop_group_members(g);
+        self.tracer.emit_now(TraceEvent::WoqVisible {
+            group: g.0,
+            lines: popped.len() as u32,
+        });
+        popped
     }
 
     fn pop_group_members(&mut self, g: GroupId) -> Vec<WoqEntry> {

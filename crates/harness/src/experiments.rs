@@ -396,10 +396,11 @@ pub fn intext(ex: &Executor, opt: &Options) {
     for w in &workloads {
         let base = rs.get(&spec(w, PolicyKind::Baseline, 114, opt));
         let tus = rs.get(&spec(w, PolicyKind::Tus, 114, opt));
-        let writes = |r: &RunResult| r.stats.get("mem.core0.l1d_writes").max(1.0);
+        use tus_sim::stats::names;
+        let writes = |r: &RunResult| r.stats.get(&names::mem_core(0, names::L1D_WRITES)).max(1.0);
         let hits = |r: &RunResult| {
-            let h = r.stats.get("mem.core0.l1d_load_hits");
-            let m = r.stats.get("mem.core0.l1d_load_misses");
+            let h = r.stats.get(&names::mem_core(0, names::L1D_LOAD_HITS));
+            let m = r.stats.get(&names::mem_core(0, names::L1D_LOAD_MISSES));
             100.0 * h / (h + m).max(1.0)
         };
         t.push(

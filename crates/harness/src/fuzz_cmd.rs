@@ -68,6 +68,7 @@ fn fuzz_usage() -> ! {
         "usage: tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                      [--policy base|SSB|CSB|SPB|TUS] [--out DIR]\n\
          \x20                      [--replay FILE] [--no-shrink] [--kernel lockstep|skip]\n\
+         \x20                      [--trace]\n\
          checks N random litmus programs across all five policies against the\n\
          x86-TSO reference model; failures are shrunk and persisted under\n\
          <out>/fuzz-corpus/ as replayable files"
@@ -109,6 +110,7 @@ pub fn parse_fuzz_args(args: &[String]) -> FuzzOptions {
             "--out" => opt.out = it.next().unwrap_or_else(|| fuzz_usage()).into(),
             "--replay" => opt.replay = Some(it.next().unwrap_or_else(|| fuzz_usage()).into()),
             "--no-shrink" => opt.shrink = false,
+            "--trace" => tus::set_trace_default(true),
             "--kernel" => {
                 let label = it.next().unwrap_or_else(|| fuzz_usage());
                 opt.kernel = KernelKind::parse(label).unwrap_or_else(|| {

@@ -27,6 +27,7 @@ pub mod experiments;
 pub mod fuzz_cmd;
 pub mod runner;
 pub mod table;
+pub mod trace_cmd;
 
 pub use executor::{ExecCounters, Executor, ResultSet};
 pub use runner::{run, RunResult, RunSpec, Scale, Tweak};

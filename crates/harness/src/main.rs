@@ -36,13 +36,18 @@ fn usage() -> ! {
     eprintln!(
         "usage: tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N] [--no-cache] [--kernel K]\n\
+         \x20                  [--trace]\n\
          \x20      tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                  [--policy P] [--out DIR] [--replay FILE] [--no-shrink]\n\
-         \x20                  [--kernel K]\n\
+         \x20                  [--kernel K] [--trace]\n\
+         \x20      tus-harness trace [WORKLOAD] [--policy P] [--sb N] [--kernel K]\n\
+         \x20                  [--seed N] [--insts N] [--cap N] [--out DIR]\n\
          \x20      tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N]\n\
          experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation all\n\
-         kernels (K): lockstep skip (default: skip)"
+         kernels (K): lockstep skip (default: skip)\n\
+         --trace arms the structured event recorder in every simulation\n\
+         (observation-only: outputs and memo keys are unchanged)"
     );
     std::process::exit(2);
 }
@@ -179,6 +184,9 @@ fn main() {
     if args[0] == "fuzz" {
         tus_harness::fuzz_cmd::main_fuzz(&args[1..]);
     }
+    if args[0] == "trace" {
+        tus_harness::trace_cmd::main_trace(&args[1..]);
+    }
     let mut opt = Options::default();
     let mut cmd = None;
     let mut jobs = Executor::default_jobs();
@@ -210,6 +218,7 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--no-cache" => cache = false,
+            "--trace" => tus::set_trace_default(true),
             "--kernel" => {
                 opt.kernel = it
                     .next()

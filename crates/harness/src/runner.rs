@@ -2,6 +2,7 @@
 
 use tus::System;
 use tus_energy::{EnergyBreakdown, EnergyModel};
+use tus_sim::stats::names;
 use tus_sim::{KernelKind, PolicyKind, SimConfig, StatSet};
 use tus_workloads::Workload;
 
@@ -208,10 +209,10 @@ pub fn run(spec: &RunSpec) -> RunResult {
     };
     let end = sys.run_committed(total, budget);
     let stats = end.minus(&warm);
-    let cycles = stats.get("cycles").max(1.0);
-    let committed = stats.get("total_committed");
+    let cycles = stats.get(names::CYCLES).max(1.0);
+    let committed = stats.get(names::TOTAL_COMMITTED);
     let sb_stall_frac = (0..spec.cores)
-        .map(|i| stats.get(&format!("core{i}.cpu.stall_sb")))
+        .map(|i| stats.get(&names::core_cpu(i, names::STALL_SB)))
         .sum::<f64>()
         / (cycles * spec.cores as f64);
     let model = EnergyModel::from_config(&cfg);

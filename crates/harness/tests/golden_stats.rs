@@ -1,0 +1,103 @@
+//! Golden-stats snapshot tests.
+//!
+//! Re-runs reduced-scale versions of the Fig. 10 / Fig. 13 breakdown
+//! points (SB-bound workloads × all five policies, 114- and 32-entry
+//! SBs) and string-compares the resulting CSV against committed golden
+//! files under `results/golden/`. Simulations are seeded and
+//! deterministic, so any byte of drift means the simulator's observable
+//! behaviour changed — which must be deliberate and accompanied by a
+//! [`tus_harness::runner::CACHE_FORMAT_VERSION`] bump.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p tus-harness --test golden_stats
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use tus_harness::{run, RunSpec, Scale, Table};
+use tus_sim::PolicyKind;
+use tus_workloads::sb_bound_single;
+
+/// Reduced scale: enough instructions for every policy to reach steady
+/// state, small enough for the suite to stay CI-friendly.
+const INSTS: u64 = 5_000;
+const WARMUP: u64 = 1_000;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/golden")
+}
+
+fn spec(w: &tus_workloads::Workload, policy: PolicyKind, sb: usize) -> RunSpec {
+    RunSpec {
+        warmup: WARMUP,
+        insts: INSTS,
+        ..RunSpec::new(w.clone(), policy, sb, Scale::Quick)
+    }
+}
+
+/// Builds the fig10/fig13-breakdown-shaped table at one SB size: rows
+/// are SB-bound workloads (first three of the suite), columns are
+/// per-policy speedups vs the same-SB baseline, plus a geomean row.
+fn breakdown_table(sb: usize) -> Table {
+    let workloads: Vec<_> = sb_bound_single().into_iter().take(3).collect();
+    let mut t = Table::new(
+        format!("golden: speedup vs {sb}-entry-SB baseline (reduced scale)"),
+        PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
+    );
+    for w in &workloads {
+        let base = run(&spec(w, PolicyKind::Baseline, sb)).ipc;
+        let vals: Vec<f64> = PolicyKind::ALL
+            .iter()
+            .map(|&p| {
+                if p == PolicyKind::Baseline {
+                    1.0
+                } else {
+                    run(&spec(w, p, sb)).ipc / base
+                }
+            })
+            .collect();
+        t.push(w.name.to_owned(), vals);
+    }
+    let mean = t.geomean_row();
+    t.push("geomean", mean);
+    t
+}
+
+/// Compares (or, under `UPDATE_GOLDEN=1`, rewrites) one golden CSV.
+fn check_golden(name: &str, table: &Table) {
+    let dir = golden_dir();
+    let path = dir.join(format!("{name}.csv"));
+    let got = table.to_csv();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).expect("create results/golden");
+        std::fs::write(&path, &got).expect("write golden CSV");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test -p tus-harness --test golden_stats",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "golden stats drifted for {name}: the simulator's observable \
+         behaviour changed. If intentional, bump CACHE_FORMAT_VERSION \
+         and re-bless with UPDATE_GOLDEN=1; otherwise this is a \
+         regression.",
+    );
+}
+
+#[test]
+fn golden_fig10_breakdown_sb114() {
+    check_golden("fig10_breakdown_sb114", &breakdown_table(114));
+}
+
+#[test]
+fn golden_fig13_breakdown_sb32() {
+    check_golden("fig13_breakdown_sb32", &breakdown_table(32));
+}

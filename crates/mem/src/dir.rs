@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 
+use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
 use tus_sim::{CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, Schedulable, StatSet};
 
 use crate::cache::CacheArray;
@@ -98,6 +99,7 @@ pub struct Directory {
     dram_latency: u64,
     dram_gap: u64,
     replays: VecDeque<(CoreId, LineAddr, ReqKind, bool)>,
+    tracer: Tracer,
     /// Statistics.
     pub stats: DirStats,
 }
@@ -136,8 +138,20 @@ impl Directory {
             dram_latency,
             dram_gap,
             replays: VecDeque::new(),
+            tracer: Tracer::default(),
             stats: DirStats::default(),
         }
+    }
+
+    /// Arms structured L3/DRAM access tracing with a ring of `cap`
+    /// records.
+    pub fn trace_enable(&mut self, cap: usize) {
+        self.tracer.enable(cap);
+    }
+
+    /// Drains the buffered trace records, oldest first.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.take()
     }
 
     /// Handles one inbound message.
@@ -363,6 +377,14 @@ impl Directory {
         }
         if let Some((set, way)) = self.l3.lookup(line) {
             self.stats.l3_hits += 1;
+            self.tracer.emit(
+                now,
+                0,
+                TraceEvent::DramAccess {
+                    line: line.raw(),
+                    l3_hit: true,
+                },
+            );
             self.l3.touch(set, way);
             let data = Box::new(*self.l3.way(set, way).data);
             self.grant_with_data(line, Some(data), net, now);
@@ -371,6 +393,15 @@ impl Directory {
             let start = now.max(self.dram_busy_until);
             self.dram_busy_until = start + self.dram_gap;
             self.dram.push(start + self.dram_latency, line);
+            let done = start + self.dram_latency;
+            self.tracer.emit(
+                now,
+                done.since(now),
+                TraceEvent::DramAccess {
+                    line: line.raw(),
+                    l3_hit: false,
+                },
+            );
             self.trans
                 .get_mut(&line)
                 .expect("transaction open")

@@ -126,6 +126,20 @@ pub enum Msg {
 }
 
 impl Msg {
+    /// Short static label for trace output (one per message flavour).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Msg::Req { kind: ReqKind::GetS, .. } => "req_gets",
+            Msg::Req { kind: ReqKind::GetM, .. } => "req_getm",
+            Msg::Grant { .. } => "grant",
+            Msg::Fwd { kind: FwdKind::Inv, .. } => "fwd_inv",
+            Msg::Fwd { kind: FwdKind::Downgrade, .. } => "fwd_downgrade",
+            Msg::FwdResp { .. } => "fwd_resp",
+            Msg::InvAck { .. } => "inv_ack",
+            Msg::Evict { .. } => "evict",
+        }
+    }
+
     /// The line this message concerns.
     pub fn line(&self) -> LineAddr {
         match self {

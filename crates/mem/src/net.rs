@@ -12,6 +12,7 @@
 //!    across runs. The optional `chaos_jitter` adds bounded random latency
 //!    per message so the TSO litmus harness can explore interleavings.
 
+use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
 use tus_sim::{CoreId, Cycle, DelayQueue, Schedulable, SimRng};
 
 use crate::msgs::Msg;
@@ -71,6 +72,7 @@ pub struct Network {
     rng: SimRng,
     sent: u64,
     trace_line: Option<tus_sim::LineAddr>,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -86,7 +88,18 @@ impl Network {
             rng,
             sent: 0,
             trace_line: None,
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Arms structured message tracing with a ring of `cap` records.
+    pub fn trace_enable(&mut self, cap: usize) {
+        self.tracer.enable(cap);
+    }
+
+    /// Drains the buffered trace records, oldest first.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.take()
     }
 
     /// Sends `msg` from `src` to `dst`, arriving after the hop latency
@@ -107,6 +120,8 @@ impl Network {
                 eprintln!("[net {now}] {src:?} -> {dst:?} (due {due}): {msg:?}");
             }
         }
+        self.tracer
+            .emit(now, 0, TraceEvent::NetMsg { kind: msg.label() });
         self.queues[dst.index(self.cores)].push(due, (src, msg));
         self.sent += 1;
     }

@@ -19,6 +19,8 @@
 //! order — lives in the `tus` crate and drives this controller through its
 //! public methods; decisions flow back via [`CacheEvent`]s.
 
+use tus_sim::stats::names;
+use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
 use tus_sim::{Addr, CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, Schedulable, SimConfig, StatSet};
 
 use crate::cache::CacheArray;
@@ -174,8 +176,19 @@ pub struct PrivateCache {
     delayed_fwd: FxHashMap<LineAddr, PendingFwd>,
     deferred_fwd: DelayQueue<(LineAddr, FwdKind, bool)>,
     events: Vec<CacheEvent>,
+    tracer: Tracer,
     /// Counters.
     pub stats: MemStats,
+}
+
+/// One-letter MESI state label for trace records.
+fn mesi_label(s: Mesi) -> &'static str {
+    match s {
+        Mesi::Invalid => "I",
+        Mesi::Shared => "S",
+        Mesi::Exclusive => "E",
+        Mesi::Modified => "M",
+    }
 }
 
 impl std::fmt::Debug for PrivateCache {
@@ -211,7 +224,35 @@ impl PrivateCache {
             delayed_fwd: FxHashMap::default(),
             deferred_fwd: DelayQueue::new(),
             events: Vec::new(),
+            tracer: Tracer::default(),
             stats: MemStats::default(),
+        }
+    }
+
+    /// Arms structured MESI-transition tracing with a ring of `cap`
+    /// records.
+    pub fn trace_enable(&mut self, cap: usize) {
+        self.tracer.enable(cap);
+    }
+
+    /// Drains the buffered trace records, oldest first.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.take()
+    }
+
+    /// Records an L1D coherence-state transition on `line` (no-op while
+    /// tracing is disabled).
+    fn trace_mesi(&mut self, line: LineAddr, from: Mesi, to: Mesi, now: Cycle) {
+        if self.tracer.is_enabled() && from != to {
+            self.tracer.emit(
+                now,
+                0,
+                TraceEvent::MesiTransition {
+                    line: line.raw(),
+                    from: mesi_label(from),
+                    to: mesi_label(to),
+                },
+            );
         }
     }
 
@@ -906,15 +947,20 @@ impl PrivateCache {
     pub fn make_visible(&mut self, coords: &[(usize, usize)], now: Cycle, net: &mut Network) {
         let mut lines = Vec::with_capacity(coords.len());
         for &(set, way) in coords {
-            let l = self.l1d.way_mut(set, way);
-            assert!(l.unauth && l.ready, "visibility flip requires ready unauthorized lines");
-            l.unauth = false;
-            l.ready = false;
-            l.mask = ByteMask::EMPTY;
-            l.state = Mesi::Modified;
-            l.dirty = true;
-            l.base_valid = true;
-            lines.push(l.line);
+            let (prev, line) = {
+                let l = self.l1d.way_mut(set, way);
+                assert!(l.unauth && l.ready, "visibility flip requires ready unauthorized lines");
+                let prev = l.state;
+                l.unauth = false;
+                l.ready = false;
+                l.mask = ByteMask::EMPTY;
+                l.state = Mesi::Modified;
+                l.dirty = true;
+                l.base_valid = true;
+                (prev, l.line)
+            };
+            self.trace_mesi(line, prev, Mesi::Modified, now);
+            lines.push(line);
         }
         for line in lines {
             self.set_l2_state(line, Mesi::Modified);
@@ -957,11 +1003,16 @@ impl PrivateCache {
             .expect("relinquish requires the L2 old copy");
         let old = Box::new(*self.l2.way(s2, w2).data);
         self.l2.way_mut(s2, w2).clear();
-        let l = self.l1d.way_mut(set, way);
-        l.state = Mesi::Invalid;
-        l.ready = false;
-        l.base_valid = false;
-        l.dirty = false;
+        let prev = {
+            let l = self.l1d.way_mut(set, way);
+            let prev = l.state;
+            l.state = Mesi::Invalid;
+            l.ready = false;
+            l.base_valid = false;
+            l.dirty = false;
+            prev
+        };
+        self.trace_mesi(line, prev, Mesi::Invalid, now);
         self.stats.relinquishes += 1;
         // Loads that read the (previously combined) line must replay: the
         // remote writer will change the base bytes.
@@ -1040,6 +1091,12 @@ impl PrivateCache {
         net: &mut Network,
     ) {
         let out = self.outstanding.remove(&line);
+        let prev = self
+            .l1d
+            .lookup(line)
+            .map(|(s, w)| self.l1d.way(s, w).state)
+            .unwrap_or(Mesi::Invalid);
+        self.trace_mesi(line, prev, state, now);
         // Unauthorized combine path?
         if let Some((set, way)) = self.l1d.lookup(line) {
             if self.l1d.way(set, way).unauth {
@@ -1228,6 +1285,14 @@ impl PrivateCache {
             }
             _ => None,
         };
+        if let Some((s, w)) = l1 {
+            let prev = self.l1d.way(s, w).state;
+            let to = match f.kind {
+                FwdKind::Inv => Mesi::Invalid,
+                FwdKind::Downgrade => Mesi::Shared,
+            };
+            self.trace_mesi(line, prev, to, now);
+        }
         match f.kind {
             FwdKind::Inv => {
                 if let Some((s, w)) = l1 {
@@ -1441,13 +1506,13 @@ impl PrivateCache {
         let s = &self.stats;
         let mut out = StatSet::new();
         out.set("loads", s.loads as f64);
-        out.set("l1d_load_hits", s.l1d_load_hits as f64);
-        out.set("l1d_load_misses", s.l1d_load_misses as f64);
+        out.set(names::L1D_LOAD_HITS, s.l1d_load_hits as f64);
+        out.set(names::L1D_LOAD_MISSES, s.l1d_load_misses as f64);
         out.set("l2_load_hits", s.l2_load_hits as f64);
         out.set("l2_load_misses", s.l2_load_misses as f64);
         out.set("loads_blocked_unauth", s.loads_blocked_unauth as f64);
         out.set("l1d_unauth_forwards", s.l1d_unauth_forwards as f64);
-        out.set("l1d_writes", s.l1d_writes as f64);
+        out.set(names::L1D_WRITES, s.l1d_writes as f64);
         out.set("l1d_store_hits", s.l1d_store_hits as f64);
         out.set("l1d_store_misses", s.l1d_store_misses as f64);
         out.set("l2_updates", s.l2_updates as f64);

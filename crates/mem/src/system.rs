@@ -6,6 +6,7 @@
 //! controllers between ticks and consumes their events.
 
 use tus_sim::sched::earliest;
+use tus_sim::trace::TraceRecord;
 use tus_sim::{CoreId, Cycle, Schedulable, SimConfig, SimRng, StatSet};
 
 use crate::dir::Directory;
@@ -207,6 +208,29 @@ impl MemorySystem {
             }
         }
         self.memory.read_addr(addr, size)
+    }
+
+    /// Arms structured tracing on every memory-side component (per-core
+    /// controllers, directory, network), each with a ring of `cap`
+    /// records.
+    pub fn enable_trace(&mut self, cap: usize) {
+        for c in &mut self.ctrls {
+            c.trace_enable(cap);
+        }
+        self.dir.trace_enable(cap);
+        self.net.trace_enable(cap);
+    }
+
+    /// Drains all memory-side trace buffers as named tracks:
+    /// `mem.core<i>` per controller, plus `dir` and `net`.
+    pub fn take_traces(&mut self) -> Vec<(String, Vec<TraceRecord>)> {
+        let mut out = Vec::new();
+        for (i, c) in self.ctrls.iter_mut().enumerate() {
+            out.push((format!("mem.core{i}"), c.take_trace()));
+        }
+        out.push(("dir".to_owned(), self.dir.take_trace()));
+        out.push(("net".to_owned(), self.net.take_trace()));
+        out
     }
 
     /// Aggregated statistics (`coreN.*`, `dir.*`, `net.*`).

@@ -14,6 +14,9 @@
 //!   the simulation-kernel selector ([`KernelKind`]).
 //! * [`sched`] — the [`Schedulable`] contract the idle-skipping kernel uses
 //!   to compute the machine-wide next-event cycle.
+//! * [`trace`] — the zero-cost-when-disabled structured event recorder
+//!   ([`Tracer`]) and the stall-attribution accountant ([`AttrClass`],
+//!   [`Attribution`]).
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@ pub mod hash;
 pub mod rng;
 pub mod sched;
 pub mod stats;
+pub mod trace;
 pub mod types;
 
 pub use config::{KernelKind, PolicyKind, SimConfig, SimConfigBuilder};
@@ -43,4 +47,5 @@ pub use event::DelayQueue;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SimRng;
 pub use stats::StatSet;
+pub use trace::{AttrClass, Attribution, TraceEvent, TraceRecord, Tracer};
 pub use types::{Addr, CoreId, Cycle, LineAddr, LINE_BYTES, LINE_SHIFT};

@@ -151,6 +151,41 @@ impl Extend<(String, f64)> for StatSet {
     }
 }
 
+/// Canonical statistic names shared by exporters and consumers.
+///
+/// Several statistics are produced in one crate (e.g. the CPU core's
+/// `stall_sb`, the private cache's `l1d_writes`) and consumed in another
+/// (the harness's stall-fraction and hit-rate computations). Spelling the
+/// name twice as a string literal means a typo silently splits a category
+/// into two — the consumer reads 0.0 and no test notices. Both sides now
+/// reference these constants, so a rename is a compile-time event.
+pub mod names {
+    /// Total cycles of the run (system level).
+    pub const CYCLES: &str = "cycles";
+    /// Instructions committed across all cores (system level).
+    pub const TOTAL_COMMITTED: &str = "total_committed";
+    /// SB-full dispatch-stall cycles (per-core CPU).
+    pub const STALL_SB: &str = "stall_sb";
+    /// Stores written into the L1D (per-core memory side).
+    pub const L1D_WRITES: &str = "l1d_writes";
+    /// L1D load hits (per-core memory side).
+    pub const L1D_LOAD_HITS: &str = "l1d_load_hits";
+    /// L1D load misses (per-core memory side).
+    pub const L1D_LOAD_MISSES: &str = "l1d_load_misses";
+
+    /// Full name of a per-core CPU statistic as exported by the system
+    /// (`core<i>.cpu.<stat>`).
+    pub fn core_cpu(core: usize, stat: &str) -> String {
+        format!("core{core}.cpu.{stat}")
+    }
+
+    /// Full name of a per-core memory-side statistic as exported by the
+    /// system (`mem.core<i>.<stat>`).
+    pub fn mem_core(core: usize, stat: &str) -> String {
+        format!("mem.core{core}.{stat}")
+    }
+}
+
 /// Geometric mean of an iterator of positive values. Returns 1.0 for an
 /// empty iterator; ignores non-positive values (they would poison the log).
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
