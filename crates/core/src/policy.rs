@@ -31,7 +31,7 @@ use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
 use tus_sim::{Addr, Cycle, LineAddr, PolicyKind, SimConfig, StatSet};
 
 use crate::lex::{AuthorizationUnit, ConflictDecision};
-use crate::wcb::{WcbRefusal, WcbSet};
+use crate::wcb::{WcbBuf, WcbRefusal, WcbSet};
 use crate::woq::{Woq, WoqEntry};
 
 /// How many stores may move from the SB into the WCBs per cycle.
@@ -584,13 +584,21 @@ fn lex_conflict_on_merge(p: &impl CoalescingDrain, line: LineAddr) -> bool {
     }
     // Writing to an existing buffer may merge all buffers; check all
     // pairs.
-    let lines: Vec<LineAddr> = (0..p.wcbs().capacity())
-        .filter_map(|i| p.wcbs().buf(i).map(|b| b.line))
-        .collect();
-    lines
-        .iter()
-        .enumerate()
-        .any(|(i, &a)| lines.iter().skip(i + 1).any(|&b| p.auth().lex_conflict(a, b)))
+    let cap = p.wcbs().capacity();
+    for i in 0..cap {
+        let Some(a) = p.wcbs().buf(i).map(|b| b.line) else {
+            continue;
+        };
+        for j in i + 1..cap {
+            let Some(b) = p.wcbs().buf(j).map(|b| b.line) else {
+                continue;
+            };
+            if p.auth().lex_conflict(a, b) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Moves up to [`SB_TO_WCB_PER_CYCLE`] committed stores from the SB into
@@ -665,6 +673,8 @@ pub struct CsbPolicy {
     l1_lat: u64,
     flushes: u64,
     head_block_cycles: u64,
+    /// Reused oldest-group index buffer (bounded by the WCB count).
+    idxs_scratch: Vec<usize>,
 }
 
 impl CsbPolicy {
@@ -678,6 +688,7 @@ impl CsbPolicy {
             l1_lat: cfg.mem.l1d.latency,
             flushes: 0,
             head_block_cycles: 0,
+            idxs_scratch: Vec::new(),
         }
     }
 
@@ -707,8 +718,10 @@ impl CsbPolicy {
     /// write permission or nothing is written. Returns `true` when a
     /// group was flushed.
     fn try_flush(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) -> bool {
-        let idxs = self.wcbs.oldest_group();
+        let mut idxs = std::mem::take(&mut self.idxs_scratch);
+        self.wcbs.oldest_group_into(&mut idxs);
         if idxs.is_empty() {
+            self.idxs_scratch = idxs;
             return false;
         }
         let mut writable = true;
@@ -722,6 +735,7 @@ impl CsbPolicy {
             }
         }
         if !writable {
+            self.idxs_scratch = idxs;
             return false;
         }
         for &i in &idxs {
@@ -730,8 +744,9 @@ impl CsbPolicy {
             let out = ctrl.write_line_visible(line, &data, mask, now, net);
             assert_eq!(out, StoreWriteOutcome::Done, "probed writable line must accept");
         }
-        self.wcbs.take(&idxs);
+        self.wcbs.release(&idxs);
         self.flushes += 1;
+        self.idxs_scratch = idxs;
         true
     }
 }
@@ -778,6 +793,16 @@ pub struct TusPolicy {
     delays: u64,
     relinquishes: u64,
     head_block_cycles: u64,
+    // Reused buffers for the per-cycle flush/visibility paths. All are
+    // bounded by the WCB or WOQ capacity, so they plateau and the
+    // steady-state drain loop never allocates.
+    idxs_scratch: Vec<usize>,
+    flush_scratch: Vec<WcbBuf>,
+    per_set_scratch: Vec<(usize, usize)>,
+    lines_scratch: Vec<LineAddr>,
+    merged_scratch: Vec<LineAddr>,
+    group_scratch: Vec<WoqEntry>,
+    coords_scratch: Vec<(usize, usize)>,
 }
 
 impl TusPolicy {
@@ -797,6 +822,13 @@ impl TusPolicy {
             delays: 0,
             relinquishes: 0,
             head_block_cycles: 0,
+            idxs_scratch: Vec::new(),
+            flush_scratch: Vec::new(),
+            per_set_scratch: Vec::new(),
+            lines_scratch: Vec::new(),
+            merged_scratch: Vec::new(),
+            group_scratch: Vec::new(),
+            coords_scratch: Vec::new(),
         }
     }
 
@@ -843,7 +875,7 @@ impl TusPolicy {
     /// this cycle (the request only goes out when the lex order allows
     /// it, none is in flight, and an MSHR is free).
     fn rerequest_would_send(&self, ctrl: &PrivateCache) -> bool {
-        self.woq.retry_positions().into_iter().any(|idx| {
+        self.woq.retry_iter().any(|idx| {
             self.auth.may_rerequest(&self.woq, idx)
                 && !ctrl.request_in_flight(self.woq.entry(idx).line)
                 && ctrl.mshrs_free() > 0
@@ -853,21 +885,32 @@ impl TusPolicy {
     /// Makes every fully-ready atomic group at the head of the WOQ
     /// visible (bulk *not visible* reset).
     fn advance_visibility(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
-        while let Some(entries) = self.next_visible_group() {
-            let coords: Vec<(usize, usize)> = entries.iter().map(|e| (e.set, e.way)).collect();
+        let mut entries = std::mem::take(&mut self.group_scratch);
+        let mut coords = std::mem::take(&mut self.coords_scratch);
+        loop {
+            entries.clear();
+            if !self.pop_next_visible_group(&mut entries) {
+                break;
+            }
+            coords.clear();
+            coords.extend(entries.iter().map(|e| (e.set, e.way)));
             ctrl.make_visible(&coords, now, net);
             self.flips += 1;
         }
+        self.group_scratch = entries;
+        self.coords_scratch = coords;
     }
 
     /// The next atomic group to flip visible: the head group, once every
-    /// member is ready — WOQ order is what preserves TSO.
+    /// member is ready — WOQ order is what preserves TSO. Fills `out` and
+    /// returns `true` when a group was popped.
     #[cfg(not(feature = "bug-woq-reorder"))]
-    fn next_visible_group(&mut self) -> Option<Vec<WoqEntry>> {
+    fn pop_next_visible_group(&mut self, out: &mut Vec<WoqEntry>) -> bool {
         if self.woq.head_group_ready() {
-            Some(self.woq.pop_head_group())
+            self.woq.pop_head_group_into(out);
+            true
         } else {
-            None
+            false
         }
     }
 
@@ -876,15 +919,24 @@ impl TusPolicy {
     /// store ordering so the differential fuzzer has a real bug to
     /// catch; never enabled in normal builds.
     #[cfg(feature = "bug-woq-reorder")]
-    fn next_visible_group(&mut self) -> Option<Vec<WoqEntry>> {
-        let g = self.woq.youngest_ready_group()?;
-        Some(self.woq.pop_group(g))
+    fn pop_next_visible_group(&mut self, out: &mut Vec<WoqEntry>) -> bool {
+        let Some(g) = self.woq.youngest_ready_group() else {
+            return false;
+        };
+        out.extend(self.woq.pop_group(g));
+        true
     }
 
     /// Re-requests permission for relinquished entries allowed by the lex
     /// rule.
     fn rerequest(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
-        for idx in self.woq.retry_positions() {
+        // Index loop rather than an iterator: the WOQ itself is untouched
+        // inside the body, but borrowing it for iteration would conflict
+        // with the tracer emit on `self`.
+        for idx in 0..self.woq.len() {
+            if !self.woq.entry(idx).retry {
+                continue;
+            }
             if self.auth.may_rerequest(&self.woq, idx) {
                 let line = self.woq.entry(idx).line;
                 ctrl.request_permission(line, now, net);
@@ -897,30 +949,31 @@ impl TusPolicy {
     /// The Figure 7 flow: writes the oldest WCB group into the L1D as
     /// temporarily unauthorized data. All-or-nothing per atomic group.
     fn try_flush(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) -> bool {
-        let idxs = self.wcbs.oldest_group();
-        if idxs.is_empty() {
+        self.wcbs.oldest_group_into(&mut self.idxs_scratch);
+        if self.idxs_scratch.is_empty() {
             return false;
         }
         // ---------------- feasibility checks ----------------
         let mut new_entries = 0usize;
         let mut getm_needed = 0usize;
-        let mut per_set_demand: Vec<(usize, usize)> = Vec::new();
+        self.per_set_scratch.clear();
         let mut merge_at: Option<usize> = None;
-        let mut group_lines: Vec<LineAddr> = Vec::new();
-        for &i in &idxs {
+        self.lines_scratch.clear();
+        for &i in &self.idxs_scratch {
             let b = self.wcbs.buf(i).expect("member");
-            group_lines.push(b.line);
+            self.lines_scratch.push(b.line);
             match ctrl.probe(b.line) {
                 ProbeResult::Busy => return false,
                 ProbeResult::Miss { ways_free } => {
                     new_entries += 1;
                     getm_needed += 1;
                     let set = ctrl.l1d_set_of(b.line);
-                    match per_set_demand.iter_mut().find(|(s, _)| *s == set) {
+                    match self.per_set_scratch.iter_mut().find(|(s, _)| *s == set) {
                         Some((_, d)) => *d += 1,
-                        None => per_set_demand.push((set, 1)),
+                        None => self.per_set_scratch.push((set, 1)),
                     }
-                    let demand = per_set_demand
+                    let demand = self
+                        .per_set_scratch
                         .iter()
                         .find(|(s, _)| *s == set)
                         .map(|(_, d)| *d)
@@ -960,12 +1013,13 @@ impl TusPolicy {
             if self.woq.merged_size(m) + new_entries > self.max_group {
                 return false;
             }
-            let mut lines = self.woq.merged_lines(m);
-            lines.extend(group_lines.iter().copied());
-            lines.sort_by_key(|l| l.raw());
-            lines.dedup();
-            for (i, &a) in lines.iter().enumerate() {
-                for &b in lines.iter().skip(i + 1) {
+            self.merged_scratch.clear();
+            self.woq.merged_lines_into(m, &mut self.merged_scratch);
+            self.merged_scratch.extend(self.lines_scratch.iter().copied());
+            self.merged_scratch.sort_by_key(|l| l.raw());
+            self.merged_scratch.dedup();
+            for (i, &a) in self.merged_scratch.iter().enumerate() {
+                for &b in self.merged_scratch.iter().skip(i + 1) {
                     if self.auth.lex_conflict(a, b) {
                         return false;
                     }
@@ -973,7 +1027,8 @@ impl TusPolicy {
             }
         }
         // ---------------- execution ----------------
-        let bufs = self.wcbs.take(&idxs);
+        let mut bufs = std::mem::take(&mut self.flush_scratch);
+        self.wcbs.take_into(&self.idxs_scratch, &mut bufs);
         let mut group = None;
         for b in &bufs {
             match ctrl.probe(b.line) {
@@ -1023,6 +1078,10 @@ impl TusPolicy {
                 ProbeResult::Busy => unreachable!("feasibility checked"),
             }
         }
+        for b in bufs.drain(..) {
+            self.wcbs.recycle(b);
+        }
+        self.flush_scratch = bufs;
         if let Some(m) = merge_at {
             self.woq.merge_to_tail(m);
         }

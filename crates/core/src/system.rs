@@ -143,6 +143,9 @@ pub struct System {
     now: Cycle,
     /// System-level tracer (bulk-idle spans from the skip kernel).
     tracer: Tracer,
+    /// Reused buffer for the per-core cache-event drain (bounded by the
+    /// events one controller can raise in a cycle).
+    event_scratch: Vec<CacheEvent>,
 }
 
 impl std::fmt::Debug for System {
@@ -198,6 +201,7 @@ impl System {
             mem,
             now: Cycle::ZERO,
             tracer: Tracer::default(),
+            event_scratch: Vec::new(),
         };
         if trace_default() {
             sys.enable_trace(DEFAULT_TRACE_CAP);
@@ -303,10 +307,13 @@ impl System {
     pub fn tick(&mut self) {
         let now = self.now;
         self.mem.tick(now);
+        let mut events = std::mem::take(&mut self.event_scratch);
         let MemorySystem { ctrls, net, .. } = &mut self.mem;
         for i in 0..self.cores.len() {
             let ctrl = &mut ctrls[i];
-            for ev in ctrl.take_events() {
+            events.clear();
+            ctrl.drain_events_into(&mut events);
+            for ev in events.drain(..) {
                 match ev {
                     CacheEvent::LoadDone { token, at, value } => {
                         self.cores[i].load_complete(token, at, value);
@@ -325,6 +332,7 @@ impl System {
             };
             self.cores[i].tick(now, &mut port);
         }
+        self.event_scratch = events;
         self.now += 1;
     }
 

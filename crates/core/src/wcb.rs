@@ -54,6 +54,11 @@ pub struct WcbSet {
     coalesced_stores: u64,
     cycle_merges: u64,
     tracer: Tracer,
+    /// Retired line-data boxes awaiting reuse. Flushed buffers return
+    /// their boxes here (via [`WcbSet::recycle`]) so steady-state
+    /// allocate/flush cycles never touch the heap: the pool plateaus at
+    /// the buffer count.
+    spare: Vec<Box<LineData>>,
 }
 
 /// Why a store could not enter the WCBs.
@@ -80,6 +85,7 @@ impl WcbSet {
             coalesced_stores: 0,
             cycle_merges: 0,
             tracer: Tracer::default(),
+            spare: Vec::new(),
         }
     }
 
@@ -159,7 +165,13 @@ impl WcbSet {
             return Ok(merged);
         }
         if let Some(i) = self.bufs.iter().position(|b| b.is_none()) {
-            let mut data = Box::new([0u8; tus_sim::LINE_BYTES]);
+            let mut data = match self.spare.pop() {
+                Some(mut d) => {
+                    *d = [0u8; tus_sim::LINE_BYTES];
+                    d
+                }
+                None => Box::new([0u8; tus_sim::LINE_BYTES]),
+            };
             tus_mem::line::write_value(&mut data, addr.line_offset(), size, value);
             let cid = self.next_cid;
             self.next_cid = self.next_cid.wrapping_add(1);
@@ -212,6 +224,16 @@ impl WcbSet {
     /// Indices of the buffers forming the oldest group (by allocation
     /// cycle) — the natural flush victim.
     pub fn oldest_group(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.oldest_group_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`WcbSet::oldest_group`]: clears `out` and fills
+    /// it with the indices of the oldest group (empty when no buffer is
+    /// in use).
+    pub fn oldest_group_into(&self, out: &mut Vec<usize>) {
+        out.clear();
         let Some(oldest) = self
             .bufs
             .iter()
@@ -219,19 +241,27 @@ impl WcbSet {
             .min_by_key(|b| b.born)
             .map(|b| b.cid)
         else {
-            return Vec::new();
+            return;
         };
-        self.group_members(oldest)
+        self.group_members_into(oldest, out);
     }
 
     /// Indices of the buffers in group `cid`.
     pub fn group_members(&self, cid: u32) -> Vec<usize> {
-        self.bufs
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.as_ref().is_some_and(|b| b.cid == cid))
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.group_members_into(cid, &mut out);
+        out
+    }
+
+    /// Appends the indices of the buffers in group `cid` to `out`.
+    pub fn group_members_into(&self, cid: u32, out: &mut Vec<usize>) {
+        out.extend(
+            self.bufs
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.as_ref().is_some_and(|b| b.cid == cid))
+                .map(|(i, _)| i),
+        );
     }
 
     /// All distinct group ids currently present, oldest first.
@@ -251,6 +281,14 @@ impl WcbSet {
     /// flush to the L1D).
     pub fn take(&mut self, indices: &[usize]) -> Vec<WcbBuf> {
         let mut out = Vec::with_capacity(indices.len());
+        self.take_into(indices, &mut out);
+        out
+    }
+
+    /// Allocation-free [`WcbSet::take`]: appends the removed buffers to
+    /// `out`. Pass the buffers back through [`WcbSet::recycle`] once
+    /// their contents are consumed so their data boxes are reused.
+    pub fn take_into(&mut self, indices: &[usize], out: &mut Vec<WcbBuf>) {
         for &i in indices {
             out.push(self.bufs[i].take().expect("taking an empty WCB"));
         }
@@ -260,7 +298,26 @@ impl WcbSet {
         {
             self.last_written = None;
         }
-        out
+    }
+
+    /// Returns a flushed buffer's line-data box to the spare pool.
+    pub fn recycle(&mut self, buf: WcbBuf) {
+        self.spare.push(buf.data);
+    }
+
+    /// Removes the buffers at `indices` and recycles their data boxes in
+    /// one step (for callers that do not need the contents).
+    pub fn release(&mut self, indices: &[usize]) {
+        for &i in indices {
+            let b = self.bufs[i].take().expect("releasing an empty WCB");
+            self.spare.push(b.data);
+        }
+        if self
+            .last_written
+            .is_some_and(|lw| self.bufs[lw].is_none())
+        {
+            self.last_written = None;
+        }
     }
 
     /// Age of the oldest buffer, in cycles.

@@ -76,6 +76,9 @@ pub struct Woq {
     searches: u64,
     peak: usize,
     tracer: Tracer,
+    /// Reused buffer for merge-closure group ids (bounded by the queue
+    /// capacity, so it plateaus and merge queries allocate nothing).
+    scratch_ids: Vec<GroupId>,
 }
 
 impl Woq {
@@ -93,6 +96,7 @@ impl Woq {
             searches: 0,
             peak: 0,
             tracer: Tracer::default(),
+            scratch_ids: Vec::new(),
         }
     }
 
@@ -202,17 +206,17 @@ impl Woq {
         self.entries.iter().position(|e| e.set == set && e.way == way)
     }
 
-    /// Group ids that would be absorbed by merging from `idx` to the
-    /// tail (the transitive closure: atomicity of every touched group is
-    /// preserved by folding whole groups in).
-    fn merge_ids(&self, idx: usize) -> Vec<GroupId> {
-        let mut ids: Vec<GroupId> = Vec::new();
+    /// Collects into `scratch_ids` the group ids that would be absorbed
+    /// by merging from `idx` to the tail (the transitive closure:
+    /// atomicity of every touched group is preserved by folding whole
+    /// groups in).
+    fn collect_merge_ids(&mut self, idx: usize) {
+        self.scratch_ids.clear();
         for e in self.entries.iter().skip(idx) {
-            if !ids.contains(&e.group) {
-                ids.push(e.group);
+            if !self.scratch_ids.contains(&e.group) {
+                self.scratch_ids.push(e.group);
             }
         }
-        ids
     }
 
     /// Merges every entry from `idx` to the tail — *and every other
@@ -227,9 +231,9 @@ impl Woq {
     /// Panics if `idx` is out of bounds.
     pub fn merge_to_tail(&mut self, idx: usize) -> GroupId {
         let g = self.entries[idx].group;
-        let ids = self.merge_ids(idx);
+        self.collect_merge_ids(idx);
         for e in self.entries.iter_mut() {
-            if ids.contains(&e.group) {
+            if self.scratch_ids.contains(&e.group) {
                 e.group = g;
             }
         }
@@ -241,30 +245,42 @@ impl Woq {
     }
 
     /// Size the atomic group would have after [`Woq::merge_to_tail`].
-    pub fn merged_size(&self, idx: usize) -> usize {
-        let ids = self.merge_ids(idx);
+    pub fn merged_size(&mut self, idx: usize) -> usize {
+        self.collect_merge_ids(idx);
+        let ids = &self.scratch_ids;
         self.entries.iter().filter(|e| ids.contains(&e.group)).count()
     }
 
     /// Whether any entry that [`Woq::merge_to_tail`] would absorb has its
     /// *CanCycle* bit cleared — in which case the merge (and the store
     /// causing it) must wait.
-    pub fn merge_blocked(&self, idx: usize) -> bool {
-        let ids = self.merge_ids(idx);
+    pub fn merge_blocked(&mut self, idx: usize) -> bool {
+        self.collect_merge_ids(idx);
+        let ids = &self.scratch_ids;
         self.entries
             .iter()
             .any(|e| ids.contains(&e.group) && !e.can_cycle)
     }
 
+    /// Appends the lines of the atomic group that [`Woq::merge_to_tail`]
+    /// would form to `out` (for lex-conflict checks).
+    pub fn merged_lines_into(&mut self, idx: usize, out: &mut Vec<LineAddr>) {
+        self.collect_merge_ids(idx);
+        let ids = &self.scratch_ids;
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|e| ids.contains(&e.group))
+                .map(|e| e.line),
+        );
+    }
+
     /// Lines of the atomic group that [`Woq::merge_to_tail`] would form
-    /// (for lex-conflict checks).
-    pub fn merged_lines(&self, idx: usize) -> Vec<LineAddr> {
-        let ids = self.merge_ids(idx);
-        self.entries
-            .iter()
-            .filter(|e| ids.contains(&e.group))
-            .map(|e| e.line)
-            .collect()
+    /// (allocating convenience wrapper for tests and cold paths).
+    pub fn merged_lines(&mut self, idx: usize) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        self.merged_lines_into(idx, &mut out);
+        out
     }
 
     /// Adds written bytes to the entry at `idx` and clears its ready bit
@@ -326,15 +342,38 @@ impl Woq {
     ///
     /// Panics if the queue is empty.
     pub fn pop_head_group(&mut self) -> Vec<WoqEntry> {
-        let g = self.head_group().expect("pop from empty WOQ");
-        let popped = self.pop_group_members(g);
-        self.tracer.emit_now(TraceEvent::WoqVisible {
-            group: g.0,
-            lines: popped.len() as u32,
-        });
+        let mut popped = Vec::new();
+        self.pop_head_group_into(&mut popped);
         popped
     }
 
+    /// Allocation-free [`Woq::pop_head_group`]: appends the popped head
+    /// group to `out` (which the caller clears and reuses), removing the
+    /// members in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    pub fn pop_head_group_into(&mut self, out: &mut Vec<WoqEntry>) {
+        let g = self.head_group().expect("pop from empty WOQ");
+        let before = out.len();
+        // retain preserves the order of survivors, exactly like the old
+        // drain-and-rebuild, and removes in place without a fresh deque.
+        self.entries.retain(|e| {
+            if e.group == g {
+                out.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        self.tracer.emit_now(TraceEvent::WoqVisible {
+            group: g.0,
+            lines: (out.len() - before) as u32,
+        });
+    }
+
+    #[cfg(feature = "bug-woq-reorder")]
     fn pop_group_members(&mut self, g: GroupId) -> Vec<WoqEntry> {
         let mut popped = Vec::new();
         let mut rest = VecDeque::with_capacity(self.entries.len());
@@ -371,12 +410,17 @@ impl Woq {
 
     /// Queue positions of entries with the retry flag set.
     pub fn retry_positions(&self) -> Vec<usize> {
+        self.retry_iter().collect()
+    }
+
+    /// Iterator over queue positions of entries with the retry flag set
+    /// (allocation-free form of [`Woq::retry_positions`]).
+    pub fn retry_iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.entries
             .iter()
             .enumerate()
             .filter(|(_, e)| e.retry)
             .map(|(i, _)| i)
-            .collect()
     }
 
     /// Number of 10-bit associative searches performed (energy model).

@@ -155,6 +155,13 @@ pub struct Core {
     ready_q: BinaryHeap<Reverse<(u64, u64)>>,
     completion: FxHashMap<u64, Cycle>,
     waiters: FxHashMap<u64, Vec<u64>>,
+    /// Emptied waiter lists awaiting reuse, so dependency registration
+    /// does not allocate a fresh `Vec` per producer in steady state.
+    waiter_vec_pool: Vec<Vec<u64>>,
+    /// Reused buffers for the per-cycle issue loop and the invalidation
+    /// snoop (bounded by the issue width / ROB size).
+    deferred_scratch: Vec<(u64, u64)>,
+    replay_scratch: Vec<u64>,
     record_loads: bool,
     loaded_values: Vec<u64>,
     tracer: Tracer,
@@ -196,6 +203,9 @@ impl Core {
             ready_q: BinaryHeap::new(),
             completion: FxHashMap::default(),
             waiters: FxHashMap::default(),
+            waiter_vec_pool: Vec::new(),
+            deferred_scratch: Vec::new(),
+            replay_scratch: Vec::new(),
             record_loads: false,
             loaded_values: Vec::new(),
             tracer: Tracer::default(),
@@ -321,7 +331,8 @@ impl Core {
     /// ordering under TSO.
     pub fn on_line_invalidated(&mut self, line: tus_sim::LineAddr, now: Cycle) {
         let head = self.head_seq;
-        let mut replays = Vec::new();
+        let mut replays = std::mem::take(&mut self.replay_scratch);
+        replays.clear();
         for (i, e) in self.rob.iter_mut().enumerate() {
             if e.op == OpClass::Load
                 && e.from_mem
@@ -336,10 +347,11 @@ impl Core {
                 replays.push(head + i as u64);
             }
         }
-        for seq in replays {
+        for &seq in &replays {
             self.stats.load_replays += 1;
             self.ready_q.push(Reverse((now.raw() + 1, seq)));
         }
+        self.replay_scratch = replays;
     }
 
     /// Advances one cycle.
@@ -630,7 +642,16 @@ impl Core {
                     } else if p >= self.head_seq {
                         // Producer still in flight without a known
                         // completion time.
-                        self.waiters.entry(p).or_default().push(seq);
+                        match self.waiters.entry(p) {
+                            std::collections::hash_map::Entry::Occupied(mut o) => {
+                                o.get_mut().push(seq)
+                            }
+                            std::collections::hash_map::Entry::Vacant(v) => {
+                                let mut ws = self.waiter_vec_pool.pop().unwrap_or_default();
+                                ws.push(seq);
+                                v.insert(ws);
+                            }
+                        }
                         e.deps_left += 1;
                     }
                     // Producers older than the window completed long ago.
@@ -674,7 +695,8 @@ impl Core {
         let mut issued = 0;
         let mut int_only_free = self.cfg.backend.int_only_alus;
         let mut general_free = self.cfg.backend.general_alus;
-        let mut deferred: Vec<(u64, u64)> = Vec::new();
+        let mut deferred = std::mem::take(&mut self.deferred_scratch);
+        deferred.clear();
         while issued < self.cfg.backend.issue_width {
             let Some(&Reverse((at, seq))) = self.ready_q.peek() else {
                 break;
@@ -752,12 +774,13 @@ impl Core {
             }
             issued += 1;
         }
-        for (at, seq) in deferred {
+        for &(at, seq) in &deferred {
             if let Some(e) = self.rob_mut(seq) {
                 e.ready_at = Cycle::new(at);
             }
             self.ready_q.push(Reverse((at, seq)));
         }
+        self.deferred_scratch = deferred;
     }
 
     fn latency_of(&self, op: OpClass) -> u64 {
@@ -785,10 +808,10 @@ impl Core {
     }
 
     fn wake(&mut self, producer: u64, done: Cycle) {
-        let Some(ws) = self.waiters.remove(&producer) else {
+        let Some(mut ws) = self.waiters.remove(&producer) else {
             return;
         };
-        for c in ws {
+        for c in ws.drain(..) {
             let Some(e) = self.rob_mut(c) else { continue };
             if e.ready_at < done {
                 e.ready_at = done;
@@ -801,6 +824,7 @@ impl Core {
                 self.ready_q.push(Reverse((at, c)));
             }
         }
+        self.waiter_vec_pool.push(ws);
     }
 
     fn commit(&mut self, now: Cycle, port: &mut dyn MemPort) {

@@ -8,6 +8,9 @@
 //!             [--kernel K]
 //! tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]
 //!             [--parallel-cap N] [--jobs N]
+//! tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]
+//!             [--parallel-cap N] [--jobs N] [--kernel K]
+//!             [--min-sims-per-sec X]
 //!
 //! experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15
 //!              intext ablation all
@@ -24,7 +27,11 @@
 //! and simulation throughput; `all` additionally writes
 //! `BENCH_harness.json` next to the CSVs, and `bench-kernel` runs the
 //! whole suite cold under both kernels and writes `BENCH_kernel.json`
-//! with the measured lockstep-vs-skip wall-clock.
+//! with the measured lockstep-vs-skip wall-clock. `bench-hotpath` runs
+//! the suite cold once (no memoization, no disk cache) and writes
+//! `BENCH_hotpath.json` with suite throughput against the committed
+//! pre-overhaul baseline; `--min-sims-per-sec` makes it exit non-zero
+//! below a floor (the CI perf-smoke contract).
 
 use std::io::Write as _;
 
@@ -44,6 +51,9 @@ fn usage() -> ! {
          \x20                  [--seed N] [--insts N] [--cap N] [--out DIR]\n\
          \x20      tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N]\n\
+         \x20      tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]\n\
+         \x20                  [--parallel-cap N] [--jobs N] [--kernel K]\n\
+         \x20                  [--min-sims-per-sec X]\n\
          experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation all\n\
          kernels (K): lockstep skip (default: skip)\n\
          --trace arms the structured event recorder in every simulation\n\
@@ -176,6 +186,90 @@ fn write_bench_kernel_json(
     Ok(())
 }
 
+/// Suite throughput (sims/sec, skip kernel, default scale) measured on
+/// the commit immediately before the dense line-state overhaul — the
+/// denominator `bench-hotpath` reports its speedup against. Update it
+/// when a later optimization round establishes a new baseline.
+const HOTPATH_BASELINE_SIMS_PER_SEC: f64 = 4.77;
+
+/// `bench-hotpath`: runs the full experiment suite **cold** (fresh
+/// executor, no memo table reuse across experiments beyond the run's
+/// own, no disk cache) and records suite throughput against the
+/// committed pre-overhaul baseline in `<out>/BENCH_hotpath.json`. With
+/// `--min-sims-per-sec`, exits non-zero when measured throughput falls
+/// below the floor — the CI perf-smoke contract. Returns the process
+/// exit code.
+fn bench_hotpath(opt: &Options, jobs: usize, floor: Option<f64>) -> i32 {
+    let hopt = Options {
+        out: opt.out.join("bench-hotpath"),
+        ..opt.clone()
+    };
+    let ex = Executor::new(jobs, None);
+    eprintln!(
+        "[bench-hotpath: running all experiments cold, {} kernel]",
+        hopt.kernel
+    );
+    let started = std::time::Instant::now();
+    experiments::all(&ex, &hopt);
+    let seconds = started.elapsed().as_secs_f64();
+    let counters = ex.counters();
+    let sims_per_sec = if seconds > 0.0 {
+        counters.executed as f64 / seconds
+    } else {
+        0.0
+    };
+    let speedup = sims_per_sec / HOTPATH_BASELINE_SIMS_PER_SEC;
+    eprintln!(
+        "[bench-hotpath: {seconds:.1}s, {} sims, {sims_per_sec:.2} sims/s, \
+         {speedup:.2}x over the {HOTPATH_BASELINE_SIMS_PER_SEC} sims/s baseline]",
+        counters.executed
+    );
+    if let Err(e) = write_bench_hotpath_json(&opt.out, &hopt, seconds, counters, sims_per_sec) {
+        eprintln!("bench-hotpath: cannot write BENCH_hotpath.json: {e}");
+        return 2;
+    }
+    if let Some(floor) = floor {
+        if sims_per_sec < floor {
+            eprintln!(
+                "bench-hotpath: FAIL — {sims_per_sec:.2} sims/s is below the \
+                 floor of {floor:.2} sims/s"
+            );
+            return 1;
+        }
+        eprintln!("bench-hotpath: ok — above the {floor:.2} sims/s floor");
+    }
+    0
+}
+
+/// Writes `BENCH_hotpath.json` (hand-rolled JSON; the workspace is
+/// std-only).
+fn write_bench_hotpath_json(
+    out: &std::path::Path,
+    hopt: &Options,
+    seconds: f64,
+    counters: ExecCounters,
+    sims_per_sec: f64,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(out)?;
+    let mut f = std::fs::File::create(out.join("BENCH_hotpath.json"))?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"kernel\": \"{}\",", hopt.kernel)?;
+    writeln!(f, "  \"seconds\": {seconds:.3},")?;
+    writeln!(f, "  \"sims\": {},", counters.executed)?;
+    writeln!(f, "  \"sims_per_sec\": {sims_per_sec:.2},")?;
+    writeln!(
+        f,
+        "  \"baseline_sims_per_sec\": {HOTPATH_BASELINE_SIMS_PER_SEC:.2},"
+    )?;
+    writeln!(
+        f,
+        "  \"speedup\": {:.3}",
+        sims_per_sec / HOTPATH_BASELINE_SIMS_PER_SEC
+    )?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -191,6 +285,7 @@ fn main() {
     let mut cmd = None;
     let mut jobs = Executor::default_jobs();
     let mut cache = true;
+    let mut min_sims_per_sec = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -218,6 +313,14 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--no-cache" => cache = false,
+            "--min-sims-per-sec" => {
+                min_sims_per_sec = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|x| x.is_finite() && *x >= 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--trace" => tus::set_trace_default(true),
             "--kernel" => {
                 opt.kernel = it
@@ -232,6 +335,9 @@ fn main() {
     let Some(cmd) = cmd else { usage() };
     if cmd == "bench-kernel" {
         std::process::exit(bench_kernel(&opt, jobs));
+    }
+    if cmd == "bench-hotpath" {
+        std::process::exit(bench_hotpath(&opt, jobs, min_sims_per_sec));
     }
     let cache_dir = cache.then(|| opt.out.join(".runcache"));
     let ex = Executor::new(jobs, cache_dir);

@@ -13,10 +13,36 @@
 
 use tus_sim::LineAddr;
 
-use crate::line::{zero_line, ByteMask, LineData};
+use crate::line::{ByteMask, LineData};
 use crate::mesi::Mesi;
 
-/// State of one cache line (tag array + TUS extensions + data).
+/// Builds a length-`n` `Vec<T>` directly from zeroed pages.
+///
+/// # Safety
+///
+/// The all-zero byte pattern must be a valid `T`. A large L3 is hundreds
+/// of thousands of ways; building its backing store element-by-element
+/// (or as one `Box` per way) dominated short runs. With zeroed pages,
+/// construction is O(1) page mapping, sets that are never touched never
+/// cost physical memory, and teardown is one unmap.
+unsafe fn zeroed_vec<T>(n: usize) -> Vec<T> {
+    let layout = std::alloc::Layout::array::<T>(n).expect("cache geometry overflows a Layout");
+    if layout.size() == 0 {
+        return Vec::new();
+    }
+    unsafe {
+        let ptr = std::alloc::alloc_zeroed(layout).cast::<T>();
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Vec::from_raw_parts(ptr, n, n)
+    }
+}
+
+/// State of one cache line (tag array + TUS extensions). The payload
+/// lives in a parallel array inside [`CacheArray`] — tag/state scans
+/// (lookup, victim search, writability probes) are the per-cycle hot
+/// path and must not drag 64-byte payloads through the host cache.
 #[derive(Debug, Clone)]
 pub struct CacheLineState {
     /// Line address stored in this way (valid only if `state != Invalid`
@@ -45,12 +71,13 @@ pub struct CacheLineState {
     /// are deferred so the local drain can perform at least one write —
     /// the minimal fairness window real cores provide).
     pub granted_at: tus_sim::Cycle,
-    /// Line payload.
-    pub data: Box<LineData>,
     lru: u64,
 }
 
 impl CacheLineState {
+    /// Only referenced by the debug-build check in [`CacheArray::new`] that
+    /// the all-zero bit pattern really is the empty state.
+    #[cfg(debug_assertions)]
     fn empty() -> Self {
         CacheLineState {
             line: LineAddr::new(0),
@@ -62,7 +89,6 @@ impl CacheLineState {
             mask: ByteMask::EMPTY,
             locked: false,
             granted_at: tus_sim::Cycle::ZERO,
-            data: zero_line(),
             lru: 0,
         }
     }
@@ -78,11 +104,18 @@ impl CacheLineState {
         !self.unauth && !self.locked
     }
 
-    /// Resets the way to empty.
+    /// Resets the way's metadata to empty. Callers almost always want
+    /// [`CacheArray::clear_way`], which also zeroes the payload.
     pub fn clear(&mut self) {
-        let lru = self.lru;
-        *self = CacheLineState::empty();
-        self.lru = lru;
+        self.line = LineAddr::new(0);
+        self.state = Mesi::Invalid;
+        self.dirty = false;
+        self.unauth = false;
+        self.ready = false;
+        self.base_valid = false;
+        self.mask = ByteMask::EMPTY;
+        self.locked = false;
+        self.granted_at = tus_sim::Cycle::ZERO;
     }
 }
 
@@ -105,6 +138,8 @@ pub struct CacheArray {
     sets: usize,
     ways: usize,
     lines: Vec<CacheLineState>,
+    /// Line payloads, parallel to `lines` (structure-of-arrays split).
+    data: Vec<LineData>,
     tick: u64,
 }
 
@@ -117,10 +152,42 @@ impl CacheArray {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
         assert!(ways > 0, "ways must be positive");
+        // A large L3 is hundreds of thousands of ways; building the
+        // backing store element-by-element dominated short runs (and one
+        // `Box` per way before that made teardown just as bad). The empty
+        // way is all-zero bytes — `Mesi::Invalid` is pinned to
+        // discriminant 0 (`repr(u8)`), the address/cycle/mask newtypes are
+        // plain `u64`s, and the payload is zeroed — so take zeroed pages
+        // straight from the allocator: construction is O(1) page mapping,
+        // sets that are never touched never cost physical memory, and
+        // teardown is one unmap.
+        let n = sets * ways;
+        let lines: Vec<CacheLineState> = unsafe { zeroed_vec(n) };
+        // All-zero is trivially valid for a byte array.
+        let data: Vec<LineData> = unsafe { zeroed_vec(n) };
+        #[cfg(debug_assertions)]
+        {
+            let z = &lines[0];
+            let e = CacheLineState::empty();
+            debug_assert!(
+                z.line == e.line
+                    && z.state == e.state
+                    && !z.dirty
+                    && !z.unauth
+                    && !z.ready
+                    && !z.base_valid
+                    && z.mask == e.mask
+                    && !z.locked
+                    && z.granted_at == e.granted_at
+                    && z.lru == e.lru,
+                "zeroed CacheLineState is not the empty state"
+            );
+        }
         CacheArray {
             sets,
             ways,
-            lines: (0..sets * ways).map(|_| CacheLineState::empty()).collect(),
+            lines,
+            data,
             tick: 0,
         }
     }
@@ -154,6 +221,34 @@ impl CacheArray {
     pub fn way_mut(&mut self, set: usize, way: usize) -> &mut CacheLineState {
         let i = self.idx(set, way);
         &mut self.lines[i]
+    }
+
+    /// The payload of a way.
+    pub fn data(&self, set: usize, way: usize) -> &LineData {
+        &self.data[self.idx(set, way)]
+    }
+
+    /// Mutable payload of a way.
+    pub fn data_mut(&mut self, set: usize, way: usize) -> &mut LineData {
+        let i = self.idx(set, way);
+        &mut self.data[i]
+    }
+
+    /// Metadata and payload of a way, mutably, in one borrow.
+    pub fn way_and_data_mut(
+        &mut self,
+        set: usize,
+        way: usize,
+    ) -> (&mut CacheLineState, &mut LineData) {
+        let i = self.idx(set, way);
+        (&mut self.lines[i], &mut self.data[i])
+    }
+
+    /// Resets a way to empty: metadata cleared and payload zeroed.
+    pub fn clear_way(&mut self, set: usize, way: usize) {
+        let i = self.idx(set, way);
+        self.lines[i].clear();
+        self.data[i] = [0u8; tus_sim::LINE_BYTES];
     }
 
     /// Finds the way holding `line` (occupied ways only). Does not update
@@ -213,7 +308,7 @@ impl CacheArray {
     /// victim first (checked in debug builds via [`CacheArray::victim`]).
     pub fn allocate(&mut self, line: LineAddr) -> Option<(usize, usize)> {
         let (set, way) = self.victim(line)?;
-        self.way_mut(set, way).clear();
+        self.clear_way(set, way);
         self.way_mut(set, way).line = line;
         self.touch(set, way);
         Some((set, way))

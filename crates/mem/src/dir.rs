@@ -21,7 +21,7 @@
 use std::collections::VecDeque;
 
 use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
-use tus_sim::{CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, Schedulable, StatSet};
+use tus_sim::{CoreId, Cycle, DelayQueue, LineAddr, LineId, LineInterner, Schedulable, Slab, StatSet};
 
 use crate::cache::CacheArray;
 use crate::line::LineData;
@@ -67,6 +67,24 @@ struct Transaction {
     queued: VecDeque<(CoreId, ReqKind, bool)>,
 }
 
+impl Default for Transaction {
+    fn default() -> Self {
+        Transaction {
+            requester: CoreId::new(0),
+            kind: ReqKind::GetS,
+            prefetch: false,
+            pending_acks: 0,
+            waiting_owner: false,
+            waiting_mem: false,
+            perm_only: false,
+            queued: VecDeque::new(),
+        }
+    }
+}
+
+/// Slot index in the transaction slab meaning "no open transaction".
+const NO_TRANS: u32 = u32::MAX;
+
 /// Running counters exported into the run's [`StatSet`].
 #[derive(Debug, Clone, Default)]
 pub struct DirStats {
@@ -89,12 +107,24 @@ pub struct DirStats {
 }
 
 /// The directory / shared-LLC home node.
+///
+/// Per-line state is dense: line addresses are interned into [`LineId`]s
+/// at the message boundary (one hash lookup per inbound message) and the
+/// sharer entries and open-transaction handles live in flat arrays
+/// indexed by id. Open transactions are slots in a [`Slab`] whose free
+/// list retains each slot's replay-queue capacity, so the steady-state
+/// open/close churn allocates nothing.
 pub struct Directory {
     cores: usize,
-    entries: FxHashMap<LineAddr, DirEntry>,
-    trans: FxHashMap<LineAddr, Transaction>,
+    lines: LineInterner,
+    /// Sharer/owner state, indexed by [`LineId`].
+    entries: Vec<DirEntry>,
+    /// Open-transaction slab slot per line ([`NO_TRANS`] when idle).
+    trans_idx: Vec<u32>,
+    trans: Slab<Transaction>,
+    open_trans: usize,
     l3: CacheArray,
-    dram: DelayQueue<LineAddr>,
+    dram: DelayQueue<LineId>,
     dram_busy_until: Cycle,
     dram_latency: u64,
     dram_gap: u64,
@@ -108,8 +138,8 @@ impl std::fmt::Debug for Directory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Directory")
             .field("cores", &self.cores)
-            .field("entries", &self.entries.len())
-            .field("open_transactions", &self.trans.len())
+            .field("entries", &self.lines.len())
+            .field("open_transactions", &self.open_trans)
             .finish()
     }
 }
@@ -130,8 +160,11 @@ impl Directory {
         let dram_gap = (dram_latency / dram_max_inflight.max(1) as u64).max(1);
         Directory {
             cores,
-            entries: FxHashMap::default(),
-            trans: FxHashMap::default(),
+            lines: LineInterner::new(),
+            entries: Vec::new(),
+            trans_idx: Vec::new(),
+            trans: Slab::new(),
+            open_trans: 0,
             l3: CacheArray::new(l3_sets, l3_ways),
             dram: DelayQueue::new(),
             dram_busy_until: Cycle::ZERO,
@@ -141,6 +174,45 @@ impl Directory {
             tracer: Tracer::default(),
             stats: DirStats::default(),
         }
+    }
+
+    /// Interns `line`, growing the dense per-line arrays on first touch.
+    #[inline]
+    fn intern(&mut self, line: LineAddr) -> LineId {
+        let id = self.lines.intern(line);
+        if self.entries.len() < self.lines.len() {
+            self.entries.push(DirEntry::default());
+            self.trans_idx.push(NO_TRANS);
+        }
+        id
+    }
+
+    /// The open transaction on `id`, if any.
+    #[inline]
+    fn tr(&self, id: LineId) -> Option<&Transaction> {
+        let slot = self.trans_idx[id.index()];
+        (slot != NO_TRANS).then(|| self.trans.get(slot))
+    }
+
+    /// Mutable access to the open transaction on `id`, if any.
+    #[inline]
+    fn tr_mut(&mut self, id: LineId) -> Option<&mut Transaction> {
+        let slot = self.trans_idx[id.index()];
+        (slot != NO_TRANS).then(|| self.trans.get_mut(slot))
+    }
+
+    /// Opens a transaction on `id` (reusing a warm slab slot) and returns
+    /// it for field initialization. The slot's queued-replay buffer is
+    /// empty but keeps its capacity from previous occupants.
+    #[inline]
+    fn open_transaction(&mut self, id: LineId) -> &mut Transaction {
+        debug_assert_eq!(self.trans_idx[id.index()], NO_TRANS);
+        let slot = self.trans.alloc();
+        self.trans_idx[id.index()] = slot;
+        self.open_trans += 1;
+        let t = self.trans.get_mut(slot);
+        debug_assert!(t.queued.is_empty());
+        t
     }
 
     /// Arms structured L3/DRAM access tracing with a ring of `cap`
@@ -163,10 +235,11 @@ impl Directory {
                 kind,
                 prefetch,
             } => {
-                if let Some(t) = self.trans.get_mut(&line) {
+                let id = self.intern(line);
+                if let Some(t) = self.tr_mut(id) {
                     t.queued.push_back((core, kind, prefetch));
                 } else {
-                    self.start(core, line, kind, prefetch, net, mem, now);
+                    self.start(core, id, kind, prefetch, net, mem, now);
                 }
             }
             Msg::FwdResp {
@@ -174,9 +247,18 @@ impl Directory {
                 line,
                 data,
                 relinquished,
-            } => self.on_fwd_resp(core, line, data, relinquished, net, mem, now),
-            Msg::InvAck { core, line } => self.on_inv_ack(core, line, net, mem, now),
-            Msg::Evict { core, line, data } => self.on_evict(core, line, data, mem),
+            } => {
+                let id = self.intern(line);
+                self.on_fwd_resp(core, id, data, relinquished, net, mem, now);
+            }
+            Msg::InvAck { core, line } => {
+                let id = self.intern(line);
+                self.on_inv_ack(core, id, net, mem, now);
+            }
+            Msg::Evict { core, line, data } => {
+                let id = self.intern(line);
+                self.on_evict(core, id, data, net, mem);
+            }
             Msg::Grant { .. } | Msg::Fwd { .. } => {
                 unreachable!("directory received a directory-originated message")
             }
@@ -185,14 +267,18 @@ impl Directory {
 
     /// Completes DRAM fetches that are due; must be called every cycle.
     pub fn tick(&mut self, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
-        while let Some(line) = self.dram.pop_due(now) {
-            let data = mem.read(line);
+        while let Some(id) = self.dram.pop_due(now) {
+            let line = self.lines.addr(id);
+            let mut data = net.alloc_data();
+            mem.read_into(line, &mut data);
             self.fill_l3(line, &data);
-            if self.trans.get(&line).is_some_and(|t| t.waiting_mem) {
-                if let Some(t) = self.trans.get_mut(&line) {
+            if self.tr(id).is_some_and(|t| t.waiting_mem) {
+                if let Some(t) = self.tr_mut(id) {
                     t.waiting_mem = false;
                 }
-                self.grant_with_data(line, Some(data), net, now);
+                self.grant_with_data(id, Some(data), net, now);
+            } else {
+                net.recycle_data(data);
             }
         }
     }
@@ -200,7 +286,7 @@ impl Directory {
     /// Whether no transaction is open and no DRAM fetch pending (used by
     /// drain loops and tests).
     pub fn idle(&self) -> bool {
-        self.trans.is_empty() && self.dram.is_empty()
+        self.open_trans == 0 && self.dram.is_empty()
     }
 
     /// Completion cycle of the earliest pending DRAM fetch.
@@ -210,14 +296,15 @@ impl Directory {
 
     /// Number of open transactions (watchdog diagnostics).
     pub fn open_transactions(&self) -> usize {
-        self.trans.len()
+        self.open_trans
     }
 
     /// Debug description of the directory state for one line (deadlock
     /// diagnostics).
     pub fn debug_line(&self, line: LineAddr) -> String {
-        let e = self.entries.get(&line);
-        let t = self.trans.get(&line);
+        let id = self.lines.get(line);
+        let e = id.map(|id| &self.entries[id.index()]);
+        let t = id.and_then(|id| self.tr(id));
         format!(
             "entry={:?} trans={:?}",
             e.map(|e| (e.owner, e.sharers)),
@@ -249,15 +336,18 @@ impl Directory {
     fn start(
         &mut self,
         core: CoreId,
-        line: LineAddr,
+        id: LineId,
         kind: ReqKind,
         prefetch: bool,
         net: &mut Network,
         mem: &mut MainMemory,
         now: Cycle,
     ) {
-        debug_assert!(!self.trans.contains_key(&line));
-        let entry = *self.entries.entry(line).or_default();
+        debug_assert_eq!(self.trans_idx[id.index()], NO_TRANS);
+        let line = self.lines.addr(id);
+        // The sharer state is read here and mutated in place (through the
+        // dense entry slot) at grant time — no copy-then-writeback.
+        let entry = self.entries[id.index()];
         match kind {
             ReqKind::GetS => self.stats.gets += 1,
             ReqKind::GetM => self.stats.getm += 1,
@@ -270,19 +360,14 @@ impl Directory {
                     ReqKind::GetM => FwdKind::Inv,
                 };
                 self.stats.fwds += 1;
-                self.trans.insert(
-                    line,
-                    Transaction {
-                        requester: core,
-                        kind,
-                        prefetch,
-                        pending_acks: 0,
-                        waiting_owner: true,
-                        waiting_mem: false,
-                        perm_only: false,
-                        queued: VecDeque::new(),
-                    },
-                );
+                let t = self.open_transaction(id);
+                t.requester = core;
+                t.kind = kind;
+                t.prefetch = prefetch;
+                t.pending_acks = 0;
+                t.waiting_owner = true;
+                t.waiting_mem = false;
+                t.perm_only = false;
                 net.send(
                     Node::Dir,
                     Node::Core(owner),
@@ -321,60 +406,52 @@ impl Directory {
                         );
                     }
                 }
-                self.trans.insert(
-                    line,
-                    Transaction {
-                        requester: core,
-                        kind,
-                        prefetch,
-                        pending_acks: acks,
-                        waiting_owner: false,
-                        waiting_mem: false,
-                        perm_only,
-                        queued: VecDeque::new(),
-                    },
-                );
+                let t = self.open_transaction(id);
+                t.requester = core;
+                t.kind = kind;
+                t.prefetch = prefetch;
+                t.pending_acks = acks;
+                t.waiting_owner = false;
+                t.waiting_mem = false;
+                t.perm_only = perm_only;
                 if acks == 0 {
-                    self.grant_after_invs(line, net, mem, now);
+                    self.grant_after_invs(id, net, mem, now);
                 }
             }
             ReqKind::GetS => {
-                self.trans.insert(
-                    line,
-                    Transaction {
-                        requester: core,
-                        kind,
-                        prefetch,
-                        pending_acks: 0,
-                        waiting_owner: false,
-                        waiting_mem: false,
-                        perm_only: entry.is_sharer(core),
-                        queued: VecDeque::new(),
-                    },
-                );
-                self.fetch_then_grant(line, net, mem, now);
+                let t = self.open_transaction(id);
+                t.requester = core;
+                t.kind = kind;
+                t.prefetch = prefetch;
+                t.pending_acks = 0;
+                t.waiting_owner = false;
+                t.waiting_mem = false;
+                t.perm_only = entry.is_sharer(core);
+                self.fetch_then_grant(id, net, mem, now);
             }
         }
     }
 
     /// GetM path once all sharer invalidations are accounted for.
-    fn grant_after_invs(&mut self, line: LineAddr, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
-        let perm_only = self.trans[&line].perm_only;
+    fn grant_after_invs(&mut self, id: LineId, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
+        let perm_only = self.tr(id).expect("transaction open").perm_only;
         if perm_only {
-            self.grant_with_data(line, None, net, now);
+            self.grant_with_data(id, None, net, now);
         } else {
-            self.fetch_then_grant(line, net, mem, now);
+            self.fetch_then_grant(id, net, mem, now);
         }
     }
 
     /// Supplies data from L3 (immediately) or DRAM (after the latency),
     /// then grants.
-    fn fetch_then_grant(&mut self, line: LineAddr, net: &mut Network, _mem: &mut MainMemory, now: Cycle) {
-        if self.trans[&line].perm_only && self.trans[&line].kind == ReqKind::GetS {
+    fn fetch_then_grant(&mut self, id: LineId, net: &mut Network, _mem: &mut MainMemory, now: Cycle) {
+        let t = self.tr(id).expect("transaction open");
+        if t.perm_only && t.kind == ReqKind::GetS {
             // Requester already a sharer (e.g. redundant prefetch).
-            self.grant_with_data(line, None, net, now);
+            self.grant_with_data(id, None, net, now);
             return;
         }
+        let line = self.lines.addr(id);
         if let Some((set, way)) = self.l3.lookup(line) {
             self.stats.l3_hits += 1;
             self.tracer.emit(
@@ -386,13 +463,13 @@ impl Directory {
                 },
             );
             self.l3.touch(set, way);
-            let data = Box::new(*self.l3.way(set, way).data);
-            self.grant_with_data(line, Some(data), net, now);
+            let data = net.alloc_data_copy(self.l3.data(set, way));
+            self.grant_with_data(id, Some(data), net, now);
         } else {
             self.stats.l3_misses += 1;
             let start = now.max(self.dram_busy_until);
             self.dram_busy_until = start + self.dram_gap;
-            self.dram.push(start + self.dram_latency, line);
+            self.dram.push(start + self.dram_latency, id);
             let done = start + self.dram_latency;
             self.tracer.emit(
                 now,
@@ -402,10 +479,7 @@ impl Directory {
                     l3_hit: false,
                 },
             );
-            self.trans
-                .get_mut(&line)
-                .expect("transaction open")
-                .waiting_mem = true;
+            self.tr_mut(id).expect("transaction open").waiting_mem = true;
         }
     }
 
@@ -413,14 +487,15 @@ impl Directory {
     /// sharing state, then replays queued requests.
     fn grant_with_data(
         &mut self,
-        line: LineAddr,
+        id: LineId,
         data: Option<Box<LineData>>,
         net: &mut Network,
         now: Cycle,
     ) {
-        let t = self.trans.get(&line).expect("transaction open");
+        let line = self.lines.addr(id);
+        let t = self.tr(id).expect("transaction open");
         let (requester, kind, prefetch) = (t.requester, t.kind, t.prefetch);
-        let entry = self.entries.entry(line).or_default();
+        let entry = &mut self.entries[id.index()];
         let state = match kind {
             ReqKind::GetM => {
                 entry.owner = Some(requester);
@@ -439,7 +514,7 @@ impl Directory {
             }
         };
         self.send_grant(requester, line, state, data, kind, prefetch, net, now);
-        self.complete(line);
+        self.complete(id);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -471,14 +546,15 @@ impl Directory {
     fn on_fwd_resp(
         &mut self,
         from: CoreId,
-        line: LineAddr,
+        id: LineId,
         data: Option<Box<LineData>>,
         relinquished: bool,
         net: &mut Network,
         mem: &mut MainMemory,
         now: Cycle,
     ) {
-        let kind = match self.trans.get_mut(&line) {
+        let line = self.lines.addr(id);
+        let kind = match self.tr_mut(id) {
             Some(t) => {
                 t.waiting_owner = false;
                 t.kind
@@ -487,6 +563,7 @@ impl Directory {
                 // Stale response (transaction aborted) — apply data, done.
                 if let Some(d) = data {
                     self.write_back(line, &d, mem);
+                    net.recycle_data(d);
                 }
                 return;
             }
@@ -497,7 +574,7 @@ impl Directory {
         if let Some(d) = &data {
             self.write_back(line, d, mem);
         }
-        let entry = self.entries.entry(line).or_default();
+        let entry = &mut self.entries[id.index()];
         // The old owner is no longer the owner.
         entry.owner = None;
         entry.remove_sharer(from);
@@ -509,60 +586,82 @@ impl Directory {
             _ => {}
         }
         match data {
-            Some(d) => self.grant_with_data(line, Some(d), net, now),
+            Some(d) => self.grant_with_data(id, Some(d), net, now),
             // The owner raced an eviction; its PutM arrived earlier on the
             // same FIFO channel, so L3/memory hold current data.
-            None => self.fetch_then_grant(line, net, mem, now),
+            None => self.fetch_then_grant(id, net, mem, now),
         }
     }
 
     fn on_inv_ack(
         &mut self,
         from: CoreId,
-        line: LineAddr,
+        id: LineId,
         net: &mut Network,
         mem: &mut MainMemory,
         now: Cycle,
     ) {
-        if let Some(e) = self.entries.get_mut(&line) {
-            e.remove_sharer(from);
-        }
-        let Some(t) = self.trans.get_mut(&line) else {
+        self.entries[id.index()].remove_sharer(from);
+        let Some(t) = self.tr_mut(id) else {
             return;
         };
         debug_assert!(t.pending_acks > 0, "unexpected InvAck");
         t.pending_acks -= 1;
         if t.pending_acks == 0 {
-            self.grant_after_invs(line, net, mem, now);
+            self.grant_after_invs(id, net, mem, now);
         }
     }
 
-    fn on_evict(&mut self, from: CoreId, line: LineAddr, data: Option<Box<LineData>>, mem: &mut MainMemory) {
+    fn on_evict(
+        &mut self,
+        from: CoreId,
+        id: LineId,
+        data: Option<Box<LineData>>,
+        net: &mut Network,
+        mem: &mut MainMemory,
+    ) {
         if let Some(d) = data {
             self.stats.writebacks += 1;
+            let line = self.lines.addr(id);
             self.write_back(line, &d, mem);
+            net.recycle_data(d);
         }
-        if let Some(e) = self.entries.get_mut(&line) {
-            if e.owner == Some(from) {
-                e.owner = None;
-            }
-            e.remove_sharer(from);
+        let e = &mut self.entries[id.index()];
+        if e.owner == Some(from) {
+            e.owner = None;
         }
+        e.remove_sharer(from);
     }
 
     /// Queues the requests that waited on the completed transaction for
-    /// replay. The memory system feeds them back through
-    /// [`Directory::handle`] in the same cycle, which re-serializes them
-    /// correctly if the first replay opens a new transaction.
-    fn complete(&mut self, line: LineAddr) {
-        let t = self.trans.remove(&line).expect("transaction open");
-        for (c, k, p) in t.queued {
+    /// replay, then releases the slab slot (its replay buffer keeps its
+    /// capacity for the next occupant). The memory system feeds the
+    /// replays back through [`Directory::handle`] in the same cycle, which
+    /// re-serializes them correctly if the first replay opens a new
+    /// transaction.
+    fn complete(&mut self, id: LineId) {
+        let slot = self.trans_idx[id.index()];
+        debug_assert_ne!(slot, NO_TRANS, "transaction open");
+        self.trans_idx[id.index()] = NO_TRANS;
+        self.open_trans -= 1;
+        let line = self.lines.addr(id);
+        let t = self.trans.get_mut(slot);
+        while let Some((c, k, p)) = t.queued.pop_front() {
             self.replays.push_back((c, line, k, p));
         }
+        self.trans.release(slot);
     }
 
-    /// Takes pending replays (filled by `complete`) — the memory system
-    /// feeds them back through [`Directory::handle`] in the same cycle.
+    /// Pops the oldest pending replay (filled by `complete`) — the memory
+    /// system feeds each back through [`Directory::handle`] in the same
+    /// cycle. Popping one at a time is order-equivalent to draining the
+    /// batch: replays produced while handling one go behind the rest.
+    pub fn pop_replay(&mut self) -> Option<(CoreId, LineAddr, ReqKind, bool)> {
+        self.replays.pop_front()
+    }
+
+    /// Takes pending replays (filled by `complete`) — batch form of
+    /// [`Directory::pop_replay`] for tests.
     pub fn take_replays(&mut self) -> Vec<(CoreId, LineAddr, ReqKind, bool)> {
         self.replays.drain(..).collect()
     }
@@ -574,14 +673,14 @@ impl Directory {
 
     fn fill_l3(&mut self, line: LineAddr, data: &LineData) {
         if let Some((set, way)) = self.l3.lookup(line) {
-            *self.l3.way_mut(set, way).data = *data;
+            *self.l3.data_mut(set, way) = *data;
             self.l3.touch(set, way);
         } else if let Some((set, way)) = self.l3.allocate(line) {
             // L3 is write-through w.r.t. memory, so eviction is a silent
             // drop and allocation never needs a write-back.
-            let w = self.l3.way_mut(set, way);
+            let (w, d) = self.l3.way_and_data_mut(set, way);
             w.state = Mesi::Shared;
-            *w.data = *data;
+            *d = *data;
         }
     }
 }

@@ -42,9 +42,23 @@ impl MainMemory {
             .unwrap_or_else(zero_line)
     }
 
-    /// Writes a full line.
+    /// Copies a line into `out` (zeros if never written) — the hot-path
+    /// read: no allocation.
+    pub fn read_into(&self, line: LineAddr, out: &mut LineData) {
+        match self.lines.get(&line) {
+            Some(d) => *out = **d,
+            None => *out = [0u8; tus_sim::LINE_BYTES],
+        }
+    }
+
+    /// Writes a full line, in place when the line already exists.
     pub fn write(&mut self, line: LineAddr, data: &LineData) {
-        self.lines.insert(line, Box::new(*data));
+        match self.lines.get_mut(&line) {
+            Some(d) => **d = *data,
+            None => {
+                self.lines.insert(line, Box::new(*data));
+            }
+        }
     }
 
     /// Reads `size` bytes at a byte address (little-endian), for test

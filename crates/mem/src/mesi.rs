@@ -9,11 +9,15 @@ use std::fmt;
 /// bit is orthogonal to this state (an unauthorized line can hold written
 /// data while its MESI state is anything — the state records the coherence
 /// permission the core *actually* holds for the line).
+/// `repr(u8)` with `Invalid = 0` is load-bearing: [`crate::CacheArray`]
+/// materializes its backing store from zeroed pages, relying on the
+/// all-zero byte pattern being a valid (Invalid) state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
 pub enum Mesi {
     /// No valid copy.
     #[default]
-    Invalid,
+    Invalid = 0,
     /// Read-only copy; other caches may also hold it.
     Shared,
     /// Clean exclusive copy; no other cache holds it; may be written

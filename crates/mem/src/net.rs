@@ -13,8 +13,9 @@
 //!    per message so the TSO litmus harness can explore interleavings.
 
 use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
-use tus_sim::{CoreId, Cycle, DelayQueue, Schedulable, SimRng};
+use tus_sim::{BoxPool, CoreId, Cycle, DelayQueue, Schedulable, SimRng};
 
+use crate::line::LineData;
 use crate::msgs::Msg;
 
 /// A network endpoint: the directory or one core's cache controller.
@@ -73,6 +74,12 @@ pub struct Network {
     sent: u64,
     trace_line: Option<tus_sim::LineAddr>,
     tracer: Tracer,
+    /// Recycling pool for the line-data payloads carried by coherence
+    /// messages. The network is the one component threaded through every
+    /// hot path on both the core and directory sides, so it hosts the
+    /// pool: producers draw boxes here, consumers return them after
+    /// copying the payload out.
+    data_pool: BoxPool<LineData>,
 }
 
 impl Network {
@@ -89,7 +96,27 @@ impl Network {
             sent: 0,
             trace_line: None,
             tracer: Tracer::default(),
+            data_pool: BoxPool::new(),
         }
+    }
+
+    /// A line-data box from the recycling pool (contents are stale — the
+    /// caller must overwrite every byte it exposes).
+    #[inline]
+    pub fn alloc_data(&mut self) -> Box<LineData> {
+        self.data_pool.alloc_with(|| [0u8; tus_sim::LINE_BYTES])
+    }
+
+    /// A pooled line-data box holding a copy of `src`.
+    #[inline]
+    pub fn alloc_data_copy(&mut self, src: &LineData) -> Box<LineData> {
+        self.data_pool.alloc_copy_of(src)
+    }
+
+    /// Returns a message payload to the pool once its bytes are consumed.
+    #[inline]
+    pub fn recycle_data(&mut self, data: Box<LineData>) {
+        self.data_pool.recycle(data);
     }
 
     /// Arms structured message tracing with a ring of `cap` records.

@@ -21,7 +21,7 @@
 
 use tus_sim::stats::names;
 use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
-use tus_sim::{Addr, CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, Schedulable, SimConfig, StatSet};
+use tus_sim::{Addr, CoreId, Cycle, DelayQueue, LineAddr, Schedulable, SimConfig, StatSet};
 
 use crate::cache::CacheArray;
 use crate::line::{combine, read_value, write_value, ByteMask, LineData};
@@ -96,17 +96,45 @@ pub enum UnauthAllocError {
     MshrFull,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct Waiter {
     token: u64,
     offset: usize,
     size: usize,
 }
 
+/// One MSHR: a request in flight to the directory. Slots are stored in a
+/// flat array scanned linearly (the live population is bounded by the
+/// MSHR count plus demand-load oversubscription, i.e. small); a dead slot
+/// keeps its `waiters` buffer so reuse allocates nothing.
 #[derive(Debug)]
-struct Outstanding {
+struct MshrSlot {
+    live: bool,
+    line: LineAddr,
     kind: ReqKind,
     prefetch: bool,
+    waiters: Vec<Waiter>,
+}
+
+impl MshrSlot {
+    fn empty() -> Self {
+        MshrSlot {
+            live: false,
+            line: LineAddr::new(0),
+            kind: ReqKind::GetS,
+            prefetch: false,
+            waiters: Vec::new(),
+        }
+    }
+}
+
+/// Loads parked on a not-ready unauthorized line. Same slot-array shape
+/// as [`MshrSlot`]; per-line arrival order is the `waiters` push order,
+/// which the wake path must preserve.
+#[derive(Debug)]
+struct UnauthWaitSlot {
+    live: bool,
+    line: LineAddr,
     waiters: Vec<Waiter>,
 }
 
@@ -114,6 +142,33 @@ struct Outstanding {
 struct PendingFwd {
     kind: FwdKind,
     to_owner: bool,
+}
+
+/// A parked external request keyed by line (at most one per line by the
+/// one-transaction-per-line directory invariant).
+type FwdSlots = Vec<(bool, LineAddr, PendingFwd)>;
+
+fn fwd_find(slots: &FwdSlots, line: LineAddr) -> Option<usize> {
+    slots.iter().position(|s| s.0 && s.1 == line)
+}
+
+fn fwd_insert(slots: &mut FwdSlots, line: LineAddr, f: PendingFwd) {
+    debug_assert!(fwd_find(slots, line).is_none(), "one parked external per line");
+    if let Some(s) = slots.iter_mut().find(|s| !s.0) {
+        *s = (true, line, f);
+    } else {
+        slots.push((true, line, f));
+    }
+}
+
+fn fwd_remove(slots: &mut FwdSlots, line: LineAddr) -> Option<PendingFwd> {
+    let i = fwd_find(slots, line)?;
+    slots[i].0 = false;
+    Some(slots[i].2)
+}
+
+fn fwd_live(slots: &FwdSlots) -> usize {
+    slots.iter().filter(|s| s.0).count()
 }
 
 /// Counters exported per core.
@@ -170,12 +225,16 @@ pub struct PrivateCache {
     l2_rt: u64,
     stream: Option<StreamPrefetcher>,
     unauth_forwarding: bool,
-    outstanding: FxHashMap<LineAddr, Outstanding>,
-    unauth_waiters: FxHashMap<LineAddr, Vec<Waiter>>,
-    pending_fwd: FxHashMap<LineAddr, PendingFwd>,
-    delayed_fwd: FxHashMap<LineAddr, PendingFwd>,
+    outstanding: Vec<MshrSlot>,
+    outstanding_live: usize,
+    unauth_waiters: Vec<UnauthWaitSlot>,
+    pending_fwd: FwdSlots,
+    delayed_fwd: FwdSlots,
     deferred_fwd: DelayQueue<(LineAddr, FwdKind, bool)>,
     events: Vec<CacheEvent>,
+    /// Scratch for processing a dead MSHR's waiters without holding a
+    /// borrow on the slot array (swapped in and out, capacity retained).
+    waiter_scratch: Vec<Waiter>,
     tracer: Tracer,
     /// Counters.
     pub stats: MemStats,
@@ -195,8 +254,8 @@ impl std::fmt::Debug for PrivateCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PrivateCache")
             .field("core", &self.core)
-            .field("outstanding", &self.outstanding.len())
-            .field("pending_fwd", &self.pending_fwd.len())
+            .field("outstanding", &self.outstanding_live)
+            .field("pending_fwd", &fwd_live(&self.pending_fwd))
             .finish()
     }
 }
@@ -218,12 +277,14 @@ impl PrivateCache {
                 None
             },
             unauth_forwarding: cfg.tus.l1d_unauth_forwarding,
-            outstanding: FxHashMap::default(),
-            unauth_waiters: FxHashMap::default(),
-            pending_fwd: FxHashMap::default(),
-            delayed_fwd: FxHashMap::default(),
+            outstanding: Vec::new(),
+            outstanding_live: 0,
+            unauth_waiters: Vec::new(),
+            pending_fwd: Vec::new(),
+            delayed_fwd: Vec::new(),
             deferred_fwd: DelayQueue::new(),
             events: Vec::new(),
+            waiter_scratch: Vec::new(),
             tracer: Tracer::default(),
             stats: MemStats::default(),
         }
@@ -261,16 +322,72 @@ impl PrivateCache {
         self.core
     }
 
+    // --- MSHR slot array -------------------------------------------------
+
+    fn mshr_find(&self, line: LineAddr) -> Option<usize> {
+        self.outstanding.iter().position(|s| s.live && s.line == line)
+    }
+
+    fn mshr_contains(&self, line: LineAddr) -> bool {
+        self.mshr_find(line).is_some()
+    }
+
+    /// Claims a slot (reusing a dead one, with its warm waiter buffer) for
+    /// a new in-flight request. The caller checked `line` has none.
+    fn mshr_insert(&mut self, line: LineAddr, kind: ReqKind, prefetch: bool) -> usize {
+        debug_assert!(self.mshr_find(line).is_none(), "one request per line");
+        self.outstanding_live += 1;
+        if let Some(i) = self.outstanding.iter().position(|s| !s.live) {
+            let s = &mut self.outstanding[i];
+            s.live = true;
+            s.line = line;
+            s.kind = kind;
+            s.prefetch = prefetch;
+            debug_assert!(s.waiters.is_empty());
+            return i;
+        }
+        let mut s = MshrSlot::empty();
+        s.live = true;
+        s.line = line;
+        s.kind = kind;
+        s.prefetch = prefetch;
+        self.outstanding.push(s);
+        self.outstanding.len() - 1
+    }
+
+    /// Kills the slot for `line` and moves its waiters into
+    /// `waiter_scratch` (replacing its contents). Returns whether a slot
+    /// existed.
+    fn mshr_remove_into_scratch(&mut self, line: LineAddr) -> bool {
+        let Some(i) = self.mshr_find(line) else {
+            self.waiter_scratch.clear();
+            return false;
+        };
+        self.outstanding_live -= 1;
+        let s = &mut self.outstanding[i];
+        s.live = false;
+        self.waiter_scratch.clear();
+        std::mem::swap(&mut self.waiter_scratch, &mut s.waiters);
+        true
+    }
+
     /// Takes the events produced since the last call.
     pub fn take_events(&mut self) -> Vec<CacheEvent> {
         std::mem::take(&mut self.events)
     }
 
+    /// Moves the events produced since the last call into `out`
+    /// (appending), leaving the internal buffer empty but warm — the
+    /// allocation-free drain used by the per-cycle system loop.
+    pub fn drain_events_into(&mut self, out: &mut Vec<CacheEvent>) {
+        out.append(&mut self.events);
+    }
+
     /// Whether no request is outstanding and no external request pending.
     pub fn quiesced(&self) -> bool {
-        self.outstanding.is_empty()
-            && self.pending_fwd.is_empty()
-            && self.delayed_fwd.is_empty()
+        self.outstanding_live == 0
+            && fwd_live(&self.pending_fwd) == 0
+            && fwd_live(&self.delayed_fwd) == 0
             && self.deferred_fwd.is_empty()
     }
 
@@ -310,17 +427,22 @@ impl PrivateCache {
 
     /// Number of MSHRs still available.
     pub fn mshrs_free(&self) -> usize {
-        self.mshrs.saturating_sub(self.outstanding.len())
+        self.mshrs.saturating_sub(self.outstanding_live)
     }
 
     /// Number of requests in flight to the directory (diagnostics).
     pub fn outstanding_requests(&self) -> usize {
-        self.outstanding.len()
+        self.outstanding_live
     }
 
     /// Lines with a request in flight, sorted (diagnostics).
     pub fn outstanding_lines(&self) -> Vec<LineAddr> {
-        let mut v: Vec<LineAddr> = self.outstanding.keys().copied().collect();
+        let mut v: Vec<LineAddr> = self
+            .outstanding
+            .iter()
+            .filter(|s| s.live)
+            .map(|s| s.line)
+            .collect();
         v.sort_by_key(|l| l.raw());
         v
     }
@@ -328,13 +450,13 @@ impl PrivateCache {
     /// External requests parked on this core: pending a policy decision
     /// plus explicitly delayed ones (diagnostics).
     pub fn parked_externals(&self) -> usize {
-        self.pending_fwd.len() + self.delayed_fwd.len() + self.deferred_fwd.len()
+        fwd_live(&self.pending_fwd) + fwd_live(&self.delayed_fwd) + self.deferred_fwd.len()
     }
 
     /// Whether a request for `line` is currently in flight to the
     /// directory.
     pub fn request_in_flight(&self, line: LineAddr) -> bool {
-        self.outstanding.contains_key(&line)
+        self.mshr_contains(line)
     }
 
     /// Whether events are queued for the policy/core layer to consume.
@@ -372,7 +494,7 @@ impl PrivateCache {
         }
         // Miss path: `ensure_write_permission` is a no-op exactly when a
         // request is already in flight or MSHRs are exhausted.
-        if self.outstanding.contains_key(&line) || self.outstanding.len() >= self.mshrs {
+        if self.mshr_contains(line) || self.outstanding_live >= self.mshrs {
             StoreAttemptClass::BlockedCounting
         } else {
             StoreAttemptClass::BlockedWouldRequest
@@ -409,7 +531,7 @@ impl PrivateCache {
         if let Some((s, w)) = self.l1d.lookup(line) {
             let l = self.l1d.way(s, w);
             if !l.unauth && l.state.can_read() {
-                return Some((l.state, Box::new(*l.data)));
+                return Some((l.state, Box::new(*self.l1d.data(s, w))));
             }
             if l.unauth {
                 return None; // not visible to the coherent world
@@ -418,7 +540,7 @@ impl PrivateCache {
         self.l2.lookup(line).and_then(|(s, w)| {
             let l = self.l2.way(s, w);
             if l.state.can_read() {
-                Some((l.state, Box::new(*l.data)))
+                Some((l.state, Box::new(*self.l2.data(s, w))))
             } else {
                 None
             }
@@ -445,7 +567,7 @@ impl PrivateCache {
             if l.unauth {
                 if l.ready {
                     self.stats.l1d_load_hits += 1;
-                    let v = read_value(&self.l1d.way(set, way).data, waiter.offset, waiter.size);
+                    let v = read_value(self.l1d.data(set, way), waiter.offset, waiter.size);
                     self.complete_load(waiter.token, now + self.l1_lat, v);
                 } else if self.unauth_forwarding && l.mask.covers(waiter.offset, waiter.size) {
                     // Ablation variant (paper Section IV, "Other
@@ -454,18 +576,18 @@ impl PrivateCache {
                     // before permission arrives — reading one's own
                     // store early is always TSO-legal.
                     self.stats.l1d_unauth_forwards += 1;
-                    let v = read_value(&self.l1d.way(set, way).data, waiter.offset, waiter.size);
+                    let v = read_value(self.l1d.data(set, way), waiter.offset, waiter.size);
                     self.complete_load(waiter.token, now + self.l1_lat, v);
                 } else {
                     self.stats.loads_blocked_unauth += 1;
-                    self.unauth_waiters.entry(line).or_default().push(waiter);
+                    self.park_unauth_waiter(line, waiter);
                 }
                 self.l1d.touch(set, way);
                 return;
             }
             if l.state.can_read() {
                 self.stats.l1d_load_hits += 1;
-                let v = read_value(&l.data, waiter.offset, waiter.size);
+                let v = read_value(self.l1d.data(set, way), waiter.offset, waiter.size);
                 self.l1d.touch(set, way);
                 self.complete_load(waiter.token, now + self.l1_lat, v);
                 return;
@@ -478,7 +600,8 @@ impl PrivateCache {
                 self.prefetch_read(h, now, net);
             }
         }
-        if let Some(o) = self.outstanding.get_mut(&line) {
+        if let Some(i) = self.mshr_find(line) {
+            let o = &mut self.outstanding[i];
             o.waiters.push(waiter);
             o.prefetch = false;
             return;
@@ -487,7 +610,7 @@ impl PrivateCache {
             if self.l2.way(s2, w2).state.can_read() {
                 self.stats.l2_load_hits += 1;
                 self.l2.touch(s2, w2);
-                let v = read_value(&self.l2.way(s2, w2).data, waiter.offset, waiter.size);
+                let v = read_value(self.l2.data(s2, w2), waiter.offset, waiter.size);
                 self.fill_l1_from_l2(line);
                 self.complete_load(waiter.token, now + self.l1_lat + self.l2_rt, v);
                 return;
@@ -497,14 +620,8 @@ impl PrivateCache {
         // Demand loads may oversubscribe the MSHRs (they are effectively
         // reserved entries); only prefetches and store-permission requests
         // honor the cap strictly.
-        self.outstanding.insert(
-            line,
-            Outstanding {
-                kind: ReqKind::GetS,
-                prefetch: false,
-                waiters: vec![waiter],
-            },
-        );
+        let i = self.mshr_insert(line, ReqKind::GetS, false);
+        self.outstanding[i].waiters.push(waiter);
         net.send(
             Node::Core(self.core),
             Node::Dir,
@@ -529,22 +646,15 @@ impl PrivateCache {
     /// Issues a read prefetch for `line` if it is absent and an MSHR is
     /// free.
     pub fn prefetch_read(&mut self, line: LineAddr, now: Cycle, net: &mut Network) {
-        if self.outstanding.contains_key(&line)
-            || self.outstanding.len() >= self.mshrs
+        if self.mshr_contains(line)
+            || self.outstanding_live >= self.mshrs
             || self.l1d.lookup(line).is_some()
             || self.l2.lookup(line).is_some()
         {
             return;
         }
         self.stats.prefetches += 1;
-        self.outstanding.insert(
-            line,
-            Outstanding {
-                kind: ReqKind::GetS,
-                prefetch: true,
-                waiters: Vec::new(),
-            },
-        );
+        self.mshr_insert(line, ReqKind::GetS, true);
         net.send(
             Node::Core(self.core),
             Node::Dir,
@@ -578,20 +688,13 @@ impl PrivateCache {
                 return true;
             }
         }
-        if self.outstanding.contains_key(&line) || self.outstanding.len() >= self.mshrs {
+        if self.mshr_contains(line) || self.outstanding_live >= self.mshrs {
             return false;
         }
         if prefetch {
             self.stats.prefetches += 1;
         }
-        self.outstanding.insert(
-            line,
-            Outstanding {
-                kind: ReqKind::GetM,
-                prefetch,
-                waiters: Vec::new(),
-            },
-        );
+        self.mshr_insert(line, ReqKind::GetM, prefetch);
         net.send(
             Node::Core(self.core),
             Node::Dir,
@@ -648,12 +751,12 @@ impl PrivateCache {
                 .l2
                 .lookup(line)
                 .is_some_and(|(s2, w2)| self.l2.way(s2, w2).state.can_write());
-            let l = self.l1d.way_mut(set, way);
+            let (l, d) = self.l1d.way_and_data_mut(set, way);
             if l.unauth {
                 return StoreWriteOutcome::NotYet;
             }
             if l.state.can_write() || (l.state.can_read() && l2_writable) {
-                combine(&mut l.data, data, mask);
+                combine(d, data, mask);
                 l.state = Mesi::Modified;
                 l.dirty = true;
                 self.l1d.touch(set, way);
@@ -669,8 +772,8 @@ impl PrivateCache {
                 // handling).
                 self.fill_l1_from_l2(line);
                 if let Some((s1, w1)) = self.l1d.lookup(line) {
-                    let l = self.l1d.way_mut(s1, w1);
-                    combine(&mut l.data, data, mask);
+                    let (l, d) = self.l1d.way_and_data_mut(s1, w1);
+                    combine(d, data, mask);
                     l.state = Mesi::Modified;
                     l.dirty = true;
                     self.l1d.touch(s1, w1);
@@ -681,8 +784,8 @@ impl PrivateCache {
                 }
                 // No L1D way could be claimed (fully pinned set): write
                 // directly into the L2 copy instead of stalling forever.
-                let l2l = self.l2.way_mut(s2, w2);
-                combine(&mut l2l.data, data, mask);
+                let (l2l, l2d) = self.l2.way_and_data_mut(s2, w2);
+                combine(l2d, data, mask);
                 l2l.state = Mesi::Modified;
                 l2l.dirty = true;
                 self.stats.l1d_writes += 1;
@@ -711,9 +814,9 @@ impl PrivateCache {
             let line = addr.line();
             if let (Some((s1, w1)), Some((s2, w2))) = (self.l1d.lookup(line), self.l2.lookup(line))
             {
-                let d = *self.l1d.way(s1, w1).data;
-                let l2l = self.l2.way_mut(s2, w2);
-                *l2l.data = d;
+                let d = *self.l1d.data(s1, w1);
+                let (l2l, l2d) = self.l2.way_and_data_mut(s2, w2);
+                *l2d = d;
                 l2l.dirty = true;
                 l2l.state = Mesi::Modified;
             }
@@ -750,8 +853,8 @@ impl PrivateCache {
                 writable: l.state.can_write(),
             };
         }
-        if let Some(o) = self.outstanding.get(&line) {
-            if o.kind == ReqKind::GetS {
+        if let Some(i) = self.mshr_find(line) {
+            if self.outstanding[i].kind == ReqKind::GetS {
                 return ProbeResult::Busy;
             }
         }
@@ -778,12 +881,12 @@ impl PrivateCache {
     ) -> Result<(usize, usize), UnauthAllocError> {
         // A write-permission request already in flight (prefetch-at-commit
         // or a previous demand) is reused: the grant combines on arrival.
-        let getm_in_flight = match self.outstanding.get(&line) {
-            Some(o) if o.kind == ReqKind::GetM => true,
+        let getm_in_flight = match self.mshr_find(line) {
+            Some(i) if self.outstanding[i].kind == ReqKind::GetM => true,
             Some(_) => return Err(UnauthAllocError::Outstanding),
             None => false,
         };
-        if !getm_in_flight && self.outstanding.len() >= self.mshrs {
+        if !getm_in_flight && self.outstanding_live >= self.mshrs {
             return Err(UnauthAllocError::MshrFull);
         }
         debug_assert!(self.l1d.lookup(line).is_none(), "use the hit paths");
@@ -796,21 +899,21 @@ impl PrivateCache {
         let l2_copy = self.l2.lookup(line).and_then(|(s2, w2)| {
             let l2l = self.l2.way(s2, w2);
             if l2l.state.can_read() {
-                Some((l2l.state, *l2l.data))
+                Some((l2l.state, *self.l2.data(s2, w2)))
             } else {
                 None
             }
         });
         self.evict_l1_way(set, way);
-        let l = self.l1d.way_mut(set, way);
-        l.clear();
+        self.l1d.clear_way(set, way);
+        let (l, ld) = self.l1d.way_and_data_mut(set, way);
         l.line = line;
         l.unauth = true;
         l.mask = mask;
         match l2_copy {
             Some((state, base)) => {
-                *l.data = base;
-                combine(&mut l.data, data, mask);
+                *ld = base;
+                combine(ld, data, mask);
                 l.state = state;
                 l.base_valid = true;
                 l.ready = state.can_write();
@@ -819,7 +922,7 @@ impl PrivateCache {
                 l.state = Mesi::Invalid;
                 l.ready = false;
                 l.base_valid = false;
-                *l.data = *data;
+                *ld = *data;
             }
         }
         let ready = l.ready;
@@ -827,14 +930,7 @@ impl PrivateCache {
         self.stats.unauth_allocs += 1;
         self.stats.l1d_writes += 1;
         if !getm_in_flight && !ready {
-            self.outstanding.insert(
-                line,
-                Outstanding {
-                    kind: ReqKind::GetM,
-                    prefetch: false,
-                    waiters: Vec::new(),
-                },
-            );
+            self.mshr_insert(line, ReqKind::GetM, false);
             net.send(
                 Node::Core(self.core),
                 Node::Dir,
@@ -854,9 +950,9 @@ impl PrivateCache {
     /// (the store-cycle case — the line's WOQ entry joins an atomic
     /// group; the policy layer handles the group bookkeeping).
     pub fn unauthorized_coalesce(&mut self, set: usize, way: usize, data: &LineData, mask: ByteMask) {
-        let l = self.l1d.way_mut(set, way);
+        let (l, ld) = self.l1d.way_and_data_mut(set, way);
         debug_assert!(l.unauth, "coalesce target must be unauthorized");
-        combine(&mut l.data, data, mask);
+        combine(ld, data, mask);
         l.mask = l.mask.union(mask);
         self.l1d.touch(set, way);
         self.stats.l1d_writes += 1;
@@ -883,28 +979,28 @@ impl PrivateCache {
         let needs_request = {
             let l = self.l1d.way(set, way);
             debug_assert!(!l.unauth);
-            !l.state.can_write() && !self.outstanding.contains_key(&line)
+            !l.state.can_write() && !self.mshr_contains(line)
         };
-        if needs_request && self.outstanding.len() >= self.mshrs {
+        if needs_request && self.outstanding_live >= self.mshrs {
             return Err(UnauthAllocError::MshrFull);
         }
         // Push the authorized dirty copy down to the L2 so a relinquish
         // can always supply the pre-store version.
         let dirty = self.l1d.way(set, way).dirty;
         if dirty {
-            let d = *self.l1d.way(set, way).data;
+            let d = *self.l1d.data(set, way);
             let (s2, w2) = self
                 .l2
                 .lookup(line)
                 .expect("inclusive hierarchy: dirty L1D line present in L2");
-            let l2l = self.l2.way_mut(s2, w2);
-            *l2l.data = d;
+            let (l2l, l2d) = self.l2.way_and_data_mut(s2, w2);
+            *l2d = d;
             l2l.dirty = true;
             self.stats.l2_updates += 1;
         }
         let can_write = self.l1d.way(set, way).state.can_write();
-        let l = self.l1d.way_mut(set, way);
-        combine(&mut l.data, data, mask);
+        let (l, ld) = self.l1d.way_and_data_mut(set, way);
+        combine(ld, data, mask);
         l.unauth = true;
         l.mask = mask;
         l.base_valid = true;
@@ -913,14 +1009,7 @@ impl PrivateCache {
         self.l1d.touch(set, way);
         self.stats.l1d_writes += 1;
         if needs_request {
-            self.outstanding.insert(
-                line,
-                Outstanding {
-                    kind: ReqKind::GetM,
-                    prefetch: false,
-                    waiters: Vec::new(),
-                },
-            );
+            self.mshr_insert(line, ReqKind::GetM, false);
             net.send(
                 Node::Core(self.core),
                 Node::Dir,
@@ -945,7 +1034,6 @@ impl PrivateCache {
     ///
     /// Panics if any coordinate is not an unauthorized, ready line.
     pub fn make_visible(&mut self, coords: &[(usize, usize)], now: Cycle, net: &mut Network) {
-        let mut lines = Vec::with_capacity(coords.len());
         for &(set, way) in coords {
             let (prev, line) = {
                 let l = self.l1d.way_mut(set, way);
@@ -960,16 +1048,19 @@ impl PrivateCache {
                 (prev, l.line)
             };
             self.trace_mesi(line, prev, Mesi::Modified, now);
-            lines.push(line);
         }
-        for line in lines {
+        for &(set, way) in coords {
+            // All flips precede all answers (a delayed external on one
+            // line must observe the whole group visible); the line field
+            // is stable, so re-reading it avoids a side list.
+            let line = self.l1d.way(set, way).line;
             self.set_l2_state(line, Mesi::Modified);
             // Answer external requests that were explicitly delayed, and
             // also ones still pending a policy decision (the decision was
             // made moot by the visibility flip racing ahead of it).
-            if let Some(f) = self.delayed_fwd.remove(&line) {
+            if let Some(f) = fwd_remove(&mut self.delayed_fwd, line) {
                 self.answer_fwd_visible(line, f, now, net);
-            } else if let Some(f) = self.pending_fwd.remove(&line) {
+            } else if let Some(f) = fwd_remove(&mut self.pending_fwd, line) {
                 self.answer_fwd_visible(line, f, now, net);
             }
         }
@@ -979,12 +1070,10 @@ impl PrivateCache {
     /// produced an [`CacheEvent::ExternalConflict`]; it will be answered
     /// when the line becomes visible.
     pub fn delay_external(&mut self, line: LineAddr) {
-        let f = self
-            .pending_fwd
-            .remove(&line)
+        let f = fwd_remove(&mut self.pending_fwd, line)
             .expect("delay_external without a pending external request");
         self.stats.delayed_externals += 1;
-        self.delayed_fwd.insert(line, f);
+        fwd_insert(&mut self.delayed_fwd, line, f);
     }
 
     /// Records the policy decision to *relinquish* the unauthorized line:
@@ -993,15 +1082,13 @@ impl PrivateCache {
     /// locally for a later retry (paper Fig. 5, steps 7–8).
     pub fn relinquish(&mut self, set: usize, way: usize, now: Cycle, net: &mut Network) {
         let line = self.l1d.way(set, way).line;
-        let f = self
-            .pending_fwd
-            .remove(&line)
+        let f = fwd_remove(&mut self.pending_fwd, line)
             .expect("relinquish without a pending external request");
         let (s2, w2) = self
             .l2
             .lookup(line)
             .expect("relinquish requires the L2 old copy");
-        let old = Box::new(*self.l2.way(s2, w2).data);
+        let old = net.alloc_data_copy(self.l2.data(s2, w2));
         self.l2.way_mut(s2, w2).clear();
         let prev = {
             let l = self.l1d.way_mut(set, way);
@@ -1035,20 +1122,13 @@ impl PrivateCache {
     /// policy layer once the lex order allows it). Returns `false` when no
     /// MSHR is available or a request is already in flight.
     pub fn request_permission(&mut self, line: LineAddr, now: Cycle, net: &mut Network) -> bool {
-        if self.outstanding.contains_key(&line) {
+        if self.mshr_contains(line) {
             return true;
         }
-        if self.outstanding.len() >= self.mshrs {
+        if self.outstanding_live >= self.mshrs {
             return false;
         }
-        self.outstanding.insert(
-            line,
-            Outstanding {
-                kind: ReqKind::GetM,
-                prefetch: false,
-                waiters: Vec::new(),
-            },
-        );
+        self.mshr_insert(line, ReqKind::GetM, false);
         net.send(
             Node::Core(self.core),
             Node::Dir,
@@ -1090,7 +1170,7 @@ impl PrivateCache {
         now: Cycle,
         net: &mut Network,
     ) {
-        let out = self.outstanding.remove(&line);
+        self.mshr_remove_into_scratch(line);
         let prev = self
             .l1d
             .lookup(line)
@@ -1101,48 +1181,50 @@ impl PrivateCache {
         if let Some((set, way)) = self.l1d.lookup(line) {
             if self.l1d.way(set, way).unauth {
                 debug_assert!(state.can_write(), "unauthorized lines request GetM");
-                let incoming_for_l2 = data.clone();
-                {
-                    let l = self.l1d.way_mut(set, way);
-                    match data {
-                        Some(base) => {
-                            let mut merged = *base;
-                            combine(&mut merged, &l.data, l.mask);
-                            *l.data = merged;
-                        }
-                        None => {
-                            debug_assert!(
-                                l.base_valid,
-                                "permission-only grant requires a valid base copy"
-                            );
-                        }
+                match &data {
+                    Some(base) => {
+                        let (l, ld) = self.l1d.way_and_data_mut(set, way);
+                        let mut merged = **base;
+                        combine(&mut merged, ld, l.mask);
+                        *ld = merged;
+                        l.state = state;
+                        l.ready = true;
+                        l.base_valid = true;
+                        l.granted_at = now;
+                        // The L2 keeps the *unmodified* copy for relinquish.
+                        self.fill_l2(line, base, state, false, now, net);
                     }
-                    l.state = state;
-                    l.ready = true;
-                    l.base_valid = true;
-                    l.granted_at = now;
+                    None => {
+                        let l = self.l1d.way_mut(set, way);
+                        debug_assert!(
+                            l.base_valid,
+                            "permission-only grant requires a valid base copy"
+                        );
+                        l.state = state;
+                        l.ready = true;
+                        l.base_valid = true;
+                        l.granted_at = now;
+                        self.set_l2_state(line, state);
+                    }
                 }
-                // The L2 keeps the *unmodified* copy for relinquish.
-                if let Some(base) = incoming_for_l2 {
-                    self.fill_l2(line, &base, state, false, now, net);
-                } else {
-                    self.set_l2_state(line, state);
+                if let Some(b) = data {
+                    net.recycle_data(b);
                 }
                 // Demand loads that merged into this request before the
                 // unauthorized write happened are program-order-*older*
                 // than the store (younger loads are captured by SB/WCB/
                 // unauthorized-line forwarding at issue): they must read
                 // the PRE-store copy, which the L2 now holds.
-                if let Some(o) = out {
-                    for w in o.waiters {
-                        let v = self
-                            .l2
-                            .lookup(line)
-                            .map(|(s2, w2)| read_value(&self.l2.way(s2, w2).data, w.offset, w.size))
-                            .unwrap_or(0);
-                        self.complete_load(w.token, now + self.l1_lat, v);
-                    }
+                let ws = std::mem::take(&mut self.waiter_scratch);
+                for w in &ws {
+                    let v = self
+                        .l2
+                        .lookup(line)
+                        .map(|(s2, w2)| read_value(self.l2.data(s2, w2), w.offset, w.size))
+                        .unwrap_or(0);
+                    self.complete_load(w.token, now + self.l1_lat, v);
                 }
+                self.waiter_scratch = ws;
                 self.events.push(CacheEvent::PermissionReady { line, set, way });
                 self.wake_unauth_waiters(line, set, way, now);
                 return;
@@ -1156,10 +1238,10 @@ impl PrivateCache {
                     // The line was still present locally (e.g. an S copy
                     // upgrading through a full-data grant): refresh state
                     // and data in place to keep L1D and L2 consistent.
-                    let l = self.l1d.way_mut(s1, w1);
+                    let (l, ld) = self.l1d.way_and_data_mut(s1, w1);
                     if !l.unauth {
                         l.state = state;
-                        *l.data = *d;
+                        *ld = *d;
                         l.dirty = false;
                     }
                     l.granted_at = now;
@@ -1169,6 +1251,7 @@ impl PrivateCache {
                         self.l1d.way_mut(s1, w1).granted_at = now;
                     }
                 }
+                net.recycle_data(d);
             }
             None => {
                 // Permission-only upgrade: local copies become writable.
@@ -1180,29 +1263,62 @@ impl PrivateCache {
                 }
             }
         }
-        if let Some(o) = out {
-            for w in o.waiters {
-                let v = self.read_local(line, w.offset, w.size);
-                self.complete_load(w.token, now + self.l1_lat, v);
-            }
+        let ws = std::mem::take(&mut self.waiter_scratch);
+        for w in &ws {
+            let v = self.read_local(line, w.offset, w.size);
+            self.complete_load(w.token, now + self.l1_lat, v);
         }
+        self.waiter_scratch = ws;
+    }
+
+    fn park_unauth_waiter(&mut self, line: LineAddr, w: Waiter) {
+        if let Some(s) = self
+            .unauth_waiters
+            .iter_mut()
+            .find(|s| s.live && s.line == line)
+        {
+            s.waiters.push(w);
+            return;
+        }
+        if let Some(s) = self.unauth_waiters.iter_mut().find(|s| !s.live) {
+            s.live = true;
+            s.line = line;
+            debug_assert!(s.waiters.is_empty());
+            s.waiters.push(w);
+            return;
+        }
+        self.unauth_waiters.push(UnauthWaitSlot {
+            live: true,
+            line,
+            waiters: vec![w],
+        });
     }
 
     fn wake_unauth_waiters(&mut self, line: LineAddr, set: usize, way: usize, now: Cycle) {
-        if let Some(ws) = self.unauth_waiters.remove(&line) {
-            for w in ws {
-                let v = read_value(&self.l1d.way(set, way).data, w.offset, w.size);
-                self.complete_load(w.token, now + self.l1_lat, v);
-            }
+        let Some(i) = self
+            .unauth_waiters
+            .iter()
+            .position(|s| s.live && s.line == line)
+        else {
+            return;
+        };
+        self.unauth_waiters[i].live = false;
+        self.waiter_scratch.clear();
+        std::mem::swap(&mut self.waiter_scratch, &mut self.unauth_waiters[i].waiters);
+        let ws = std::mem::take(&mut self.waiter_scratch);
+        for w in &ws {
+            let v = read_value(self.l1d.data(set, way), w.offset, w.size);
+            self.complete_load(w.token, now + self.l1_lat, v);
         }
+        self.waiter_scratch = ws;
     }
 
     fn read_local(&self, line: LineAddr, offset: usize, size: usize) -> u64 {
         if let Some((s, w)) = self.l1d.lookup(line) {
-            return read_value(&self.l1d.way(s, w).data, offset, size);
+            return read_value(self.l1d.data(s, w), offset, size);
         }
         if let Some((s, w)) = self.l2.lookup(line) {
-            return read_value(&self.l2.way(s, w).data, offset, size);
+            return read_value(self.l2.data(s, w), offset, size);
         }
         0
     }
@@ -1245,7 +1361,7 @@ impl PrivateCache {
             if unauth {
                 if writable {
                     // The TUS conflict case: consult the authorization unit.
-                    self.pending_fwd.insert(line, PendingFwd { kind, to_owner });
+                    fwd_insert(&mut self.pending_fwd, line, PendingFwd { kind, to_owner });
                     self.events.push(CacheEvent::ExternalConflict {
                         line,
                         set,
@@ -1278,10 +1394,10 @@ impl PrivateCache {
         // Newest data wins: a dirty L1D copy over the L2 copy.
         let data: Option<Box<LineData>> = match (l1, l2) {
             (Some((s, w)), _) if self.l1d.way(s, w).state.can_read() => {
-                Some(Box::new(*self.l1d.way(s, w).data))
+                Some(net.alloc_data_copy(self.l1d.data(s, w)))
             }
             (_, Some((s, w))) if self.l2.way(s, w).state.can_read() => {
-                Some(Box::new(*self.l2.way(s, w).data))
+                Some(net.alloc_data_copy(self.l2.data(s, w)))
             }
             _ => None,
         };
@@ -1365,44 +1481,42 @@ impl PrivateCache {
         let Some((s2, w2)) = self.l2.lookup(line) else {
             return;
         };
-        let (data, state) = {
-            let l = self.l2.way(s2, w2);
-            (*l.data, l.state)
-        };
+        let (data, state) = (*self.l2.data(s2, w2), self.l2.way(s2, w2).state);
         let Some((set, way)) = self.l1d.victim(line) else {
             return; // Served without allocating; no retry needed.
         };
         self.evict_l1_way(set, way);
-        let l = self.l1d.way_mut(set, way);
-        l.clear();
+        self.l1d.clear_way(set, way);
+        let (l, ld) = self.l1d.way_and_data_mut(set, way);
         l.line = line;
         l.state = state;
-        *l.data = data;
+        *ld = data;
         self.l1d.touch(set, way);
     }
 
     /// Writes an L1D victim back into the L2 (inclusive hierarchy) and
     /// clears the way. No-op for empty ways.
     fn evict_l1_way(&mut self, set: usize, way: usize) {
-        let (occupied, dirty, line, data) = {
+        let (occupied, dirty, line) = {
             let l = self.l1d.way(set, way);
-            (l.occupied(), l.dirty, l.line, *l.data)
+            (l.occupied(), l.dirty, l.line)
         };
         if !occupied {
             return;
         }
         debug_assert!(self.l1d.way(set, way).evictable(), "evicting a pinned way");
         if dirty {
+            let data = *self.l1d.data(set, way);
             let (s2, w2) = self
                 .l2
                 .lookup(line)
                 .expect("inclusive hierarchy: L1D victim present in L2");
-            let l2l = self.l2.way_mut(s2, w2);
-            *l2l.data = data;
+            let (l2l, l2d) = self.l2.way_and_data_mut(s2, w2);
+            *l2d = data;
             l2l.dirty = true;
             l2l.state = Mesi::Modified;
         }
-        self.l1d.way_mut(set, way).clear();
+        self.l1d.clear_way(set, way);
     }
 
     /// Installs a line into the L2, evicting as needed (an L2 victim whose
@@ -1417,8 +1531,8 @@ impl PrivateCache {
         net: &mut Network,
     ) {
         if let Some((s, w)) = self.l2.lookup(line) {
-            let l = self.l2.way_mut(s, w);
-            *l.data = *data;
+            let (l, ld) = self.l2.way_and_data_mut(s, w);
+            *ld = *data;
             l.state = state;
             l.dirty = dirty;
             self.l2.touch(s, w);
@@ -1460,12 +1574,12 @@ impl PrivateCache {
                 )
             }
         };
-        let l = self.l2.way_mut(set, w);
-        l.clear();
+        self.l2.clear_way(set, w);
+        let (l, ld) = self.l2.way_and_data_mut(set, w);
         l.line = line;
         l.state = state;
         l.dirty = dirty;
-        *l.data = *data;
+        *ld = *data;
         self.l2.touch(set, w);
     }
 
@@ -1474,20 +1588,25 @@ impl PrivateCache {
     fn evict_l2_way(&mut self, set: usize, way: usize, now: Cycle, net: &mut Network) {
         let (line, mut data, mut dirty, state) = {
             let l = self.l2.way(set, way);
-            (l.line, *l.data, l.dirty, l.state)
+            (l.line, *self.l2.data(set, way), l.dirty, l.state)
         };
         if let Some((s1, w1)) = self.l1d.lookup(line) {
             let l1 = self.l1d.way(s1, w1);
             debug_assert!(l1.evictable(), "pinned line chosen as L2 victim");
             if l1.dirty {
-                data = *l1.data;
+                data = *self.l1d.data(s1, w1);
                 dirty = true;
             }
-            self.l1d.way_mut(s1, w1).clear();
+            self.l1d.clear_way(s1, w1);
         }
-        self.l2.way_mut(set, way).clear();
+        self.l2.clear_way(set, way);
         if state != Mesi::Invalid {
             self.stats.l2_evictions += 1;
+            let payload = if dirty {
+                Some(net.alloc_data_copy(&data))
+            } else {
+                None
+            };
             net.send(
                 Node::Core(self.core),
                 Node::Dir,
@@ -1495,7 +1614,7 @@ impl PrivateCache {
                 Msg::Evict {
                     core: self.core,
                     line,
-                    data: if dirty { Some(Box::new(data)) } else { None },
+                    data: payload,
                 },
             );
         }
@@ -1814,8 +1933,9 @@ mod tests {
         s.ctrls[0].unauthorized_coalesce(set, way, &more, ByteMask::range(8, 8));
         let l = s.ctrls[0].l1d.way(set, way);
         assert!(l.mask.covers(0, 16));
-        assert_eq!(l.data[0], 1);
-        assert_eq!(l.data[8], 0x22);
+        let d = s.ctrls[0].l1d.data(set, way);
+        assert_eq!(d[0], 1);
+        assert_eq!(d[8], 0x22);
         assert_eq!(s.ctrls[0].stats.l1d_writes, 2);
     }
 }

@@ -12,6 +12,63 @@
 
 use tus_sim::LineAddr;
 
+/// An allocation-free sequence of prefetch suggestions: up to `remaining`
+/// lines starting after a base line, advancing by a fixed stride. Both
+/// prefetchers emit arithmetic line sequences, so suggestions are carried
+/// as this small `Copy` iterator instead of a heap `Vec` — the prefetch
+/// train/observe calls sit on the demand-miss and store-commit hot paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefetchHints {
+    next: i64,
+    stride: i64,
+    remaining: usize,
+}
+
+impl PrefetchHints {
+    /// The empty suggestion set.
+    pub const NONE: PrefetchHints = PrefetchHints {
+        next: 0,
+        stride: 0,
+        remaining: 0,
+    };
+
+    fn ahead_of(base: LineAddr, stride: i64, count: usize) -> Self {
+        PrefetchHints {
+            next: base.raw() as i64 + stride,
+            stride,
+            remaining: count,
+        }
+    }
+
+    /// Whether no suggestion remains.
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Number of suggestions remaining.
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for PrefetchHints {
+    type Item = LineAddr;
+
+    fn next(&mut self) -> Option<LineAddr> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let l = LineAddr::new(self.next.max(0) as u64);
+        self.next += self.stride;
+        Some(l)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
 /// A stride-detecting stream prefetcher trained on demand accesses.
 ///
 /// # Example
@@ -24,7 +81,10 @@ use tus_sim::LineAddr;
 /// assert!(p.train(LineAddr::new(100)).is_empty());
 /// assert!(p.train(LineAddr::new(101)).is_empty()); // stride candidate
 /// let out = p.train(LineAddr::new(102)); // confirmed: prefetch ahead
-/// assert_eq!(out, vec![LineAddr::new(103), LineAddr::new(104)]);
+/// assert_eq!(
+///     out.collect::<Vec<_>>(),
+///     vec![LineAddr::new(103), LineAddr::new(104)]
+/// );
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamPrefetcher {
@@ -55,7 +115,7 @@ impl StreamPrefetcher {
 
     /// Trains on a demand access and returns the lines to prefetch (empty
     /// until a stride is confirmed twice).
-    pub fn train(&mut self, line: LineAddr) -> Vec<LineAddr> {
+    pub fn train(&mut self, line: LineAddr) -> PrefetchHints {
         self.tick += 1;
         let page = line.page();
         let cap = self.entries.capacity();
@@ -63,7 +123,7 @@ impl StreamPrefetcher {
             e.lru = self.tick;
             let delta = line.raw() as i64 - e.last_line.raw() as i64;
             if delta == 0 {
-                return Vec::new();
+                return PrefetchHints::NONE;
             }
             if delta == e.stride {
                 e.confidence = e.confidence.saturating_add(1);
@@ -73,15 +133,9 @@ impl StreamPrefetcher {
             }
             e.last_line = line;
             if e.confidence >= 1 {
-                let stride = e.stride;
-                return (1..=self.degree as i64)
-                    .map(|i| {
-                        let l = line.raw() as i64 + stride * i;
-                        LineAddr::new(l.max(0) as u64)
-                    })
-                    .collect();
+                return PrefetchHints::ahead_of(line, e.stride, self.degree);
             }
-            return Vec::new();
+            return PrefetchHints::NONE;
         }
         let fresh = StreamEntry {
             page,
@@ -95,7 +149,7 @@ impl StreamPrefetcher {
         } else if let Some(victim) = self.entries.iter_mut().min_by_key(|e| e.lru) {
             *victim = fresh;
         }
-        Vec::new()
+        PrefetchHints::NONE
     }
 }
 
@@ -124,21 +178,25 @@ impl SpbPrefetcher {
     /// Observes a committed store's line; returns the 64 lines of the page
     /// to prefetch with write permission when a burst is detected (at most
     /// once per page until the burst leaves the page).
-    pub fn observe(&mut self, line: LineAddr) -> Vec<LineAddr> {
+    pub fn observe(&mut self, line: LineAddr) -> PrefetchHints {
         let consecutive = self
             .last_line
             .is_some_and(|l| line.raw() == l.raw() + 1 || line == l);
         if self.last_line == Some(line) {
-            return Vec::new();
+            return PrefetchHints::NONE;
         }
         self.run = if consecutive { self.run + 1 } else { 1 };
         self.last_line = Some(line);
         if self.run >= self.trigger && self.last_burst_page != Some(line.page()) {
             self.last_burst_page = Some(line.page());
             let first = line.page_first_line();
-            return (0..64).map(|i| first.offset(i)).collect();
+            return PrefetchHints {
+                next: first.raw() as i64,
+                stride: 1,
+                remaining: 64,
+            };
         }
-        Vec::new()
+        PrefetchHints::NONE
     }
 }
 
@@ -152,7 +210,7 @@ mod tests {
         p.train(LineAddr::new(100));
         p.train(LineAddr::new(98));
         let out = p.train(LineAddr::new(96));
-        assert_eq!(out, vec![LineAddr::new(94)]);
+        assert_eq!(out.collect::<Vec<_>>(), vec![LineAddr::new(94)]);
     }
 
     #[test]
@@ -172,7 +230,7 @@ mod tests {
         p.train(LineAddr::new(1));
         p.train(LineAddr::new(2)); // retrains page 0 from scratch
         let out = p.train(LineAddr::new(3));
-        assert_eq!(out, vec![LineAddr::new(4)]);
+        assert_eq!(out.collect::<Vec<_>>(), vec![LineAddr::new(4)]);
     }
 
     #[test]
@@ -190,7 +248,7 @@ mod tests {
         let mut p = SpbPrefetcher::new(3);
         assert!(p.observe(LineAddr::new(128)).is_empty());
         assert!(p.observe(LineAddr::new(129)).is_empty());
-        let burst = p.observe(LineAddr::new(130));
+        let burst: Vec<_> = p.observe(LineAddr::new(130)).collect();
         assert_eq!(burst.len(), 64);
         assert_eq!(burst[0], LineAddr::new(128));
         assert_eq!(burst[63], LineAddr::new(191));
@@ -201,7 +259,7 @@ mod tests {
         for l in 133..192 {
             assert!(p.observe(LineAddr::new(l)).is_empty());
         }
-        let burst2 = p.observe(LineAddr::new(192));
+        let burst2: Vec<_> = p.observe(LineAddr::new(192)).collect();
         assert_eq!(burst2.len(), 64);
         assert_eq!(burst2[0], LineAddr::new(192));
     }

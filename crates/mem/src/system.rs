@@ -144,30 +144,33 @@ impl MemorySystem {
     }
 
     fn run_dir_replays(&mut self, now: Cycle) {
-        loop {
-            let replays = self.dir.take_replays();
-            if replays.is_empty() {
-                return;
-            }
-            for (core, line, kind, prefetch) in replays {
-                self.dir.handle(
-                    Msg::Req {
-                        core,
-                        line,
-                        kind,
-                        prefetch,
-                    },
-                    &mut self.net,
-                    &mut self.memory,
-                    now,
-                );
-            }
+        // Popping one at a time preserves the drain order of the old
+        // batch-take loop (new replays enqueue at the back) without
+        // materializing a Vec per batch.
+        while let Some((core, line, kind, prefetch)) = self.dir.pop_replay() {
+            self.dir.handle(
+                Msg::Req {
+                    core,
+                    line,
+                    kind,
+                    prefetch,
+                },
+                &mut self.net,
+                &mut self.memory,
+                now,
+            );
         }
     }
 
     /// Drains the events of one controller.
     pub fn take_events(&mut self, core: CoreId) -> Vec<CacheEvent> {
         self.ctrls[core.index()].take_events()
+    }
+
+    /// Appends one controller's pending events to `out` — the
+    /// allocation-free drain for per-cycle loops.
+    pub fn drain_events_into(&mut self, core: CoreId, out: &mut Vec<CacheEvent>) {
+        self.ctrls[core.index()].drain_events_into(out);
     }
 
     /// Whether the entire memory system is quiescent (no in-flight

@@ -14,6 +14,9 @@
 //!   the simulation-kernel selector ([`KernelKind`]).
 //! * [`sched`] — the [`Schedulable`] contract the idle-skipping kernel uses
 //!   to compute the machine-wide next-event cycle.
+//! * [`lineid`] — dense per-run line identifiers ([`LineId`],
+//!   [`LineInterner`]) and the allocation-recycling primitives ([`Slab`],
+//!   [`BoxPool`]) behind the zero-allocation steady-state hot path.
 //! * [`trace`] — the zero-cost-when-disabled structured event recorder
 //!   ([`Tracer`]) and the stall-attribution accountant ([`AttrClass`],
 //!   [`Attribution`]).
@@ -35,6 +38,7 @@
 pub mod config;
 pub mod event;
 pub mod hash;
+pub mod lineid;
 pub mod rng;
 pub mod sched;
 pub mod stats;
@@ -45,6 +49,7 @@ pub use config::{KernelKind, PolicyKind, SimConfig, SimConfigBuilder};
 pub use sched::Schedulable;
 pub use event::DelayQueue;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use lineid::{BoxPool, LineId, LineInterner, Slab};
 pub use rng::SimRng;
 pub use stats::StatSet;
 pub use trace::{AttrClass, Attribution, TraceEvent, TraceRecord, Tracer};

@@ -1,0 +1,293 @@
+//! Dense per-run cache-line identifiers.
+//!
+//! The simulator's hot path keys most coherence state by [`LineAddr`]
+//! (`crate::types::LineAddr`), a sparse 58-bit value. Hash-map lookups on
+//! that key dominate the per-active-cycle cost, so components that track
+//! long-lived per-line state intern addresses into dense [`LineId`]s at
+//! first touch and index flat arrays from then on — the "dense indexed
+//! arrays, not keyed maps" representation move. Interning is
+//! append-only for the lifetime of one simulation: a line's id never
+//! changes and ids are assigned in first-touch order, which keeps the
+//! mapping deterministic across runs and both simulation kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use tus_sim::{LineAddr, LineInterner};
+//!
+//! let mut it = LineInterner::new();
+//! let a = it.intern(LineAddr::new(0x40));
+//! let b = it.intern(LineAddr::new(0x99));
+//! assert_eq!(it.intern(LineAddr::new(0x40)), a);
+//! assert_ne!(a, b);
+//! assert_eq!(it.addr(a), LineAddr::new(0x40));
+//! assert_eq!(it.len(), 2);
+//! ```
+
+use crate::hash::FxHashMap;
+use crate::types::LineAddr;
+
+/// A dense, per-run identifier of one cache line (index into per-line
+/// arrays). Assigned in first-touch order by a [`LineInterner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineId(u32);
+
+impl LineId {
+    /// The array index this id denotes.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional [`LineAddr`] ⇄ [`LineId`] map: one hash lookup at the
+/// component boundary, dense indexing everywhere behind it.
+#[derive(Debug, Clone, Default)]
+pub struct LineInterner {
+    ids: FxHashMap<LineAddr, LineId>,
+    addrs: Vec<LineAddr>,
+}
+
+impl LineInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `line`, assigning the next dense id on first
+    /// touch.
+    #[inline]
+    pub fn intern(&mut self, line: LineAddr) -> LineId {
+        if let Some(&id) = self.ids.get(&line) {
+            return id;
+        }
+        let id = LineId(u32::try_from(self.addrs.len()).expect("line-id space exhausted"));
+        self.ids.insert(line, id);
+        self.addrs.push(line);
+        id
+    }
+
+    /// The id of `line`, if it was ever interned.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<LineId> {
+        self.ids.get(&line).copied()
+    }
+
+    /// The address behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    #[inline]
+    pub fn addr(&self, id: LineId) -> LineAddr {
+        self.addrs[id.index()]
+    }
+
+    /// Number of distinct lines interned.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether no line was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+/// A slab of reusable slots with a free list.
+///
+/// [`Slab::alloc`] hands out the most recently released slot (or grows by
+/// one); [`Slab::release`] returns a slot to the free list **without
+/// dropping its value**, so slot types that own buffers (a `VecDeque`, a
+/// `Vec`) keep their capacity across reuse — the caller clears the value
+/// on release and the next `alloc` finds an empty-but-warm slot. After a
+/// simulation's live-slot count plateaus, alloc/release cycles perform no
+/// heap allocation.
+///
+/// # Example
+///
+/// ```
+/// use tus_sim::Slab;
+///
+/// let mut s: Slab<Vec<u32>> = Slab::new();
+/// let a = s.alloc();
+/// s.get_mut(a).push(7);
+/// s.get_mut(a).clear();
+/// s.release(a);
+/// let b = s.alloc(); // reuses the slot, capacity retained
+/// assert_eq!(a, b);
+/// assert!(s.get(b).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Slab<T> {
+    slots: Vec<T>,
+    free: Vec<u32>,
+}
+
+impl<T: Default> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab { slots: Vec::new(), free: Vec::new() }
+    }
+
+    /// Takes a slot off the free list (retaining whatever buffers its
+    /// previous occupant left behind) or grows the slab by one default
+    /// value. Returns the slot index.
+    #[inline]
+    pub fn alloc(&mut self) -> u32 {
+        if let Some(i) = self.free.pop() {
+            return i;
+        }
+        let i = u32::try_from(self.slots.len()).expect("slab index space exhausted");
+        self.slots.push(T::default());
+        i
+    }
+
+    /// Returns slot `i` to the free list. The value is not dropped; the
+    /// caller is responsible for having cleared it.
+    #[inline]
+    pub fn release(&mut self, i: u32) {
+        debug_assert!(!self.free.contains(&i), "double release of slab slot");
+        self.free.push(i);
+    }
+
+    /// Shared access to slot `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> &T {
+        &self.slots[i as usize]
+    }
+
+    /// Exclusive access to slot `i`.
+    #[inline]
+    pub fn get_mut(&mut self, i: u32) -> &mut T {
+        &mut self.slots[i as usize]
+    }
+
+    /// Number of live (allocated, unreleased) slots.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+/// A recycling pool of boxed values: [`BoxPool::alloc_with`] pops a
+/// previously recycled box or allocates a fresh one, [`BoxPool::recycle`]
+/// returns a box for reuse. Once the in-flight population plateaus, every
+/// alloc/recycle pair is heap-allocation-free. The pool is deliberately
+/// value-agnostic — callers overwrite the payload, so recycled boxes may
+/// carry stale bytes.
+#[derive(Debug, Default)]
+pub struct BoxPool<T> {
+    free: Vec<Box<T>>,
+}
+
+impl<T> BoxPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BoxPool { free: Vec::new() }
+    }
+
+    /// A box from the pool (stale contents) or a fresh one built by
+    /// `fresh` (only called when the pool is empty).
+    #[inline]
+    pub fn alloc_with(&mut self, fresh: impl FnOnce() -> T) -> Box<T> {
+        self.free.pop().unwrap_or_else(|| Box::new(fresh()))
+    }
+
+    /// A pooled box overwritten with a copy of `src`.
+    #[inline]
+    pub fn alloc_copy_of(&mut self, src: &T) -> Box<T>
+    where
+        T: Copy,
+    {
+        match self.free.pop() {
+            Some(mut b) => {
+                *b = *src;
+                b
+            }
+            None => Box::new(*src),
+        }
+    }
+
+    /// Returns `b` to the pool for a later [`BoxPool::alloc_with`].
+    #[inline]
+    pub fn recycle(&mut self, b: Box<T>) {
+        self.free.push(b);
+    }
+
+    /// Boxes currently waiting in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// Cloning a pool yields an empty pool: pooled boxes are spare capacity,
+/// not state, and must not be double-counted by a cloned simulation.
+impl<T> Clone for BoxPool<T> {
+    fn clone(&self) -> Self {
+        BoxPool { free: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_first_touch_ordered() {
+        let mut it = LineInterner::new();
+        let ids: Vec<LineId> = [9u64, 3, 9, 7, 3]
+            .into_iter()
+            .map(|l| it.intern(LineAddr::new(l)))
+            .collect();
+        assert_eq!(ids[0], ids[2]);
+        assert_eq!(ids[1], ids[4]);
+        assert_eq!(it.len(), 3);
+        assert_eq!(ids[0].index(), 0);
+        assert_eq!(ids[1].index(), 1);
+        assert_eq!(ids[3].index(), 2);
+        assert_eq!(it.get(LineAddr::new(7)), Some(ids[3]));
+        assert_eq!(it.get(LineAddr::new(8)), None);
+        for (l, id) in [(9u64, ids[0]), (3, ids[1]), (7, ids[3])] {
+            assert_eq!(it.addr(id), LineAddr::new(l));
+        }
+    }
+
+    #[test]
+    fn slab_reuses_released_slots_lifo() {
+        let mut s: Slab<String> = Slab::new();
+        let a = s.alloc();
+        let b = s.alloc();
+        assert_ne!(a, b);
+        assert_eq!(s.live(), 2);
+        s.get_mut(a).push_str("hello");
+        s.get_mut(a).clear();
+        s.release(a);
+        assert_eq!(s.live(), 1);
+        let c = s.alloc();
+        assert_eq!(c, a, "free list is LIFO");
+        assert!(s.get(c).is_empty());
+        assert!(s.get(c).capacity() >= 5, "buffer capacity survives reuse");
+    }
+
+    #[test]
+    fn box_pool_recycles() {
+        let mut p: BoxPool<[u8; 64]> = BoxPool::new();
+        let mut b = p.alloc_with(|| [0u8; 64]);
+        b[0] = 0xAB;
+        p.recycle(b);
+        assert_eq!(p.idle(), 1);
+        let b2 = p.alloc_copy_of(&[1u8; 64]);
+        assert_eq!(p.idle(), 0);
+        assert_eq!(b2[0], 1);
+        let b3 = p.alloc_with(|| [0u8; 64]);
+        assert_eq!(p.idle(), 0); // pool was empty: fresh box
+        drop(b3);
+    }
+
+    #[test]
+    fn cloned_pool_starts_empty() {
+        let mut p: BoxPool<u64> = BoxPool::new();
+        p.recycle(Box::new(1));
+        assert_eq!(p.clone().idle(), 0);
+    }
+}
