@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use tus_cpu::{Core, MemPort, TraceSource};
 use tus_mem::{CacheEvent, MemDeadlockSnapshot, MemorySystem, Network, PrivateCache};
+use tus_sim::calendar::Calendar;
 use tus_sim::sched::earliest;
 use tus_sim::trace::{Attribution, TraceEvent, TraceRecord, Tracer};
 use tus_sim::{Addr, CoreId, Cycle, KernelKind, PolicyKind, Schedulable, SimConfig, SimRng, StatSet};
@@ -51,11 +52,13 @@ pub fn trace_default() -> bool {
     TRACE_DEFAULT.load(Ordering::Relaxed)
 }
 
-/// After a next-work scan finds due work, the skip kernel ticks this many
-/// further cycles without re-scanning (see `System::advance`). Busy
-/// stretches pay the machine-wide scan once per `SCAN_BACKOFF + 1` cycles
-/// instead of every cycle; entering an idle jump is deferred by at most
-/// this many ticks, which the jump itself then absorbs.
+/// After a next-work scan finds due work, the **legacy skip kernel** ticks
+/// this many further cycles without re-scanning (see `System::advance`).
+/// Busy stretches pay the machine-wide scan once per `SCAN_BACKOFF + 1`
+/// cycles instead of every cycle; entering an idle jump is deferred by at
+/// most this many ticks, which the jump itself then absorbs. The default
+/// event-driven kernel has no scan and therefore no backoff: per-unit
+/// calendar keys replace the machine-wide `next_work` walk entirely.
 const SCAN_BACKOFF: u32 = 7;
 
 /// Why a run loop gave up.
@@ -141,11 +144,25 @@ pub struct System {
     policies: Vec<Policy>,
     mem: MemorySystem,
     now: Cycle,
-    /// System-level tracer (bulk-idle spans from the skip kernel).
+    /// System-level tracer (bulk-idle spans from the idle-aware kernels).
     tracer: Tracer,
     /// Reused buffer for the per-core cache-event drain (bounded by the
     /// events one controller can raise in a cycle).
     event_scratch: Vec<CacheEvent>,
+    /// Event-kernel calendar: unit 0 is the memory fabric, unit `1 + i`
+    /// is core `i`'s slice. Re-seeded conservatively at every run-loop
+    /// entry; unused by the lockstep and skip kernels.
+    cal: Calendar,
+    /// Event-kernel idle accounting: `charged[i]` is the first cycle core
+    /// `i`'s stall/occupancy counters have *not* yet absorbed. The gap up
+    /// to the current cycle is charged in bulk right before the core's
+    /// next slice (or before the fabric mutates its controller).
+    charged: Vec<Cycle>,
+    /// Running total of instructions committed across all cores, kept in
+    /// lockstep with the per-core counters by [`System::core_slice`] (the
+    /// only place commits happen). Turns the per-cycle watchdog progress
+    /// signature from an O(cores) sum into one load.
+    committed_total: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -202,6 +219,9 @@ impl System {
             now: Cycle::ZERO,
             tracer: Tracer::default(),
             event_scratch: Vec::new(),
+            cal: Calendar::new(cfg.cores + 1),
+            charged: vec![Cycle::ZERO; cfg.cores],
+            committed_total: 0,
         };
         if trace_default() {
             sys.enable_trace(DEFAULT_TRACE_CAP);
@@ -308,32 +328,43 @@ impl System {
         let now = self.now;
         self.mem.tick(now);
         let mut events = std::mem::take(&mut self.event_scratch);
-        let MemorySystem { ctrls, net, .. } = &mut self.mem;
         for i in 0..self.cores.len() {
-            let ctrl = &mut ctrls[i];
-            events.clear();
-            ctrl.drain_events_into(&mut events);
-            for ev in events.drain(..) {
-                match ev {
-                    CacheEvent::LoadDone { token, at, value } => {
-                        self.cores[i].load_complete(token, at, value);
-                    }
-                    CacheEvent::Invalidated { line } => {
-                        self.cores[i].on_line_invalidated(line, now);
-                    }
-                    other => self.policies[i].on_event(&other, ctrl, net, now),
-                }
-            }
-            self.policies[i].drain(self.cores[i].sb_mut(), ctrl, net, now);
-            let mut port = Port {
-                policy: &mut self.policies[i],
-                ctrl,
-                net,
-            };
-            self.cores[i].tick(now, &mut port);
+            self.core_slice(i, now, &mut events);
         }
         self.event_scratch = events;
         self.now += 1;
+    }
+
+    /// Core `i`'s share of one cycle: drain its controller's cache events,
+    /// route them (load completions to the core, TUS events to the
+    /// policy), drain committed stores, then tick the pipeline. Both the
+    /// lockstep tick and the event kernel run exactly this, so per-unit
+    /// scheduling cannot diverge from the per-cycle order.
+    fn core_slice(&mut self, i: usize, now: Cycle, events: &mut Vec<CacheEvent>) {
+        let MemorySystem { ctrls, net, .. } = &mut self.mem;
+        let ctrl = &mut ctrls[i];
+        events.clear();
+        ctrl.drain_events_into(events);
+        for ev in events.drain(..) {
+            match ev {
+                CacheEvent::LoadDone { token, at, value } => {
+                    self.cores[i].load_complete(token, at, value);
+                }
+                CacheEvent::Invalidated { line } => {
+                    self.cores[i].on_line_invalidated(line, now);
+                }
+                other => self.policies[i].on_event(&other, ctrl, net, now),
+            }
+        }
+        self.policies[i].drain(self.cores[i].sb_mut(), ctrl, net, now);
+        let mut port = Port {
+            policy: &mut self.policies[i],
+            ctrl,
+            net,
+        };
+        let before = self.cores[i].committed();
+        self.cores[i].tick(now, &mut port);
+        self.committed_total += self.cores[i].committed() - before;
     }
 
     /// Machine-wide earliest next-work cycle: the minimum over the memory
@@ -379,6 +410,174 @@ impl System {
         // under the skip kernel.
         self.tracer.emit(now, n, TraceEvent::BulkIdle);
         self.now += n;
+    }
+
+    // --- event-driven kernel --------------------------------------------
+    //
+    // Unit 0 is the memory fabric (the whole `MemorySystem::tick`, kept
+    // atomic so its internal delivery order is untouched); unit `1 + i`
+    // is core `i`'s slice. The calendar's `(due, id)` pop order therefore
+    // reproduces the lockstep intra-cycle order — fabric first, cores
+    // ascending — and a unit only runs on cycles where its `next_work`
+    // key is due, with skipped spans charged in bulk (per unit, deferred
+    // until just before the unit's state can change).
+
+    /// Conservatively re-seeds the calendar: every unit scheduled *now*,
+    /// every idle ledger marked charged-up-to-now. The first cycle then
+    /// runs as a full lockstep tick, which is always equivalence-safe, and
+    /// the per-unit keys take over from there. Called at every run-loop
+    /// entry so manual `tick()` calls or back-to-back warm-up/measure
+    /// loops never leave stale keys behind.
+    fn seed_calendar(&mut self) {
+        let units = 1 + self.cores.len();
+        if self.cal.units() != units {
+            self.cal = Calendar::new(units);
+        }
+        self.cal.clear();
+        for id in 0..units {
+            self.cal.schedule(id, self.now);
+        }
+        for c in &mut self.charged {
+            *c = self.now;
+        }
+    }
+
+    /// Charges core `i`'s un-materialized idle span `[charged[i], upto)`
+    /// to the same stall/occupancy counters lockstep ticks would have
+    /// bumped. Must run before anything mutates the core, its policy or
+    /// its cache controller — the charge classifies against the state
+    /// that actually held during the span.
+    fn flush_idle(&mut self, i: usize, upto: Cycle) {
+        let since = self.charged[i];
+        if since >= upto {
+            return;
+        }
+        let n = upto - since;
+        let drained = self.policies[i].drained();
+        self.policies[i].charge_idle(self.cores[i].sb(), &mut self.mem.ctrls[i], n);
+        self.cores[i].charge_idle(n, since, drained);
+        self.charged[i] = upto;
+    }
+
+    /// Flushes every core's pending idle span up to the current cycle
+    /// (event kernel only; a no-op otherwise). Called whenever a run loop
+    /// hands control back — statistics exports and the attribution
+    /// invariant both need fully materialized ledgers.
+    fn flush_all_idle(&mut self) {
+        if self.cfg.kernel != KernelKind::Event {
+            return;
+        }
+        for i in 0..self.cores.len() {
+            self.flush_idle(i, self.now);
+        }
+    }
+
+    /// Recomputes core `i`'s calendar key right after its slice ran at
+    /// `now`. Events its own slice pushed (an L1-hit load completion, a
+    /// same-cycle visibility flip) are consumed by the *next* cycle's
+    /// drain, so pending controller events force a key of `now + 1`;
+    /// otherwise the pipeline and drain policy report their next state
+    /// change. `None` from both leaves the unit unscheduled until the
+    /// fabric wakes it (a reply, grant or invalidation reschedules the
+    /// core through the pre-delivery pass in [`System::advance_event`]).
+    fn reschedule_core(&mut self, i: usize, now: Cycle) {
+        let t = now + 1;
+        if self.mem.ctrls[i].has_pending_events() {
+            self.cal.schedule(1 + i, t);
+            return;
+        }
+        let drained = self.policies[i].drained();
+        let key = earliest(
+            self.cores[i].next_work_at(t, drained),
+            self.policies[i].next_work(self.cores[i].sb(), &self.mem.ctrls[i], t),
+        );
+        match key {
+            Some(k) => self.cal.schedule(1 + i, k.max(t)),
+            None => self.cal.unschedule(1 + i),
+        }
+    }
+
+    /// One step of the event-driven kernel: runs every unit whose key is
+    /// due this cycle (fabric first, then cores ascending — the lockstep
+    /// order), or jumps the clock to the earliest future key. Returns the
+    /// deadlock kind when the progress watchdog fires; the caller keeps
+    /// the budget check, like [`System::advance`].
+    fn advance_event(&mut self, watchdog: &mut Watchdog, max_cycles: u64) -> Option<DeadlockKind> {
+        let no_progress = DeadlockKind::NoProgress { cycles: WATCHDOG_CYCLES };
+        let now = self.now;
+        match self.cal.next_key() {
+            Some(k) if k <= now => {
+                // Pre-delivery pass: every core the fabric is about to
+                // touch gets its idle span charged against the
+                // pre-delivery state and a slice this cycle — exactly
+                // when lockstep would have processed the delivery.
+                if self.cal.key(0).is_some_and(|k| k <= now) {
+                    for i in 0..self.cores.len() {
+                        if self.mem.core_touched_by_fabric(i, now) {
+                            self.flush_idle(i, now);
+                            self.cal.schedule(1 + i, now);
+                        }
+                    }
+                }
+                let sent_before = self.mem.net.sent_count();
+                let mut fabric_ran = false;
+                let mut events = std::mem::take(&mut self.event_scratch);
+                while let Some(id) = self.cal.pop_due(now) {
+                    if id == 0 {
+                        self.mem.tick(now);
+                        fabric_ran = true;
+                    } else {
+                        let i = id - 1;
+                        self.flush_idle(i, now);
+                        self.core_slice(i, now, &mut events);
+                        self.charged[i] = now + 1;
+                        self.reschedule_core(i, now);
+                    }
+                }
+                self.event_scratch = events;
+                // Refresh the fabric key: its own pop consumed it, and
+                // core slices may have queued new messages (always for a
+                // future cycle — the hop latency is at least 1).
+                if fabric_ran || self.mem.net.sent_count() != sent_before {
+                    match self.mem.fabric_next_work(now) {
+                        Some(k) => {
+                            debug_assert!(k > now, "fabric work left behind at {now}");
+                            self.cal.schedule(0, k);
+                        }
+                        None => self.cal.unschedule(0),
+                    }
+                }
+                #[cfg(debug_assertions)]
+                for i in 0..self.cores.len() {
+                    debug_assert!(
+                        !self.mem.ctrls[i].has_pending_events()
+                            || self.cal.key(1 + i).is_some_and(|k| k <= now + 1),
+                        "core{i}: pending cache events but no due calendar key"
+                    );
+                }
+                self.now += 1;
+                (!watchdog.check(self)).then_some(no_progress)
+            }
+            horizon => {
+                // No unit is due: jump to the earliest key (or, when the
+                // machine is quiesced, to the budget/watchdog bound),
+                // with the same clamping arithmetic as the skip kernel.
+                // Nothing is charged here — idle spans are materialized
+                // per unit by `flush_idle` when the unit next runs.
+                let sig = self.progress_signature();
+                let until_work = match horizon {
+                    Some(at) => at.raw() - now.raw(),
+                    None => u64::MAX,
+                };
+                let until_budget = max_cycles - now.raw();
+                let cap = watchdog.idle_capacity(sig);
+                let n = until_work.min(until_budget).min(cap);
+                self.tracer.emit(now, n, TraceEvent::BulkIdle);
+                self.now += n;
+                watchdog.advance_idle(sig, n);
+                (n == cap).then_some(no_progress)
+            }
+        }
     }
 
     /// Advances the machine: one lockstep tick, or — under the
@@ -445,16 +644,28 @@ impl System {
     ) -> Result<StatSet, Box<DeadlockReport>> {
         let mut watchdog = Watchdog::new();
         let mut unscanned = 0u32;
+        let event = self.cfg.kernel == KernelKind::Event;
+        if event {
+            self.seed_calendar();
+        }
         while !done(self) {
             if self.now.raw() >= max_cycles {
+                self.flush_all_idle();
                 return Err(Box::new(
                     self.deadlock_report(DeadlockKind::BudgetExhausted { budget: max_cycles }),
                 ));
             }
-            if let Some(kind) = self.advance(&mut watchdog, max_cycles, &mut unscanned) {
+            let step = if event {
+                self.advance_event(&mut watchdog, max_cycles)
+            } else {
+                self.advance(&mut watchdog, max_cycles, &mut unscanned)
+            };
+            if let Some(kind) = step {
+                self.flush_all_idle();
                 return Err(Box::new(self.deadlock_report(kind)));
             }
         }
+        self.flush_all_idle();
         self.check_attribution();
         Ok(self.export_stats())
     }
@@ -560,8 +771,12 @@ impl System {
     }
 
     fn progress_signature(&self) -> (u64, u64) {
-        let committed: u64 = self.cores.iter().map(|c| c.committed()).sum();
-        (committed, self.mem.net.sent_count())
+        debug_assert_eq!(
+            self.committed_total,
+            self.cores.iter().map(|c| c.committed()).sum::<u64>(),
+            "cached commit total out of sync"
+        );
+        (self.committed_total, self.mem.net.sent_count())
     }
 
     /// Renders a human-readable snapshot of per-core pipeline and store
@@ -859,9 +1074,10 @@ mod tests {
 
     // --- kernel equivalence ---------------------------------------------
     //
-    // The idle-skipping kernel must be observationally identical to the
-    // lockstep kernel: same StatSet (every counter, including stall and
-    // occupancy integrals), same final cycle, same deadlock verdicts.
+    // The idle-skipping and event-driven kernels must be observationally
+    // identical to the lockstep kernel: same StatSet (every counter,
+    // including stall and occupancy integrals), same final cycle, same
+    // deadlock verdicts.
 
     use tus_cpu::TraceSource;
     use tus_sim::KernelKind;
@@ -883,7 +1099,9 @@ mod tests {
     fn assert_kernels_agree(cfg: &SimConfig, mk: impl Fn() -> Vec<Box<dyn TraceSource>>, seed: u64) {
         let lock = run_kernel(cfg, mk(), seed, KernelKind::Lockstep, 4_000_000);
         let skip = run_kernel(cfg, mk(), seed, KernelKind::Skip, 4_000_000);
-        assert_eq!(lock, skip, "kernels diverged for {:?}", cfg.policy);
+        assert_eq!(lock, skip, "skip kernel diverged for {:?}", cfg.policy);
+        let event = run_kernel(cfg, mk(), seed, KernelKind::Event, 4_000_000);
+        assert_eq!(lock, event, "event kernel diverged for {:?}", cfg.policy);
     }
 
     /// Single-core store/load bursts: both kernels produce identical
@@ -964,8 +1182,10 @@ mod tests {
                 sys.try_run_committed(400, 2_000_000).map(|s| (sys.now(), s))
             };
             let lock = run(KernelKind::Lockstep).expect("lockstep deadlock");
-            let skip = run(KernelKind::Skip).expect("skip deadlock");
-            assert_eq!(lock, skip, "run_committed diverged for {policy}");
+            for kernel in [KernelKind::Skip, KernelKind::Event] {
+                let other = run(kernel).expect("kernel deadlock");
+                assert_eq!(lock, other, "run_committed diverged for {policy} under {kernel:?}");
+            }
         }
     }
 
@@ -974,7 +1194,7 @@ mod tests {
     /// cycle, under both kernels.
     #[test]
     fn tracing_is_observation_only_and_partitions_cycles() {
-        for kernel in [KernelKind::Lockstep, KernelKind::Skip] {
+        for kernel in KernelKind::ALL {
             let mut cfg = cfg_with(PolicyKind::Tus, 8);
             cfg.kernel = kernel;
             let run = |trace: bool| {
@@ -994,12 +1214,13 @@ mod tests {
                 tracks.iter().any(|(_, recs)| !recs.is_empty()),
                 "tracing armed but no records captured under {kernel:?}"
             );
-            // The skip kernel must explain idle jumps with bulk-idle spans.
-            if kernel == KernelKind::Skip {
+            // The idle-aware kernels must explain idle jumps with
+            // bulk-idle spans.
+            if kernel != KernelKind::Lockstep {
                 let sys_track = tracks.iter().find(|(n, _)| n == "system").expect("system track");
                 assert!(
                     sys_track.1.iter().any(|r| matches!(r.ev, tus_sim::TraceEvent::BulkIdle)),
-                    "no bulk-idle span under the skip kernel"
+                    "no bulk-idle span under the {kernel:?} kernel"
                 );
             }
         }
@@ -1013,13 +1234,15 @@ mod tests {
         let cfg = cfg_with(PolicyKind::Tus, 8);
         let mk = || -> Vec<Box<dyn TraceSource>> { vec![Box::new(burst_trace(16, 4, 0x80_000))] };
         let lock = run_kernel(&cfg, mk(), 41, KernelKind::Lockstep, 200);
-        let skip = run_kernel(&cfg, mk(), 41, KernelKind::Skip, 200);
         assert!(lock.is_err(), "budget of 200 cycles unexpectedly sufficed");
-        assert_eq!(
-            lock.as_ref().map_err(|e| *e).err(),
-            skip.as_ref().map_err(|e| *e).err(),
-            "budget verdicts diverged"
-        );
+        for kernel in [KernelKind::Skip, KernelKind::Event] {
+            let other = run_kernel(&cfg, mk(), 41, kernel, 200);
+            assert_eq!(
+                lock.as_ref().map_err(|e| *e).err(),
+                other.as_ref().map_err(|e| *e).err(),
+                "budget verdicts diverged under {kernel:?}"
+            );
+        }
     }
 
     /// A genuine no-progress hang (a fence that can never drain is not

@@ -13,7 +13,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use tus_sim::sched::earliest;
 use tus_sim::stats::names;
 use tus_sim::trace::{AttrClass, Attribution, TraceEvent, TraceRecord, Tracer};
-use tus_sim::{Addr, CoreId, Cycle, FxHashMap, Schedulable, SimConfig, StatSet};
+use tus_sim::{Addr, CoreId, Cycle, Schedulable, SimConfig, StatSet};
 
 use crate::sb::{ForwardResult, StoreBuffer};
 use crate::trace::{OpClass, TraceInst, TraceSource};
@@ -138,6 +138,99 @@ struct RobEntry {
     from_mem: bool,
 }
 
+/// Completion times of recently executed instructions, indexed by
+/// sequence number modulo a power-of-two window no smaller than the ROB.
+///
+/// In-flight producers — the only ones whose completion time can still
+/// lie in the future — are collision-free: two in-flight sequence
+/// numbers differ by less than the ROB size, so they never share a
+/// slot. A retired producer's slot may be reclaimed by a newer
+/// instruction; a miss there reads as "completed long ago", and a stale
+/// hit returns a cycle at or before the present — both exactly how the
+/// dispatch dependency check treats retired producers, so replacing the
+/// old hash map changes no observable behaviour.
+struct CompletionWindow {
+    mask: u64,
+    tag: Vec<u64>,
+    at: Vec<Cycle>,
+}
+
+impl CompletionWindow {
+    fn new(rob_entries: usize) -> Self {
+        let n = rob_entries.next_power_of_two().max(2);
+        CompletionWindow {
+            mask: n as u64 - 1,
+            tag: vec![u64::MAX; n],
+            at: vec![Cycle::ZERO; n],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, seq: u64, at: Cycle) {
+        let i = (seq & self.mask) as usize;
+        self.tag[i] = seq;
+        self.at[i] = at;
+    }
+
+    #[inline]
+    fn get(&self, seq: u64) -> Option<Cycle> {
+        let i = (seq & self.mask) as usize;
+        (self.tag[i] == seq).then(|| self.at[i])
+    }
+}
+
+/// Consumers waiting on an in-flight producer, in the same
+/// sequence-number-modulo-window layout as [`CompletionWindow`]. Only
+/// producers that have not yet executed carry waiters, and those are
+/// collision-free within the ROB window; a producer's list is drained
+/// (and its slot released) exactly once, at execution completion.
+struct WaiterWindow {
+    mask: u64,
+    tag: Vec<u64>,
+    lists: Vec<Vec<u64>>,
+}
+
+impl WaiterWindow {
+    fn new(rob_entries: usize) -> Self {
+        let n = rob_entries.next_power_of_two().max(2);
+        WaiterWindow {
+            mask: n as u64 - 1,
+            tag: vec![u64::MAX; n],
+            lists: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, producer: u64, consumer: u64) {
+        let i = (producer & self.mask) as usize;
+        if self.tag[i] != producer {
+            debug_assert_eq!(self.tag[i], u64::MAX, "live waiter slots never collide");
+            self.tag[i] = producer;
+            self.lists[i].clear();
+        }
+        self.lists[i].push(consumer);
+    }
+
+    /// Claims `producer`'s waiter list (empty slots return `None`). The
+    /// caller drains it and hands it back via [`WaiterWindow::restore`]
+    /// so the slot keeps its capacity.
+    #[inline]
+    fn take(&mut self, producer: u64) -> Option<Vec<u64>> {
+        let i = (producer & self.mask) as usize;
+        if self.tag[i] != producer {
+            return None;
+        }
+        self.tag[i] = u64::MAX;
+        Some(std::mem::take(&mut self.lists[i]))
+    }
+
+    #[inline]
+    fn restore(&mut self, producer: u64, drained: Vec<u64>) {
+        let i = (producer & self.mask) as usize;
+        self.lists[i] = drained;
+    }
+}
+
 /// A trace-driven out-of-order core.
 pub struct Core {
     id: CoreId,
@@ -153,11 +246,8 @@ pub struct Core {
     int_regs_used: usize,
     fp_regs_used: usize,
     ready_q: BinaryHeap<Reverse<(u64, u64)>>,
-    completion: FxHashMap<u64, Cycle>,
-    waiters: FxHashMap<u64, Vec<u64>>,
-    /// Emptied waiter lists awaiting reuse, so dependency registration
-    /// does not allocate a fresh `Vec` per producer in steady state.
-    waiter_vec_pool: Vec<Vec<u64>>,
+    completion: CompletionWindow,
+    waiters: WaiterWindow,
     /// Reused buffers for the per-cycle issue loop and the invalidation
     /// snoop (bounded by the issue width / ROB size).
     deferred_scratch: Vec<(u64, u64)>,
@@ -201,9 +291,8 @@ impl Core {
             int_regs_used: 0,
             fp_regs_used: 0,
             ready_q: BinaryHeap::new(),
-            completion: FxHashMap::default(),
-            waiters: FxHashMap::default(),
-            waiter_vec_pool: Vec::new(),
+            completion: CompletionWindow::new(cfg.backend.rob_entries),
+            waiters: WaiterWindow::new(cfg.backend.rob_entries),
             deferred_scratch: Vec::new(),
             replay_scratch: Vec::new(),
             record_loads: false,
@@ -635,23 +724,14 @@ impl Core {
                     let Some(p) = seq.checked_sub(d as u64) else {
                         continue;
                     };
-                    if let Some(&c) = self.completion.get(&p) {
+                    if let Some(c) = self.completion.get(p) {
                         if e.ready_at < c {
                             e.ready_at = c;
                         }
                     } else if p >= self.head_seq {
                         // Producer still in flight without a known
                         // completion time.
-                        match self.waiters.entry(p) {
-                            std::collections::hash_map::Entry::Occupied(mut o) => {
-                                o.get_mut().push(seq)
-                            }
-                            std::collections::hash_map::Entry::Vacant(v) => {
-                                let mut ws = self.waiter_vec_pool.pop().unwrap_or_default();
-                                ws.push(seq);
-                                v.insert(ws);
-                            }
-                        }
+                        self.waiters.push(p, seq);
                         e.deps_left += 1;
                     }
                     // Producers older than the window completed long ago.
@@ -808,7 +888,7 @@ impl Core {
     }
 
     fn wake(&mut self, producer: u64, done: Cycle) {
-        let Some(mut ws) = self.waiters.remove(&producer) else {
+        let Some(mut ws) = self.waiters.take(producer) else {
             return;
         };
         for c in ws.drain(..) {
@@ -824,7 +904,7 @@ impl Core {
                 self.ready_q.push(Reverse((at, c)));
             }
         }
-        self.waiter_vec_pool.push(ws);
+        self.waiters.restore(producer, ws);
     }
 
     fn commit(&mut self, now: Cycle, port: &mut dyn MemPort) {
@@ -869,13 +949,6 @@ impl Core {
             self.head_seq += 1;
             self.stats.committed += 1;
             committed += 1;
-        }
-        // Bound the completion map: dependency distances are capped by the
-        // ROB window, so anything far behind the head can be dropped.
-        if self.stats.committed % 8192 == 0 && self.completion.len() > 4 * self.cfg.backend.rob_entries
-        {
-            let floor = self.head_seq.saturating_sub(2 * self.cfg.backend.rob_entries as u64);
-            self.completion.retain(|&s, _| s >= floor);
         }
     }
 }

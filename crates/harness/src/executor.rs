@@ -10,6 +10,11 @@
 //!   default [`std::thread::available_parallelism`]). Results land in
 //!   per-spec slots, so output order — and therefore every table and CSV
 //!   byte — is independent of scheduling.
+//! * **Lane batching** — specs that share a machine configuration and
+//!   differ only in seed (one [`RunSpec::lane_key`]) are claimed by a
+//!   worker as a unit and executed via [`run_lane`], building the
+//!   `SimConfig` and energy model once per lane instead of once per run
+//!   (`--no-batch` disables this; results are bit-identical either way).
 //! * **Memoization** — each [`RunSpec`] has a stable content key
 //!   ([`RunSpec::memo_key`]); results are cached in-process across all
 //!   figures of an `all` run, and optionally on disk (under
@@ -29,7 +34,7 @@ use tus_energy::EnergyBreakdown;
 use tus_sim::hash::fx_hash_one;
 use tus_sim::StatSet;
 
-use crate::runner::{run, RunResult, RunSpec};
+use crate::runner::{run_lane, RunResult, RunSpec};
 
 /// Counter snapshot of an [`Executor`] (monotonic over its lifetime).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +61,7 @@ impl ExecCounters {
 /// A parallel, memoizing simulation executor.
 pub struct Executor {
     jobs: usize,
+    batching: bool,
     cache_dir: Option<PathBuf>,
     memo: Mutex<HashMap<String, RunResult>>,
     executed: AtomicU64,
@@ -79,12 +85,23 @@ impl Executor {
     pub fn new(jobs: usize, cache_dir: Option<PathBuf>) -> Self {
         Executor {
             jobs: jobs.max(1),
+            batching: true,
             cache_dir,
             memo: Mutex::new(HashMap::new()),
             executed: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
         }
+    }
+
+    /// Enables or disables lane batching (`--no-batch`); on by default.
+    ///
+    /// Batching changes scheduling granularity only — results are
+    /// bit-identical either way, since every simulation is independently
+    /// seeded and [`run_lane`] shares nothing mutable across a lane.
+    pub fn batching(mut self, on: bool) -> Self {
+        self.batching = on;
+        self
     }
 
     /// The machine's available parallelism (the `--jobs` default).
@@ -177,25 +194,63 @@ impl Executor {
             .expect("one spec, one result")
     }
 
+    /// Partitions `todo` into *lanes*: runs of specs sharing a
+    /// [`RunSpec::lane_key`] (config-identical, seed-varied), in
+    /// first-seen order. With batching off, every spec is its own lane.
+    fn lanes(&self, todo: &[RunSpec]) -> Vec<Vec<usize>> {
+        if !self.batching {
+            return (0..todo.len()).map(|i| vec![i]).collect();
+        }
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        let mut lanes: Vec<Vec<usize>> = Vec::new();
+        for (i, spec) in todo.iter().enumerate() {
+            let slot = *by_key.entry(spec.lane_key()).or_insert_with(|| {
+                lanes.push(Vec::new());
+                lanes.len() - 1
+            });
+            lanes[slot].push(i);
+        }
+        lanes
+    }
+
     /// Runs `todo` (already deduplicated) on scoped worker threads,
     /// returning results in order.
+    ///
+    /// Work is claimed a lane at a time: a worker that grabs a lane runs
+    /// every seed in it via [`run_lane`], amortizing configuration and
+    /// energy-model construction across the batch. Results scatter back
+    /// into per-spec slots, so output order is independent of both
+    /// scheduling and batching.
     fn execute(&self, todo: &[RunSpec]) -> Vec<RunResult> {
         let n = todo.len();
-        let jobs = self.jobs.min(n);
+        let lanes = self.lanes(todo);
+        let jobs = self.jobs.min(lanes.len());
         if jobs <= 1 {
-            return todo.iter().map(run).collect();
+            let mut out: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+            for lane in &lanes {
+                let specs: Vec<RunSpec> = lane.iter().map(|&i| todo[i].clone()).collect();
+                for (&i, r) in lane.iter().zip(run_lane(&specs)) {
+                    out[i] = Some(r);
+                }
+            }
+            return out
+                .into_iter()
+                .map(|r| r.expect("every lane ran"))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for _ in 0..jobs {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let l = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(lane) = lanes.get(l) else {
                         break;
+                    };
+                    let specs: Vec<RunSpec> = lane.iter().map(|&i| todo[i].clone()).collect();
+                    for (&i, r) in lane.iter().zip(run_lane(&specs)) {
+                        *slots[i].lock().expect("slot lock") = Some(r);
                     }
-                    let result = run(&todo[i]);
-                    *slots[i].lock().expect("slot lock") = Some(result);
                 });
             }
         });
@@ -358,6 +413,36 @@ mod tests {
             encode_result(&results[1], "k"),
             "memoized results identical"
         );
+    }
+
+    /// Lane batching groups seed-varied specs, claims them as a unit,
+    /// and produces byte-identical results to the unbatched executor.
+    #[test]
+    fn lane_batching_matches_unbatched_bit_for_bit() {
+        let mut specs = Vec::new();
+        for seed in [1, 2, 3] {
+            specs.push(RunSpec {
+                seed,
+                ..quick_spec("502.gcc1-like", PolicyKind::Tus, 114)
+            });
+        }
+        specs.push(quick_spec("557.xz-like", PolicyKind::Baseline, 32));
+
+        let batched = Executor::new(2, None);
+        assert_eq!(
+            batched.lanes(&specs).len(),
+            2,
+            "three seeds of one config and one other config = two lanes"
+        );
+        let unbatched = Executor::new(2, None).batching(false);
+        assert_eq!(unbatched.lanes(&specs).len(), specs.len());
+
+        let a = batched.run_many(&specs);
+        let b = unbatched.run_many(&specs);
+        assert_eq!(batched.counters().executed, specs.len() as u64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(encode_result(x, "k"), encode_result(y, "k"));
+        }
     }
 
     #[test]

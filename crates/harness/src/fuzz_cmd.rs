@@ -67,7 +67,7 @@ fn fuzz_usage() -> ! {
     eprintln!(
         "usage: tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                      [--policy base|SSB|CSB|SPB|TUS] [--out DIR]\n\
-         \x20                      [--replay FILE] [--no-shrink] [--kernel lockstep|skip]\n\
+         \x20                      [--replay FILE] [--no-shrink] [--kernel lockstep|skip|event]\n\
          \x20                      [--trace]\n\
          checks N random litmus programs across all five policies against the\n\
          x86-TSO reference model; failures are shrunk and persisted under\n\

@@ -2,36 +2,39 @@
 //!
 //! ```text
 //! tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]
-//!             [--parallel-cap N] [--jobs N] [--no-cache] [--kernel K]
+//!             [--parallel-cap N] [--jobs N] [--no-cache] [--no-batch]
+//!             [--kernel K]
 //! tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]
 //!             [--policy P] [--out DIR] [--replay FILE] [--no-shrink]
 //!             [--kernel K]
 //! tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]
-//!             [--parallel-cap N] [--jobs N]
+//!             [--parallel-cap N] [--jobs N] [--no-batch]
 //! tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]
 //!             [--parallel-cap N] [--jobs N] [--kernel K]
-//!             [--min-sims-per-sec X]
+//!             [--no-batch] [--min-sims-per-sec X]
 //!
 //! experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15
 //!              intext ablation all
-//! kernels (K): lockstep skip (default: skip)
+//! kernels (K): lockstep skip event (default: event)
 //! ```
 //!
 //! Runs are executed by a worker pool (`--jobs`, default: available
-//! parallelism), deduplicated across figures, and memoized on disk under
-//! `<out>/.runcache` (`--no-cache` disables the disk cache). All of this
-//! is output-neutral: simulations are seeded and deterministic, so the
-//! tables and CSVs are byte-identical to a sequential, uncached run —
-//! under **either** simulation kernel (`--kernel`), which is what the CI
-//! kernel-equivalence job checks. Each experiment reports wall-clock time
-//! and simulation throughput; `all` additionally writes
-//! `BENCH_harness.json` next to the CSVs, and `bench-kernel` runs the
-//! whole suite cold under both kernels and writes `BENCH_kernel.json`
-//! with the measured lockstep-vs-skip wall-clock. `bench-hotpath` runs
-//! the suite cold once (no memoization, no disk cache) and writes
-//! `BENCH_hotpath.json` with suite throughput against the committed
-//! pre-overhaul baseline; `--min-sims-per-sec` makes it exit non-zero
-//! below a floor (the CI perf-smoke contract).
+//! parallelism), deduplicated across figures, batched by machine
+//! configuration (`--no-batch` disables lane batching), and memoized on
+//! disk under `<out>/.runcache` (`--no-cache` disables the disk cache).
+//! All of this is output-neutral: simulations are seeded and
+//! deterministic, so the tables and CSVs are byte-identical to a
+//! sequential, uncached run — under **any** simulation kernel
+//! (`--kernel`), which is what the CI kernel-equivalence job checks.
+//! Each experiment reports wall-clock time and simulation throughput;
+//! `all` additionally writes `BENCH_harness.json` next to the CSVs, and
+//! `bench-kernel` runs the whole suite cold under all three kernels and
+//! writes `BENCH_kernel.json` with the measured per-kernel wall-clock.
+//! `bench-hotpath` runs the suite cold once (no memoization, no disk
+//! cache) and **appends** a timestamped entry to `BENCH_hotpath.json`,
+//! so the file accumulates a throughput trajectory across optimization
+//! rounds; `--min-sims-per-sec` makes it exit non-zero below a floor
+//! (the CI perf-smoke contract).
 
 use std::io::Write as _;
 
@@ -42,20 +45,20 @@ use tus_sim::KernelKind;
 fn usage() -> ! {
     eprintln!(
         "usage: tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]\n\
-         \x20                  [--parallel-cap N] [--jobs N] [--no-cache] [--kernel K]\n\
-         \x20                  [--trace]\n\
+         \x20                  [--parallel-cap N] [--jobs N] [--no-cache] [--no-batch]\n\
+         \x20                  [--kernel K] [--trace]\n\
          \x20      tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                  [--policy P] [--out DIR] [--replay FILE] [--no-shrink]\n\
          \x20                  [--kernel K] [--trace]\n\
          \x20      tus-harness trace [WORKLOAD] [--policy P] [--sb N] [--kernel K]\n\
          \x20                  [--seed N] [--insts N] [--cap N] [--out DIR]\n\
          \x20      tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]\n\
-         \x20                  [--parallel-cap N] [--jobs N]\n\
+         \x20                  [--parallel-cap N] [--jobs N] [--no-batch]\n\
          \x20      tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N] [--kernel K]\n\
-         \x20                  [--min-sims-per-sec X]\n\
+         \x20                  [--no-batch] [--min-sims-per-sec X]\n\
          experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation all\n\
-         kernels (K): lockstep skip (default: skip)\n\
+         kernels (K): lockstep skip event (default: event)\n\
          --trace arms the structured event recorder in every simulation\n\
          (observation-only: outputs and memo keys are unchanged)"
     );
@@ -119,7 +122,7 @@ fn write_bench_json(out: &std::path::Path, timings: &[Timing]) -> std::io::Resul
 /// of each in `<out>/BENCH_kernel.json`. The CSVs land in per-kernel
 /// subdirectories, so a byte-level diff of the two trees doubles as an
 /// equivalence check. Returns the process exit code.
-fn bench_kernel(opt: &Options, jobs: usize) -> i32 {
+fn bench_kernel(opt: &Options, jobs: usize, batch: bool) -> i32 {
     let mut rows: Vec<(KernelKind, f64, ExecCounters)> = Vec::new();
     for kernel in KernelKind::ALL {
         let kopt = Options {
@@ -127,7 +130,7 @@ fn bench_kernel(opt: &Options, jobs: usize) -> i32 {
             out: opt.out.join("bench-kernel").join(kernel.label()),
             ..opt.clone()
         };
-        let ex = Executor::new(jobs, None);
+        let ex = Executor::new(jobs, None).batching(batch);
         eprintln!("[bench-kernel: running all experiments, {kernel} kernel]");
         let started = std::time::Instant::now();
         experiments::all(&ex, &kopt);
@@ -141,12 +144,15 @@ fn bench_kernel(opt: &Options, jobs: usize) -> i32 {
     }
     match write_bench_kernel_json(&opt.out, &rows) {
         Ok(()) => {
-            let lockstep = rows[0].1;
-            let skip = rows[1].1;
-            eprintln!(
-                "[bench-kernel: lockstep {lockstep:.1}s, skip {skip:.1}s, speedup {:.2}x]",
-                lockstep / skip.max(1e-9)
-            );
+            let lockstep = rows
+                .iter()
+                .find(|r| r.0 == KernelKind::Lockstep)
+                .map_or(0.0, |r| r.1);
+            let summary: Vec<String> = rows
+                .iter()
+                .map(|(k, s, _)| format!("{k} {s:.1}s ({:.2}x)", lockstep / s.max(1e-9)))
+                .collect();
+            eprintln!("[bench-kernel: {}]", summary.join(", "));
             0
         }
         Err(e) => {
@@ -156,8 +162,9 @@ fn bench_kernel(opt: &Options, jobs: usize) -> i32 {
     }
 }
 
-/// Writes `BENCH_kernel.json`: cold wall-clock per kernel plus the
-/// lockstep/skip ratio (hand-rolled JSON; the workspace is std-only).
+/// Writes `BENCH_kernel.json`: cold wall-clock per kernel plus each
+/// kernel's speedup over lockstep (hand-rolled JSON; the workspace is
+/// std-only).
 fn write_bench_kernel_json(
     out: &std::path::Path,
     rows: &[(KernelKind, f64, ExecCounters)],
@@ -178,9 +185,18 @@ fn write_bench_kernel_json(
         )?;
     }
     let lockstep = rows.iter().find(|r| r.0 == KernelKind::Lockstep);
-    let skip = rows.iter().find(|r| r.0 == KernelKind::Skip);
-    if let (Some(l), Some(s)) = (lockstep, skip) {
-        writeln!(f, "  \"skip_speedup\": {:.3}", l.1 / s.1.max(1e-9))?;
+    if let Some(l) = lockstep {
+        for (i, (kernel, seconds, _)) in rows.iter().enumerate() {
+            if *kernel == KernelKind::Lockstep {
+                continue;
+            }
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(
+                f,
+                "  \"{kernel}_speedup\": {:.3}{comma}",
+                l.1 / seconds.max(1e-9)
+            )?;
+        }
     }
     writeln!(f, "}}")?;
     Ok(())
@@ -194,17 +210,18 @@ const HOTPATH_BASELINE_SIMS_PER_SEC: f64 = 4.77;
 
 /// `bench-hotpath`: runs the full experiment suite **cold** (fresh
 /// executor, no memo table reuse across experiments beyond the run's
-/// own, no disk cache) and records suite throughput against the
-/// committed pre-overhaul baseline in `<out>/BENCH_hotpath.json`. With
+/// own, no disk cache) and appends a timestamped throughput entry to
+/// `<out>/BENCH_hotpath.json`, so repeated runs accumulate a perf
+/// trajectory instead of overwriting each other. With
 /// `--min-sims-per-sec`, exits non-zero when measured throughput falls
 /// below the floor — the CI perf-smoke contract. Returns the process
 /// exit code.
-fn bench_hotpath(opt: &Options, jobs: usize, floor: Option<f64>) -> i32 {
+fn bench_hotpath(opt: &Options, jobs: usize, batch: bool, floor: Option<f64>) -> i32 {
     let hopt = Options {
         out: opt.out.join("bench-hotpath"),
         ..opt.clone()
     };
-    let ex = Executor::new(jobs, None);
+    let ex = Executor::new(jobs, None).batching(batch);
     eprintln!(
         "[bench-hotpath: running all experiments cold, {} kernel]",
         hopt.kernel
@@ -241,8 +258,10 @@ fn bench_hotpath(opt: &Options, jobs: usize, floor: Option<f64>) -> i32 {
     0
 }
 
-/// Writes `BENCH_hotpath.json` (hand-rolled JSON; the workspace is
-/// std-only).
+/// Appends one timestamped entry to `BENCH_hotpath.json`, keeping the
+/// file a valid JSON array across runs (hand-rolled JSON; the workspace
+/// is std-only). A missing file — or a pre-trajectory single-object file
+/// — starts a fresh array.
 fn write_bench_hotpath_json(
     out: &std::path::Path,
     hopt: &Options,
@@ -251,23 +270,39 @@ fn write_bench_hotpath_json(
     sims_per_sec: f64,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(out)?;
-    let mut f = std::fs::File::create(out.join("BENCH_hotpath.json"))?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"kernel\": \"{}\",", hopt.kernel)?;
-    writeln!(f, "  \"seconds\": {seconds:.3},")?;
-    writeln!(f, "  \"sims\": {},", counters.executed)?;
-    writeln!(f, "  \"sims_per_sec\": {sims_per_sec:.2},")?;
-    writeln!(
-        f,
-        "  \"baseline_sims_per_sec\": {HOTPATH_BASELINE_SIMS_PER_SEC:.2},"
-    )?;
-    writeln!(
-        f,
-        "  \"speedup\": {:.3}",
-        sims_per_sec / HOTPATH_BASELINE_SIMS_PER_SEC
-    )?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let path = out.join("BENCH_hotpath.json");
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = format!(
+        "  {{\"unix_time\": {unix_time}, \"kernel\": \"{}\", \"seconds\": {seconds:.3}, \
+         \"sims\": {}, \"sims_per_sec\": {sims_per_sec:.2}, \
+         \"baseline_sims_per_sec\": {HOTPATH_BASELINE_SIMS_PER_SEC:.2}, \
+         \"speedup\": {:.3}}}",
+        hopt.kernel,
+        counters.executed,
+        sims_per_sec / HOTPATH_BASELINE_SIMS_PER_SEC,
+    );
+    let body = match std::fs::read_to_string(&path) {
+        Ok(prev) => {
+            let prev = prev.trim_end();
+            match prev.strip_suffix(']') {
+                // An existing trajectory: splice the new entry in front
+                // of the closing bracket.
+                Some(head) if prev.starts_with('[') => {
+                    let head = head.trim_end();
+                    if head == "[" {
+                        format!("[\n{entry}\n]\n")
+                    } else {
+                        format!("{head},\n{entry}\n]\n")
+                    }
+                }
+                _ => format!("[\n{entry}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(&path, body)
 }
 
 fn main() {
@@ -285,6 +320,7 @@ fn main() {
     let mut cmd = None;
     let mut jobs = Executor::default_jobs();
     let mut cache = true;
+    let mut batch = true;
     let mut min_sims_per_sec = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -313,6 +349,7 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--no-cache" => cache = false,
+            "--no-batch" => batch = false,
             "--min-sims-per-sec" => {
                 min_sims_per_sec = Some(
                     it.next()
@@ -334,13 +371,13 @@ fn main() {
     }
     let Some(cmd) = cmd else { usage() };
     if cmd == "bench-kernel" {
-        std::process::exit(bench_kernel(&opt, jobs));
+        std::process::exit(bench_kernel(&opt, jobs, batch));
     }
     if cmd == "bench-hotpath" {
-        std::process::exit(bench_hotpath(&opt, jobs, min_sims_per_sec));
+        std::process::exit(bench_hotpath(&opt, jobs, batch, min_sims_per_sec));
     }
     let cache_dir = cache.then(|| opt.out.join(".runcache"));
-    let ex = Executor::new(jobs, cache_dir);
+    let ex = Executor::new(jobs, cache_dir).batching(batch);
 
     let run_timed = |name: &'static str, f: fn(&Executor, &Options)| -> Timing {
         let before = ex.counters();

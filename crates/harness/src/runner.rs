@@ -17,8 +17,11 @@ use tus_workloads::Workload;
 ///
 /// v1 — implicit (unversioned keys, PR 1); v2 — deadlock-reporting and
 /// lex tie-break changes; v3 — keys gained the simulation-kernel
-/// dimension (lockstep vs idle-skipping).
-pub const CACHE_FORMAT_VERSION: u32 = 3;
+/// dimension (lockstep vs idle-skipping); v4 — the event-driven kernel
+/// became the default (`kernel=event` in default keys), so every cached
+/// result records which kernel produced it under the new three-kernel
+/// selector.
+pub const CACHE_FORMAT_VERSION: u32 = 4;
 
 /// Run-length scaling: experiments default to laptop-friendly lengths;
 /// `Full` approaches paper-like (still far below 2 B instructions, but
@@ -158,6 +161,27 @@ impl RunSpec {
         )
     }
 
+    /// The spec's *lane*: every memo-key dimension except the seed.
+    ///
+    /// Two specs in the same lane simulate the same machine on the same
+    /// workload shape and differ only in their random seed, so a batch
+    /// executor can build the [`SimConfig`] and energy model once and
+    /// run the whole lane on one worker ([`run_lane`]).
+    pub fn lane_key(&self) -> String {
+        format!(
+            "v{}|{}|{}|sb{}|c{}|w{}|i{}|k{}|{}",
+            CACHE_FORMAT_VERSION,
+            self.workload.name,
+            self.policy.label(),
+            self.sb_entries,
+            self.cores,
+            self.warmup,
+            self.insts,
+            self.kernel.label(),
+            self.tweak.map_or("-", |t| t.name),
+        )
+    }
+
     fn config(&self) -> SimConfig {
         let mut b = SimConfig::builder();
         b.cores(self.cores)
@@ -195,11 +219,34 @@ pub struct RunResult {
 /// subtracts the warm-up counters.
 pub fn run(spec: &RunSpec) -> RunResult {
     let cfg = spec.config();
+    let model = EnergyModel::from_config(&cfg);
+    run_with(spec, &cfg, &model)
+}
+
+/// Executes a *lane*: specs sharing one [`RunSpec::lane_key`] (identical
+/// machine configuration, differing only in seed). The [`SimConfig`] and
+/// [`EnergyModel`] are built once and shared across the lane, amortizing
+/// per-run setup; each result is bit-identical to a standalone [`run`]
+/// because both construction paths are pure functions of the spec.
+pub fn run_lane(specs: &[RunSpec]) -> Vec<RunResult> {
+    let Some(first) = specs.first() else {
+        return Vec::new();
+    };
+    let cfg = first.config();
+    let model = EnergyModel::from_config(&cfg);
+    debug_assert!(
+        specs.iter().all(|s| s.lane_key() == first.lane_key()),
+        "run_lane requires config-identical specs"
+    );
+    specs.iter().map(|s| run_with(s, &cfg, &model)).collect()
+}
+
+fn run_with(spec: &RunSpec, cfg: &SimConfig, model: &EnergyModel) -> RunResult {
     let total = spec.warmup + spec.insts;
     let traces = spec
         .workload
         .traces(spec.cores, spec.seed, total + 10_000);
-    let mut sys = System::new(&cfg, traces, spec.seed);
+    let mut sys = System::new(cfg, traces, spec.seed);
     // Generous budget: the slowest archetypes run at IPC ~0.05.
     let budget = 400 * total + 2_000_000;
     let warm = if spec.warmup > 0 {
@@ -215,7 +262,6 @@ pub fn run(spec: &RunSpec) -> RunResult {
         .map(|i| stats.get(&names::core_cpu(i, names::STALL_SB)))
         .sum::<f64>()
         / (cycles * spec.cores as f64);
-    let model = EnergyModel::from_config(&cfg);
     let energy = model.evaluate(&stats);
     let edp = energy.edp();
     RunResult {
@@ -304,6 +350,64 @@ mod tests {
             spec.memo_key_versioned(CACHE_FORMAT_VERSION),
             spec.memo_key_versioned(CACHE_FORMAT_VERSION + 1),
         );
+    }
+
+    /// The v4 bump made the event kernel the default: default keys must
+    /// carry the `kevent` dimension, differ from every other kernel's
+    /// key, and miss any key minted under the previous version.
+    #[test]
+    fn memo_key_records_event_kernel_default() {
+        let spec = RunSpec::new(
+            by_name("502.gcc1-like").expect("exists"),
+            PolicyKind::Tus,
+            114,
+            Scale::Quick,
+        );
+        assert_eq!(spec.kernel, KernelKind::Event);
+        assert!(spec.memo_key().contains("|kevent|"), "{}", spec.memo_key());
+        let mut keys = std::collections::HashSet::new();
+        for kernel in KernelKind::ALL {
+            let k = RunSpec { kernel, ..spec.clone() }.memo_key();
+            assert!(keys.insert(k), "kernel dimension collided");
+        }
+        // The PR-2 bump-miss pattern: a v3-era key can never alias a v4
+        // key, so stale skip-kernel-default results are unreachable.
+        assert_ne!(spec.memo_key(), spec.memo_key_versioned(3));
+    }
+
+    /// A lane groups specs that differ only in seed, and lane-batched
+    /// execution is bit-identical to standalone runs (the config and
+    /// energy model are pure functions of the spec).
+    #[test]
+    fn lane_key_groups_seeds_and_run_lane_matches_run() {
+        let base = RunSpec {
+            warmup: 500,
+            insts: 3_000,
+            ..RunSpec::new(
+                by_name("502.gcc1-like").expect("exists"),
+                PolicyKind::Tus,
+                114,
+                Scale::Quick,
+            )
+        };
+        let a = RunSpec { seed: 1, ..base.clone() };
+        let b = RunSpec { seed: 2, ..base.clone() };
+        assert_eq!(a.lane_key(), b.lane_key(), "seed must not split a lane");
+        assert_ne!(a.memo_key(), b.memo_key());
+        for other in [
+            RunSpec { sb_entries: 32, ..base.clone() },
+            RunSpec { policy: PolicyKind::Baseline, ..base.clone() },
+            RunSpec { kernel: KernelKind::Lockstep, ..base.clone() },
+            RunSpec { insts: base.insts + 1, ..base.clone() },
+        ] {
+            assert_ne!(a.lane_key(), other.lane_key(), "config change must split the lane");
+        }
+
+        let lane = run_lane(&[a.clone(), b.clone()]);
+        let (solo_a, solo_b) = (run(&a), run(&b));
+        use crate::executor::encode_result;
+        assert_eq!(encode_result(&lane[0], "k"), encode_result(&solo_a, "k"));
+        assert_eq!(encode_result(&lane[1], "k"), encode_result(&solo_b, "k"));
     }
 
     #[test]

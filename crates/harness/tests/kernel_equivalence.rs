@@ -1,9 +1,9 @@
-//! The idle-skipping kernel must be observationally identical to the
-//! lockstep kernel on real experiment points: every metric the harness
-//! ever serializes — cycles, IPC, stall fractions, energy components and
-//! the full raw `StatSet` — is compared through the cache's bit-exact
-//! codec (`encode_result` stores floats as their IEEE-754 bits), so even
-//! a 1-ulp drift fails the test.
+//! The idle-skipping and event-driven kernels must be observationally
+//! identical to the lockstep kernel on real experiment points: every
+//! metric the harness ever serializes — cycles, IPC, stall fractions,
+//! energy components and the full raw `StatSet` — is compared through
+//! the cache's bit-exact codec (`encode_result` stores floats as their
+//! IEEE-754 bits), so even a 1-ulp drift fails the test.
 
 use tus_harness::executor::encode_result;
 use tus_harness::{run, RunSpec, Scale, Tweak};
@@ -53,13 +53,16 @@ fn kernels_are_bit_identical_on_figure_points() {
             // iff every measured bit does.
             encode_result(&run(&s), "point")
         };
-        assert_eq!(
-            under(KernelKind::Lockstep),
-            under(KernelKind::Skip),
-            "kernels diverged on point {i} ({}, {}, sb{})",
-            spec.workload.name,
-            spec.policy.label(),
-            spec.sb_entries,
-        );
+        let lockstep = under(KernelKind::Lockstep);
+        for kernel in [KernelKind::Skip, KernelKind::Event] {
+            assert_eq!(
+                lockstep,
+                under(kernel),
+                "{kernel} kernel diverged from lockstep on point {i} ({}, {}, sb{})",
+                spec.workload.name,
+                spec.policy.label(),
+                spec.sb_entries,
+            );
+        }
     }
 }

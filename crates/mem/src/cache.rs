@@ -343,6 +343,141 @@ impl CacheArray {
     }
 }
 
+/// Tag-split set-associative array for the very large shared L3.
+///
+/// The directory's L3 only ever needs four operations — lookup, LRU
+/// touch, payload access and allocate-with-LRU-eviction — and its lines
+/// carry no per-line coherence metadata (a resident line is always a
+/// clean `Shared` copy of memory; `unauth`/`locked`/`dirty` never apply,
+/// so every occupied way is evictable). [`CacheArray`] pays for that
+/// generality on every probe: a 16-way set drags sixteen ~48-byte
+/// [`CacheLineState`] records (≈12 host cache lines, almost always cold
+/// at L3 footprints) through the scan loop. Here the scan state is one
+/// packed tag word per way — a 16-way set is 128 bytes, two host lines —
+/// and the LRU stamps and payloads live in parallel arrays that are only
+/// touched on a hit or an eviction decision.
+///
+/// Victim selection reproduces [`CacheArray::victim`] exactly for the
+/// all-evictable case (first empty way, else the first way with the
+/// strictly-lowest LRU stamp), and the stamp stream is the same
+/// one-counter-per-array sequence, so swapping the directory's L3 from
+/// `CacheArray` to `L3Cache` is statistically invisible: identical hits,
+/// identical victims, identical grants, bit-identical results.
+pub struct L3Cache {
+    sets: usize,
+    ways: usize,
+    /// `line.raw() + 1` per way; `0` = empty. The shift keeps the
+    /// all-zero byte pattern as the empty array so construction stays
+    /// O(1) zeroed-page mapping (see [`zeroed_vec`]).
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags` (higher = more recently used).
+    lru: Vec<u64>,
+    /// Line payloads, parallel to `tags`.
+    data: Vec<LineData>,
+    tick: u64,
+}
+
+impl std::fmt::Debug for L3Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("L3Cache")
+            .field("sets", &self.sets)
+            .field("ways", &self.ways)
+            .field("touches", &self.tick)
+            .finish()
+    }
+}
+
+impl L3Cache {
+    /// Creates an array with `sets` sets (power of two) and `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(ways > 0, "ways must be positive");
+        let n = sets * ways;
+        // All-zero is the empty tag, stamp zero and a zero payload.
+        let tags: Vec<u64> = unsafe { zeroed_vec(n) };
+        let lru: Vec<u64> = unsafe { zeroed_vec(n) };
+        let data: Vec<LineData> = unsafe { zeroed_vec(n) };
+        L3Cache {
+            sets,
+            ways,
+            tags,
+            lru,
+            data,
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.sets - 1)
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        debug_assert!(set < self.sets && way < self.ways);
+        set * self.ways + way
+    }
+
+    /// Finds the way holding `line`. Does not update LRU — use
+    /// [`L3Cache::touch`] on an actual access.
+    pub fn lookup(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let set = self.set_of(line);
+        let tag = line.raw() + 1;
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|way| (set, way))
+    }
+
+    /// Marks `(set, way)` as most recently used.
+    pub fn touch(&mut self, set: usize, way: usize) {
+        self.tick += 1;
+        let t = self.tick;
+        let i = self.idx(set, way);
+        self.lru[i] = t;
+    }
+
+    /// The payload of a way.
+    pub fn data(&self, set: usize, way: usize) -> &LineData {
+        &self.data[self.idx(set, way)]
+    }
+
+    /// Mutable payload of a way.
+    pub fn data_mut(&mut self, set: usize, way: usize) -> &mut LineData {
+        let i = self.idx(set, way);
+        &mut self.data[i]
+    }
+
+    /// Installs `line` in its set — the first empty way, else evicting
+    /// the least-recently-used one (ties broken towards the lowest way,
+    /// as in [`CacheArray::victim`]) — marks it most recently used and
+    /// returns its coordinates. The payload is *not* cleared; the caller
+    /// overwrites it in full.
+    pub fn insert(&mut self, line: LineAddr) -> (usize, usize) {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let ts = &self.tags[base..base + self.ways];
+        let way = match ts.iter().position(|&t| t == 0) {
+            Some(way) => way,
+            None => {
+                let mut best = (0, self.lru[base]);
+                for (way, &stamp) in self.lru[base..base + self.ways].iter().enumerate().skip(1) {
+                    if stamp < best.1 {
+                        best = (way, stamp);
+                    }
+                }
+                best.0
+            }
+        };
+        self.tags[base + way] = line.raw() + 1;
+        self.touch(set, way);
+        (set, way)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,5 +564,65 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
         CacheArray::new(3, 1);
+    }
+
+    /// Replays the directory's exact L3 usage pattern (lookup-hit →
+    /// touch+overwrite, miss → allocate+fill, interleaved with read
+    /// probes) against both arrays and demands identical coordinates and
+    /// payloads at every step — the bit-equivalence argument for swapping
+    /// the directory's L3 to [`L3Cache`].
+    #[test]
+    fn l3cache_matches_cachearray_decisions() {
+        let (sets, ways) = (8, 4);
+        let mut a = CacheArray::new(sets, ways);
+        let mut b = L3Cache::new(sets, ways);
+        let mut rng = 0x5eed_cafe_u64;
+        let mut bits = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for step in 0..4000 {
+            let line = LineAddr::new(bits() % 64);
+            if bits() % 2 == 0 {
+                // fill_l3(line, data)
+                let data = [(step % 251) as u8; tus_sim::LINE_BYTES];
+                let at_a = match a.lookup(line) {
+                    Some((s, w)) => {
+                        *a.data_mut(s, w) = data;
+                        a.touch(s, w);
+                        (s, w)
+                    }
+                    None => {
+                        let (s, w) = a.allocate(line).expect("all ways evictable");
+                        let (l, d) = a.way_and_data_mut(s, w);
+                        l.state = Mesi::Shared;
+                        *d = data;
+                        (s, w)
+                    }
+                };
+                let at_b = match b.lookup(line) {
+                    Some((s, w)) => {
+                        *b.data_mut(s, w) = data;
+                        b.touch(s, w);
+                        (s, w)
+                    }
+                    None => b.insert(line),
+                };
+                *b.data_mut(at_b.0, at_b.1) = data;
+                assert_eq!(at_a, at_b, "step {step}: placement diverged");
+            } else {
+                // fetch_then_grant's probe: hit → touch + read payload.
+                let got_a = a.lookup(line);
+                let got_b = b.lookup(line);
+                assert_eq!(got_a, got_b, "step {step}: hit/miss diverged");
+                if let (Some((s, w)), Some(_)) = (got_a, got_b) {
+                    a.touch(s, w);
+                    b.touch(s, w);
+                    assert_eq!(a.data(s, w), b.data(s, w), "step {step}: payload diverged");
+                }
+            }
+        }
     }
 }

@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
 use tus_sim::{CoreId, Cycle, DelayQueue, LineAddr, LineId, LineInterner, Schedulable, Slab, StatSet};
 
-use crate::cache::CacheArray;
+use crate::cache::L3Cache;
 use crate::line::LineData;
 use crate::mainmem::MainMemory;
 use crate::mesi::Mesi;
@@ -123,7 +123,7 @@ pub struct Directory {
     trans_idx: Vec<u32>,
     trans: Slab<Transaction>,
     open_trans: usize,
-    l3: CacheArray,
+    l3: L3Cache,
     dram: DelayQueue<LineId>,
     dram_busy_until: Cycle,
     dram_latency: u64,
@@ -165,7 +165,7 @@ impl Directory {
             trans_idx: Vec::new(),
             trans: Slab::new(),
             open_trans: 0,
-            l3: CacheArray::new(l3_sets, l3_ways),
+            l3: L3Cache::new(l3_sets, l3_ways),
             dram: DelayQueue::new(),
             dram_busy_until: Cycle::ZERO,
             dram_latency,
@@ -675,12 +675,11 @@ impl Directory {
         if let Some((set, way)) = self.l3.lookup(line) {
             *self.l3.data_mut(set, way) = *data;
             self.l3.touch(set, way);
-        } else if let Some((set, way)) = self.l3.allocate(line) {
+        } else {
             // L3 is write-through w.r.t. memory, so eviction is a silent
             // drop and allocation never needs a write-back.
-            let (w, d) = self.l3.way_and_data_mut(set, way);
-            w.state = Mesi::Shared;
-            *d = *data;
+            let (set, way) = self.l3.insert(line);
+            *self.l3.data_mut(set, way) = *data;
         }
     }
 }

@@ -36,7 +36,7 @@ pub mod percore;
 pub mod prefetch;
 pub mod system;
 
-pub use cache::{CacheArray, CacheLineState};
+pub use cache::{CacheArray, CacheLineState, L3Cache};
 pub use dir::Directory;
 pub use line::{ByteMask, LineData};
 pub use mainmem::MainMemory;

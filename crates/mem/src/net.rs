@@ -192,6 +192,14 @@ impl Network {
     pub fn next_due(&self) -> Option<Cycle> {
         self.queues.iter().filter_map(|q| q.next_due()).min()
     }
+
+    /// Delivery cycle of the earliest in-flight message addressed to
+    /// `dst` (same fixed-once-queued guarantee as [`Network::next_due`]).
+    /// The event-driven kernel uses this to wake exactly the unit a
+    /// delivery is about to mutate.
+    pub fn next_due_for(&self, dst: Node) -> Option<Cycle> {
+        self.queues[dst.index(self.cores)].next_due()
+    }
 }
 
 impl Schedulable for Network {

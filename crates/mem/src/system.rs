@@ -236,6 +236,35 @@ impl MemorySystem {
         out
     }
 
+    /// Earliest cycle at which [`MemorySystem::tick`] itself would do
+    /// anything: an in-flight network delivery (to the directory *or* a
+    /// core controller — both are received inside `tick`), a DRAM
+    /// completion, or a controller's deferred external request coming of
+    /// age. Unlike the [`Schedulable`] impl this *excludes* pending
+    /// controller events: those are consumed by the per-core slice, not by
+    /// `tick`, so the event-driven kernel accounts them to the core unit.
+    pub fn fabric_next_work(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = earliest(self.net.next_work(now), self.dir.next_work(now));
+        for c in &self.ctrls {
+            next = earliest(next, c.next_deferred_fwd());
+            if next.is_some_and(|c| c <= now) {
+                break;
+            }
+        }
+        next
+    }
+
+    /// Whether [`MemorySystem::tick`] at cycle `now` will mutate core
+    /// `i`'s controller: a network message is due for delivery to it, or
+    /// one of its deferred external requests comes of age. The
+    /// event-driven kernel uses this to charge the core's pending idle
+    /// span against its *pre-delivery* state and wake it for this cycle.
+    pub fn core_touched_by_fabric(&self, i: usize, now: Cycle) -> bool {
+        let node = crate::net::Node::Core(CoreId::new(i as u16));
+        self.net.next_due_for(node).is_some_and(|d| d <= now)
+            || self.ctrls[i].next_deferred_fwd().is_some_and(|d| d <= now)
+    }
+
     /// Aggregated statistics (`coreN.*`, `dir.*`, `net.*`).
     pub fn export_stats(&self) -> StatSet {
         let mut s = StatSet::new();

@@ -59,10 +59,12 @@ impl fmt::Display for PolicyKind {
 
 /// Which simulation kernel advances the clock.
 ///
-/// Both kernels produce bit-identical statistics; `Skip` is the default
-/// because it fast-forwards over idle stretches (DRAM waits, WCB age
-/// timers, lex-order backoff) instead of ticking every component each
-/// cycle. `Lockstep` is kept for differential checking.
+/// All three kernels produce bit-identical statistics; `Event` is the
+/// default because it ticks only the components whose calendar key is due
+/// (and jumps the clock over machine-wide idle stretches), instead of
+/// scanning every component each cycle. `Skip` is the legacy machine-wide
+/// idle-jump kernel, and `Lockstep` is kept as the reference for
+/// differential checking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelKind {
     /// Tick every component every cycle (the reference kernel).
@@ -70,17 +72,23 @@ pub enum KernelKind {
     /// Jump the clock to the machine-wide next event when no component has
     /// due work, charging the skipped cycles to the same counters.
     Skip,
+    /// Calendar-queue kernel: each unit (memory fabric, per-core slice)
+    /// keeps a `next_work` key in a priority queue and only due units are
+    /// ticked; idle stretches are jumped like `Skip` but without scanning.
+    Event,
 }
 
 impl KernelKind {
-    /// Both kernels, lockstep (the reference) first.
-    pub const ALL: [KernelKind; 2] = [KernelKind::Lockstep, KernelKind::Skip];
+    /// Every kernel, lockstep (the reference) first.
+    pub const ALL: [KernelKind; 3] = [KernelKind::Lockstep, KernelKind::Skip, KernelKind::Event];
 
-    /// Short label used in flags and cache keys ("lockstep", "skip").
+    /// Short label used in flags and cache keys ("lockstep", "skip",
+    /// "event").
     pub fn label(self) -> &'static str {
         match self {
             KernelKind::Lockstep => "lockstep",
             KernelKind::Skip => "skip",
+            KernelKind::Event => "event",
         }
     }
 
@@ -89,6 +97,7 @@ impl KernelKind {
         match s {
             "lockstep" => Some(KernelKind::Lockstep),
             "skip" => Some(KernelKind::Skip),
+            "event" => Some(KernelKind::Event),
             _ => None,
         }
     }
@@ -101,9 +110,9 @@ impl fmt::Display for KernelKind {
 }
 
 impl Default for KernelKind {
-    /// [`KernelKind::Skip`], matching [`SimConfig`]'s default.
+    /// [`KernelKind::Event`], matching [`SimConfig`]'s default.
     fn default() -> Self {
-        KernelKind::Skip
+        KernelKind::Event
     }
 }
 
@@ -392,7 +401,7 @@ pub struct SimConfig {
     /// message, used by the TSO litmus harness to explore interleavings.
     /// 0 disables jitter (the default for performance studies).
     pub chaos_jitter: u64,
-    /// Simulation kernel (idle-skipping by default; both kernels are
+    /// Simulation kernel (event-driven by default; every kernel is
     /// statistic-for-statistic identical).
     pub kernel: KernelKind,
 }
@@ -409,7 +418,7 @@ impl Default for SimConfig {
             tus: TusConfig::default(),
             policy: PolicyKind::Baseline,
             chaos_jitter: 0,
-            kernel: KernelKind::Skip,
+            kernel: KernelKind::Event,
         }
     }
 }
@@ -623,7 +632,8 @@ impl SimConfigBuilder {
         self
     }
 
-    /// Selects the simulation kernel (idle-skipping vs lockstep).
+    /// Selects the simulation kernel (event-driven, idle-skipping or
+    /// lockstep).
     pub fn kernel(&mut self, k: KernelKind) -> &mut Self {
         self.cfg.kernel = k;
         self
@@ -731,7 +741,7 @@ mod tests {
 
     #[test]
     fn kernel_labels_roundtrip() {
-        assert_eq!(SimConfig::default().kernel, KernelKind::Skip);
+        assert_eq!(SimConfig::default().kernel, KernelKind::Event);
         for k in KernelKind::ALL {
             assert_eq!(KernelKind::parse(k.label()), Some(k));
         }

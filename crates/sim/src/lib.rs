@@ -12,8 +12,10 @@
 //! * [`config`] — the full Table I machine description ([`SimConfig`]) with
 //!   a builder, plus the store-drain policy selector ([`PolicyKind`]) and
 //!   the simulation-kernel selector ([`KernelKind`]).
-//! * [`sched`] — the [`Schedulable`] contract the idle-skipping kernel uses
-//!   to compute the machine-wide next-event cycle.
+//! * [`sched`] — the [`Schedulable`] contract the idle-aware kernels use
+//!   to compute per-component next-event cycles.
+//! * [`calendar`] — the priority queue of unit next-work keys
+//!   ([`Calendar`]) behind the event-driven kernel.
 //! * [`lineid`] — dense per-run line identifiers ([`LineId`],
 //!   [`LineInterner`]) and the allocation-recycling primitives ([`Slab`],
 //!   [`BoxPool`]) behind the zero-allocation steady-state hot path.
@@ -35,6 +37,7 @@
 //! assert_eq!(Cycle::ZERO + 5, Cycle::new(5));
 //! ```
 
+pub mod calendar;
 pub mod config;
 pub mod event;
 pub mod hash;
@@ -45,6 +48,7 @@ pub mod stats;
 pub mod trace;
 pub mod types;
 
+pub use calendar::Calendar;
 pub use config::{KernelKind, PolicyKind, SimConfig, SimConfigBuilder};
 pub use sched::Schedulable;
 pub use event::DelayQueue;
