@@ -1,0 +1,369 @@
+//! `tus-harness client` — talk to a running `tus-serve` daemon.
+//!
+//! A thin synchronous client for the frame protocol of
+//! [`crate::protocol`]: builds one request, streams `Progress` frames to
+//! stderr as they arrive, prints the terminal reply body to stdout, and
+//! maps the outcome onto process exit codes:
+//!
+//! * `0` — success reply (for `fuzz`, additionally: zero violations),
+//! * `1` — the daemon answered with a structured error reply (or a fuzz
+//!   sweep found violations — mirroring the `fuzz` subcommand),
+//! * `2` — usage error, connect failure, or a broken connection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{decode_error, read_frame, write_frame, Frame, FrameKind, ReadOutcome};
+
+/// Where the daemon lives.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// `--connect HOST:PORT`.
+    Tcp(String),
+    /// `--socket PATH`.
+    Unix(PathBuf),
+}
+
+/// Parsed `client` subcommand invocation.
+#[derive(Debug)]
+pub struct ClientOptions {
+    /// Daemon address.
+    pub target: Target,
+    /// Keep retrying the connect for this long (daemon still starting).
+    pub wait: Option<Duration>,
+    /// The request frame to send.
+    pub request: (FrameKind, String),
+    /// Expected number of violations is zero: `fuzz` exits 1 when the
+    /// reply reports any.
+    pub is_fuzz: bool,
+    /// Write the terminal reply body here instead of stdout (`--out`,
+    /// chiefly for `trace` JSON).
+    pub out: Option<PathBuf>,
+}
+
+fn client_usage() -> ! {
+    eprintln!(
+        "usage: tus-harness client (--connect HOST:PORT | --socket PATH) [--wait SECS] <action>\n\
+         actions:\n\
+         \x20 ping [MESSAGE]\n\
+         \x20 point WORKLOAD --policy base|SSB|CSB|SPB|TUS [--sb N] [--quick|--normal|--full]\n\
+         \x20       [--seed N] [--kernel K] [--budget CYCLES]\n\
+         \x20 experiment NAME [--quick|--normal|--full] [--seed N] [--kernel K] [--parallel-cap N]\n\
+         \x20 fuzz [--programs N] [--seeds N] [--seed N] [--policy P] [--kernel K]\n\
+         \x20 trace WORKLOAD [--policy P] [--sb N] [--insts N] [--seed N] [--kernel K]\n\
+         \x20       [--budget CYCLES] [--out FILE]\n\
+         \x20 counters\n\
+         \x20 shutdown\n\
+         exit codes: 0 success, 1 structured error reply (or fuzz violations), 2 usage/IO"
+    );
+    std::process::exit(2);
+}
+
+/// Collects `key=value\n` header lines from flag/value pairs.
+struct Headers(String);
+
+impl Headers {
+    fn new() -> Self {
+        Headers(String::new())
+    }
+    fn push(&mut self, key: &str, value: &str) {
+        self.0.push_str(key);
+        self.0.push('=');
+        self.0.push_str(value);
+        self.0.push('\n');
+    }
+}
+
+/// Parses the arguments following the `client` keyword.
+pub fn parse_client_args(args: &[String]) -> ClientOptions {
+    let mut target: Option<Target> = None;
+    let mut wait = None;
+    let mut out = None;
+    let mut it = args.iter().peekable();
+
+    // Connection flags come first, then the action and its flags.
+    while let Some(a) = it.peek() {
+        match a.as_str() {
+            "--connect" => {
+                it.next();
+                target = Some(Target::Tcp(it.next().unwrap_or_else(|| client_usage()).clone()));
+            }
+            "--socket" => {
+                it.next();
+                target = Some(Target::Unix(it.next().unwrap_or_else(|| client_usage()).into()));
+            }
+            "--wait" => {
+                it.next();
+                let secs: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| client_usage());
+                wait = Some(Duration::from_secs_f64(secs));
+            }
+            _ => break,
+        }
+    }
+    let Some(target) = target else { client_usage() };
+    let Some(action) = it.next() else { client_usage() };
+
+    // Shared flag plumbing: most actions accept the same spec knobs.
+    let mut h = Headers::new();
+    let mut positional: Option<&String> = None;
+    let mut is_fuzz = false;
+    let kind = match action.as_str() {
+        "ping" => {
+            if let Some(msg) = it.next() {
+                h.0.push_str(msg);
+            }
+            FrameKind::Ping
+        }
+        "point" | "trace" | "experiment" | "fuzz" => {
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| -> String {
+                    it.next().cloned().unwrap_or_else(|| {
+                        eprintln!("client: {name} needs a value");
+                        client_usage()
+                    })
+                };
+                match a.as_str() {
+                    "--policy" => h.push("policy", &val("--policy")),
+                    "--sb" => h.push("sb", &val("--sb")),
+                    "--seed" => h.push("seed", &val("--seed")),
+                    "--kernel" => h.push("kernel", &val("--kernel")),
+                    "--budget" => h.push("budget", &val("--budget")),
+                    "--insts" => h.push("insts", &val("--insts")),
+                    "--programs" => h.push("programs", &val("--programs")),
+                    "--seeds" => h.push("seeds", &val("--seeds")),
+                    "--parallel-cap" => h.push("parallel_cap", &val("--parallel-cap")),
+                    "--quick" => h.push("scale", "quick"),
+                    "--normal" => h.push("scale", "normal"),
+                    "--full" => h.push("scale", "full"),
+                    "--out" => out = Some(PathBuf::from(val("--out"))),
+                    w if !w.starts_with('-') && positional.is_none() => positional = Some(a),
+                    _ => client_usage(),
+                }
+            }
+            match action.as_str() {
+                "point" => {
+                    h.push("workload", positional.unwrap_or_else(|| client_usage()));
+                    FrameKind::RunPoint
+                }
+                "trace" => {
+                    h.push("workload", positional.unwrap_or_else(|| client_usage()));
+                    FrameKind::TraceCapture
+                }
+                "experiment" => {
+                    h.push("name", positional.unwrap_or_else(|| client_usage()));
+                    FrameKind::Experiment
+                }
+                _ => {
+                    is_fuzz = true;
+                    FrameKind::FuzzSweep
+                }
+            }
+        }
+        "counters" => FrameKind::Counters,
+        "shutdown" => FrameKind::Shutdown,
+        _ => client_usage(),
+    };
+    if it.next().is_some() {
+        client_usage();
+    }
+    ClientOptions {
+        target,
+        wait,
+        request: (kind, h.0),
+        is_fuzz,
+        out,
+    }
+}
+
+/// A connected stream of either flavor.
+trait Stream: Read + Write {}
+impl<T: Read + Write> Stream for T {}
+
+/// Connects, retrying until the `--wait` deadline (covers the window
+/// where CI has just forked the daemon and it hasn't bound yet).
+fn connect(target: &Target, wait: Option<Duration>) -> std::io::Result<Box<dyn Stream>> {
+    let deadline = wait.map(|w| Instant::now() + w);
+    loop {
+        let attempt: std::io::Result<Box<dyn Stream>> = match target {
+            Target::Tcp(addr) => TcpStream::connect(addr).map(|s| Box::new(s) as _),
+            Target::Unix(path) => UnixStream::connect(path).map(|s| Box::new(s) as _),
+        };
+        match attempt {
+            Ok(s) => return Ok(s),
+            Err(e) => match deadline {
+                Some(d) if Instant::now() < d => {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                _ => return Err(e),
+            },
+        }
+    }
+}
+
+/// Sends the request and pumps replies until a terminal frame; returns
+/// the process exit code.
+pub fn run_client(opt: &ClientOptions) -> i32 {
+    let mut stream = match connect(&opt.target, opt.wait) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("client: cannot connect: {e}");
+            return 2;
+        }
+    };
+    let (kind, body) = &opt.request;
+    if let Err(e) = write_frame(&mut stream, *kind, body) {
+        eprintln!("client: cannot send request: {e}");
+        return 2;
+    }
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(ReadOutcome::Frame(f)) => f,
+            Ok(ReadOutcome::Eof) => {
+                eprintln!("client: connection closed before a terminal reply");
+                return 2;
+            }
+            Ok(ReadOutcome::Malformed(what)) => {
+                eprintln!("client: malformed reply: {what}");
+                return 2;
+            }
+            Err(e) => {
+                eprintln!("client: read error: {e}");
+                return 2;
+            }
+        };
+        match frame.kind {
+            FrameKind::Progress => {
+                eprint!("[{}]", frame.body.trim_end());
+                eprintln!();
+            }
+            FrameKind::Error => {
+                let (token, message) = decode_error(&frame.body);
+                eprintln!("client: server error ({token}):");
+                eprintln!("{message}");
+                return 1;
+            }
+            k if k.is_terminal_reply() => return finish(opt, &frame),
+            k => {
+                eprintln!("client: unexpected {k:?} frame");
+                return 2;
+            }
+        }
+    }
+}
+
+/// Handles the terminal success reply.
+fn finish(opt: &ClientOptions, frame: &Frame) -> i32 {
+    if let Some(path) = &opt.out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("client: cannot create {}: {e}", dir.display());
+                    return 2;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, &frame.body) {
+            eprintln!("client: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        eprintln!("client: wrote {} bytes to {}", frame.body.len(), path.display());
+    } else {
+        print!("{}", frame.body);
+        if !frame.body.ends_with('\n') && !frame.body.is_empty() {
+            println!();
+        }
+    }
+    if opt.is_fuzz {
+        // Mirror the local `fuzz` subcommand: violations mean exit 1.
+        let violations = frame
+            .body
+            .lines()
+            .find_map(|l| l.strip_prefix("violations="))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        if violations > 0 {
+            return 1;
+        }
+    }
+    0
+}
+
+/// Entry point for `tus-harness client ...`.
+pub fn main_client(args: &[String]) -> ! {
+    let opt = parse_client_args(args);
+    std::process::exit(run_client(&opt));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_point_request() {
+        let o = parse_client_args(&strings(&[
+            "--connect", "127.0.0.1:9", "--wait", "2", "point", "502.gcc1-like", "--policy",
+            "tus", "--sb", "32", "--quick", "--seed", "7", "--budget", "1000",
+        ]));
+        assert!(matches!(o.target, Target::Tcp(ref a) if a == "127.0.0.1:9"));
+        assert_eq!(o.wait, Some(Duration::from_secs(2)));
+        assert_eq!(o.request.0, FrameKind::RunPoint);
+        let body = &o.request.1;
+        for line in [
+            "policy=tus", "sb=32", "scale=quick", "seed=7", "budget=1000",
+            "workload=502.gcc1-like",
+        ] {
+            assert!(body.contains(&format!("{line}\n")), "missing {line} in {body:?}");
+        }
+        assert!(!o.is_fuzz);
+    }
+
+    #[test]
+    fn parse_experiment_and_fuzz_and_plain_actions() {
+        let o = parse_client_args(&strings(&[
+            "--socket", "/tmp/t.sock", "experiment", "fig10", "--quick",
+        ]));
+        assert!(matches!(o.target, Target::Unix(_)));
+        assert_eq!(o.request.0, FrameKind::Experiment);
+        assert!(o.request.1.contains("name=fig10\n"));
+
+        let o = parse_client_args(&strings(&[
+            "--connect", "h:1", "fuzz", "--programs", "5", "--seeds", "2",
+        ]));
+        assert_eq!(o.request.0, FrameKind::FuzzSweep);
+        assert!(o.is_fuzz);
+
+        let o = parse_client_args(&strings(&["--connect", "h:1", "ping", "hello"]));
+        assert_eq!(o.request, (FrameKind::Ping, "hello".to_owned()));
+
+        let o = parse_client_args(&strings(&["--connect", "h:1", "shutdown"]));
+        assert_eq!(o.request.0, FrameKind::Shutdown);
+        let o = parse_client_args(&strings(&["--connect", "h:1", "counters"]));
+        assert_eq!(o.request.0, FrameKind::Counters);
+    }
+
+    #[test]
+    fn fuzz_reply_violation_count_drives_exit_code() {
+        let opt = parse_client_args(&strings(&["--connect", "h:1", "fuzz"]));
+        let clean = Frame {
+            kind: FrameKind::FuzzDone,
+            body: "programs=5\nviolations=0\n".into(),
+        };
+        assert_eq!(finish(&opt, &clean), 0);
+        let dirty = Frame {
+            kind: FrameKind::FuzzDone,
+            body: "programs=5\nviolations=2\n".into(),
+        };
+        assert_eq!(finish(&opt, &dirty), 1);
+    }
+}

@@ -26,15 +26,31 @@
 //! changes is wall-clock time.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use tus_energy::EnergyBreakdown;
 use tus_sim::hash::fx_hash_one;
 use tus_sim::StatSet;
 
-use crate::runner::{run_lane, RunResult, RunSpec};
+use crate::errors::{panic_message, HarnessError};
+use crate::runner::{run_lane, try_run_budget, RunResult, RunSpec};
+
+/// Locks a mutex, recovering the data on poisoning.
+///
+/// Every value the executor guards (the memo map, result slots) is only
+/// ever mutated by complete, non-panicking operations — a panicking
+/// simulation job unwinds *outside* these critical sections — so a
+/// poisoned lock means "some other job panicked", not "this data is
+/// torn". Propagating the poison instead would cascade one bad request
+/// into a failure of every subsequent request sharing the executor,
+/// which is exactly the availability bug a long-lived daemon cannot
+/// have.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Counter snapshot of an [`Executor`] (monotonic over its lifetime).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,7 +90,7 @@ impl std::fmt::Debug for Executor {
         f.debug_struct("Executor")
             .field("jobs", &self.jobs)
             .field("cache_dir", &self.cache_dir)
-            .field("memoized", &self.memo.lock().expect("memo lock").len())
+            .field("memoized", &lock_unpoisoned(&self.memo).len())
             .finish()
     }
 }
@@ -130,12 +146,28 @@ impl Executor {
     /// Duplicate specs (same [`RunSpec::memo_key`]) are simulated once;
     /// previously seen keys are served from the memo (or the disk cache)
     /// without executing anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a simulation job panics. Use [`Executor::run_many_checked`]
+    /// where the process must survive a bad job (the daemon).
     pub fn run_many(&self, specs: &[RunSpec]) -> Vec<RunResult> {
+        self.run_many_checked(specs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Executor::run_many`]: a panicking simulation job comes
+    /// back as [`HarnessError::JobPanicked`] instead of unwinding through
+    /// the caller. Jobs that completed before the panic are still
+    /// memoized (and disk-cached), and the executor's shared state stays
+    /// usable — poisoned locks are recovered, so later batches on the
+    /// same executor are unaffected.
+    pub fn run_many_checked(&self, specs: &[RunSpec]) -> Result<Vec<RunResult>, HarnessError> {
         // Dedup against the memo and the disk cache.
         let keys: Vec<String> = specs.iter().map(RunSpec::memo_key).collect();
         let mut todo: Vec<RunSpec> = Vec::new();
         {
-            let mut memo = self.memo.lock().expect("memo lock");
+            let mut memo = lock_unpoisoned(&self.memo);
             let mut scheduled: Vec<&str> = Vec::new();
             for (spec, key) in specs.iter().zip(&keys) {
                 if memo.contains_key(key) {
@@ -156,23 +188,76 @@ impl Executor {
             }
         }
 
-        // Simulate the remainder on the worker pool.
-        let fresh = self.execute(&todo);
-        self.executed.fetch_add(todo.len() as u64, Ordering::Relaxed);
+        // Simulate the remainder on the worker pool. A panicking job
+        // leaves its slots `None`; everything that completed is kept.
+        let (fresh, panicked) = self.execute(&todo);
+        let ran = fresh.iter().filter(|r| r.is_some()).count();
+        self.executed.fetch_add(ran as u64, Ordering::Relaxed);
         {
-            let mut memo = self.memo.lock().expect("memo lock");
+            let mut memo = lock_unpoisoned(&self.memo);
             for (spec, result) in todo.iter().zip(&fresh) {
+                let Some(result) = result else { continue };
                 let key = spec.memo_key();
                 self.store_cached(&key, result);
                 memo.insert(key, result.clone());
             }
         }
+        if let Some(what) = panicked {
+            return Err(HarnessError::JobPanicked { what });
+        }
 
         // Assemble results in input order.
-        let memo = self.memo.lock().expect("memo lock");
+        let memo = lock_unpoisoned(&self.memo);
         keys.iter()
-            .map(|k| memo.get(k).expect("every key resolved").clone())
+            .map(|k| {
+                memo.get(k).cloned().ok_or_else(|| HarnessError::JobPanicked {
+                    what: format!("no result for key {k}"),
+                })
+            })
             .collect()
+    }
+
+    /// Executes (or recalls) a single spec under an optional per-request
+    /// cycle budget, returning structured errors instead of panicking.
+    ///
+    /// This is the daemon's request path: an unknown-ly long or
+    /// deadlocked run comes back as [`HarnessError::Deadlock`] (carrying
+    /// the full [`tus::DeadlockReport`]), a panicking job as
+    /// [`HarnessError::JobPanicked`] — either way the executor, its memo
+    /// and its disk cache remain fully usable for the next request.
+    /// Successful results are memoized exactly like [`Executor::run_many`]
+    /// (a budget only decides whether a run *finishes*; it cannot change
+    /// a finished run's bytes, so budget is not a memo-key dimension).
+    pub fn try_run_one(
+        &self,
+        spec: &RunSpec,
+        budget: Option<u64>,
+    ) -> Result<RunResult, HarnessError> {
+        let key = spec.memo_key();
+        {
+            let mut memo = lock_unpoisoned(&self.memo);
+            if let Some(r) = memo.get(&key) {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(r.clone());
+            }
+            if let Some(r) = self.load_cached(&key) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                memo.insert(key.clone(), r.clone());
+                return Ok(r);
+            }
+        }
+        match std::panic::catch_unwind(AssertUnwindSafe(|| try_run_budget(spec, budget))) {
+            Ok(Ok(r)) => {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                self.store_cached(&key, &r);
+                lock_unpoisoned(&self.memo).insert(key, r.clone());
+                Ok(r)
+            }
+            Ok(Err(report)) => Err(HarnessError::Deadlock(report)),
+            Err(payload) => Err(HarnessError::JobPanicked {
+                what: panic_message(&*payload),
+            }),
+        }
     }
 
     /// Executes every spec and returns a [`ResultSet`] for keyed lookup.
@@ -214,29 +299,40 @@ impl Executor {
     }
 
     /// Runs `todo` (already deduplicated) on scoped worker threads,
-    /// returning results in order.
+    /// returning per-spec result slots plus the first captured panic
+    /// message, if any job panicked.
     ///
     /// Work is claimed a lane at a time: a worker that grabs a lane runs
     /// every seed in it via [`run_lane`], amortizing configuration and
     /// energy-model construction across the batch. Results scatter back
     /// into per-spec slots, so output order is independent of both
     /// scheduling and batching.
-    fn execute(&self, todo: &[RunSpec]) -> Vec<RunResult> {
+    ///
+    /// A panic inside a lane is caught at the lane boundary: that lane's
+    /// slots stay `None`, every other lane (including lanes claimed later
+    /// by the same worker) still runs, and no lock is left poisoned.
+    fn execute(&self, todo: &[RunSpec]) -> (Vec<Option<RunResult>>, Option<String>) {
         let n = todo.len();
         let lanes = self.lanes(todo);
         let jobs = self.jobs.min(lanes.len());
+        let panicked: Mutex<Option<String>> = Mutex::new(None);
+        fn record_panic(slot: &Mutex<Option<String>>, payload: Box<dyn std::any::Any + Send>) {
+            lock_unpoisoned(slot).get_or_insert_with(|| panic_message(&*payload));
+        }
         if jobs <= 1 {
             let mut out: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
             for lane in &lanes {
                 let specs: Vec<RunSpec> = lane.iter().map(|&i| todo[i].clone()).collect();
-                for (&i, r) in lane.iter().zip(run_lane(&specs)) {
-                    out[i] = Some(r);
+                match std::panic::catch_unwind(AssertUnwindSafe(|| run_lane(&specs))) {
+                    Ok(results) => {
+                        for (&i, r) in lane.iter().zip(results) {
+                            out[i] = Some(r);
+                        }
+                    }
+                    Err(payload) => record_panic(&panicked, payload),
                 }
             }
-            return out
-                .into_iter()
-                .map(|r| r.expect("every lane ran"))
-                .collect();
+            return (out, panicked.into_inner().unwrap_or_else(PoisonError::into_inner));
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -248,20 +344,22 @@ impl Executor {
                         break;
                     };
                     let specs: Vec<RunSpec> = lane.iter().map(|&i| todo[i].clone()).collect();
-                    for (&i, r) in lane.iter().zip(run_lane(&specs)) {
-                        *slots[i].lock().expect("slot lock") = Some(r);
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| run_lane(&specs))) {
+                        Ok(results) => {
+                            for (&i, r) in lane.iter().zip(results) {
+                                *lock_unpoisoned(&slots[i]) = Some(r);
+                            }
+                        }
+                        Err(payload) => record_panic(&panicked, payload),
                     }
                 });
             }
         });
-        slots
+        let out = slots
             .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("slot lock")
-                    .expect("worker filled every slot")
-            })
-            .collect()
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        (out, panicked.into_inner().unwrap_or_else(PoisonError::into_inner))
     }
 
     fn cache_path(&self, key: &str) -> Option<PathBuf> {
@@ -321,10 +419,15 @@ fn push_f64(out: &mut String, name: &str, v: f64) {
 ///
 /// Floats are stored as the hex of their IEEE-754 bits, so a decoded
 /// result is bit-identical to the original — cached and fresh runs
-/// produce the same CSV bytes.
+/// produce the same CSV bytes. The final `sum=` line is an FxHash of
+/// everything above it: [`decode_result`] rejects any entry whose body
+/// no longer matches, so a bit-flipped or truncated `.runcache` file is
+/// a cache *miss* (re-simulate and overwrite), never a wrong result, an
+/// error, or a panic. (v1 entries had no checksum; they fail the format
+/// line and miss too.)
 pub fn encode_result(r: &RunResult, key: &str) -> String {
     let mut out = String::new();
-    out.push_str("tusrun v1\n");
+    out.push_str("tusrun v2\n");
     out.push_str("key=");
     out.push_str(key);
     out.push('\n');
@@ -341,15 +444,27 @@ pub fn encode_result(r: &RunResult, key: &str) -> String {
     for (name, v) in r.stats.iter() {
         push_f64(&mut out, &format!("stat.{name}"), v);
     }
+    let sum = fx_hash_one(&out);
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "sum={sum:016x}");
     out
 }
 
 /// Parses the cache text format; `None` on any mismatch (treated as a
 /// cache miss), including a `key=` line differing from `expect_key`
-/// (hash-name collision or stale format).
+/// (hash-name collision or stale format) and a `sum=` trailer that does
+/// not match the body (bit rot, torn write, truncation).
 pub fn decode_result(text: &str, expect_key: &str) -> Option<RunResult> {
-    let mut lines = text.lines();
-    if lines.next()? != "tusrun v1" {
+    // Integrity first: the last line must be `sum=<fxhash of the rest>`.
+    let trimmed = text.strip_suffix('\n')?;
+    let (head, last) = trimmed.rsplit_once('\n')?;
+    let sum = u64::from_str_radix(last.strip_prefix("sum=")?, 16).ok()?;
+    let body = &text[..head.len() + 1];
+    if fx_hash_one(&body) != sum {
+        return None;
+    }
+    let mut lines = head.lines();
+    if lines.next()? != "tusrun v2" {
         return None;
     }
     if lines.next()?.strip_prefix("key=")? != expect_key {
@@ -499,6 +614,117 @@ mod tests {
         // Even a forged hash collision is rejected by the embedded key.
         assert!(decode_result(&encode_result(&r, &spec.memo_key()), &bumped).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A deliberately panicking job must not take down later jobs: the
+    /// panic is caught at the lane boundary, reported as a structured
+    /// [`HarnessError::JobPanicked`], and the same executor — same memo
+    /// map, same locks — serves subsequent batches normally (no mutex
+    /// poisoning cascade).
+    #[test]
+    fn panicking_job_does_not_poison_later_jobs() {
+        let bomb = RunSpec {
+            tweak: Some(crate::runner::Tweak {
+                name: "panic-injection",
+                apply: |_| panic!("injected config panic"),
+            }),
+            ..quick_spec("502.gcc1-like", PolicyKind::Tus, 114)
+        };
+        let good = quick_spec("557.xz-like", PolicyKind::Baseline, 32);
+
+        let ex = Executor::new(2, None);
+        let err = ex
+            .run_many_checked(&[bomb.clone(), good.clone()])
+            .expect_err("batch containing the bomb must error");
+        match &err {
+            HarnessError::JobPanicked { what } => {
+                assert!(what.contains("injected config panic"), "{what}")
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+
+        // The good job that shared the batch already ran and was
+        // memoized; a follow-up batch is served without re-execution and
+        // fresh work still executes.
+        let before = ex.counters();
+        let results = ex
+            .run_many_checked(&[good.clone(), quick_spec("505.mcf-like", PolicyKind::Ssb, 64)])
+            .expect("later jobs unaffected by the earlier panic");
+        assert_eq!(results.len(), 2);
+        let since = ex.counters().since(before);
+        assert_eq!(since.memo_hits, 1, "pre-panic result still served from memo");
+        assert_eq!(since.executed, 1);
+
+        // The single-spec daemon path reports the same panic structurally.
+        let err = ex.try_run_one(&bomb, None).expect_err("bomb via try_run_one");
+        assert!(matches!(err, HarnessError::JobPanicked { .. }));
+        assert!(ex.try_run_one(&good, None).is_ok());
+    }
+
+    /// A truncated or bit-flipped `.runcache` entry must behave as a
+    /// cache miss — the run is re-simulated and the entry overwritten —
+    /// never an error, a panic, or (worse) a silently wrong result.
+    #[test]
+    fn corrupt_cache_entry_is_a_miss_and_heals() {
+        let dir = std::env::temp_dir().join(format!("tus-runcache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = quick_spec("502.gcc1-like", PolicyKind::Spb, 64);
+
+        let ex = Executor::new(1, Some(dir.clone()));
+        let original = ex.run_one(&spec);
+        let path = ex.cache_path(&spec.memo_key()).expect("cache path");
+        let pristine = std::fs::read(&path).expect("entry written");
+
+        // Flip one bit in the middle of the entry (lands in a value's
+        // hex digits — the kind of corruption only a checksum catches).
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        std::fs::write(&path, &flipped).expect("write corrupted");
+        let ex2 = Executor::new(1, Some(dir.clone()));
+        let healed = ex2.run_one(&spec);
+        let c = ex2.counters();
+        assert_eq!(c.disk_hits, 0, "bit-flipped entry must not be served");
+        assert_eq!(c.executed, 1, "corrupt entry re-simulates");
+        let key = spec.memo_key();
+        assert_eq!(encode_result(&healed, &key), encode_result(&original, &key));
+        assert_eq!(
+            std::fs::read(&path).expect("entry rewritten"),
+            pristine,
+            "re-simulation overwrites the corrupt entry in place"
+        );
+
+        // Truncation (torn write / full disk) is also just a miss.
+        std::fs::write(&path, &pristine[..pristine.len() / 2]).expect("truncate");
+        let ex3 = Executor::new(1, Some(dir.clone()));
+        let recovered = ex3.run_one(&spec);
+        assert_eq!(ex3.counters().executed, 1);
+        assert_eq!(
+            encode_result(&recovered, &key),
+            encode_result(&original, &key)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `try_run_one` is the daemon's request path: budget exhaustion is a
+    /// structured error, a successful result is memoized so a repeat is
+    /// free, and the failed attempt is never cached.
+    #[test]
+    fn try_run_one_budget_and_memoization() {
+        let ex = Executor::new(1, None);
+        let spec = quick_spec("502.gcc1-like", PolicyKind::Tus, 114);
+        let err = ex
+            .try_run_one(&spec, Some(50))
+            .expect_err("50 cycles cannot finish");
+        assert!(matches!(err, HarnessError::Deadlock(_)));
+        assert_eq!(ex.counters().executed, 0, "a failed run is not counted or cached");
+
+        let a = ex.try_run_one(&spec, None).expect("default budget");
+        let b = ex.try_run_one(&spec, None).expect("memo hit");
+        let c = ex.counters();
+        assert_eq!(c.executed, 1);
+        assert_eq!(c.memo_hits, 1);
+        assert_eq!(encode_result(&a, "k"), encode_result(&b, "k"));
     }
 
     #[test]

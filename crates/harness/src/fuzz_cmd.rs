@@ -13,7 +13,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use tus_sim::{KernelKind, PolicyKind, SimRng};
 use tus_tso::fuzz::{
@@ -143,14 +143,17 @@ fn check(
 }
 
 /// One confirmed finding of the sweep.
-struct Finding {
-    index: u64,
-    case: FuzzCase,
-    failure: CaseFailure,
+pub(crate) struct Finding {
+    /// Program index within the sweep (the RNG fork).
+    pub(crate) index: u64,
+    /// The generated litmus case.
+    pub(crate) case: FuzzCase,
+    /// What went wrong (policy, kind, diagnostics).
+    pub(crate) failure: CaseFailure,
 }
 
 /// Renders, shrinks and persists one finding. Returns the corpus paths.
-fn report_finding(opt: &FuzzOptions, f: &Finding) -> std::io::Result<Vec<PathBuf>> {
+pub(crate) fn report_finding(opt: &FuzzOptions, f: &Finding) -> std::io::Result<Vec<PathBuf>> {
     let corpus = opt.out.join("fuzz-corpus");
     std::fs::create_dir_all(&corpus)?;
     let stem = format!("seed{}-case{}", opt.base_seed, f.index);
@@ -229,19 +232,20 @@ fn replay(opt: &FuzzOptions, path: &Path) -> i32 {
     }
 }
 
-/// Runs the fuzz subcommand; returns the process exit code (0 = clean,
-/// 1 = violation found, 2 = usage/IO error).
-pub fn run_fuzz(opt: &FuzzOptions) -> i32 {
-    if let Some(path) = &opt.replay {
-        return replay(opt, &path.clone());
-    }
-    let started = std::time::Instant::now();
-    let policies = opt.policy.map_or(PolicyKind::ALL.len() as u64, |_| 1);
-    eprintln!(
-        "fuzzing {} programs x {} policies x {} seeds (base seed {}, {} jobs, {} kernel)",
-        opt.programs, policies, opt.seeds, opt.base_seed, opt.jobs, opt.kernel
-    );
-
+/// Runs the differential sweep itself: `opt.programs` generated cases
+/// checked over the worker pool, findings returned sorted by program
+/// index. `progress(done, total, violations_so_far)` is invoked after
+/// every checked program — the CLI throttles it to stderr lines, the
+/// daemon streams it as `Progress` frames.
+///
+/// Locks recover from poisoning ([`PoisonError::into_inner`]): findings
+/// are pushed as complete values, so a panicking checker thread (or a
+/// panicking `progress` callback) cannot cascade into losing every other
+/// worker's findings.
+pub(crate) fn sweep_cases(
+    opt: &FuzzOptions,
+    progress: &(dyn Fn(u64, u64, usize) + Sync),
+) -> Vec<Finding> {
     let next = AtomicUsize::new(0);
     let done = AtomicU64::new(0);
     let findings: Mutex<Vec<Finding>> = Mutex::new(Vec::new());
@@ -257,23 +261,41 @@ pub fn run_fuzz(opt: &FuzzOptions) -> i32 {
                 if let Some(failure) = check(&case, opt.policy, opt.seeds, opt.kernel) {
                     findings
                         .lock()
-                        .expect("findings lock")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .push(Finding { index: i, case, failure });
                 }
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if d % 100 == 0 || d == n {
-                    eprintln!(
-                        "[{d}/{n} programs, {} violation(s), {:.1}s]",
-                        findings.lock().expect("findings lock").len(),
-                        started.elapsed().as_secs_f64()
-                    );
-                }
+                let violations = findings.lock().unwrap_or_else(PoisonError::into_inner).len();
+                progress(d, n, violations);
             });
         }
     });
-
-    let mut findings = findings.into_inner().expect("findings lock");
+    let mut findings = findings.into_inner().unwrap_or_else(PoisonError::into_inner);
     findings.sort_by_key(|f| f.index);
+    findings
+}
+
+/// Runs the fuzz subcommand; returns the process exit code (0 = clean,
+/// 1 = violation found, 2 = usage/IO error).
+pub fn run_fuzz(opt: &FuzzOptions) -> i32 {
+    if let Some(path) = &opt.replay {
+        return replay(opt, &path.clone());
+    }
+    let started = std::time::Instant::now();
+    let policies = opt.policy.map_or(PolicyKind::ALL.len() as u64, |_| 1);
+    eprintln!(
+        "fuzzing {} programs x {} policies x {} seeds (base seed {}, {} jobs, {} kernel)",
+        opt.programs, policies, opt.seeds, opt.base_seed, opt.jobs, opt.kernel
+    );
+
+    let findings = sweep_cases(opt, &|d, n, violations| {
+        if d % 100 == 0 || d == n {
+            eprintln!(
+                "[{d}/{n} programs, {violations} violation(s), {:.1}s]",
+                started.elapsed().as_secs_f64()
+            );
+        }
+    });
     let sims = opt.programs * policies * opt.seeds;
     let secs = started.elapsed().as_secs_f64();
     eprintln!(

@@ -22,13 +22,25 @@
 //! memoizing (in process and on disk) and running them on a worker
 //! pool — without changing a byte of output; [`table`] renders results.
 
+//! The harness also runs as a long-lived daemon ([`serve`]): one warm
+//! process sharing a single memoizing [`Executor`] across many clients
+//! over a unix socket and/or TCP, speaking the length-prefixed frame
+//! protocol of [`protocol`]. Bad requests — unknown names, malformed
+//! frames, over-budget runs, even panicking simulations — come back as
+//! structured [`HarnessError`] replies, never a dead process.
+
+pub mod client;
+pub mod errors;
 pub mod executor;
 pub mod experiments;
 pub mod fuzz_cmd;
+pub mod protocol;
 pub mod runner;
+pub mod serve;
 pub mod table;
 pub mod trace_cmd;
 
+pub use errors::HarnessError;
 pub use executor::{ExecCounters, Executor, ResultSet};
-pub use runner::{run, RunResult, RunSpec, Scale, Tweak};
+pub use runner::{run, try_run, RunResult, RunSpec, Scale, Tweak};
 pub use table::Table;

@@ -52,6 +52,10 @@ fn usage() -> ! {
          \x20                  [--kernel K] [--trace]\n\
          \x20      tus-harness trace [WORKLOAD] [--policy P] [--sb N] [--kernel K]\n\
          \x20                  [--seed N] [--insts N] [--cap N] [--out DIR]\n\
+         \x20      tus-harness serve [--listen ADDR:PORT] [--socket PATH] [--jobs N]\n\
+         \x20                  [--handlers N] [--out DIR] [--no-cache] [--max-budget N]\n\
+         \x20      tus-harness client (--connect HOST:PORT | --socket PATH) [--wait SECS]\n\
+         \x20                  <ping|point|experiment|fuzz|trace|counters|shutdown> [...]\n\
          \x20      tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N] [--no-batch]\n\
          \x20      tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]\n\
@@ -316,6 +320,12 @@ fn main() {
     if args[0] == "trace" {
         tus_harness::trace_cmd::main_trace(&args[1..]);
     }
+    if args[0] == "serve" {
+        tus_harness::serve::main_serve(&args[1..]);
+    }
+    if args[0] == "client" {
+        tus_harness::client::main_client(&args[1..]);
+    }
     let mut opt = Options::default();
     let mut cmd = None;
     let mut jobs = Executor::default_jobs();
@@ -405,6 +415,10 @@ fn main() {
         }
     } else {
         let Some(&(name, f)) = EXPERIMENTS.iter().find(|&&(n, _)| n == cmd) else {
+            eprintln!(
+                "{}",
+                tus_harness::HarnessError::UnknownExperiment { name: cmd.clone() }
+            );
             usage()
         };
         report(&run_timed(name, f));

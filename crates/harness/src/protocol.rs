@@ -1,0 +1,363 @@
+//! The `tus-serve` wire protocol: length-prefixed binary frames.
+//!
+//! One warm simulator process serves many clients over a unix socket or
+//! TCP; this module defines what travels on the wire. The format is
+//! deliberately tiny and std-only:
+//!
+//! ```text
+//! frame := u32-LE body-length | u8 kind | body
+//! ```
+//!
+//! `kind` is a [`FrameKind`] discriminant (requests `0x01..=0x7f`,
+//! replies `0x81..=0xff`). Bodies are UTF-8 text — `key value`-style
+//! header lines for requests, and the harness's existing text formats
+//! for payloads (run results travel as
+//! [`crate::executor::encode_result`] text, deadlocks as the rendered
+//! [`tus::DeadlockReport`]), so the protocol inherits the bit-exactness
+//! guarantees those formats already have and every frame is debuggable
+//! with `xxd`.
+//!
+//! A request is answered by zero or more [`FrameKind::Progress`] frames
+//! followed by exactly one terminal frame: the request's success reply
+//! or [`FrameKind::Error`]. Malformed input — unknown kind, oversized
+//! body, bad header lines — becomes a structured error reply, never a
+//! server panic: the daemon treats every byte off the wire as hostile.
+//!
+//! Error bodies put a stable machine-readable token on the first line
+//! ([`crate::errors::HarnessError::kind_token`]) and the rendered,
+//! human-readable error — including a full deadlock report, when there
+//! is one — after it.
+
+use std::io::{Read, Write};
+
+use crate::errors::HarnessError;
+
+/// Protocol version, exchanged in `hello`/`helloed` frames. Bump on any
+/// incompatible frame-layout or body-format change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame body (64 MiB). A length prefix beyond this is
+/// treated as a protocol error rather than an allocation request —
+/// garbage on the wire must not OOM the daemon.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Frame discriminants. Requests have the high bit clear; replies set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    // Requests.
+    /// Liveness check; body is echoed back in the `Pong`.
+    Ping = 0x01,
+    /// Run (or recall) one experiment point; body is a header block
+    /// (`workload=`, `policy=`, `sb=`, optional `scale=`, `seed=`,
+    /// `kernel=`, `budget=`).
+    RunPoint = 0x02,
+    /// Run a named experiment (`name=fig10`, optional `scale=`, `seed=`,
+    /// `parallel_cap=`); CSVs land in the server's output directory.
+    Experiment = 0x03,
+    /// Run a differential fuzz sweep (`programs=`, `seeds=`, `seed=`,
+    /// optional `policy=`).
+    FuzzSweep = 0x04,
+    /// Capture one traced run (`workload=`, optional `policy=`, `sb=`,
+    /// `insts=`, `seed=`); the reply body is Chrome-trace JSON.
+    TraceCapture = 0x05,
+    /// Ask for the daemon's lifetime counters.
+    Counters = 0x06,
+    /// Ask the daemon to shut down cleanly.
+    Shutdown = 0x07,
+
+    // Replies.
+    /// Echo reply to `Ping`.
+    Pong = 0x81,
+    /// Intermediate human-readable progress line(s).
+    Progress = 0x82,
+    /// Terminal reply to `RunPoint`: header lines (`executed=`,
+    /// `memo_hits=`, `disk_hits=`, `seconds=`), a blank line, then
+    /// [`crate::executor::encode_result`] text.
+    RunDone = 0x83,
+    /// Terminal reply to `Experiment`: counter header lines.
+    ExperimentDone = 0x84,
+    /// Terminal reply to `FuzzSweep`: `programs=`, `violations=`,
+    /// `seconds=` headers, a blank line, then rendered findings (if any).
+    FuzzDone = 0x85,
+    /// Terminal reply to `TraceCapture`: Chrome-trace JSON body.
+    TraceDone = 0x86,
+    /// Terminal reply to `Counters`.
+    CountersReply = 0x87,
+    /// Terminal structured error reply (any request).
+    Error = 0x88,
+    /// Terminal reply to `Shutdown`, sent before the daemon exits.
+    ShutdownOk = 0x89,
+}
+
+impl FrameKind {
+    /// Decodes a wire discriminant.
+    pub fn from_u8(b: u8) -> Option<FrameKind> {
+        use FrameKind::*;
+        Some(match b {
+            0x01 => Ping,
+            0x02 => RunPoint,
+            0x03 => Experiment,
+            0x04 => FuzzSweep,
+            0x05 => TraceCapture,
+            0x06 => Counters,
+            0x07 => Shutdown,
+            0x81 => Pong,
+            0x82 => Progress,
+            0x83 => RunDone,
+            0x84 => ExperimentDone,
+            0x85 => FuzzDone,
+            0x86 => TraceDone,
+            0x87 => CountersReply,
+            0x88 => Error,
+            0x89 => ShutdownOk,
+            _ => return None,
+        })
+    }
+
+    /// Whether this is a terminal reply (ends a request's reply stream).
+    pub fn is_terminal_reply(self) -> bool {
+        (self as u8) >= 0x80 && self != FrameKind::Progress
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame is.
+    pub kind: FrameKind,
+    /// UTF-8 body (may be empty).
+    pub body: String,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(kind: FrameKind, body: impl Into<String>) -> Frame {
+        Frame { kind, body: body.into() }
+    }
+}
+
+/// Writes one frame: `u32-LE (body+1) | u8 kind | body`.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &str) -> std::io::Result<()> {
+    let len = (body.len() as u32).checked_add(1).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame body too long")
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[kind as u8])?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// What came off the wire when a frame was requested.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A well-formed frame.
+    Frame(Frame),
+    /// The peer closed the connection cleanly (EOF at a frame boundary).
+    Eof,
+    /// The bytes were not a well-formed frame (bad length, unknown kind,
+    /// non-UTF-8 body). The connection should be dropped after an error
+    /// reply; the stream is no longer frame-aligned.
+    Malformed(String),
+}
+
+/// Reads one frame. I/O errors (including EOF mid-frame) surface as
+/// `Err`; garbage that arrived intact surfaces as
+/// [`ReadOutcome::Malformed`] so the server can answer it with a
+/// structured error instead of dying.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<ReadOutcome> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (no bytes at all) from a torn frame.
+    match r.read(&mut len_buf)? {
+        0 => return Ok(ReadOutcome::Eof),
+        n => r.read_exact(&mut len_buf[n..])?,
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Ok(ReadOutcome::Malformed("zero-length frame".into()));
+    }
+    if len > MAX_FRAME_LEN {
+        return Ok(ReadOutcome::Malformed(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut kind_buf = [0u8; 1];
+    r.read_exact(&mut kind_buf)?;
+    let mut body = vec![0u8; len as usize - 1];
+    r.read_exact(&mut body)?;
+    let Some(kind) = FrameKind::from_u8(kind_buf[0]) else {
+        return Ok(ReadOutcome::Malformed(format!(
+            "unknown frame kind 0x{:02x}",
+            kind_buf[0]
+        )));
+    };
+    match String::from_utf8(body) {
+        Ok(body) => Ok(ReadOutcome::Frame(Frame { kind, body })),
+        Err(_) => Ok(ReadOutcome::Malformed("non-UTF-8 frame body".into())),
+    }
+}
+
+/// Renders a [`HarnessError`] as an error-frame body: the stable kind
+/// token on line one, the rendered error after it.
+pub fn encode_error(e: &HarnessError) -> String {
+    format!("{}\n{e}", e.kind_token())
+}
+
+/// Splits an error-frame body back into `(kind token, rendered message)`.
+pub fn decode_error(body: &str) -> (&str, &str) {
+    match body.split_once('\n') {
+        Some((token, rest)) => (token, rest),
+        None => (body, ""),
+    }
+}
+
+/// Parses a request body's `key=value` header lines into a map.
+/// Duplicate keys keep the last value; a line without `=` is a protocol
+/// error. Parsing stops at the first blank line (the rest is payload).
+pub fn parse_headers(body: &str) -> Result<std::collections::HashMap<&str, &str>, HarnessError> {
+    let mut map = std::collections::HashMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            break;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(HarnessError::Protocol {
+                what: format!("malformed header line {line:?}"),
+            });
+        };
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+/// Fetches a required header.
+pub fn require<'a>(
+    headers: &std::collections::HashMap<&str, &'a str>,
+    key: &str,
+) -> Result<&'a str, HarnessError> {
+    headers.get(key).copied().ok_or_else(|| HarnessError::Protocol {
+        what: format!("missing required header {key:?}"),
+    })
+}
+
+/// Parses an optional numeric header.
+pub fn numeric<T: std::str::FromStr>(
+    headers: &std::collections::HashMap<&str, &str>,
+    key: &str,
+) -> Result<Option<T>, HarnessError> {
+    match headers.get(key) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| HarnessError::Protocol {
+            what: format!("header {key}={v:?} is not a valid number"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::RunPoint, "workload=x\npolicy=tus\n").unwrap();
+        write_frame(&mut buf, FrameKind::Ping, "").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        match read_frame(&mut r).unwrap() {
+            ReadOutcome::Frame(f) => {
+                assert_eq!(f.kind, FrameKind::RunPoint);
+                assert_eq!(f.body, "workload=x\npolicy=tus\n");
+            }
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut r).unwrap() {
+            ReadOutcome::Frame(f) => {
+                assert_eq!(f.kind, FrameKind::Ping);
+                assert!(f.body.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_frame(&mut r).unwrap(), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn every_kind_survives_the_wire() {
+        use FrameKind::*;
+        for kind in [
+            Ping, RunPoint, Experiment, FuzzSweep, TraceCapture, Counters, Shutdown, Pong,
+            Progress, RunDone, ExperimentDone, FuzzDone, TraceDone, CountersReply, Error,
+            ShutdownOk,
+        ] {
+            assert_eq!(FrameKind::from_u8(kind as u8), Some(kind));
+            let mut buf = Vec::new();
+            write_frame(&mut buf, kind, "x").unwrap();
+            match read_frame(&mut std::io::Cursor::new(buf)).unwrap() {
+                ReadOutcome::Frame(f) => assert_eq!(f.kind, kind),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_fatal() {
+        // Unknown kind byte.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0x7e, b'x']);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+        // Absurd length prefix must not allocate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(0x01);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+        // Zero-length frame.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+        // Non-UTF-8 body.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[0x01, 0xff, 0xfe]);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+        // A frame torn mid-body is an I/O error (peer vanished).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&[0x01, b'h', b'i']);
+        assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn headers_parse_and_reject_garbage() {
+        let h = parse_headers("a=1\nb=two\n\nfree text, not = parsed").unwrap();
+        assert_eq!(h.get("a"), Some(&"1"));
+        assert_eq!(h.get("b"), Some(&"two"));
+        assert_eq!(h.len(), 2);
+        assert_eq!(require(&h, "a").unwrap(), "1");
+        assert!(require(&h, "missing").is_err());
+        assert_eq!(numeric::<u64>(&h, "a").unwrap(), Some(1));
+        assert!(numeric::<u64>(&h, "b").is_err());
+        assert_eq!(numeric::<u64>(&h, "missing").unwrap(), None);
+        assert!(parse_headers("no equals sign").is_err());
+    }
+
+    #[test]
+    fn error_bodies_round_trip_the_kind_token() {
+        let e = HarnessError::UnknownWorkload { name: "zzz".into() };
+        let body = encode_error(&e);
+        let (token, msg) = decode_error(&body);
+        assert_eq!(token, "unknown_workload");
+        assert!(msg.contains("zzz"));
+    }
+}

@@ -37,6 +37,25 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Stable label (wire protocol, cache keys of derived artifacts).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Normal => "normal",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses a [`Scale::label`].
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "normal" => Some(Scale::Normal),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
     /// Instructions measured per core for single-thread runs.
     pub fn insts_single(self) -> u64 {
         match self {
@@ -215,12 +234,44 @@ pub struct RunResult {
     pub stats: StatSet,
 }
 
+/// The default cycle budget for a spec: generous, because the slowest
+/// archetypes run at IPC ~0.05. Callers (the `serve` daemon in
+/// particular) can impose a tighter per-request budget via
+/// [`try_run_budget`]; the budget is an **absolute** cycle ceiling for
+/// the whole run, warm-up included.
+pub fn default_budget(spec: &RunSpec) -> u64 {
+    400 * (spec.warmup + spec.insts) + 2_000_000
+}
+
 /// Executes one run: builds the system, warms it up, measures, and
 /// subtracts the warm-up counters.
+///
+/// # Panics
+///
+/// Panics with the rendered [`tus::DeadlockReport`] if the run trips the
+/// progress watchdog — use [`try_run`] where a structured error is
+/// needed (the daemon, budget-limited requests).
 pub fn run(spec: &RunSpec) -> RunResult {
+    try_run(spec).unwrap_or_else(|r| panic!("simulation gave up:\n{r}"))
+}
+
+/// Fallible [`run`]: a watchdog trip or budget exhaustion comes back as
+/// a structured [`tus::DeadlockReport`] instead of a panic.
+pub fn try_run(spec: &RunSpec) -> Result<RunResult, Box<tus::DeadlockReport>> {
+    try_run_budget(spec, None)
+}
+
+/// [`try_run`] under an explicit cycle budget (absolute ceiling on
+/// simulated cycles; `None` = [`default_budget`]). An over-budget run
+/// returns the simulator's [`tus::DeadlockReport`] — this is the entry
+/// point the daemon uses to enforce per-client cycle budgets.
+pub fn try_run_budget(
+    spec: &RunSpec,
+    budget: Option<u64>,
+) -> Result<RunResult, Box<tus::DeadlockReport>> {
     let cfg = spec.config();
     let model = EnergyModel::from_config(&cfg);
-    run_with(spec, &cfg, &model)
+    try_run_with(spec, &cfg, &model, budget)
 }
 
 /// Executes a *lane*: specs sharing one [`RunSpec::lane_key`] (identical
@@ -238,23 +289,33 @@ pub fn run_lane(specs: &[RunSpec]) -> Vec<RunResult> {
         specs.iter().all(|s| s.lane_key() == first.lane_key()),
         "run_lane requires config-identical specs"
     );
-    specs.iter().map(|s| run_with(s, &cfg, &model)).collect()
+    specs
+        .iter()
+        .map(|s| {
+            try_run_with(s, &cfg, &model, None)
+                .unwrap_or_else(|r| panic!("simulation gave up:\n{r}"))
+        })
+        .collect()
 }
 
-fn run_with(spec: &RunSpec, cfg: &SimConfig, model: &EnergyModel) -> RunResult {
+fn try_run_with(
+    spec: &RunSpec,
+    cfg: &SimConfig,
+    model: &EnergyModel,
+    budget: Option<u64>,
+) -> Result<RunResult, Box<tus::DeadlockReport>> {
     let total = spec.warmup + spec.insts;
     let traces = spec
         .workload
         .traces(spec.cores, spec.seed, total + 10_000);
     let mut sys = System::new(cfg, traces, spec.seed);
-    // Generous budget: the slowest archetypes run at IPC ~0.05.
-    let budget = 400 * total + 2_000_000;
+    let budget = budget.unwrap_or_else(|| default_budget(spec));
     let warm = if spec.warmup > 0 {
-        sys.run_committed(spec.warmup, budget)
+        sys.try_run_committed(spec.warmup, budget)?
     } else {
         StatSet::new()
     };
-    let end = sys.run_committed(total, budget);
+    let end = sys.try_run_committed(total, budget)?;
     let stats = end.minus(&warm);
     let cycles = stats.get(names::CYCLES).max(1.0);
     let committed = stats.get(names::TOTAL_COMMITTED);
@@ -264,7 +325,7 @@ fn run_with(spec: &RunSpec, cfg: &SimConfig, model: &EnergyModel) -> RunResult {
         / (cycles * spec.cores as f64);
     let energy = model.evaluate(&stats);
     let edp = energy.edp();
-    RunResult {
+    Ok(RunResult {
         cycles,
         committed,
         ipc: committed / cycles,
@@ -272,7 +333,7 @@ fn run_with(spec: &RunSpec, cfg: &SimConfig, model: &EnergyModel) -> RunResult {
         energy,
         edp,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -408,6 +469,43 @@ mod tests {
         use crate::executor::encode_result;
         assert_eq!(encode_result(&lane[0], "k"), encode_result(&solo_a, "k"));
         assert_eq!(encode_result(&lane[1], "k"), encode_result(&solo_b, "k"));
+    }
+
+    #[test]
+    fn scale_labels_round_trip() {
+        for s in [Scale::Quick, Scale::Normal, Scale::Full] {
+            assert_eq!(Scale::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scale::parse("warp"), None);
+    }
+
+    /// A starved cycle budget must come back as a structured
+    /// `BudgetExhausted` report — the daemon's per-client budget
+    /// enforcement rides on this — while a generous budget succeeds and
+    /// matches the infallible path bit for bit.
+    #[test]
+    fn try_run_budget_reports_exhaustion_structurally() {
+        let spec = RunSpec {
+            warmup: 0,
+            insts: 5_000,
+            ..RunSpec::new(
+                by_name("502.gcc1-like").expect("exists"),
+                PolicyKind::Tus,
+                114,
+                Scale::Quick,
+            )
+        };
+        let report = try_run_budget(&spec, Some(100)).expect_err("100 cycles cannot finish");
+        match report.kind {
+            tus::DeadlockKind::BudgetExhausted { budget } => assert_eq!(budget, 100),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert!(report.cycle <= 100);
+
+        let ok = try_run_budget(&spec, None).expect("default budget suffices");
+        let plain = run(&spec);
+        use crate::executor::encode_result;
+        assert_eq!(encode_result(&ok, "k"), encode_result(&plain, "k"));
     }
 
     #[test]

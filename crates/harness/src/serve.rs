@@ -1,0 +1,820 @@
+//! `tus-serve` — a long-lived simulation daemon.
+//!
+//! The harness used to pay full cache/page-pool construction — and a
+//! cold memo map — on every CLI invocation. This module turns it into a
+//! service: one warm process owning a single [`Executor`] (in-process
+//! memo + on-disk `.runcache`) serves many clients over a unix socket
+//! and/or TCP, so the thousandth request for a popular experiment point
+//! costs a memo lookup instead of a simulation.
+//!
+//! The shape is deliberately std-only and hand-rolled, like the
+//! executor's worker pool: per-listener accept threads feed accepted
+//! connections into an mpsc channel drained by a fixed pool of handler
+//! threads. Each connection speaks the length-prefixed frame protocol of
+//! [`crate::protocol`] and may issue any number of requests
+//! back-to-back.
+//!
+//! **Nothing a client sends can kill the daemon.** Malformed frames
+//! become structured error replies; unknown workload/experiment names
+//! come back as [`HarnessError`] replies; per-request cycle budgets are
+//! enforced by the simulator's own watchdog machinery and returned as
+//! rendered [`tus::DeadlockReport`]s; and every handler runs under
+//! `catch_unwind`, so even a panicking simulation job is a single error
+//! reply — the executor's locks recover from poisoning and the next
+//! request proceeds.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tus_sim::KernelKind;
+
+use crate::errors::{panic_message, workload, HarnessError};
+use crate::executor::{encode_result, Executor};
+use crate::experiments::{Options, EXPERIMENTS};
+use crate::fuzz_cmd::{report_finding, sweep_cases, FuzzOptions};
+use crate::protocol::{
+    encode_error, numeric, parse_headers, read_frame, require, write_frame, Frame, FrameKind,
+    ReadOutcome,
+};
+use crate::runner::{RunSpec, Scale};
+use crate::trace_cmd::{try_run_traced, write_chrome_trace_to, TraceOptions};
+
+/// How long a handler blocks waiting for the next request frame before
+/// re-checking the shutdown flag. Keeps persistent idle connections from
+/// pinning the daemon open across a shutdown.
+const READ_POLL: Duration = Duration::from_millis(500);
+
+/// How long an accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Daemon configuration (the `serve` subcommand's flags).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCP listen address (e.g. `127.0.0.1:9118`); `None` = no TCP.
+    pub tcp: Option<String>,
+    /// Unix-socket path; `None` = no unix socket.
+    pub socket: Option<PathBuf>,
+    /// Simulation worker threads inside the shared executor.
+    pub jobs: usize,
+    /// Concurrent connection-handler threads.
+    pub handlers: usize,
+    /// Output directory: experiment CSVs, fuzz corpus and the shared
+    /// `.runcache` all land here.
+    pub out: PathBuf,
+    /// Whether the shared on-disk run cache is enabled.
+    pub cache: bool,
+    /// Server-side ceiling on per-request cycle budgets; a client budget
+    /// is clamped to this, and requests without a budget get it as their
+    /// ceiling. `None` = the runner's default budget only.
+    pub max_budget: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            tcp: None,
+            socket: None,
+            jobs: Executor::default_jobs(),
+            handlers: 4,
+            out: PathBuf::from("results"),
+            cache: true,
+            max_budget: None,
+        }
+    }
+}
+
+/// A bidirectional client connection (TCP or unix socket).
+trait Conn: std::io::Read + std::io::Write + Send {
+    /// Sets the read timeout (both stream types support it).
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, d)
+    }
+}
+
+impl Conn for UnixStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        UnixStream::set_read_timeout(self, d)
+    }
+}
+
+/// Shared daemon state: the warm executor plus lifetime counters.
+pub struct Server {
+    opt: ServeOptions,
+    ex: Executor,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    /// Serializes experiment requests: they write CSV files into the
+    /// shared output directory, and interleaved writers would tear them.
+    /// Point/fuzz/trace requests run fully concurrently.
+    experiment_gate: Mutex<()>,
+    started: Instant,
+}
+
+/// A server that has bound its listeners but not yet entered the serve
+/// loop — the point where an ephemeral TCP port is knowable (tests, and
+/// the `[tus-serve: listening ...]` banner).
+pub struct BoundServer {
+    server: Arc<Server>,
+    tcp: Option<TcpListener>,
+    unix: Option<(UnixListener, PathBuf)>,
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Builds the shared state (does not bind anything yet).
+    pub fn new(opt: ServeOptions) -> Arc<Server> {
+        let cache_dir = opt.cache.then(|| opt.out.join(".runcache"));
+        Arc::new(Server {
+            ex: Executor::new(opt.jobs, cache_dir),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            experiment_gate: Mutex::new(()),
+            started: Instant::now(),
+            opt,
+        })
+    }
+
+    /// Requests shutdown: accept loops drain, handlers finish their
+    /// in-flight request, `BoundServer::run` returns.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The effective cycle budget for a request: the client's ask,
+    /// clamped by the server-wide ceiling.
+    fn effective_budget(&self, client: Option<u64>) -> Option<u64> {
+        match (client, self.opt.max_budget) {
+            (Some(c), Some(m)) => Some(c.min(m)),
+            (Some(c), None) => Some(c),
+            (None, m) => m,
+        }
+    }
+}
+
+/// Binds the configured listeners. Fails fast (before daemonizing into
+/// the serve loop) on unusable addresses; a stale unix-socket file from
+/// a dead daemon is removed and rebound.
+pub fn bind(opt: ServeOptions) -> std::io::Result<BoundServer> {
+    if opt.tcp.is_none() && opt.socket.is_none() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "tus-serve needs at least one of --listen / --socket",
+        ));
+    }
+    let tcp = opt.tcp.as_deref().map(TcpListener::bind).transpose()?;
+    let tcp_addr = tcp.as_ref().map(TcpListener::local_addr).transpose()?;
+    let unix = match &opt.socket {
+        Some(path) => {
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            Some((UnixListener::bind(path)?, path.clone()))
+        }
+        None => None,
+    };
+    Ok(BoundServer {
+        server: Server::new(opt),
+        tcp,
+        unix,
+        tcp_addr,
+    })
+}
+
+impl BoundServer {
+    /// The bound TCP address (resolves `:0` ephemeral ports).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// A handle to the shared server state (tests use it to inspect and
+    /// to request shutdown out-of-band).
+    pub fn server(&self) -> Arc<Server> {
+        Arc::clone(&self.server)
+    }
+
+    /// Serves until a `Shutdown` request (or [`Server::request_shutdown`]).
+    ///
+    /// Accept loops and the handler pool are scoped threads, so this
+    /// returns only after every in-flight request has completed — a
+    /// clean shutdown, never a torn reply.
+    pub fn run(self) -> std::io::Result<()> {
+        let BoundServer { server, tcp, unix, tcp_addr } = self;
+        if let Some(addr) = tcp_addr {
+            eprintln!("[tus-serve: listening on tcp {addr}]");
+        }
+        let unix_path = unix.as_ref().map(|(_, p)| p.clone());
+        if let Some(p) = &unix_path {
+            eprintln!("[tus-serve: listening on unix {}]", p.display());
+        }
+        eprintln!(
+            "[tus-serve: {} sim jobs, {} handlers, cache {}, out {}]",
+            server.opt.jobs,
+            server.opt.handlers,
+            if server.opt.cache { "on" } else { "off" },
+            server.opt.out.display(),
+        );
+
+        let (tx, rx) = mpsc::channel::<Box<dyn Conn>>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|s| {
+            if let Some(listener) = &tcp {
+                let tx = tx.clone();
+                let server = &server;
+                s.spawn(move || accept_loop(server, listener, &tx, |c| Box::new(c)));
+            }
+            if let Some((listener, _)) = &unix {
+                let tx = tx.clone();
+                let server = &server;
+                s.spawn(move || accept_loop(server, listener, &tx, |c| Box::new(c)));
+            }
+            // The accept loops hold the only remaining senders: when they
+            // exit on shutdown, the channel closes and handlers drain out.
+            drop(tx);
+            for _ in 0..server.opt.handlers.max(1) {
+                let server = &server;
+                let rx = &rx;
+                s.spawn(move || loop {
+                    let conn = {
+                        let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        guard.recv()
+                    };
+                    match conn {
+                        Ok(conn) => handle_conn(server, conn),
+                        Err(_) => break,
+                    }
+                });
+            }
+        });
+        if let Some(p) = unix_path {
+            let _ = std::fs::remove_file(p);
+        }
+        eprintln!(
+            "[tus-serve: clean shutdown after {} request(s), {} error repl(ies), {:.1}s up]",
+            server.requests.load(Ordering::Relaxed),
+            server.errors.load(Ordering::Relaxed),
+            server.started.elapsed().as_secs_f64(),
+        );
+        Ok(())
+    }
+}
+
+/// Generic nonblocking accept loop: polls `listener` until shutdown,
+/// handing accepted streams (switched back to blocking mode with a read
+/// poll timeout) to the handler channel.
+fn accept_loop<L, C>(
+    server: &Server,
+    listener: &L,
+    tx: &mpsc::Sender<Box<dyn Conn>>,
+    boxer: impl Fn(C) -> Box<dyn Conn>,
+) where
+    L: Acceptor<C>,
+    C: Conn + 'static,
+{
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("tus-serve: cannot set listener nonblocking: {e}");
+        return;
+    }
+    while !server.shutting_down() {
+        match listener.accept_conn() {
+            Ok(conn) => {
+                let _ = conn.set_read_timeout(Some(READ_POLL));
+                if tx.send(boxer(conn)).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                eprintln!("tus-serve: accept error: {e}");
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// The two listener types, unified for [`accept_loop`].
+trait Acceptor<C> {
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()>;
+    fn accept_conn(&self) -> std::io::Result<C>;
+}
+
+impl Acceptor<TcpStream> for TcpListener {
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        TcpListener::set_nonblocking(self, on)
+    }
+    fn accept_conn(&self) -> std::io::Result<TcpStream> {
+        let (s, _) = self.accept()?;
+        s.set_nonblocking(false)?;
+        Ok(s)
+    }
+}
+
+impl Acceptor<UnixStream> for UnixListener {
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        UnixListener::set_nonblocking(self, on)
+    }
+    fn accept_conn(&self) -> std::io::Result<UnixStream> {
+        let (s, _) = self.accept()?;
+        s.set_nonblocking(false)?;
+        Ok(s)
+    }
+}
+
+/// Serves one connection until EOF, a malformed frame, or shutdown.
+fn handle_conn(server: &Server, mut conn: Box<dyn Conn>) {
+    loop {
+        let frame = match read_frame(&mut conn) {
+            Ok(ReadOutcome::Frame(f)) => f,
+            Ok(ReadOutcome::Eof) => return,
+            Ok(ReadOutcome::Malformed(what)) => {
+                // The stream is no longer frame-aligned: answer once,
+                // structurally, and drop the connection — but never the
+                // process.
+                server.errors.fetch_add(1, Ordering::Relaxed);
+                let e = HarnessError::Protocol { what };
+                let _ = write_frame(&mut conn, FrameKind::Error, &encode_error(&e));
+                return;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll tick: keep waiting unless the daemon is
+                // shutting down.
+                if server.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        server.requests.fetch_add(1, Ordering::Relaxed);
+
+        // A panic anywhere in a handler is one error reply, not a dead
+        // daemon: the executor's poison-recovering locks make its shared
+        // state safe to keep using afterwards.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            dispatch(server, &mut conn, &frame)
+        }));
+        let done = match outcome {
+            Ok(Ok(done)) => done,
+            Ok(Err(DispatchError::Reply(e))) => {
+                server.errors.fetch_add(1, Ordering::Relaxed);
+                if write_frame(&mut conn, FrameKind::Error, &encode_error(&e)).is_err() {
+                    return;
+                }
+                false
+            }
+            Ok(Err(DispatchError::Io(e))) => {
+                eprintln!("tus-serve: connection write failed: {e}");
+                return;
+            }
+            Err(payload) => {
+                server.errors.fetch_add(1, Ordering::Relaxed);
+                let e = HarnessError::JobPanicked {
+                    what: panic_message(&*payload),
+                };
+                let _ = write_frame(&mut conn, FrameKind::Error, &encode_error(&e));
+                false
+            }
+        };
+        if done {
+            return;
+        }
+    }
+}
+
+/// Why a dispatch did not produce a success reply.
+enum DispatchError {
+    /// Structured error to send back; the connection stays up.
+    Reply(HarnessError),
+    /// The connection itself failed; nothing more to send.
+    Io(std::io::Error),
+}
+
+impl From<HarnessError> for DispatchError {
+    fn from(e: HarnessError) -> Self {
+        DispatchError::Reply(e)
+    }
+}
+
+impl From<std::io::Error> for DispatchError {
+    fn from(e: std::io::Error) -> Self {
+        DispatchError::Io(e)
+    }
+}
+
+/// Handles one request frame. `Ok(true)` closes the connection (only
+/// `Shutdown` does).
+fn dispatch(
+    server: &Server,
+    conn: &mut Box<dyn Conn>,
+    frame: &Frame,
+) -> Result<bool, DispatchError> {
+    match frame.kind {
+        FrameKind::Ping => {
+            write_frame(conn, FrameKind::Pong, &frame.body)?;
+            Ok(false)
+        }
+        FrameKind::RunPoint => {
+            handle_run_point(server, conn, &frame.body)?;
+            Ok(false)
+        }
+        FrameKind::Experiment => {
+            handle_experiment(server, conn, &frame.body)?;
+            Ok(false)
+        }
+        FrameKind::FuzzSweep => {
+            handle_fuzz(server, conn, &frame.body)?;
+            Ok(false)
+        }
+        FrameKind::TraceCapture => {
+            handle_trace(server, conn, &frame.body)?;
+            Ok(false)
+        }
+        FrameKind::Counters => {
+            let c = server.ex.counters();
+            let body = format!(
+                "uptime_seconds={:.3}\nrequests={}\nerrors={}\nexecuted={}\nmemo_hits={}\ndisk_hits={}\n",
+                server.started.elapsed().as_secs_f64(),
+                server.requests.load(Ordering::Relaxed),
+                server.errors.load(Ordering::Relaxed),
+                c.executed,
+                c.memo_hits,
+                c.disk_hits,
+            );
+            write_frame(conn, FrameKind::CountersReply, &body)?;
+            Ok(false)
+        }
+        FrameKind::Shutdown => {
+            write_frame(conn, FrameKind::ShutdownOk, "")?;
+            server.request_shutdown();
+            Ok(true)
+        }
+        other => Err(HarnessError::Protocol {
+            what: format!("{other:?} is not a request frame"),
+        }
+        .into()),
+    }
+}
+
+fn parse_policy(label: &str) -> Result<tus_sim::PolicyKind, HarnessError> {
+    tus_sim::PolicyKind::ALL
+        .into_iter()
+        .find(|p| p.label().eq_ignore_ascii_case(label))
+        .ok_or_else(|| HarnessError::Protocol {
+            what: format!(
+                "unknown policy {label:?}; known: {}",
+                tus_sim::PolicyKind::ALL.map(|p| p.label()).join(" ")
+            ),
+        })
+}
+
+fn parse_kernel(label: &str) -> Result<KernelKind, HarnessError> {
+    KernelKind::parse(label).ok_or_else(|| HarnessError::Protocol {
+        what: format!("unknown kernel {label:?}; known: lockstep skip event"),
+    })
+}
+
+fn parse_scale(label: &str) -> Result<Scale, HarnessError> {
+    Scale::parse(label).ok_or_else(|| HarnessError::Protocol {
+        what: format!("unknown scale {label:?}; known: quick normal full"),
+    })
+}
+
+/// Builds the [`RunSpec`] a `RunPoint`/`TraceCapture` body describes.
+fn spec_from_headers(body: &str) -> Result<(RunSpec, Option<u64>), HarnessError> {
+    let h = parse_headers(body)?;
+    let w = workload(require(&h, "workload")?)?;
+    let policy = parse_policy(require(&h, "policy")?)?;
+    let sb = numeric::<usize>(&h, "sb")?.unwrap_or(114).max(1);
+    let scale = match h.get("scale") {
+        Some(s) => parse_scale(s)?,
+        None => Scale::Normal,
+    };
+    let mut spec = RunSpec::new(w, policy, sb, scale);
+    if let Some(seed) = numeric::<u64>(&h, "seed")? {
+        spec.seed = seed;
+    }
+    if let Some(k) = h.get("kernel") {
+        spec.kernel = parse_kernel(k)?;
+    }
+    let budget = numeric::<u64>(&h, "budget")?;
+    Ok((spec, budget))
+}
+
+fn handle_run_point(
+    server: &Server,
+    conn: &mut Box<dyn Conn>,
+    body: &str,
+) -> Result<(), DispatchError> {
+    let (spec, budget) = spec_from_headers(body)?;
+    let budget = server.effective_budget(budget);
+    let key = spec.memo_key();
+    write_frame(conn, FrameKind::Progress, &format!("running {key}\n"))?;
+    let before = server.ex.counters();
+    let started = Instant::now();
+    let result = server.ex.try_run_one(&spec, budget).map_err(DispatchError::Reply)?;
+    let since = server.ex.counters().since(before);
+    let reply = format!(
+        "executed={}\nmemo_hits={}\ndisk_hits={}\nseconds={:.6}\nkey={}\n\n{}",
+        since.executed,
+        since.memo_hits,
+        since.disk_hits,
+        started.elapsed().as_secs_f64(),
+        key,
+        encode_result(&result, &key),
+    );
+    write_frame(conn, FrameKind::RunDone, &reply)?;
+    Ok(())
+}
+
+fn handle_experiment(
+    server: &Server,
+    conn: &mut Box<dyn Conn>,
+    body: &str,
+) -> Result<(), DispatchError> {
+    let h = parse_headers(body)?;
+    let name = require(&h, "name")?;
+    let Some(&(name, f)) = EXPERIMENTS.iter().find(|&&(n, _)| n == name) else {
+        return Err(HarnessError::UnknownExperiment { name: name.to_owned() }.into());
+    };
+    let mut opt = Options {
+        out: server.opt.out.clone(),
+        ..Options::default()
+    };
+    if let Some(s) = h.get("scale") {
+        opt.scale = parse_scale(s)?;
+    }
+    if let Some(seed) = numeric::<u64>(&h, "seed")? {
+        opt.seed = seed;
+    }
+    if let Some(k) = h.get("kernel") {
+        opt.kernel = parse_kernel(k)?;
+    }
+    opt.parallel_cap = numeric::<usize>(&h, "parallel_cap")?;
+    write_frame(
+        conn,
+        FrameKind::Progress,
+        &format!("running experiment {name} at {} scale\n", opt.scale.label()),
+    )?;
+    let before = server.ex.counters();
+    let started = Instant::now();
+    {
+        // Experiments write CSVs into the shared out directory: one at a
+        // time. (Simulation results themselves are memo-shared and
+        // deterministic, so serialization is purely about file writes.)
+        let _gate = server
+            .experiment_gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&server.ex, &opt);
+    }
+    let since = server.ex.counters().since(before);
+    let reply = format!(
+        "name={}\nexecuted={}\nmemo_hits={}\ndisk_hits={}\nseconds={:.6}\ncsv_dir={}\n",
+        name,
+        since.executed,
+        since.memo_hits,
+        since.disk_hits,
+        started.elapsed().as_secs_f64(),
+        server.opt.out.display(),
+    );
+    write_frame(conn, FrameKind::ExperimentDone, &reply)?;
+    Ok(())
+}
+
+fn handle_fuzz(
+    server: &Server,
+    conn: &mut Box<dyn Conn>,
+    body: &str,
+) -> Result<(), DispatchError> {
+    let h = parse_headers(body)?;
+    let mut opt = FuzzOptions {
+        programs: numeric::<u64>(&h, "programs")?.unwrap_or(50),
+        out: server.opt.out.clone(),
+        jobs: server.opt.jobs,
+        ..FuzzOptions::default()
+    };
+    if let Some(seeds) = numeric::<u64>(&h, "seeds")? {
+        opt.seeds = seeds.max(1);
+    }
+    if let Some(seed) = numeric::<u64>(&h, "seed")? {
+        opt.base_seed = seed;
+    }
+    if let Some(p) = h.get("policy") {
+        opt.policy = Some(parse_policy(p)?);
+    }
+    if let Some(k) = h.get("kernel") {
+        opt.kernel = parse_kernel(k)?;
+    }
+    let started = Instant::now();
+    // Stream progress roughly every 100 programs, like the CLI does.
+    let progress: Mutex<&mut Box<dyn Conn>> = Mutex::new(conn);
+    let findings = sweep_cases(&opt, &|done, total, violations| {
+        if done % 100 == 0 || done == total {
+            let mut conn = progress.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = write_frame(
+                &mut **conn,
+                FrameKind::Progress,
+                &format!("{done}/{total} programs, {violations} violation(s)\n"),
+            );
+        }
+    });
+    let conn = progress.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut rendered = String::new();
+    for f in &findings {
+        use std::fmt::Write as _;
+        let _ = writeln!(rendered, "--- VIOLATION (program {}) ---", f.index);
+        let _ = writeln!(rendered, "{}", f.failure);
+        let _ = write!(rendered, "{}", f.case);
+        if let Err(e) = report_finding(&opt, f) {
+            eprintln!("tus-serve: cannot persist counterexample: {e}");
+        }
+    }
+    let reply = format!(
+        "programs={}\nseeds={}\nviolations={}\nseconds={:.6}\n\n{}",
+        opt.programs,
+        opt.seeds,
+        findings.len(),
+        started.elapsed().as_secs_f64(),
+        rendered,
+    );
+    write_frame(conn, FrameKind::FuzzDone, &reply)?;
+    Ok(())
+}
+
+fn handle_trace(
+    server: &Server,
+    conn: &mut Box<dyn Conn>,
+    body: &str,
+) -> Result<(), DispatchError> {
+    let h = parse_headers(body)?;
+    let mut opt = TraceOptions {
+        workload: workload(require(&h, "workload")?)?,
+        ..TraceOptions::default()
+    };
+    if let Some(p) = h.get("policy") {
+        opt.policy = parse_policy(p)?;
+    }
+    if let Some(sb) = numeric::<usize>(&h, "sb")? {
+        opt.sb_entries = sb.max(1);
+    }
+    if let Some(insts) = numeric::<u64>(&h, "insts")? {
+        opt.insts = insts.max(1);
+    }
+    if let Some(seed) = numeric::<u64>(&h, "seed")? {
+        opt.seed = seed;
+    }
+    if let Some(k) = h.get("kernel") {
+        opt.kernel = parse_kernel(k)?;
+    }
+    opt.budget = server.effective_budget(numeric::<u64>(&h, "budget")?);
+    let run = try_run_traced(&opt).map_err(|r| DispatchError::Reply(HarnessError::Deadlock(r)))?;
+    let events: usize = run.tracks.iter().map(|(_, r)| r.len()).sum();
+    write_frame(
+        conn,
+        FrameKind::Progress,
+        &format!("{events} events across {} tracks, {} cycles\n", run.tracks.len(), run.cycles),
+    )?;
+    let mut json = Vec::new();
+    write_chrome_trace_to(&mut json, &run.tracks).map_err(DispatchError::Io)?;
+    let json = String::from_utf8(json).map_err(|_| HarnessError::Protocol {
+        what: "trace JSON was not UTF-8".into(),
+    })?;
+    write_frame(conn, FrameKind::TraceDone, &json)?;
+    Ok(())
+}
+
+/// CLI usage for `tus-harness serve`.
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: tus-harness serve [--listen ADDR:PORT] [--socket PATH]\n\
+         \x20                       [--jobs N] [--handlers N] [--out DIR]\n\
+         \x20                       [--no-cache] [--max-budget CYCLES]\n\
+         a long-lived simulation daemon: shares one memo map and one on-disk\n\
+         run cache across every client; speaks the length-prefixed frame\n\
+         protocol (see EXPERIMENTS.md); never panics on a bad request"
+    );
+    std::process::exit(2);
+}
+
+/// Parses `serve` arguments.
+pub fn parse_serve_args(args: &[String]) -> ServeOptions {
+    let mut opt = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => opt.tcp = Some(it.next().unwrap_or_else(|| serve_usage()).clone()),
+            "--socket" => opt.socket = Some(it.next().unwrap_or_else(|| serve_usage()).into()),
+            "--jobs" => {
+                opt.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| serve_usage())
+            }
+            "--handlers" => {
+                opt.handlers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| serve_usage())
+            }
+            "--out" => opt.out = it.next().unwrap_or_else(|| serve_usage()).into(),
+            "--no-cache" => opt.cache = false,
+            "--max-budget" => {
+                opt.max_budget = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| serve_usage()),
+                )
+            }
+            _ => serve_usage(),
+        }
+    }
+    opt
+}
+
+/// Entry point for `tus-harness serve ...`.
+pub fn main_serve(args: &[String]) -> ! {
+    let opt = parse_serve_args(args);
+    match bind(opt) {
+        Ok(bound) => match bound.run() {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("tus-serve: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("tus-serve: cannot bind: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_serve_args_covers_flags() {
+        let args: Vec<String> = [
+            "--listen", "127.0.0.1:0", "--socket", "/tmp/x.sock", "--jobs", "3", "--handlers",
+            "2", "--out", "/tmp/o", "--no-cache", "--max-budget", "5000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_serve_args(&args);
+        assert_eq!(o.tcp.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.socket, Some(PathBuf::from("/tmp/x.sock")));
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.handlers, 2);
+        assert_eq!(o.out, PathBuf::from("/tmp/o"));
+        assert!(!o.cache);
+        assert_eq!(o.max_budget, Some(5000));
+    }
+
+    #[test]
+    fn effective_budget_clamps_to_server_ceiling() {
+        let mut opt = ServeOptions::default();
+        opt.max_budget = Some(1_000);
+        let s = Server::new(opt);
+        assert_eq!(s.effective_budget(None), Some(1_000));
+        assert_eq!(s.effective_budget(Some(500)), Some(500));
+        assert_eq!(s.effective_budget(Some(9_999)), Some(1_000));
+        let s = Server::new(ServeOptions::default());
+        assert_eq!(s.effective_budget(None), None);
+        assert_eq!(s.effective_budget(Some(7)), Some(7));
+    }
+
+    #[test]
+    fn bind_requires_an_address() {
+        assert!(bind(ServeOptions::default()).is_err());
+    }
+}

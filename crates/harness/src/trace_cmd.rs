@@ -12,7 +12,6 @@
 //! microseconds, so a 10 k-cycle run reads as a 10 ms timeline in
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
 
-use std::io::Write as _;
 use std::path::PathBuf;
 
 use crate::table::Table;
@@ -40,6 +39,10 @@ pub struct TraceOptions {
     pub cap: usize,
     /// Output directory.
     pub out: PathBuf,
+    /// Absolute cycle budget (`None` = the runner's default formula).
+    /// Over-budget runs surface the structured [`tus::DeadlockReport`]
+    /// via [`try_run_traced`].
+    pub budget: Option<u64>,
 }
 
 impl Default for TraceOptions {
@@ -53,6 +56,7 @@ impl Default for TraceOptions {
             insts: 20_000,
             cap: tus::DEFAULT_TRACE_CAP,
             out: PathBuf::from("results"),
+            budget: None,
         }
     }
 }
@@ -105,8 +109,10 @@ pub fn parse_trace_args(args: &[String]) -> TraceOptions {
                 });
             }
             w if !w.starts_with('-') => {
-                opt.workload = by_name(w).unwrap_or_else(|| {
-                    eprintln!("trace: unknown workload {w:?}");
+                // Structured lookup: a typo prints the full known-name
+                // list (HarnessError::UnknownWorkload), then usage.
+                opt.workload = crate::errors::workload(w).unwrap_or_else(|e| {
+                    eprintln!("trace: {e}");
                     trace_usage()
                 });
             }
@@ -129,7 +135,18 @@ pub struct TracedRun {
 
 /// Runs one simulation with tracing armed and harvests the event
 /// streams and attribution counters.
+///
+/// # Panics
+///
+/// Panics with the rendered report if the run gives up — use
+/// [`try_run_traced`] where the caller must survive (the daemon).
 pub fn run_traced(opt: &TraceOptions) -> TracedRun {
+    try_run_traced(opt).unwrap_or_else(|r| panic!("traced simulation gave up:\n{r}"))
+}
+
+/// Fallible [`run_traced`]: budget exhaustion or a watchdog trip comes
+/// back as the simulator's structured [`tus::DeadlockReport`].
+pub fn try_run_traced(opt: &TraceOptions) -> Result<TracedRun, Box<tus::DeadlockReport>> {
     let cores = if opt.workload.parallel { 16 } else { 1 };
     let cfg: SimConfig = {
         let mut b = SimConfig::builder();
@@ -142,14 +159,14 @@ pub fn run_traced(opt: &TraceOptions) -> TracedRun {
     let traces = opt.workload.traces(cores, opt.seed, opt.insts + 10_000);
     let mut sys = System::new(&cfg, traces, opt.seed);
     sys.enable_trace(opt.cap);
-    let budget = 400 * opt.insts + 2_000_000;
-    let stats = sys.run_committed(opt.insts, budget);
+    let budget = opt.budget.unwrap_or(400 * opt.insts + 2_000_000);
+    let stats = sys.try_run_committed(opt.insts, budget)?;
     sys.check_attribution();
-    TracedRun {
+    Ok(TracedRun {
         tracks: sys.take_traces(),
         attributions: sys.attributions(),
         cycles: stats.get(names::CYCLES) as u64,
-    }
+    })
 }
 
 /// Minimal JSON string escaping for event argument values (the values
@@ -182,6 +199,15 @@ pub fn write_chrome_trace(
         std::fs::create_dir_all(dir)?;
     }
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_chrome_trace_to(&mut f, tracks)
+}
+
+/// [`write_chrome_trace`] against any writer — the daemon streams the
+/// JSON document into a reply frame instead of a file.
+pub fn write_chrome_trace_to(
+    mut f: &mut dyn std::io::Write,
+    tracks: &[(String, Vec<TraceRecord>)],
+) -> std::io::Result<()> {
     writeln!(f, "{{\"traceEvents\": [")?;
     let mut first = true;
     let sep = |f: &mut dyn std::io::Write, first: &mut bool| -> std::io::Result<()> {
