@@ -738,6 +738,15 @@ impl CsbPolicy {
             self.idxs_scratch = idxs;
             return false;
         }
+        // The group's stores become visible at one logical instant under
+        // the tardis backend (no-op under MESI): fusing may have merged a
+        // store that is program-order-younger than stores to other group
+        // lines, so per-line sequential timestamps would reorder it ahead
+        // of them.
+        ctrl.tardis_group_store_begin(
+            idxs.iter().map(|&i| self.wcbs.buf(i).expect("member").line),
+            now,
+        );
         for &i in &idxs {
             let b = self.wcbs.buf(i).expect("member");
             let (line, data, mask) = (b.line, *b.data, b.mask);

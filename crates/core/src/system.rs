@@ -345,18 +345,21 @@ impl System {
         let ctrl = &mut ctrls[i];
         events.clear();
         ctrl.drain_events_into(events);
-        for ev in events.drain(..) {
-            match ev {
-                CacheEvent::LoadDone { token, at, value } => {
-                    self.cores[i].load_complete(token, at, value);
-                }
-                CacheEvent::Invalidated { line } => {
-                    self.cores[i].on_line_invalidated(line, now);
-                }
-                other => self.policies[i].on_event(&other, ctrl, net, now),
-            }
-        }
+        Self::route_events(&mut self.cores[i], &mut self.policies[i], ctrl, net, now, events);
         self.policies[i].drain(self.cores[i].sb_mut(), ctrl, net, now);
+        // Tardis only: the store drain above can advance `pts` and fire
+        // the lease-expiry sweep, dropping a leased line whose bound load
+        // is sitting behind a fence that this very drain unblocks. The
+        // resulting `Invalidated` must squash that load *before* this
+        // cycle's commit, or the stale value retires. MESI generates no
+        // events during the drain (its invalidations arrive via the
+        // network tick), and its one-cycle delivery of policy events is
+        // part of the golden timing, so the second flush is gated.
+        if ctrl.is_tardis() {
+            events.clear();
+            ctrl.drain_events_into(events);
+            Self::route_events(&mut self.cores[i], &mut self.policies[i], ctrl, net, now, events);
+        }
         let mut port = Port {
             policy: &mut self.policies[i],
             ctrl,
@@ -365,6 +368,30 @@ impl System {
         let before = self.cores[i].committed();
         self.cores[i].tick(now, &mut port);
         self.committed_total += self.cores[i].committed() - before;
+    }
+
+    /// Routes drained controller events: load completions and line
+    /// invalidations to the core, everything else (TUS authorization
+    /// traffic) to the drain policy.
+    fn route_events(
+        core: &mut Core,
+        policy: &mut Policy,
+        ctrl: &mut PrivateCache,
+        net: &mut Network,
+        now: Cycle,
+        events: &mut Vec<CacheEvent>,
+    ) {
+        for ev in events.drain(..) {
+            match ev {
+                CacheEvent::LoadDone { token, at, value } => {
+                    core.load_complete(token, at, value);
+                }
+                CacheEvent::Invalidated { line } => {
+                    core.on_line_invalidated(line, now);
+                }
+                other => policy.on_event(&other, ctrl, net, now),
+            }
+        }
     }
 
     /// Machine-wide earliest next-work cycle: the minimum over the memory

@@ -50,11 +50,12 @@ fn client_usage() -> ! {
          actions:\n\
          \x20 ping [MESSAGE]\n\
          \x20 point WORKLOAD --policy base|SSB|CSB|SPB|TUS [--sb N] [--quick|--normal|--full]\n\
-         \x20       [--seed N] [--kernel K] [--budget CYCLES]\n\
-         \x20 experiment NAME [--quick|--normal|--full] [--seed N] [--kernel K] [--parallel-cap N]\n\
-         \x20 fuzz [--programs N] [--seeds N] [--seed N] [--policy P] [--kernel K]\n\
+         \x20       [--seed N] [--kernel K] [--coherence mesi|tardis] [--budget CYCLES]\n\
+         \x20 experiment NAME [--quick|--normal|--full] [--seed N] [--kernel K]\n\
+         \x20       [--coherence C] [--parallel-cap N]\n\
+         \x20 fuzz [--programs N] [--seeds N] [--seed N] [--policy P] [--kernel K] [--coherence C]\n\
          \x20 trace WORKLOAD [--policy P] [--sb N] [--insts N] [--seed N] [--kernel K]\n\
-         \x20       [--budget CYCLES] [--out FILE]\n\
+         \x20       [--coherence C] [--budget CYCLES] [--out FILE]\n\
          \x20 counters\n\
          \x20 shutdown\n\
          exit codes: 0 success, 1 structured error reply (or fuzz violations), 2 usage/IO"
@@ -134,6 +135,7 @@ pub fn parse_client_args(args: &[String]) -> ClientOptions {
                     "--sb" => h.push("sb", &val("--sb")),
                     "--seed" => h.push("seed", &val("--seed")),
                     "--kernel" => h.push("kernel", &val("--kernel")),
+                    "--coherence" => h.push("coherence", &val("--coherence")),
                     "--budget" => h.push("budget", &val("--budget")),
                     "--insts" => h.push("insts", &val("--insts")),
                     "--programs" => h.push("programs", &val("--programs")),
@@ -313,7 +315,8 @@ mod tests {
     fn parse_point_request() {
         let o = parse_client_args(&strings(&[
             "--connect", "127.0.0.1:9", "--wait", "2", "point", "502.gcc1-like", "--policy",
-            "tus", "--sb", "32", "--quick", "--seed", "7", "--budget", "1000",
+            "tus", "--sb", "32", "--quick", "--seed", "7", "--budget", "1000", "--coherence",
+            "tardis",
         ]));
         assert!(matches!(o.target, Target::Tcp(ref a) if a == "127.0.0.1:9"));
         assert_eq!(o.wait, Some(Duration::from_secs(2)));
@@ -321,7 +324,7 @@ mod tests {
         let body = &o.request.1;
         for line in [
             "policy=tus", "sb=32", "scale=quick", "seed=7", "budget=1000",
-            "workload=502.gcc1-like",
+            "coherence=tardis", "workload=502.gcc1-like",
         ] {
             assert!(body.contains(&format!("{line}\n")), "missing {line} in {body:?}");
         }

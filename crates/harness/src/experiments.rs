@@ -17,7 +17,7 @@ use std::path::Path;
 
 use tus_energy::{sb_area, sb_search_energy, woq_area, woq_search_energy};
 use tus_sim::stats::geomean;
-use tus_sim::{KernelKind, PolicyKind, SimConfig};
+use tus_sim::{CoherenceKind, KernelKind, PolicyKind, SimConfig};
 use tus_workloads::{all_single, parsec16, sb_bound_single, Workload};
 
 use crate::executor::Executor;
@@ -39,6 +39,12 @@ pub struct Options {
     /// Simulation kernel for every run (`--kernel`). Either kernel yields
     /// byte-identical CSVs; lockstep exists for equivalence checking.
     pub kernel: KernelKind,
+    /// Coherence backend for every run (`--coherence`). Unlike the
+    /// kernel, this *changes* measured results — Tardis trades
+    /// invalidation traffic for lease expiries — so CSVs regenerated
+    /// under `tardis` are expected to differ. The `coherence` experiment
+    /// sweeps both backends explicitly regardless of this option.
+    pub coherence: CoherenceKind,
 }
 
 impl Default for Options {
@@ -49,6 +55,7 @@ impl Default for Options {
             out: "results".into(),
             parallel_cap: None,
             kernel: KernelKind::default(),
+            coherence: CoherenceKind::default(),
         }
     }
 }
@@ -67,12 +74,14 @@ pub const EXPERIMENTS: &[(&str, fn(&Executor, &Options))] = &[
     ("fig15", fig15),
     ("intext", intext),
     ("ablation", ablation),
+    ("coherence", coherence),
 ];
 
 fn spec(w: &Workload, policy: PolicyKind, sb: usize, opt: &Options) -> RunSpec {
     RunSpec {
         seed: opt.seed,
         kernel: opt.kernel,
+        coherence: opt.coherence,
         ..RunSpec::new(w.clone(), policy, sb, opt.scale)
     }
 }
@@ -464,6 +473,56 @@ pub fn ablation(ex: &Executor, opt: &Options) {
         t.push(*label, vec![rs.get(spec).ipc / base]);
     }
     emit(&t, opt, "ablation");
+}
+
+/// Coherence-backend comparison: TUS vs CSB vs SPB speedup over the
+/// same-backend baseline, under both the MESI directory and the Tardis
+/// timestamp backend (32-entry SB, the size where drain pressure and
+/// thus coherence behaviour matters most). Each backend is normalized
+/// to *its own* baseline so the columns isolate the policy × backend
+/// interaction — in particular how the TUS unauthorized-line machinery
+/// fares when remote conflicts arrive as lease expiries rather than
+/// invalidations.
+pub fn coherence(ex: &Executor, opt: &Options) {
+    let workloads = sb_bound_single();
+    let policies = [PolicyKind::Tus, PolicyKind::Csb, PolicyKind::Spb];
+    let cospec = |w: &Workload, p: PolicyKind, co: CoherenceKind| RunSpec {
+        coherence: co,
+        ..spec(w, p, 32, opt)
+    };
+    let mut specs = Vec::new();
+    for co in CoherenceKind::ALL {
+        for w in &workloads {
+            specs.push(cospec(w, PolicyKind::Baseline, co));
+            specs.extend(policies.iter().map(|&p| cospec(w, p, co)));
+        }
+    }
+    let rs = ex.run_set(&specs);
+
+    let mut t = Table::new(
+        "Coherence backends: TUS/CSB/SPB speedup vs same-backend baseline (32-entry SB)",
+        CoherenceKind::ALL
+            .iter()
+            .flat_map(|co| {
+                policies
+                    .iter()
+                    .map(move |p| format!("{}-{}", p.label(), co.label()))
+            })
+            .collect(),
+    );
+    for w in &workloads {
+        let mut row = Vec::new();
+        for co in CoherenceKind::ALL {
+            let base = rs.get(&cospec(w, PolicyKind::Baseline, co)).ipc;
+            for &p in &policies {
+                row.push(rs.get(&cospec(w, p, co)).ipc / base);
+            }
+        }
+        t.push(w.name.to_owned(), row);
+    }
+    let mean = t.geomean_row();
+    t.push("geomean", mean);
+    emit(&t, opt, "coherence_backends");
 }
 
 /// Runs every experiment in figure order.

@@ -15,10 +15,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
-use tus_sim::{KernelKind, PolicyKind, SimRng};
+use tus_sim::{CoherenceKind, KernelKind, PolicyKind, SimRng};
 use tus_tso::fuzz::{
-    check_case_kernel, check_policy_kernel, decode_case, encode_case, generate_case, shrink_case,
-    CaseFailure, FailureKind, FuzzCase,
+    check_case_matrix, check_policy_matrix, decode_case, encode_case, generate_case,
+    shrink_case_matrix, CaseFailure, FailureKind, FuzzCase,
 };
 
 use crate::executor::Executor;
@@ -45,6 +45,10 @@ pub struct FuzzOptions {
     /// Simulation kernel the sweep runs under (`--kernel`); verdicts must
     /// not depend on it, so sweeping both kernels is itself a check.
     pub kernel: KernelKind,
+    /// Coherence backend the sweep runs under (`--coherence`). TSO
+    /// conformance must hold under *every* backend, so a tardis sweep is
+    /// a first-class leg of the differential matrix, not a variant.
+    pub coherence: CoherenceKind,
 }
 
 impl Default for FuzzOptions {
@@ -59,6 +63,7 @@ impl Default for FuzzOptions {
             replay: None,
             shrink: true,
             kernel: KernelKind::default(),
+            coherence: CoherenceKind::default(),
         }
     }
 }
@@ -68,7 +73,7 @@ fn fuzz_usage() -> ! {
         "usage: tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                      [--policy base|SSB|CSB|SPB|TUS] [--out DIR]\n\
          \x20                      [--replay FILE] [--no-shrink] [--kernel lockstep|skip|event]\n\
-         \x20                      [--trace]\n\
+         \x20                      [--coherence mesi|tardis] [--trace]\n\
          checks N random litmus programs across all five policies against the\n\
          x86-TSO reference model; failures are shrunk and persisted under\n\
          <out>/fuzz-corpus/ as replayable files"
@@ -118,6 +123,13 @@ pub fn parse_fuzz_args(args: &[String]) -> FuzzOptions {
                     fuzz_usage()
                 });
             }
+            "--coherence" => {
+                let label = it.next().unwrap_or_else(|| fuzz_usage());
+                opt.coherence = CoherenceKind::parse(label).unwrap_or_else(|| {
+                    eprintln!("fuzz: unknown coherence backend {label:?}");
+                    fuzz_usage()
+                });
+            }
             _ => fuzz_usage(),
         }
     }
@@ -135,10 +147,11 @@ fn check(
     policy: Option<PolicyKind>,
     seeds: u64,
     kernel: KernelKind,
+    coherence: CoherenceKind,
 ) -> Option<CaseFailure> {
     match policy {
-        Some(p) => check_policy_kernel(case, p, seeds, kernel),
-        None => check_case_kernel(case, seeds, kernel),
+        Some(p) => check_policy_matrix(case, p, seeds, kernel, coherence),
+        None => check_case_matrix(case, seeds, kernel, coherence),
     }
 }
 
@@ -172,7 +185,8 @@ pub(crate) fn report_finding(opt: &FuzzOptions, f: &Finding) -> std::io::Result<
 
     if opt.shrink {
         eprintln!("shrinking ...");
-        let (small, small_fail) = shrink_case(&f.case, f.failure.policy, opt.seeds);
+        let (small, small_fail) =
+            shrink_case_matrix(&f.case, f.failure.policy, opt.seeds, opt.kernel, opt.coherence);
         eprintln!(
             "shrunk to {} thread(s), {} op(s): {}",
             small.program.threads.len(),
@@ -217,7 +231,7 @@ fn replay(opt: &FuzzOptions, path: &Path) -> i32 {
         policy.map_or("all", |p| p.label()),
     );
     eprint!("{}", entry.case);
-    match check(&entry.case, policy, seeds, opt.kernel) {
+    match check(&entry.case, policy, seeds, opt.kernel, opt.coherence) {
         Some(fail) => {
             eprintln!("still failing: {fail}");
             if let FailureKind::Timeout { report, .. } = &fail.kind {
@@ -258,7 +272,9 @@ pub(crate) fn sweep_cases(
                     break;
                 }
                 let case = generate_case(&mut case_rng(opt.base_seed, i));
-                if let Some(failure) = check(&case, opt.policy, opt.seeds, opt.kernel) {
+                if let Some(failure) =
+                    check(&case, opt.policy, opt.seeds, opt.kernel, opt.coherence)
+                {
                     findings
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)
@@ -284,8 +300,8 @@ pub fn run_fuzz(opt: &FuzzOptions) -> i32 {
     let started = std::time::Instant::now();
     let policies = opt.policy.map_or(PolicyKind::ALL.len() as u64, |_| 1);
     eprintln!(
-        "fuzzing {} programs x {} policies x {} seeds (base seed {}, {} jobs, {} kernel)",
-        opt.programs, policies, opt.seeds, opt.base_seed, opt.jobs, opt.kernel
+        "fuzzing {} programs x {} policies x {} seeds (base seed {}, {} jobs, {} kernel, {} coherence)",
+        opt.programs, policies, opt.seeds, opt.base_seed, opt.jobs, opt.kernel, opt.coherence
     );
 
     let findings = sweep_cases(opt, &|d, n, violations| {
@@ -339,7 +355,7 @@ mod tests {
     fn parse_fuzz_args_covers_flags() {
         let args: Vec<String> = [
             "--programs", "10", "--seeds", "4", "--seed", "9", "--jobs", "2", "--policy", "tus",
-            "--out", "/tmp/x", "--no-shrink", "--kernel", "lockstep",
+            "--out", "/tmp/x", "--no-shrink", "--kernel", "lockstep", "--coherence", "tardis",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -354,6 +370,21 @@ mod tests {
         assert!(!o.shrink);
         assert!(o.replay.is_none());
         assert_eq!(o.kernel, KernelKind::Lockstep);
+        assert_eq!(o.coherence, CoherenceKind::Tardis);
+    }
+
+    /// A tiny end-to-end sweep under the Tardis backend is clean too.
+    #[test]
+    fn small_sweep_is_clean_under_tardis() {
+        let opt = FuzzOptions {
+            programs: 3,
+            seeds: 2,
+            base_seed: 1,
+            jobs: 2,
+            coherence: CoherenceKind::Tardis,
+            ..FuzzOptions::default()
+        };
+        assert_eq!(run_fuzz(&opt), 0);
     }
 
     /// A tiny end-to-end sweep is clean and deterministic.

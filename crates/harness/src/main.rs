@@ -3,10 +3,10 @@
 //! ```text
 //! tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]
 //!             [--parallel-cap N] [--jobs N] [--no-cache] [--no-batch]
-//!             [--kernel K]
+//!             [--kernel K] [--coherence C]
 //! tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]
 //!             [--policy P] [--out DIR] [--replay FILE] [--no-shrink]
-//!             [--kernel K]
+//!             [--kernel K] [--coherence C]
 //! tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]
 //!             [--parallel-cap N] [--jobs N] [--no-batch]
 //! tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]
@@ -14,8 +14,9 @@
 //!             [--no-batch] [--min-sims-per-sec X]
 //!
 //! experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15
-//!              intext ablation all
+//!              intext ablation coherence all
 //! kernels (K): lockstep skip event (default: event)
+//! coherence backends (C): mesi tardis (default: mesi)
 //! ```
 //!
 //! Runs are executed by a worker pool (`--jobs`, default: available
@@ -40,18 +41,18 @@ use std::io::Write as _;
 
 use tus_harness::experiments::{self, Options, EXPERIMENTS};
 use tus_harness::{ExecCounters, Executor, Scale};
-use tus_sim::KernelKind;
+use tus_sim::{CoherenceKind, KernelKind};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N] [--no-cache] [--no-batch]\n\
-         \x20                  [--kernel K] [--trace]\n\
+         \x20                  [--kernel K] [--coherence C] [--trace]\n\
          \x20      tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                  [--policy P] [--out DIR] [--replay FILE] [--no-shrink]\n\
-         \x20                  [--kernel K] [--trace]\n\
+         \x20                  [--kernel K] [--coherence C] [--trace]\n\
          \x20      tus-harness trace [WORKLOAD] [--policy P] [--sb N] [--kernel K]\n\
-         \x20                  [--seed N] [--insts N] [--cap N] [--out DIR]\n\
+         \x20                  [--coherence C] [--seed N] [--insts N] [--cap N] [--out DIR]\n\
          \x20      tus-harness serve [--listen ADDR:PORT] [--socket PATH] [--jobs N]\n\
          \x20                  [--handlers N] [--out DIR] [--no-cache] [--max-budget N]\n\
          \x20      tus-harness client (--connect HOST:PORT | --socket PATH) [--wait SECS]\n\
@@ -61,8 +62,10 @@ fn usage() -> ! {
          \x20      tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N] [--kernel K]\n\
          \x20                  [--no-batch] [--min-sims-per-sec X]\n\
-         experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation all\n\
+         experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation\n\
+         \x20            coherence all\n\
          kernels (K): lockstep skip event (default: event)\n\
+         coherence backends (C): mesi tardis (default: mesi)\n\
          --trace arms the structured event recorder in every simulation\n\
          (observation-only: outputs and memo keys are unchanged)"
     );
@@ -135,7 +138,10 @@ fn bench_kernel(opt: &Options, jobs: usize, batch: bool) -> i32 {
             ..opt.clone()
         };
         let ex = Executor::new(jobs, None).batching(batch);
-        eprintln!("[bench-kernel: running all experiments, {kernel} kernel]");
+        eprintln!(
+            "[bench-kernel: running all experiments, {kernel} kernel, {} backend]",
+            opt.coherence
+        );
         let started = std::time::Instant::now();
         experiments::all(&ex, &kopt);
         let seconds = started.elapsed().as_secs_f64();
@@ -146,7 +152,7 @@ fn bench_kernel(opt: &Options, jobs: usize, batch: bool) -> i32 {
         );
         rows.push((kernel, seconds, counters));
     }
-    match write_bench_kernel_json(&opt.out, &rows) {
+    match write_bench_kernel_json(&opt.out, opt.coherence, &rows) {
         Ok(()) => {
             let lockstep = rows
                 .iter()
@@ -171,11 +177,13 @@ fn bench_kernel(opt: &Options, jobs: usize, batch: bool) -> i32 {
 /// std-only).
 fn write_bench_kernel_json(
     out: &std::path::Path,
+    coherence: tus_sim::CoherenceKind,
     rows: &[(KernelKind, f64, ExecCounters)],
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(out)?;
     let mut f = std::fs::File::create(out.join("BENCH_kernel.json"))?;
     writeln!(f, "{{")?;
+    writeln!(f, "  \"coherence\": \"{coherence}\",")?;
     for (kernel, seconds, counters) in rows {
         let sims_per_sec = if *seconds > 0.0 {
             counters.executed as f64 / seconds
@@ -227,8 +235,8 @@ fn bench_hotpath(opt: &Options, jobs: usize, batch: bool, floor: Option<f64>) ->
     };
     let ex = Executor::new(jobs, None).batching(batch);
     eprintln!(
-        "[bench-hotpath: running all experiments cold, {} kernel]",
-        hopt.kernel
+        "[bench-hotpath: running all experiments cold, {} kernel, {} backend]",
+        hopt.kernel, hopt.coherence
     );
     let started = std::time::Instant::now();
     experiments::all(&ex, &hopt);
@@ -279,11 +287,13 @@ fn write_bench_hotpath_json(
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let entry = format!(
-        "  {{\"unix_time\": {unix_time}, \"kernel\": \"{}\", \"seconds\": {seconds:.3}, \
+        "  {{\"unix_time\": {unix_time}, \"kernel\": \"{}\", \"coherence\": \"{}\", \
+         \"seconds\": {seconds:.3}, \
          \"sims\": {}, \"sims_per_sec\": {sims_per_sec:.2}, \
          \"baseline_sims_per_sec\": {HOTPATH_BASELINE_SIMS_PER_SEC:.2}, \
          \"speedup\": {:.3}}}",
         hopt.kernel,
+        hopt.coherence,
         counters.executed,
         sims_per_sec / HOTPATH_BASELINE_SIMS_PER_SEC,
     );
@@ -373,6 +383,12 @@ fn main() {
                 opt.kernel = it
                     .next()
                     .and_then(|v| KernelKind::parse(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--coherence" => {
+                opt.coherence = it
+                    .next()
+                    .and_then(|v| CoherenceKind::parse(&v))
                     .unwrap_or_else(|| usage())
             }
             c if cmd.is_none() && !c.starts_with('-') => cmd = Some(c.to_owned()),

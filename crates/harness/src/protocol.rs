@@ -50,16 +50,20 @@ pub enum FrameKind {
     Ping = 0x01,
     /// Run (or recall) one experiment point; body is a header block
     /// (`workload=`, `policy=`, `sb=`, optional `scale=`, `seed=`,
-    /// `kernel=`, `budget=`).
+    /// `kernel=`, `coherence=`, `budget=`). An unknown `coherence=`
+    /// label is a structured protocol-error reply, like every other
+    /// malformed header.
     RunPoint = 0x02,
     /// Run a named experiment (`name=fig10`, optional `scale=`, `seed=`,
-    /// `parallel_cap=`); CSVs land in the server's output directory.
+    /// `kernel=`, `coherence=`, `parallel_cap=`); CSVs land in the
+    /// server's output directory.
     Experiment = 0x03,
     /// Run a differential fuzz sweep (`programs=`, `seeds=`, `seed=`,
-    /// optional `policy=`).
+    /// optional `policy=`, `kernel=`, `coherence=`).
     FuzzSweep = 0x04,
     /// Capture one traced run (`workload=`, optional `policy=`, `sb=`,
-    /// `insts=`, `seed=`); the reply body is Chrome-trace JSON.
+    /// `insts=`, `seed=`, `kernel=`, `coherence=`); the reply body is
+    /// Chrome-trace JSON.
     TraceCapture = 0x05,
     /// Ask for the daemon's lifetime counters.
     Counters = 0x06,

@@ -3,7 +3,7 @@
 use tus::System;
 use tus_energy::{EnergyBreakdown, EnergyModel};
 use tus_sim::stats::names;
-use tus_sim::{KernelKind, PolicyKind, SimConfig, StatSet};
+use tus_sim::{CoherenceKind, KernelKind, PolicyKind, SimConfig, StatSet};
 use tus_workloads::Workload;
 
 /// Version stamp of the simulator's observable behaviour, folded into
@@ -20,8 +20,11 @@ use tus_workloads::Workload;
 /// dimension (lockstep vs idle-skipping); v4 — the event-driven kernel
 /// became the default (`kernel=event` in default keys), so every cached
 /// result records which kernel produced it under the new three-kernel
-/// selector.
-pub const CACHE_FORMAT_VERSION: u32 = 4;
+/// selector; v5 — keys gained the coherence-backend dimension
+/// (`mesi` vs `tardis`), so results recorded before the pluggable
+/// backend contract existed can never be served for a backend-qualified
+/// spec.
+pub const CACHE_FORMAT_VERSION: u32 = 5;
 
 /// Run-length scaling: experiments default to laptop-friendly lengths;
 /// `Full` approaches paper-like (still far below 2 B instructions, but
@@ -123,6 +126,11 @@ pub struct RunSpec {
     /// observationally identical, but the key keeps them distinct so an
     /// equivalence sweep actually runs both instead of hitting the cache.
     pub kernel: KernelKind,
+    /// Coherence backend (MESI directory or Tardis timestamps). Unlike
+    /// the kernel, backends are *not* observationally identical — leases
+    /// change timing — so the dimension must split both memo and lane
+    /// keys.
+    pub coherence: CoherenceKind,
     /// Extra configuration hook (ablations).
     pub tweak: Option<Tweak>,
 }
@@ -146,6 +154,7 @@ impl RunSpec {
             insts,
             seed: 42,
             kernel: KernelKind::default(),
+            coherence: CoherenceKind::default(),
             tweak: None,
         }
     }
@@ -166,7 +175,7 @@ impl RunSpec {
     /// [`RunSpec::memo_key`] under an explicit version stamp (tests).
     pub(crate) fn memo_key_versioned(&self, version: u32) -> String {
         format!(
-            "v{}|{}|{}|sb{}|c{}|w{}|i{}|s{}|k{}|{}",
+            "v{}|{}|{}|sb{}|c{}|w{}|i{}|s{}|k{}|co{}|{}",
             version,
             self.workload.name,
             self.policy.label(),
@@ -176,6 +185,7 @@ impl RunSpec {
             self.insts,
             self.seed,
             self.kernel.label(),
+            self.coherence.label(),
             self.tweak.map_or("-", |t| t.name),
         )
     }
@@ -188,7 +198,7 @@ impl RunSpec {
     /// run the whole lane on one worker ([`run_lane`]).
     pub fn lane_key(&self) -> String {
         format!(
-            "v{}|{}|{}|sb{}|c{}|w{}|i{}|k{}|{}",
+            "v{}|{}|{}|sb{}|c{}|w{}|i{}|k{}|co{}|{}",
             CACHE_FORMAT_VERSION,
             self.workload.name,
             self.policy.label(),
@@ -197,6 +207,7 @@ impl RunSpec {
             self.warmup,
             self.insts,
             self.kernel.label(),
+            self.coherence.label(),
             self.tweak.map_or("-", |t| t.name),
         )
     }
@@ -206,7 +217,8 @@ impl RunSpec {
         b.cores(self.cores)
             .sb_entries(self.sb_entries)
             .policy(self.policy)
-            .kernel(self.kernel);
+            .kernel(self.kernel)
+            .coherence(self.coherence);
         if let Some(t) = self.tweak {
             (t.apply)(&mut b);
         }
@@ -390,6 +402,7 @@ mod tests {
                 ..base.clone()
             },
             RunSpec { kernel: KernelKind::Lockstep, ..base.clone() },
+            RunSpec { coherence: CoherenceKind::Tardis, ..base.clone() },
         ] {
             assert!(keys.insert(varied.memo_key()), "collision: {}", varied.memo_key());
         }
@@ -436,6 +449,28 @@ mod tests {
         assert_ne!(spec.memo_key(), spec.memo_key_versioned(3));
     }
 
+    /// The v5 bump added the coherence-backend dimension: default keys
+    /// carry `comesi`, the tardis variant mints a distinct key, and no
+    /// v4-era key (minted before backends existed) can be served for a
+    /// v5 spec.
+    #[test]
+    fn memo_key_records_coherence_backend() {
+        let spec = RunSpec::new(
+            by_name("502.gcc1-like").expect("exists"),
+            PolicyKind::Tus,
+            114,
+            Scale::Quick,
+        );
+        assert_eq!(spec.coherence, CoherenceKind::Mesi);
+        assert!(spec.memo_key().contains("|comesi|"), "{}", spec.memo_key());
+        let tardis = RunSpec { coherence: CoherenceKind::Tardis, ..spec.clone() };
+        assert!(tardis.memo_key().contains("|cotardis|"), "{}", tardis.memo_key());
+        assert_ne!(spec.memo_key(), tardis.memo_key());
+        assert_ne!(spec.lane_key(), tardis.lane_key(), "backend must split the lane");
+        // Bump-miss: a v4-era key can never alias a v5 key.
+        assert_ne!(spec.memo_key(), spec.memo_key_versioned(4));
+    }
+
     /// A lane groups specs that differ only in seed, and lane-batched
     /// execution is bit-identical to standalone runs (the config and
     /// energy model are pure functions of the spec).
@@ -459,6 +494,7 @@ mod tests {
             RunSpec { sb_entries: 32, ..base.clone() },
             RunSpec { policy: PolicyKind::Baseline, ..base.clone() },
             RunSpec { kernel: KernelKind::Lockstep, ..base.clone() },
+            RunSpec { coherence: CoherenceKind::Tardis, ..base.clone() },
             RunSpec { insts: base.insts + 1, ..base.clone() },
         ] {
             assert_ne!(a.lane_key(), other.lane_key(), "config change must split the lane");

@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use tus_sim::KernelKind;
+use tus_sim::{CoherenceKind, KernelKind};
 
 use crate::errors::{panic_message, workload, HarnessError};
 use crate::executor::{encode_result, Executor};
@@ -499,6 +499,15 @@ fn parse_kernel(label: &str) -> Result<KernelKind, HarnessError> {
     })
 }
 
+fn parse_coherence(label: &str) -> Result<CoherenceKind, HarnessError> {
+    CoherenceKind::parse(label).ok_or_else(|| HarnessError::Protocol {
+        what: format!(
+            "unknown coherence backend {label:?}; known: {}",
+            CoherenceKind::ALL.map(|c| c.label()).join(" ")
+        ),
+    })
+}
+
 fn parse_scale(label: &str) -> Result<Scale, HarnessError> {
     Scale::parse(label).ok_or_else(|| HarnessError::Protocol {
         what: format!("unknown scale {label:?}; known: quick normal full"),
@@ -521,6 +530,9 @@ fn spec_from_headers(body: &str) -> Result<(RunSpec, Option<u64>), HarnessError>
     }
     if let Some(k) = h.get("kernel") {
         spec.kernel = parse_kernel(k)?;
+    }
+    if let Some(c) = h.get("coherence") {
+        spec.coherence = parse_coherence(c)?;
     }
     let budget = numeric::<u64>(&h, "budget")?;
     Ok((spec, budget))
@@ -574,6 +586,9 @@ fn handle_experiment(
     }
     if let Some(k) = h.get("kernel") {
         opt.kernel = parse_kernel(k)?;
+    }
+    if let Some(c) = h.get("coherence") {
+        opt.coherence = parse_coherence(c)?;
     }
     opt.parallel_cap = numeric::<usize>(&h, "parallel_cap")?;
     write_frame(
@@ -630,6 +645,9 @@ fn handle_fuzz(
     }
     if let Some(k) = h.get("kernel") {
         opt.kernel = parse_kernel(k)?;
+    }
+    if let Some(c) = h.get("coherence") {
+        opt.coherence = parse_coherence(c)?;
     }
     let started = Instant::now();
     // Stream progress roughly every 100 programs, like the CLI does.
@@ -691,6 +709,9 @@ fn handle_trace(
     }
     if let Some(k) = h.get("kernel") {
         opt.kernel = parse_kernel(k)?;
+    }
+    if let Some(c) = h.get("coherence") {
+        opt.coherence = parse_coherence(c)?;
     }
     opt.budget = server.effective_budget(numeric::<u64>(&h, "budget")?);
     let run = try_run_traced(&opt).map_err(|r| DispatchError::Reply(HarnessError::Deadlock(r)))?;

@@ -18,7 +18,7 @@ use crate::table::Table;
 use tus::System;
 use tus_sim::stats::names;
 use tus_sim::trace::{AttrClass, Attribution, TraceRecord};
-use tus_sim::{KernelKind, PolicyKind, SimConfig};
+use tus_sim::{CoherenceKind, KernelKind, PolicyKind, SimConfig};
 use tus_workloads::{by_name, Workload};
 
 /// Parsed `trace` subcommand options.
@@ -31,6 +31,8 @@ pub struct TraceOptions {
     pub sb_entries: usize,
     /// Simulation kernel.
     pub kernel: KernelKind,
+    /// Coherence backend.
+    pub coherence: CoherenceKind,
     /// Seed.
     pub seed: u64,
     /// Instructions per core.
@@ -52,6 +54,7 @@ impl Default for TraceOptions {
             policy: PolicyKind::Tus,
             sb_entries: 32,
             kernel: KernelKind::default(),
+            coherence: CoherenceKind::default(),
             seed: 42,
             insts: 20_000,
             cap: tus::DEFAULT_TRACE_CAP,
@@ -65,7 +68,7 @@ fn trace_usage() -> ! {
     eprintln!(
         "usage: tus-harness trace [WORKLOAD] [--policy base|SSB|CSB|SPB|TUS]\n\
          \x20                       [--sb N] [--kernel lockstep|skip] [--seed N]\n\
-         \x20                       [--insts N] [--cap N] [--out DIR]\n\
+         \x20                       [--coherence mesi|tardis] [--insts N] [--cap N] [--out DIR]\n\
          runs one traced simulation, writes Chrome-trace JSON (load it in\n\
          chrome://tracing or ui.perfetto.dev) and prints the per-core\n\
          cycle-attribution breakdown (every cycle lands in exactly one\n\
@@ -105,6 +108,13 @@ pub fn parse_trace_args(args: &[String]) -> TraceOptions {
                 let label = it.next().unwrap_or_else(|| trace_usage());
                 opt.kernel = KernelKind::parse(label).unwrap_or_else(|| {
                     eprintln!("trace: unknown kernel {label:?}");
+                    trace_usage()
+                });
+            }
+            "--coherence" => {
+                let label = it.next().unwrap_or_else(|| trace_usage());
+                opt.coherence = CoherenceKind::parse(label).unwrap_or_else(|| {
+                    eprintln!("trace: unknown coherence backend {label:?}");
                     trace_usage()
                 });
             }
@@ -153,7 +163,8 @@ pub fn try_run_traced(opt: &TraceOptions) -> Result<TracedRun, Box<tus::Deadlock
         b.cores(cores)
             .sb_entries(opt.sb_entries)
             .policy(opt.policy)
-            .kernel(opt.kernel);
+            .kernel(opt.kernel)
+            .coherence(opt.coherence);
         b.build()
     };
     let traces = opt.workload.traces(cores, opt.seed, opt.insts + 10_000);

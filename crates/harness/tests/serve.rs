@@ -182,6 +182,47 @@ fn unknown_workload_is_a_structured_error_and_daemon_survives() {
     server.shutdown();
 }
 
+/// An unknown coherence backend in the request headers is a structured
+/// protocol-error frame (never a panic), a valid `coherence=tardis`
+/// point runs under the timestamp backend, and the two backends memoize
+/// under distinct keys — all on one surviving connection.
+#[test]
+fn coherence_backend_header_is_validated_and_routed() {
+    let server = start(|_| {});
+    let mut s = server.dial();
+
+    let frames = request_on(&mut s, FrameKind::RunPoint, &format!("{POINT}coherence=moesi\n"));
+    let err = terminal(&frames);
+    assert_eq!(err.kind, FrameKind::Error);
+    let (token, message) = decode_error(&err.body);
+    assert_eq!(token, "protocol");
+    assert!(message.contains("moesi") && message.contains("tardis"), "lists valid backends");
+
+    // Same connection: the tardis leg of the same point simulates fine.
+    let frames = request_on(&mut s, FrameKind::RunPoint, &format!("{POINT}coherence=tardis\n"));
+    let done = terminal(&frames);
+    assert_eq!(done.kind, FrameKind::RunDone);
+    let tardis_key = done
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("key="))
+        .expect("key header")
+        .to_owned();
+    assert!(tardis_key.contains("cotardis"), "memo key records the backend: {tardis_key}");
+
+    // The mesi leg of the same point is a different memo entry: it must
+    // execute a fresh simulation, not recall the tardis result.
+    let frames = request_on(&mut s, FrameKind::RunPoint, &format!("{POINT}coherence=mesi\n"));
+    let done = terminal(&frames);
+    assert_eq!(done.kind, FrameKind::RunDone);
+    let (head, _) = done.body.split_once("\n\n").expect("header + result");
+    let head = format!("{head}\n");
+    let h = parse_headers(&head).expect("headers");
+    assert_eq!(h["executed"], "1", "backends must not share memo entries");
+
+    server.shutdown();
+}
+
 /// Satellite 4: a budget-starved request comes back over the socket as a
 /// structured `deadlock` error frame carrying the simulator's
 /// `BudgetExhausted` report — and the daemon still serves the next

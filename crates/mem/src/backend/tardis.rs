@@ -1,82 +1,99 @@
-//! Full-map directory with the shared L3 and DRAM behind it.
+//! Tardis-style logical-timestamp coherence backend.
 //!
-//! The directory is the coherence home for every line. It processes one
-//! transaction per line at a time (an *atomic directory*): requests that
-//! arrive for a busy line queue and are replayed in order when the current
-//! transaction completes. Combined with per-channel FIFO delivery in
-//! [`crate::net::Network`], this keeps the protocol race-free without
-//! transient-state explosion, while still exercising the cross-core
-//! interactions TUS cares about — most importantly, forwarded
-//! invalidations that an owner may *delay* (leaving the transaction open
-//! until the line becomes visible) or answer with a *relinquish* carrying
-//! the old copy from its private L2 (paper Section III-C).
+//! After "Tardis 2.0: Optimized Time Traveling Coherence for Relaxed
+//! Consistency Models": coherence is enforced in *logical* time instead of
+//! by invalidation. Every line carries a write timestamp `wts` (logical
+//! time of its last write) and a read timestamp `rts` (end of its current
+//! read lease); every core carries a program timestamp `pts`. A shared
+//! copy is readable while the reader's `pts <= rts`; a writer must jump
+//! its `pts` to at least `rts + 1` before its store becomes visible, which
+//! orders the write after every leased read *without telling any reader
+//! anything* — there are no invalidation messages and no sharer list.
+//! Stale copies die by **self-downgrade**: when a core's `pts` passes a
+//! lease's `rts`, the copy silently stops being usable (the private cache
+//! controller drops it and replays any speculative loads bound from it).
 //!
-//! Timing: network hops are charged by the interconnect; DRAM fetches add
-//! the configured latency (plus queuing when more than
-//! `dram_max_inflight` fetches are outstanding). The L3 acts as a latency
-//! filter — lines present in the L3 array grant without the DRAM delay.
-//! The L3 is kept write-through with respect to [`MainMemory`], so memory
-//! always holds the last written-back data.
+//! The directory here keeps the paper's home-node duties — single open
+//! transaction per line, L3 latency filter, DRAM bandwidth model, owner
+//! forwards for modified lines — but its request handling differs from
+//! MESI in exactly the timestamp ways:
+//!
+//! * **GetS** with no owner extends the lease,
+//!   `rts = max(rts, max(wts, requester_pts) + LEASE)`, and grants Shared
+//!   with the `(wts, rts)` pair. Carrying the requester's `pts` in the
+//!   request is what makes renewals converge: the granted lease always
+//!   ends past the clock the requester will read at.
+//! * **GetM** transfers ownership and the timestamp pair; the owner
+//!   becomes the line's timestamp authority until it writes back. No
+//!   sharer is notified — their leases simply bound when the new write
+//!   may become visible.
+//! * **Fwd** exists only toward an *owner* (`to_owner` is always true):
+//!   modified lines still have exactly one writable copy, so the TUS
+//!   delay/relinquish conflict machinery is exercised identically.
+//! * **InvAck** cannot occur.
+//!
+//! The TUS interaction rule (the new research surface): a temporarily
+//! unauthorized line may not become visible at a logical time covered by
+//! any lease the line must respect — the controller makes the store
+//! visible at `pts = max(pts, rts + 1)` using the `rts` granted here.
 
 use std::collections::VecDeque;
 
 use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
 use tus_sim::{CoreId, Cycle, DelayQueue, LineAddr, LineId, LineInterner, Schedulable, Slab, StatSet};
 
+use crate::backend::{CoherenceBackend, Replay};
 use crate::cache::L3Cache;
 use crate::line::LineData;
 use crate::mainmem::MainMemory;
 use crate::mesi::Mesi;
-use crate::msgs::{FwdKind, Msg, ReqKind};
+use crate::msgs::{FwdKind, Lease, Msg, ReqKind};
 use crate::net::{Network, Node};
 
-#[derive(Debug, Clone, Copy, Default)]
-struct DirEntry {
+/// Lease length in logical-time units. Short leases keep writers close
+/// behind readers (small `pts` jumps); long leases amortize renewals.
+/// Tardis 2.0 uses a small fixed lease with optional adaptation; a
+/// constant is enough here because renewals are cheap L3 hits.
+pub const LEASE: u64 = 10;
+
+#[derive(Debug, Clone, Copy)]
+struct TardisEntry {
     owner: Option<CoreId>,
-    sharers: u64,
+    wts: u64,
+    rts: u64,
 }
 
-impl DirEntry {
-    #[allow(dead_code)]
-    fn sharer_count(&self) -> usize {
-        self.sharers.count_ones() as usize
-    }
-    fn is_sharer(&self, c: CoreId) -> bool {
-        self.sharers & (1u64 << c.index()) != 0
-    }
-    fn add_sharer(&mut self, c: CoreId) {
-        self.sharers |= 1u64 << c.index();
-    }
-    fn remove_sharer(&mut self, c: CoreId) {
-        self.sharers &= !(1u64 << c.index());
-    }
-    fn idle_empty(&self) -> bool {
-        self.owner.is_none() && self.sharers == 0
+impl Default for TardisEntry {
+    fn default() -> Self {
+        TardisEntry {
+            owner: None,
+            wts: 0,
+            rts: 0,
+        }
     }
 }
 
 #[derive(Debug)]
-struct Transaction {
+struct TardisTrans {
     requester: CoreId,
     kind: ReqKind,
     prefetch: bool,
-    pending_acks: usize,
+    /// Requester's logical timestamp, echoed from the request.
+    pts: u64,
     waiting_owner: bool,
     waiting_mem: bool,
-    perm_only: bool,
-    queued: VecDeque<(CoreId, ReqKind, bool)>,
+    queued: VecDeque<(CoreId, ReqKind, bool, u64)>,
 }
 
-impl Default for Transaction {
+impl Default for TardisTrans {
     fn default() -> Self {
-        Transaction {
+        TardisTrans {
             requester: CoreId::new(0),
             kind: ReqKind::GetS,
             prefetch: false,
-            pending_acks: 0,
+            pts: 0,
             waiting_owner: false,
             waiting_mem: false,
-            perm_only: false,
             queued: VecDeque::new(),
         }
     }
@@ -87,15 +104,15 @@ const NO_TRANS: u32 = u32::MAX;
 
 /// Running counters exported into the run's [`StatSet`].
 #[derive(Debug, Clone, Default)]
-pub struct DirStats {
+pub struct TardisStats {
     /// GetS requests processed.
     pub gets: u64,
     /// GetM requests processed.
     pub getm: u64,
     /// Forwards (Inv/Downgrade) sent to owners.
     pub fwds: u64,
-    /// Invalidations sent to sharers.
-    pub invs: u64,
+    /// Read-lease extensions performed (every non-owner GetS).
+    pub lease_extends: u64,
     /// L3 data hits.
     pub l3_hits: u64,
     /// L3 misses (DRAM fetches).
@@ -106,37 +123,36 @@ pub struct DirStats {
     pub writebacks: u64,
 }
 
-/// The directory / shared-LLC home node.
+/// The timestamp-coherence home node.
 ///
-/// Per-line state is dense: line addresses are interned into [`LineId`]s
-/// at the message boundary (one hash lookup per inbound message) and the
-/// sharer entries and open-transaction handles live in flat arrays
-/// indexed by id. Open transactions are slots in a [`Slab`] whose free
-/// list retains each slot's replay-queue capacity, so the steady-state
-/// open/close churn allocates nothing.
-pub struct Directory {
+/// Dense per-line storage mirrors [`crate::backend::mesi::Directory`]:
+/// line addresses intern to [`LineId`]s, timestamp entries and
+/// open-transaction handles live in flat arrays, and transactions are
+/// slab slots whose replay buffers keep their capacity — the steady state
+/// allocates nothing.
+pub struct TardisDirectory {
     cores: usize,
     lines: LineInterner,
-    /// Sharer/owner state, indexed by [`LineId`].
-    entries: Vec<DirEntry>,
+    /// Owner + timestamp pair, indexed by [`LineId`].
+    entries: Vec<TardisEntry>,
     /// Open-transaction slab slot per line ([`NO_TRANS`] when idle).
     trans_idx: Vec<u32>,
-    trans: Slab<Transaction>,
+    trans: Slab<TardisTrans>,
     open_trans: usize,
     l3: L3Cache,
     dram: DelayQueue<LineId>,
     dram_busy_until: Cycle,
     dram_latency: u64,
     dram_gap: u64,
-    replays: VecDeque<(CoreId, LineAddr, ReqKind, bool)>,
+    replays: VecDeque<Replay>,
     tracer: Tracer,
     /// Statistics.
-    pub stats: DirStats,
+    pub stats: TardisStats,
 }
 
-impl std::fmt::Debug for Directory {
+impl std::fmt::Debug for TardisDirectory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Directory")
+        f.debug_struct("TardisDirectory")
             .field("cores", &self.cores)
             .field("entries", &self.lines.len())
             .field("open_transactions", &self.open_trans)
@@ -144,9 +160,10 @@ impl std::fmt::Debug for Directory {
     }
 }
 
-impl Directory {
-    /// Creates a directory for `cores` cores with an L3 of the given
-    /// geometry and DRAM latency.
+impl TardisDirectory {
+    /// Creates a timestamp directory for `cores` cores with an L3 of the
+    /// given geometry and DRAM latency (same machine parameters as the
+    /// MESI backend).
     pub fn new(
         cores: usize,
         l3_sets: usize,
@@ -154,11 +171,8 @@ impl Directory {
         dram_latency: u64,
         dram_max_inflight: usize,
     ) -> Self {
-        assert!(cores <= 64, "sharer bitset holds at most 64 cores");
-        // A simple bandwidth model: with N permitted in-flight requests and
-        // latency L, a new request can start every L/N cycles.
         let dram_gap = (dram_latency / dram_max_inflight.max(1) as u64).max(1);
-        Directory {
+        TardisDirectory {
             cores,
             lines: LineInterner::new(),
             entries: Vec::new(),
@@ -172,40 +186,34 @@ impl Directory {
             dram_gap,
             replays: VecDeque::new(),
             tracer: Tracer::default(),
-            stats: DirStats::default(),
+            stats: TardisStats::default(),
         }
     }
 
-    /// Interns `line`, growing the dense per-line arrays on first touch.
     #[inline]
     fn intern(&mut self, line: LineAddr) -> LineId {
         let id = self.lines.intern(line);
         if self.entries.len() < self.lines.len() {
-            self.entries.push(DirEntry::default());
+            self.entries.push(TardisEntry::default());
             self.trans_idx.push(NO_TRANS);
         }
         id
     }
 
-    /// The open transaction on `id`, if any.
     #[inline]
-    fn tr(&self, id: LineId) -> Option<&Transaction> {
+    fn tr(&self, id: LineId) -> Option<&TardisTrans> {
         let slot = self.trans_idx[id.index()];
         (slot != NO_TRANS).then(|| self.trans.get(slot))
     }
 
-    /// Mutable access to the open transaction on `id`, if any.
     #[inline]
-    fn tr_mut(&mut self, id: LineId) -> Option<&mut Transaction> {
+    fn tr_mut(&mut self, id: LineId) -> Option<&mut TardisTrans> {
         let slot = self.trans_idx[id.index()];
         (slot != NO_TRANS).then(|| self.trans.get_mut(slot))
     }
 
-    /// Opens a transaction on `id` (reusing a warm slab slot) and returns
-    /// it for field initialization. The slot's queued-replay buffer is
-    /// empty but keeps its capacity from previous occupants.
     #[inline]
-    fn open_transaction(&mut self, id: LineId) -> &mut Transaction {
+    fn open_transaction(&mut self, id: LineId) -> &mut TardisTrans {
         debug_assert_eq!(self.trans_idx[id.index()], NO_TRANS);
         let slot = self.trans.alloc();
         self.trans_idx[id.index()] = slot;
@@ -226,6 +234,17 @@ impl Directory {
         self.tracer.take()
     }
 
+    /// Merges timestamps reported by a core (the line's authority while it
+    /// owned the line) into the home entry, component-wise max.
+    #[inline]
+    fn merge_lease(&mut self, id: LineId, lease: Option<Lease>) {
+        if let Some(l) = lease {
+            let e = &mut self.entries[id.index()];
+            e.wts = e.wts.max(l.wts);
+            e.rts = e.rts.max(l.rts);
+        }
+    }
+
     /// Handles one inbound message.
     pub fn handle(&mut self, msg: Msg, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
         match msg {
@@ -234,12 +253,13 @@ impl Directory {
                 line,
                 kind,
                 prefetch,
+                pts,
             } => {
                 let id = self.intern(line);
                 if let Some(t) = self.tr_mut(id) {
-                    t.queued.push_back((core, kind, prefetch));
+                    t.queued.push_back((core, kind, prefetch, pts));
                 } else {
-                    self.start(core, id, kind, prefetch, net, mem, now);
+                    self.start(core, id, kind, prefetch, pts, net, mem, now);
                 }
             }
             Msg::FwdResp {
@@ -247,17 +267,22 @@ impl Directory {
                 line,
                 data,
                 relinquished,
+                lease,
             } => {
                 let id = self.intern(line);
-                self.on_fwd_resp(core, id, data, relinquished, net, mem, now);
+                self.on_fwd_resp(core, id, data, relinquished, lease, net, mem, now);
             }
-            Msg::InvAck { core, line } => {
-                let id = self.intern(line);
-                self.on_inv_ack(core, id, net, mem, now);
+            Msg::InvAck { .. } => {
+                unreachable!("tardis backend sends no invalidations, so no InvAck can arrive")
             }
-            Msg::Evict { core, line, data } => {
+            Msg::Evict {
+                core,
+                line,
+                data,
+                lease,
+            } => {
                 let id = self.intern(line);
-                self.on_evict(core, id, data, net, mem);
+                self.on_evict(core, id, data, lease, net, mem);
             }
             Msg::Grant { .. } | Msg::Fwd { .. } => {
                 unreachable!("directory received a directory-originated message")
@@ -283,8 +308,7 @@ impl Directory {
         }
     }
 
-    /// Whether no transaction is open and no DRAM fetch pending (used by
-    /// drain loops and tests).
+    /// Whether no transaction is open and no DRAM fetch pending.
     pub fn idle(&self) -> bool {
         self.open_trans == 0 && self.dram.is_empty()
     }
@@ -299,7 +323,7 @@ impl Directory {
         self.open_trans
     }
 
-    /// Debug description of the directory state for one line (deadlock
+    /// Debug description of the backend state for one line (deadlock
     /// diagnostics).
     pub fn debug_line(&self, line: LineAddr) -> String {
         let id = self.lines.get(line);
@@ -307,11 +331,11 @@ impl Directory {
         let t = id.and_then(|id| self.tr(id));
         format!(
             "entry={:?} trans={:?}",
-            e.map(|e| (e.owner, e.sharers)),
+            e.map(|e| (e.owner, e.wts, e.rts)),
             t.map(|t| (
                 t.requester,
                 t.kind,
-                t.pending_acks,
+                t.pts,
                 t.waiting_owner,
                 t.waiting_mem,
                 t.queued.len()
@@ -319,13 +343,17 @@ impl Directory {
         )
     }
 
-    /// Exports statistics.
+    /// Exports statistics. The key set matches the MESI backend (with
+    /// `invs` pinned at 0 — no invalidations exist) plus the
+    /// lease-extension count, so downstream consumers (energy model, CSV
+    /// emitters) see one schema.
     pub fn export_stats(&self) -> StatSet {
         let mut s = StatSet::new();
         s.set("gets", self.stats.gets as f64);
         s.set("getm", self.stats.getm as f64);
         s.set("fwds", self.stats.fwds as f64);
-        s.set("invs", self.stats.invs as f64);
+        s.set("invs", 0.0);
+        s.set("lease_extends", self.stats.lease_extends as f64);
         s.set("l3_hits", self.stats.l3_hits as f64);
         s.set("l3_misses", self.stats.l3_misses as f64);
         s.set("relinquishes", self.stats.relinquishes as f64);
@@ -333,26 +361,29 @@ impl Directory {
         s
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start(
         &mut self,
         core: CoreId,
         id: LineId,
         kind: ReqKind,
         prefetch: bool,
+        pts: u64,
         net: &mut Network,
         mem: &mut MainMemory,
         now: Cycle,
     ) {
         debug_assert_eq!(self.trans_idx[id.index()], NO_TRANS);
         let line = self.lines.addr(id);
-        // The sharer state is read here and mutated in place (through the
-        // dense entry slot) at grant time — no copy-then-writeback.
         let entry = self.entries[id.index()];
         match kind {
             ReqKind::GetS => self.stats.gets += 1,
             ReqKind::GetM => self.stats.getm += 1,
         }
-        // Owner present (and not the requester): forward.
+        // Owner present (and not the requester): the modified copy lives
+        // at a core, so forward — the one place Tardis still talks to a
+        // remote cache, and exactly where the TUS delay/relinquish
+        // machinery engages.
         if let Some(owner) = entry.owner {
             if owner != core {
                 let fwd_kind = match kind {
@@ -364,10 +395,9 @@ impl Directory {
                 t.requester = core;
                 t.kind = kind;
                 t.prefetch = prefetch;
-                t.pending_acks = 0;
+                t.pts = pts;
                 t.waiting_owner = true;
                 t.waiting_mem = false;
-                t.perm_only = false;
                 net.send(
                     Node::Dir,
                     Node::Core(owner),
@@ -380,77 +410,40 @@ impl Directory {
                 );
                 return;
             }
-            // Redundant request from the owner itself: permission-only.
-            self.send_grant(core, line, Mesi::Modified, None, kind, prefetch, net, now);
+            // Redundant request from the owner itself: it is the timestamp
+            // authority; echo what the home last saw.
+            let lease = Lease {
+                wts: entry.wts,
+                rts: entry.rts,
+            };
+            self.send_grant(core, line, Mesi::Modified, None, kind, prefetch, lease, net, now);
             return;
         }
 
-        match kind {
-            ReqKind::GetM => {
-                let perm_only = entry.is_sharer(core);
-                let mut acks = 0;
-                for c in 0..self.cores {
-                    let cid = CoreId::new(c as u16);
-                    if cid != core && entry.is_sharer(cid) {
-                        self.stats.invs += 1;
-                        acks += 1;
-                        net.send(
-                            Node::Dir,
-                            Node::Core(cid),
-                            now,
-                            Msg::Fwd {
-                                line,
-                                kind: FwdKind::Inv,
-                                to_owner: false,
-                            },
-                        );
-                    }
-                }
-                let t = self.open_transaction(id);
-                t.requester = core;
-                t.kind = kind;
-                t.prefetch = prefetch;
-                t.pending_acks = acks;
-                t.waiting_owner = false;
-                t.waiting_mem = false;
-                t.perm_only = perm_only;
-                if acks == 0 {
-                    self.grant_after_invs(id, net, mem, now);
-                }
-            }
-            ReqKind::GetS => {
-                let t = self.open_transaction(id);
-                t.requester = core;
-                t.kind = kind;
-                t.prefetch = prefetch;
-                t.pending_acks = 0;
-                t.waiting_owner = false;
-                t.waiting_mem = false;
-                t.perm_only = entry.is_sharer(core);
-                self.fetch_then_grant(id, net, mem, now);
-            }
+        // No owner: the home is the authority. GetS extends the lease
+        // before data is fetched so the granted pair already covers the
+        // requester's clock; GetM hands the pair over untouched — the new
+        // owner will jump past `rts` when its store becomes visible.
+        if kind == ReqKind::GetS {
+            let e = &mut self.entries[id.index()];
+            e.rts = e.rts.max(e.wts.max(pts) + LEASE);
+            self.stats.lease_extends += 1;
         }
-    }
-
-    /// GetM path once all sharer invalidations are accounted for.
-    fn grant_after_invs(&mut self, id: LineId, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
-        let perm_only = self.tr(id).expect("transaction open").perm_only;
-        if perm_only {
-            self.grant_with_data(id, None, net, now);
-        } else {
-            self.fetch_then_grant(id, net, mem, now);
-        }
+        let t = self.open_transaction(id);
+        t.requester = core;
+        t.kind = kind;
+        t.prefetch = prefetch;
+        t.pts = pts;
+        t.waiting_owner = false;
+        t.waiting_mem = false;
+        self.fetch_then_grant(id, net, mem, now);
     }
 
     /// Supplies data from L3 (immediately) or DRAM (after the latency),
-    /// then grants.
+    /// then grants. Tardis grants always carry data: without a sharer
+    /// list the home cannot know whether the requester's copy is current,
+    /// so there is no permission-only upgrade.
     fn fetch_then_grant(&mut self, id: LineId, net: &mut Network, _mem: &mut MainMemory, now: Cycle) {
-        let t = self.tr(id).expect("transaction open");
-        if t.perm_only && t.kind == ReqKind::GetS {
-            // Requester already a sharer (e.g. redundant prefetch).
-            self.grant_with_data(id, None, net, now);
-            return;
-        }
         let line = self.lines.addr(id);
         if let Some((set, way)) = self.l3.lookup(line) {
             self.stats.l3_hits += 1;
@@ -483,8 +476,8 @@ impl Directory {
         }
     }
 
-    /// Sends the grant for the open transaction on `line` and updates the
-    /// sharing state, then replays queued requests.
+    /// Sends the grant for the open transaction on `id`, updates
+    /// ownership, then replays queued requests.
     fn grant_with_data(
         &mut self,
         id: LineId,
@@ -499,21 +492,18 @@ impl Directory {
         let state = match kind {
             ReqKind::GetM => {
                 entry.owner = Some(requester);
-                entry.sharers = 0;
                 Mesi::Modified
             }
-            ReqKind::GetS => {
-                if entry.idle_empty() {
-                    // Unshared: grant Exclusive.
-                    entry.owner = Some(requester);
-                    Mesi::Exclusive
-                } else {
-                    entry.add_sharer(requester);
-                    Mesi::Shared
-                }
-            }
+            // Shared always: with no sharer list there is no "alone, grant
+            // Exclusive" special case — exclusivity is what `rts + 1`
+            // write ordering buys instead.
+            ReqKind::GetS => Mesi::Shared,
         };
-        self.send_grant(requester, line, state, data, kind, prefetch, net, now);
+        let lease = Lease {
+            wts: entry.wts,
+            rts: entry.rts,
+        };
+        self.send_grant(requester, line, state, data, kind, prefetch, lease, net, now);
         self.complete(id);
     }
 
@@ -526,6 +516,7 @@ impl Directory {
         data: Option<Box<LineData>>,
         kind: ReqKind,
         prefetch: bool,
+        lease: Lease,
         net: &mut Network,
         now: Cycle,
     ) {
@@ -539,25 +530,31 @@ impl Directory {
                 data,
                 kind,
                 prefetch,
+                lease: Some(lease),
             },
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_fwd_resp(
         &mut self,
-        from: CoreId,
+        _from: CoreId,
         id: LineId,
         data: Option<Box<LineData>>,
         relinquished: bool,
+        lease: Option<Lease>,
         net: &mut Network,
         mem: &mut MainMemory,
         now: Cycle,
     ) {
         let line = self.lines.addr(id);
-        let kind = match self.tr_mut(id) {
+        // The owner was the timestamp authority; fold its view back in
+        // before granting onward.
+        self.merge_lease(id, lease);
+        let (kind, req_pts) = match self.tr_mut(id) {
             Some(t) => {
                 t.waiting_owner = false;
-                t.kind
+                (t.kind, t.pts)
             }
             None => {
                 // Stale response (transaction aborted) — apply data, done.
@@ -575,15 +572,13 @@ impl Directory {
             self.write_back(line, d, mem);
         }
         let entry = &mut self.entries[id.index()];
-        // The old owner is no longer the owner.
         entry.owner = None;
-        entry.remove_sharer(from);
-        match kind {
-            ReqKind::GetS if !relinquished => {
-                // Normal downgrade: the old owner retains a shared copy.
-                entry.add_sharer(from);
-            }
-            _ => {}
+        // A downgrade leaves the old owner holding a Shared copy readable
+        // until `rts`; extend the lease for the new reader now that the
+        // home is the authority again.
+        if kind == ReqKind::GetS {
+            entry.rts = entry.rts.max(entry.wts.max(req_pts) + LEASE);
+            self.stats.lease_extends += 1;
         }
         match data {
             Some(d) => self.grant_with_data(id, Some(d), net, now),
@@ -593,33 +588,16 @@ impl Directory {
         }
     }
 
-    fn on_inv_ack(
-        &mut self,
-        from: CoreId,
-        id: LineId,
-        net: &mut Network,
-        mem: &mut MainMemory,
-        now: Cycle,
-    ) {
-        self.entries[id.index()].remove_sharer(from);
-        let Some(t) = self.tr_mut(id) else {
-            return;
-        };
-        debug_assert!(t.pending_acks > 0, "unexpected InvAck");
-        t.pending_acks -= 1;
-        if t.pending_acks == 0 {
-            self.grant_after_invs(id, net, mem, now);
-        }
-    }
-
     fn on_evict(
         &mut self,
         from: CoreId,
         id: LineId,
         data: Option<Box<LineData>>,
+        lease: Option<Lease>,
         net: &mut Network,
         mem: &mut MainMemory,
     ) {
+        self.merge_lease(id, lease);
         if let Some(d) = data {
             self.stats.writebacks += 1;
             let line = self.lines.addr(id);
@@ -630,15 +608,10 @@ impl Directory {
         if e.owner == Some(from) {
             e.owner = None;
         }
-        e.remove_sharer(from);
     }
 
     /// Queues the requests that waited on the completed transaction for
-    /// replay, then releases the slab slot (its replay buffer keeps its
-    /// capacity for the next occupant). The memory system feeds the
-    /// replays back through [`Directory::handle`] in the same cycle, which
-    /// re-serializes them correctly if the first replay opens a new
-    /// transaction.
+    /// replay, then releases the slab slot.
     fn complete(&mut self, id: LineId) {
         let slot = self.trans_idx[id.index()];
         debug_assert_ne!(slot, NO_TRANS, "transaction open");
@@ -646,23 +619,26 @@ impl Directory {
         self.open_trans -= 1;
         let line = self.lines.addr(id);
         let t = self.trans.get_mut(slot);
-        while let Some((c, k, p)) = t.queued.pop_front() {
-            self.replays.push_back((c, line, k, p));
+        while let Some((c, k, p, pts)) = t.queued.pop_front() {
+            self.replays.push_back(Replay {
+                core: c,
+                line,
+                kind: k,
+                prefetch: p,
+                pts,
+            });
         }
         self.trans.release(slot);
     }
 
-    /// Pops the oldest pending replay (filled by `complete`) — the memory
-    /// system feeds each back through [`Directory::handle`] in the same
-    /// cycle. Popping one at a time is order-equivalent to draining the
-    /// batch: replays produced while handling one go behind the rest.
-    pub fn pop_replay(&mut self) -> Option<(CoreId, LineAddr, ReqKind, bool)> {
+    /// Pops the oldest pending replay (filled by `complete`).
+    pub fn pop_replay(&mut self) -> Option<Replay> {
         self.replays.pop_front()
     }
 
-    /// Takes pending replays (filled by `complete`) — batch form of
-    /// [`Directory::pop_replay`] for tests.
-    pub fn take_replays(&mut self) -> Vec<(CoreId, LineAddr, ReqKind, bool)> {
+    /// Takes pending replays — batch form of
+    /// [`TardisDirectory::pop_replay`] for tests.
+    pub fn take_replays(&mut self) -> Vec<Replay> {
         self.replays.drain(..).collect()
     }
 
@@ -676,25 +652,50 @@ impl Directory {
             *self.l3.data_mut(set, way) = *data;
             self.l3.touch(set, way);
         } else {
-            // L3 is write-through w.r.t. memory, so eviction is a silent
-            // drop and allocation never needs a write-back.
             let (set, way) = self.l3.insert(line);
             *self.l3.data_mut(set, way) = *data;
         }
     }
 }
 
-impl Schedulable for Directory {
+impl CoherenceBackend for TardisDirectory {
+    fn handle(&mut self, msg: Msg, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
+        TardisDirectory::handle(self, msg, net, mem, now)
+    }
+    fn tick(&mut self, net: &mut Network, mem: &mut MainMemory, now: Cycle) {
+        TardisDirectory::tick(self, net, mem, now)
+    }
+    fn idle(&self) -> bool {
+        TardisDirectory::idle(self)
+    }
+    fn next_dram_due(&self) -> Option<Cycle> {
+        TardisDirectory::next_dram_due(self)
+    }
+    fn open_transactions(&self) -> usize {
+        TardisDirectory::open_transactions(self)
+    }
+    fn debug_line(&self, line: LineAddr) -> String {
+        TardisDirectory::debug_line(self, line)
+    }
+    fn export_stats(&self) -> StatSet {
+        TardisDirectory::export_stats(self)
+    }
+    fn pop_replay(&mut self) -> Option<Replay> {
+        TardisDirectory::pop_replay(self)
+    }
+    fn trace_enable(&mut self, cap: usize) {
+        TardisDirectory::trace_enable(self, cap)
+    }
+    fn take_trace(&mut self) -> Vec<TraceRecord> {
+        TardisDirectory::take_trace(self)
+    }
+}
+
+impl Schedulable for TardisDirectory {
     fn next_work(&self, now: Cycle) -> Option<Cycle> {
-        // Replays are drained by the memory system within the same tick
-        // they are produced, so they are normally never pending between
-        // ticks; claim work defensively if any are.
         if !self.replays.is_empty() {
             return Some(now);
         }
-        // Open transactions advance only on inbound messages (tracked by
-        // the network) or DRAM completions; the tick itself only pops the
-        // DRAM queue.
         self.dram.next_due()
     }
 }
@@ -704,16 +705,14 @@ mod tests {
     use super::*;
     use tus_sim::SimRng;
 
-    fn setup(cores: usize) -> (Directory, Network, MainMemory) {
-        let dir = Directory::new(cores.max(3), 16, 4, 100, 4);
+    fn setup(cores: usize) -> (TardisDirectory, Network, MainMemory) {
+        let dir = TardisDirectory::new(cores.max(3), 16, 4, 100, 4);
         let net = Network::new(cores.max(3), crate::net::NetLatency { hop: 1 }, 0, SimRng::seed(1));
         (dir, net, MainMemory::new())
     }
 
-    /// Runs the clock forward, delivering directory-bound messages and
-    /// collecting core-bound ones.
     fn pump(
-        dir: &mut Directory,
+        dir: &mut TardisDirectory,
         net: &mut Network,
         mem: &mut MainMemory,
         until: u64,
@@ -726,13 +725,14 @@ mod tests {
             while let Some((_src, msg)) = net.recv(Node::Dir, now) {
                 dir.handle(msg, net, mem, now);
             }
-            for (c, l, k, p) in dir.take_replays() {
+            for r in dir.take_replays() {
                 dir.handle(
                     Msg::Req {
-                        core: c,
-                        line: l,
-                        kind: k,
-                        prefetch: p,
+                        core: r.core,
+                        line: r.line,
+                        kind: r.kind,
+                        prefetch: r.prefetch,
+                        pts: r.pts,
                     },
                     net,
                     mem,
@@ -748,151 +748,130 @@ mod tests {
         out
     }
 
-    fn req(core: u16, line: u64, kind: ReqKind) -> Msg {
+    fn req(core: u16, line: u64, kind: ReqKind, pts: u64) -> Msg {
         Msg::Req {
             core: CoreId::new(core),
             line: LineAddr::new(line),
             kind,
             prefetch: false,
+            pts,
         }
     }
 
     #[test]
-    fn first_gets_grants_exclusive_from_dram() {
+    fn gets_grants_shared_with_lease_past_requester_pts() {
         let (mut dir, mut net, mut mem) = setup(2);
         let mut d = [0u8; 64];
         d[0] = 9;
         mem.write(LineAddr::new(5), &d);
-        dir.handle(req(0, 5, ReqKind::GetS), &mut net, &mut mem, Cycle::ZERO);
+        dir.handle(req(0, 5, ReqKind::GetS, 7), &mut net, &mut mem, Cycle::ZERO);
         let msgs = pump(&mut dir, &mut net, &mut mem, 200, 3);
         assert_eq!(msgs.len(), 1);
-        let (to, m) = &msgs[0];
-        assert_eq!(*to, CoreId::new(0));
-        match m {
-            Msg::Grant { state, data, .. } => {
-                assert_eq!(*state, Mesi::Exclusive);
+        match &msgs[0].1 {
+            Msg::Grant { state, data, lease, .. } => {
+                assert_eq!(*state, Mesi::Shared);
                 assert_eq!(data.as_ref().expect("data")[0], 9);
+                let l = lease.expect("tardis grant carries a lease");
+                assert_eq!(l.rts, 7 + LEASE);
+                assert_eq!(l.wts, 0);
             }
             other => panic!("expected grant, got {other:?}"),
         }
-        assert_eq!(dir.stats.l3_misses, 1);
+        assert_eq!(dir.stats.lease_extends, 1);
         assert!(dir.idle());
     }
 
     #[test]
-    fn second_gets_grants_shared_from_l3() {
+    fn second_reader_needs_no_forward() {
         let (mut dir, mut net, mut mem) = setup(2);
-        dir.handle(req(0, 5, ReqKind::GetS), &mut net, &mut mem, Cycle::ZERO);
+        dir.handle(req(0, 5, ReqKind::GetS, 0), &mut net, &mut mem, Cycle::ZERO);
         pump(&mut dir, &mut net, &mut mem, 200, 3);
-        // Core 1 asks: owner is core 0 (E) -> forward downgrade.
-        dir.handle(req(1, 5, ReqKind::GetS), &mut net, &mut mem, Cycle::new(200));
+        // Unlike MESI (E-state owner -> Fwd Downgrade), a second reader is
+        // served straight from the home: no owner, no forward.
+        dir.handle(req(1, 5, ReqKind::GetS, 3), &mut net, &mut mem, Cycle::new(200));
         let msgs = pump(&mut dir, &mut net, &mut mem, 300, 3);
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(
+            &msgs[0],
+            (c, Msg::Grant { state: Mesi::Shared, .. }) if *c == CoreId::new(1)
+        ));
+        assert_eq!(dir.stats.fwds, 0);
+    }
+
+    #[test]
+    fn writer_gets_no_invalidations_and_inherits_reader_lease() {
+        let (mut dir, mut net, mut mem) = setup(3);
+        // Two readers lease the line.
+        dir.handle(req(0, 7, ReqKind::GetS, 4), &mut net, &mut mem, Cycle::ZERO);
+        dir.handle(req(1, 7, ReqKind::GetS, 20), &mut net, &mut mem, Cycle::new(1));
+        pump(&mut dir, &mut net, &mut mem, 200, 3);
+        // A writer asks: nobody is invalidated, and the granted pair tells
+        // it the latest outstanding lease it must write past.
+        dir.handle(req(2, 7, ReqKind::GetM, 0), &mut net, &mut mem, Cycle::new(200));
+        let msgs = pump(&mut dir, &mut net, &mut mem, 300, 3);
+        assert_eq!(msgs.len(), 1, "grant only — no Inv to either reader");
+        match &msgs[0] {
+            (c, Msg::Grant { state: Mesi::Modified, lease, data, .. }) => {
+                assert_eq!(*c, CoreId::new(2));
+                assert!(data.is_some(), "tardis has no permission-only upgrade");
+                assert_eq!(lease.expect("lease").rts, 20 + LEASE);
+            }
+            other => panic!("expected M grant, got {other:?}"),
+        }
+        assert_eq!(dir.stats.fwds, 0);
+    }
+
+    #[test]
+    fn owned_line_still_forwards_to_owner() {
+        let (mut dir, mut net, mut mem) = setup(2);
+        dir.handle(req(0, 11, ReqKind::GetM, 0), &mut net, &mut mem, Cycle::ZERO);
+        pump(&mut dir, &mut net, &mut mem, 200, 3);
+        dir.handle(req(1, 11, ReqKind::GetS, 6), &mut net, &mut mem, Cycle::new(200));
+        let msgs = pump(&mut dir, &mut net, &mut mem, 210, 3);
         assert!(matches!(
             &msgs[..],
             [(c, Msg::Fwd { kind: FwdKind::Downgrade, to_owner: true, .. })] if *c == CoreId::new(0)
         ));
-        assert_eq!(dir.stats.fwds, 1);
-    }
-
-    #[test]
-    fn getm_invalidates_sharers_then_grants_perm_only() {
-        let (mut dir, mut net, mut mem) = setup(3);
-        // Make cores 0 and 1 sharers, then let core 0 upgrade.
-        dir.handle(req(0, 7, ReqKind::GetS), &mut net, &mut mem, Cycle::ZERO);
-        pump(&mut dir, &mut net, &mut mem, 200, 3);
-        // Owner(E)=core0; core1 GetS forwards; have core0 answer.
-        dir.handle(req(1, 7, ReqKind::GetS), &mut net, &mut mem, Cycle::new(200));
-        let msgs = pump(&mut dir, &mut net, &mut mem, 210, 3);
-        assert_eq!(msgs.len(), 1); // the Fwd
-        dir.handle(
-            Msg::FwdResp {
-                core: CoreId::new(0),
-                line: LineAddr::new(7),
-                data: Some(Box::new([3u8; 64])),
-                relinquished: false,
-            },
-            &mut net,
-            &mut mem,
-            Cycle::new(210),
-        );
-        let msgs = pump(&mut dir, &mut net, &mut mem, 400, 3);
-        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(1)
-            && matches!(m, Msg::Grant { state: Mesi::Shared, .. })));
-        // Now core 0 (a sharer) upgrades: core 1 must get an Inv; grant is
-        // permission-only.
-        dir.handle(req(0, 7, ReqKind::GetM), &mut net, &mut mem, Cycle::new(400));
-        let msgs = pump(&mut dir, &mut net, &mut mem, 410, 3);
-        assert!(matches!(
-            &msgs[..],
-            [(c, Msg::Fwd { kind: FwdKind::Inv, to_owner: false, .. })] if *c == CoreId::new(1)
-        ));
-        dir.handle(
-            Msg::InvAck {
-                core: CoreId::new(1),
-                line: LineAddr::new(7),
-            },
-            &mut net,
-            &mut mem,
-            Cycle::new(410),
-        );
-        let msgs = pump(&mut dir, &mut net, &mut mem, 500, 3);
-        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(0)
-            && matches!(m, Msg::Grant { state: Mesi::Modified, data: None, .. })));
-        assert!(dir.idle());
-    }
-
-    #[test]
-    fn requests_to_busy_line_queue_and_replay() {
-        let (mut dir, mut net, mut mem) = setup(2);
-        dir.handle(req(0, 9, ReqKind::GetM), &mut net, &mut mem, Cycle::ZERO);
-        // Second request while the first is fetching from DRAM.
-        dir.handle(req(1, 9, ReqKind::GetM), &mut net, &mut mem, Cycle::new(1));
-        assert_eq!(dir.open_transactions(), 1);
-        let msgs = pump(&mut dir, &mut net, &mut mem, 150, 3);
-        // Core 0 granted M, then the replayed request forwards an Inv to
-        // core 0 on behalf of core 1.
-        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(0)
-            && matches!(m, Msg::Grant { state: Mesi::Modified, .. })));
-        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(0)
-            && matches!(m, Msg::Fwd { kind: FwdKind::Inv, to_owner: true, .. })));
-    }
-
-    #[test]
-    fn relinquished_gets_leaves_old_owner_without_copy() {
-        let (mut dir, mut net, mut mem) = setup(2);
-        dir.handle(req(0, 11, ReqKind::GetM), &mut net, &mut mem, Cycle::ZERO);
-        pump(&mut dir, &mut net, &mut mem, 200, 3);
-        dir.handle(req(1, 11, ReqKind::GetS), &mut net, &mut mem, Cycle::new(200));
-        pump(&mut dir, &mut net, &mut mem, 210, 3);
+        // Owner answers, reporting the timestamps it advanced to.
         dir.handle(
             Msg::FwdResp {
                 core: CoreId::new(0),
                 line: LineAddr::new(11),
                 data: Some(Box::new([5u8; 64])),
-                relinquished: true,
+                relinquished: false,
+                lease: Some(Lease { wts: 31, rts: 31 }),
             },
             &mut net,
             &mut mem,
             Cycle::new(210),
         );
         let msgs = pump(&mut dir, &mut net, &mut mem, 400, 3);
-        // Relinquished: old owner keeps nothing, so the requester is alone
-        // and gets Exclusive.
-        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(1)
-            && matches!(m, Msg::Grant { state: Mesi::Exclusive, .. })));
-        assert_eq!(dir.stats.relinquishes, 1);
+        match msgs
+            .iter()
+            .find(|(c, _)| *c == CoreId::new(1))
+            .map(|(_, m)| m)
+        {
+            Some(Msg::Grant { state: Mesi::Shared, lease, .. }) => {
+                // Lease extends past the merged wts, not just the pts.
+                assert_eq!(lease.expect("lease").rts, 31 + LEASE);
+                assert_eq!(lease.expect("lease").wts, 31);
+            }
+            other => panic!("expected shared grant, got {other:?}"),
+        }
+        assert_eq!(dir.stats.fwds, 1);
     }
 
     #[test]
-    fn evict_with_data_updates_memory() {
+    fn evict_merges_timestamps_and_updates_memory() {
         let (mut dir, mut net, mut mem) = setup(1);
-        dir.handle(req(0, 13, ReqKind::GetM), &mut net, &mut mem, Cycle::ZERO);
+        dir.handle(req(0, 13, ReqKind::GetM, 0), &mut net, &mut mem, Cycle::ZERO);
         pump(&mut dir, &mut net, &mut mem, 200, 3);
         dir.handle(
             Msg::Evict {
                 core: CoreId::new(0),
                 line: LineAddr::new(13),
                 data: Some(Box::new([0x77u8; 64])),
+                lease: Some(Lease { wts: 42, rts: 50 }),
             },
             &mut net,
             &mut mem,
@@ -900,13 +879,34 @@ mod tests {
         );
         assert_eq!(mem.read(LineAddr::new(13))[0], 0x77);
         assert_eq!(dir.stats.writebacks, 1);
-        // Next GetS hits L3, no DRAM.
-        let misses = dir.stats.l3_misses;
-        dir.handle(req(0, 13, ReqKind::GetS), &mut net, &mut mem, Cycle::new(201));
+        // Next reader's lease starts from the merged wts=42.
+        dir.handle(req(0, 13, ReqKind::GetS, 0), &mut net, &mut mem, Cycle::new(201));
         let msgs = pump(&mut dir, &mut net, &mut mem, 300, 3);
-        assert!(msgs
-            .iter()
-            .any(|(_, m)| matches!(m, Msg::Grant { state: Mesi::Exclusive, .. })));
-        assert_eq!(dir.stats.l3_misses, misses);
+        match msgs.last().map(|(_, m)| m) {
+            Some(Msg::Grant { lease, .. }) => {
+                let l = lease.expect("lease");
+                assert_eq!(l.wts, 42);
+                assert_eq!(l.rts, 52.max(42 + LEASE));
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queued_requests_replay_with_their_pts() {
+        let (mut dir, mut net, mut mem) = setup(2);
+        dir.handle(req(0, 9, ReqKind::GetM, 0), &mut net, &mut mem, Cycle::ZERO);
+        // Second request while the first is fetching from DRAM.
+        dir.handle(req(1, 9, ReqKind::GetS, 17), &mut net, &mut mem, Cycle::new(1));
+        assert_eq!(dir.open_transactions(), 1);
+        let msgs = pump(&mut dir, &mut net, &mut mem, 150, 3);
+        // Core 0 granted M; the replayed GetS then forwards a Downgrade to
+        // the new owner, carrying pts=17 in the reopened transaction.
+        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(0)
+            && matches!(m, Msg::Grant { state: Mesi::Modified, .. })));
+        assert!(msgs.iter().any(|(c, m)| *c == CoreId::new(0)
+            && matches!(m, Msg::Fwd { kind: FwdKind::Downgrade, to_owner: true, .. })));
+        let dbg = dir.debug_line(LineAddr::new(9));
+        assert!(dbg.contains("17"), "transaction should carry pts=17: {dbg}");
     }
 }

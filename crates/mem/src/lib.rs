@@ -10,8 +10,12 @@
 //!   eviction candidates).
 //! * [`msgs`] / [`net`] — coherence messages and the latency-modeling
 //!   interconnect with per-channel FIFO ordering.
-//! * [`dir`] — the full-map directory (home node) with an atomic
-//!   per-line transaction model, backed by the shared L3 and DRAM.
+//! * [`backend`] — the pluggable coherence-backend contract
+//!   ([`backend::CoherenceBackend`]) with two home-node implementations:
+//!   the paper's full-map MESI directory ([`backend::mesi`], an atomic
+//!   per-line transaction model backed by the shared L3 and DRAM) and a
+//!   Tardis-style logical-timestamp backend ([`backend::tardis`], leases
+//!   instead of invalidations).
 //! * [`mainmem`] — functional backing store.
 //! * [`prefetch`] — the baseline stream (stride) prefetcher and the SPB
 //!   page-burst store prefetcher.
@@ -25,8 +29,8 @@
 //! the `tus` crate; this crate exposes the mechanisms (unauthorized writes,
 //! combine-on-arrival, relinquish, external-conflict events) it drives.
 
+pub mod backend;
 pub mod cache;
-pub mod dir;
 pub mod line;
 pub mod mainmem;
 pub mod mesi;
@@ -36,12 +40,12 @@ pub mod percore;
 pub mod prefetch;
 pub mod system;
 
+pub use backend::{CoherenceBackend, DirBackend, Directory, Replay, TardisDirectory};
 pub use cache::{CacheArray, CacheLineState, L3Cache};
-pub use dir::Directory;
 pub use line::{ByteMask, LineData};
 pub use mainmem::MainMemory;
 pub use mesi::Mesi;
-pub use msgs::{CacheEvent, ConflictKind, FwdKind, Msg, ReqKind};
+pub use msgs::{CacheEvent, ConflictKind, FwdKind, Lease, Msg, ReqKind};
 pub use net::Network;
 pub use percore::{PrivateCache, ProbeResult, StoreAttemptClass, StoreWriteOutcome, UnauthAllocError};
 pub use system::{CoreMemSnapshot, MemDeadlockSnapshot, MemorySystem};

@@ -52,6 +52,22 @@ impl From<FwdKind> for ConflictKind {
     }
 }
 
+/// Per-line logical-timestamp pair carried by the Tardis backend.
+///
+/// `wts` is the logical time of the last write; `rts` is the end of the
+/// latest read lease. A reader at logical time `pts` may use a copy while
+/// `pts <= rts`; a writer must move to `rts + 1` before its store becomes
+/// visible. The MESI backend never attaches leases (`Option::None`
+/// everywhere), which keeps its wire traffic bit-identical to the
+/// pre-contract code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Logical time of the line's last write.
+    pub wts: u64,
+    /// End of the line's current read lease (inclusive).
+    pub rts: u64,
+}
+
 /// A message on the coherence interconnect.
 #[derive(Debug, Clone)]
 pub enum Msg {
@@ -66,6 +82,10 @@ pub enum Msg {
         /// Whether this is a prefetch (fills without waking waiters and
         /// may be dropped under pressure).
         prefetch: bool,
+        /// Requester's logical timestamp (Tardis only; 0 under MESI).
+        /// A GetS lease must extend past this value or the grant would be
+        /// unreadable on arrival; carrying it avoids renewal livelock.
+        pts: u64,
     },
     /// Directory → core: grant of permission (completion of a `Req`).
     Grant {
@@ -80,6 +100,8 @@ pub enum Msg {
         kind: ReqKind,
         /// Echo of the prefetch flag.
         prefetch: bool,
+        /// Tardis timestamps for the granted line (`None` under MESI).
+        lease: Option<Lease>,
     },
     /// Directory → owner core: act on behalf of another requester.
     Fwd {
@@ -105,6 +127,9 @@ pub enum Msg {
         /// its private L2, and the core keeps its unauthorized bytes
         /// locally for a later retry (paper Fig. 5, step 7–8).
         relinquished: bool,
+        /// The owner's view of the line's Tardis timestamps (`None` under
+        /// MESI); the directory merges these into its own entry.
+        lease: Option<Lease>,
     },
     /// Sharer core → directory: invalidation acknowledged.
     InvAck {
@@ -122,6 +147,9 @@ pub enum Msg {
         line: LineAddr,
         /// Dirty data, if any.
         data: Option<Box<LineData>>,
+        /// The evictor's view of the line's Tardis timestamps (`None`
+        /// under MESI).
+        lease: Option<Lease>,
     },
 }
 
@@ -217,6 +245,7 @@ mod tests {
                 line: l,
                 kind: ReqKind::GetS,
                 prefetch: false,
+                pts: 0,
             },
             Msg::Fwd {
                 line: l,

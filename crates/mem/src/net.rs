@@ -220,6 +220,7 @@ mod tests {
             line: LineAddr::new(line),
             kind: ReqKind::GetS,
             prefetch: false,
+            pts: 0,
         }
     }
 

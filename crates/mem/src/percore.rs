@@ -21,12 +21,15 @@
 
 use tus_sim::stats::names;
 use tus_sim::trace::{TraceEvent, TraceRecord, Tracer};
-use tus_sim::{Addr, CoreId, Cycle, DelayQueue, LineAddr, Schedulable, SimConfig, StatSet};
+use tus_sim::{
+    Addr, CoherenceKind, CoreId, Cycle, DelayQueue, FxHashMap, LineAddr, Schedulable, SimConfig,
+    StatSet,
+};
 
 use crate::cache::CacheArray;
 use crate::line::{combine, read_value, write_value, ByteMask, LineData};
 use crate::mesi::Mesi;
-use crate::msgs::{CacheEvent, ConflictKind, FwdKind, Msg, ReqKind};
+use crate::msgs::{CacheEvent, ConflictKind, FwdKind, Lease, Msg, ReqKind};
 use crate::net::{Network, Node};
 use crate::prefetch::StreamPrefetcher;
 
@@ -207,6 +210,12 @@ pub struct MemStats {
     pub relinquishes: u64,
     /// External requests delayed while a line was not visible (TUS).
     pub delayed_externals: u64,
+    /// Stale Tardis read grants re-requested with a newer logical clock
+    /// (diagnostics; always 0 under MESI and not exported).
+    pub lease_renewals: u64,
+    /// Shared copies dropped by Tardis lease expiry (self-downgrade;
+    /// always 0 under MESI and not exported).
+    pub lease_expiries: u64,
     /// Prefetch requests issued (stream + commit + SPB).
     pub prefetches: u64,
     /// Invalidations received.
@@ -235,6 +244,16 @@ pub struct PrivateCache {
     /// Scratch for processing a dead MSHR's waiters without holding a
     /// borrow on the slot array (swapped in and out, capacity retained).
     waiter_scratch: Vec<Waiter>,
+    /// Tardis mode: the backend runs logical-timestamp coherence. All
+    /// timestamp state below is dead (and stays 0/empty) under MESI.
+    tardis: bool,
+    /// This core's logical program timestamp (Tardis `pts`).
+    pts: u64,
+    /// Per-line `(wts, rts)` pairs for lines this hierarchy holds; the
+    /// local mirror of the lease each copy was granted under.
+    leases: FxHashMap<LineAddr, Lease>,
+    /// Scratch for the lease-expiry sweep (capacity retained).
+    expire_scratch: Vec<LineAddr>,
     tracer: Tracer,
     /// Counters.
     pub stats: MemStats,
@@ -285,9 +304,18 @@ impl PrivateCache {
             deferred_fwd: DelayQueue::new(),
             events: Vec::new(),
             waiter_scratch: Vec::new(),
+            tardis: cfg.coherence == CoherenceKind::Tardis,
+            pts: 0,
+            leases: FxHashMap::default(),
+            expire_scratch: Vec::new(),
             tracer: Tracer::default(),
             stats: MemStats::default(),
         }
+    }
+
+    /// This core's logical program timestamp (always 0 under MESI).
+    pub fn logical_ts(&self) -> u64 {
+        self.pts
     }
 
     /// Arms structured MESI-transition tracing with a ring of `cap`
@@ -587,6 +615,7 @@ impl PrivateCache {
             }
             if l.state.can_read() {
                 self.stats.l1d_load_hits += 1;
+                self.tardis_read_touch(line, now);
                 let v = read_value(self.l1d.data(set, way), waiter.offset, waiter.size);
                 self.l1d.touch(set, way);
                 self.complete_load(waiter.token, now + self.l1_lat, v);
@@ -609,6 +638,7 @@ impl PrivateCache {
         if let Some((s2, w2)) = self.l2.lookup(line) {
             if self.l2.way(s2, w2).state.can_read() {
                 self.stats.l2_load_hits += 1;
+                self.tardis_read_touch(line, now);
                 self.l2.touch(s2, w2);
                 let v = read_value(self.l2.data(s2, w2), waiter.offset, waiter.size);
                 self.fill_l1_from_l2(line);
@@ -631,6 +661,7 @@ impl PrivateCache {
                 line,
                 kind: ReqKind::GetS,
                 prefetch: false,
+                pts: self.pts,
             },
         );
     }
@@ -664,6 +695,7 @@ impl PrivateCache {
                 line,
                 kind: ReqKind::GetS,
                 prefetch: true,
+                pts: self.pts,
             },
         );
     }
@@ -704,6 +736,7 @@ impl PrivateCache {
                 line,
                 kind: ReqKind::GetM,
                 prefetch,
+                pts: self.pts,
             },
         );
         false
@@ -763,6 +796,7 @@ impl PrivateCache {
                 self.set_l2_state(line, Mesi::Modified);
                 self.stats.l1d_writes += 1;
                 self.stats.l1d_store_hits += 1;
+                self.tardis_store_visible(line, now);
                 return StoreWriteOutcome::Done;
             }
         } else if let Some((s2, w2)) = self.l2.lookup(line) {
@@ -780,6 +814,7 @@ impl PrivateCache {
                     self.set_l2_state(line, Mesi::Modified);
                     self.stats.l1d_writes += 1;
                     self.stats.l1d_store_hits += 1;
+                    self.tardis_store_visible(line, now);
                     return StoreWriteOutcome::Done;
                 }
                 // No L1D way could be claimed (fully pinned set): write
@@ -789,6 +824,7 @@ impl PrivateCache {
                 l2l.state = Mesi::Modified;
                 l2l.dirty = true;
                 self.stats.l1d_writes += 1;
+                self.tardis_store_visible(line, now);
                 return StoreWriteOutcome::Done;
             }
         }
@@ -940,6 +976,7 @@ impl PrivateCache {
                     line,
                     kind: ReqKind::GetM,
                     prefetch: false,
+                    pts: self.pts,
                 },
             );
         }
@@ -1019,6 +1056,7 @@ impl PrivateCache {
                     line,
                     kind: ReqKind::GetM,
                     prefetch: false,
+                    pts: self.pts,
                 },
             );
         }
@@ -1034,6 +1072,16 @@ impl PrivateCache {
     ///
     /// Panics if any coordinate is not an unauthorized, ready line.
     pub fn make_visible(&mut self, coords: &[(usize, usize)], now: Cycle, net: &mut Network) {
+        // The whole group flips at one logical instant (see
+        // `tardis_group_store_begin`); no-op under MESI.
+        if self.tardis {
+            let mut floor = 0u64;
+            for &(set, way) in coords {
+                let line = self.l1d.way(set, way).line;
+                floor = floor.max(self.tardis_lease(line).rts + 1);
+            }
+            self.tardis_advance_pts(floor, now);
+        }
         for &(set, way) in coords {
             let (prev, line) = {
                 let l = self.l1d.way_mut(set, way);
@@ -1048,6 +1096,11 @@ impl PrivateCache {
                 (prev, l.line)
             };
             self.trace_mesi(line, prev, Mesi::Modified, now);
+            // TUS × Tardis visibility rule: an unauthorized line's stores
+            // may not become visible at a logical time inside any read
+            // lease the line must respect — jump past the tracked rts and
+            // restamp the line at the writer's new logical time.
+            self.tardis_store_visible(line, now);
         }
         for &(set, way) in coords {
             // All flips precede all answers (a delayed external on one
@@ -1105,6 +1158,8 @@ impl PrivateCache {
         // remote writer will change the base bytes.
         self.events.push(CacheEvent::Invalidated { line });
         let _ = f;
+        let lease = self.lease_for_msg(line);
+        self.leases.remove(&line);
         net.send(
             Node::Core(self.core),
             Node::Dir,
@@ -1114,6 +1169,7 @@ impl PrivateCache {
                 line,
                 data: Some(old),
                 relinquished: true,
+                lease,
             },
         );
     }
@@ -1138,6 +1194,7 @@ impl PrivateCache {
                 line,
                 kind: ReqKind::GetM,
                 prefetch: false,
+                pts: self.pts,
             },
         );
         true
@@ -1151,8 +1208,13 @@ impl PrivateCache {
     pub fn handle_msg(&mut self, msg: Msg, now: Cycle, net: &mut Network) {
         match msg {
             Msg::Grant {
-                line, state, data, ..
-            } => self.on_grant(line, state, data, now, net),
+                line,
+                state,
+                data,
+                kind,
+                prefetch,
+                lease,
+            } => self.on_grant(line, state, data, kind, prefetch, lease, now, net),
             Msg::Fwd {
                 line,
                 kind,
@@ -1162,15 +1224,55 @@ impl PrivateCache {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_grant(
         &mut self,
         line: LineAddr,
         state: Mesi,
         data: Option<Box<LineData>>,
+        kind: ReqKind,
+        prefetch: bool,
+        lease: Option<Lease>,
         now: Cycle,
         net: &mut Network,
     ) {
         self.mshr_remove_into_scratch(line);
+        // Tardis staleness gate: a read grant whose lease already ended
+        // before this core's clock must not bind — a write the reader is
+        // ordered after could carry `wts <= pts` without being in this
+        // data. Re-issue the GetS with the current `pts` (the home will
+        // extend the lease past it); the merged demand waiters stay
+        // parked on the fresh MSHR. Write grants are exempt: the owner
+        // may read its own modified copy at any clock.
+        if self.tardis && kind == ReqKind::GetS {
+            let stale = lease.is_some_and(|l| l.rts < self.pts);
+            if stale {
+                if let Some(d) = data {
+                    net.recycle_data(d);
+                }
+                if prefetch && self.waiter_scratch.is_empty() {
+                    // A stale prefetch is simply dropped.
+                    return;
+                }
+                self.stats.lease_renewals += 1;
+                let i = self.mshr_insert(line, ReqKind::GetS, prefetch);
+                std::mem::swap(&mut self.outstanding[i].waiters, &mut self.waiter_scratch);
+                net.send(
+                    Node::Core(self.core),
+                    Node::Dir,
+                    now,
+                    Msg::Req {
+                        core: self.core,
+                        line,
+                        kind: ReqKind::GetS,
+                        prefetch,
+                        pts: self.pts,
+                    },
+                );
+                return;
+            }
+        }
+        self.tardis_record_lease(line, lease);
         let prev = self
             .l1d
             .lookup(line)
@@ -1215,6 +1317,7 @@ impl PrivateCache {
                 // than the store (younger loads are captured by SB/WCB/
                 // unauthorized-line forwarding at issue): they must read
                 // the PRE-store copy, which the L2 now holds.
+                self.tardis_read_touch(line, now);
                 let ws = std::mem::take(&mut self.waiter_scratch);
                 for w in &ws {
                     let v = self
@@ -1262,6 +1365,9 @@ impl PrivateCache {
                     l.granted_at = now;
                 }
             }
+        }
+        if !self.waiter_scratch.is_empty() {
+            self.tardis_read_touch(line, now);
         }
         let ws = std::mem::take(&mut self.waiter_scratch);
         for w in &ws {
@@ -1323,6 +1429,170 @@ impl PrivateCache {
         0
     }
 
+    // ------------------------------------------------------------------
+    // Tardis logical-timestamp bookkeeping (all no-ops under MESI)
+    // ------------------------------------------------------------------
+
+    /// The lease this hierarchy holds for `line` (0,0 when untracked).
+    #[inline]
+    fn tardis_lease(&self, line: LineAddr) -> Lease {
+        self.leases
+            .get(&line)
+            .copied()
+            .unwrap_or(Lease { wts: 0, rts: 0 })
+    }
+
+    /// The lease to report to the directory on FwdResp/Evict messages.
+    #[inline]
+    fn lease_for_msg(&self, line: LineAddr) -> Option<Lease> {
+        if self.tardis {
+            self.leases.get(&line).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Records the lease a grant arrived with (component-wise max against
+    /// anything already tracked).
+    fn tardis_record_lease(&mut self, line: LineAddr, lease: Option<Lease>) {
+        if !self.tardis {
+            return;
+        }
+        let Some(l) = lease else { return };
+        let e = self.leases.entry(line).or_insert(Lease { wts: 0, rts: 0 });
+        e.wts = e.wts.max(l.wts);
+        e.rts = e.rts.max(l.rts);
+    }
+
+    /// Advances `pts` on a read of `line` (a read observes the line's
+    /// last write, so the clock moves to at least `wts`).
+    #[inline]
+    fn tardis_read_touch(&mut self, line: LineAddr, now: Cycle) {
+        if self.tardis {
+            let wts = self.tardis_lease(line).wts;
+            self.tardis_advance_pts(wts, now);
+        }
+    }
+
+    /// The TUS × Tardis visibility rule — the unauthorized-line/lease
+    /// interaction this backend exists to study: a store (a visibility
+    /// flip included) may not land at a logical time covered by any read
+    /// lease the line must respect, so the writer jumps to
+    /// `pts = max(pts, rts + 1)` and restamps the line `(wts, rts) =
+    /// (pts, pts)`. Called on every path that makes bytes visible to
+    /// coherence.
+    fn tardis_store_visible(&mut self, line: LineAddr, now: Cycle) {
+        if !self.tardis {
+            return;
+        }
+        let rts = self.tardis_lease(line).rts;
+        self.tardis_advance_pts(rts + 1, now);
+        let pts = self.pts;
+        self.leases.insert(line, Lease { wts: pts, rts: pts });
+    }
+
+    /// Whether this controller runs the Tardis timestamp backend. The
+    /// system tick uses this to deliver expiry-sweep events generated by
+    /// the store drain in the *same* cycle (before commit); MESI keeps
+    /// its original one-cycle event delivery.
+    pub fn is_tardis(&self) -> bool {
+        self.tardis
+    }
+
+    /// TUS × Tardis atomic-group rule: a fused store group becomes
+    /// visible at *one* logical instant, so before any member is written
+    /// the clock jumps past every member line's read lease; the per-line
+    /// restamps that follow all land at the same `pts`. Stamping members
+    /// sequentially instead would place early members at a logical time
+    /// *before* older stores that fused later members into the group —
+    /// exactly the coalescing reordering TSO forbids (a reader could then
+    /// observe the merged value of an early member while a lease still
+    /// entitles it to pre-group values of a later member).
+    pub fn tardis_group_store_begin<I>(&mut self, lines: I, now: Cycle)
+    where
+        I: IntoIterator<Item = LineAddr>,
+    {
+        if !self.tardis {
+            return;
+        }
+        let mut floor = 0u64;
+        for line in lines {
+            floor = floor.max(self.tardis_lease(line).rts + 1);
+        }
+        self.tardis_advance_pts(floor, now);
+    }
+
+    /// Advances the logical clock to `candidate` (if ahead) and performs
+    /// the **eager self-downgrade sweep**: every plain shared copy whose
+    /// lease ended before the new `pts` is dropped *now*, emitting
+    /// [`CacheEvent::Invalidated`] so speculatively bound loads replay.
+    ///
+    /// Eagerness is load-bearing for TSO: Tardis sends no invalidations,
+    /// so an expired copy that lingered would never trigger the machine
+    /// clear that x86-style load→load ordering relies on. Expiring at the
+    /// clock edge reuses the exact replay machinery invalidations drive
+    /// under MESI.
+    fn tardis_advance_pts(&mut self, candidate: u64, now: Cycle) {
+        if !self.tardis || candidate <= self.pts {
+            return;
+        }
+        self.pts = candidate;
+        let mut expired = std::mem::take(&mut self.expire_scratch);
+        expired.clear();
+        expired.extend(
+            self.leases
+                .iter()
+                .filter(|(_, l)| l.rts < self.pts)
+                .map(|(&line, _)| line),
+        );
+        // Deterministic sweep order regardless of hash-map iteration.
+        expired.sort_by_key(|l| l.raw());
+        for &line in &expired {
+            self.tardis_expire(line, now);
+        }
+        self.expire_scratch = expired;
+    }
+
+    /// Drops one expired copy, unless the line is exempt: owned (M/E —
+    /// the owner is the timestamp authority and never self-downgrades),
+    /// unauthorized or locked (woven into the TUS machinery), or mid-
+    /// upgrade (an MSHR in flight will refresh the lease on grant).
+    fn tardis_expire(&mut self, line: LineAddr, now: Cycle) {
+        if self.hierarchy_writable(line) {
+            // Owned copies never expire; refresh the tracked pair so the
+            // sweep does not flag them again.
+            if let Some(l) = self.leases.get_mut(&line) {
+                l.rts = l.rts.max(self.pts);
+            }
+            return;
+        }
+        let unauth_or_locked = self.l1d.lookup(line).is_some_and(|(s, w)| {
+            let l = self.l1d.way(s, w);
+            l.unauth || l.locked
+        });
+        if unauth_or_locked || self.mshr_contains(line) {
+            return;
+        }
+        let mut held = false;
+        if let Some((s, w)) = self.l1d.lookup(line) {
+            let prev = self.l1d.way(s, w).state;
+            self.trace_mesi(line, prev, Mesi::Invalid, now);
+            self.l1d.way_mut(s, w).clear();
+            held = true;
+        }
+        if let Some((s, w)) = self.l2.lookup(line) {
+            self.l2.way_mut(s, w).clear();
+            held = true;
+        }
+        self.leases.remove(&line);
+        if held {
+            // Semantically a silent PutS: the home tracks no sharers, so
+            // no message is sent — only the local replay machinery fires.
+            self.stats.lease_expiries += 1;
+            self.events.push(CacheEvent::Invalidated { line });
+        }
+    }
+
     /// Grant-hold window in cycles: an external request arriving within
     /// this many cycles of the line's grant is deferred so the local
     /// drain performs at least one write per acquisition (prevents
@@ -1381,6 +1651,7 @@ impl PrivateCache {
                 }
                 self.events.push(CacheEvent::Invalidated { line });
                 self.respond_fwd(line, None, to_owner, now, net);
+                self.leases.remove(&line);
                 return;
             }
         }
@@ -1421,6 +1692,7 @@ impl PrivateCache {
                     self.events.push(CacheEvent::Invalidated { line });
                 }
                 self.respond_fwd(line, data, f.to_owner, now, net);
+                self.leases.remove(&line);
             }
             FwdKind::Downgrade => {
                 if let Some((s, w)) = l1 {
@@ -1452,6 +1724,7 @@ impl PrivateCache {
                 line,
                 data,
                 relinquished: false,
+                lease: self.lease_for_msg(line),
             }
         } else {
             Msg::InvAck {
@@ -1607,6 +1880,8 @@ impl PrivateCache {
             } else {
                 None
             };
+            let lease = self.lease_for_msg(line);
+            self.leases.remove(&line);
             net.send(
                 Node::Core(self.core),
                 Node::Dir,
@@ -1615,8 +1890,11 @@ impl PrivateCache {
                     core: self.core,
                     line,
                     data: payload,
+                    lease,
                 },
             );
+        } else if self.tardis {
+            self.leases.remove(&line);
         }
     }
 

@@ -1,15 +1,16 @@
 //! The assembled memory system.
 //!
-//! [`MemorySystem`] owns one [`PrivateCache`] per core, the
-//! [`Directory`], the [`Network`] and [`MainMemory`], and advances them one
-//! cycle at a time. The policy layer (the `tus` crate) drives the per-core
-//! controllers between ticks and consumes their events.
+//! [`MemorySystem`] owns one [`PrivateCache`] per core, the coherence
+//! backend ([`DirBackend`], selected by `cfg.coherence`), the [`Network`]
+//! and [`MainMemory`], and advances them one cycle at a time. The policy
+//! layer (the `tus` crate) drives the per-core controllers between ticks
+//! and consumes their events.
 
 use tus_sim::sched::earliest;
 use tus_sim::trace::TraceRecord;
-use tus_sim::{CoreId, Cycle, Schedulable, SimConfig, SimRng, StatSet};
+use tus_sim::{CoherenceKind, CoreId, Cycle, Schedulable, SimConfig, SimRng, StatSet};
 
-use crate::dir::Directory;
+use crate::backend::{DirBackend, Directory, TardisDirectory};
 use crate::mainmem::MainMemory;
 use crate::msgs::{CacheEvent, Msg};
 use crate::net::{NetLatency, Network};
@@ -78,8 +79,8 @@ impl std::fmt::Display for MemDeadlockSnapshot {
 pub struct MemorySystem {
     /// Per-core private cache controllers.
     pub ctrls: Vec<PrivateCache>,
-    /// The directory / shared LLC.
-    pub dir: Directory,
+    /// The coherence home node / shared LLC.
+    pub dir: DirBackend,
     /// The interconnect.
     pub net: Network,
     /// Functional backing store.
@@ -102,13 +103,22 @@ impl MemorySystem {
         let ctrls = (0..cfg.cores)
             .map(|i| PrivateCache::new(CoreId::new(i as u16), cfg))
             .collect();
-        let dir = Directory::new(
-            cfg.cores,
-            cfg.mem.l3.sets(),
-            cfg.mem.l3.ways,
-            cfg.mem.dram_latency,
-            cfg.mem.dram_max_inflight,
-        );
+        let dir = match cfg.coherence {
+            CoherenceKind::Mesi => DirBackend::Mesi(Directory::new(
+                cfg.cores,
+                cfg.mem.l3.sets(),
+                cfg.mem.l3.ways,
+                cfg.mem.dram_latency,
+                cfg.mem.dram_max_inflight,
+            )),
+            CoherenceKind::Tardis => DirBackend::Tardis(TardisDirectory::new(
+                cfg.cores,
+                cfg.mem.l3.sets(),
+                cfg.mem.l3.ways,
+                cfg.mem.dram_latency,
+                cfg.mem.dram_max_inflight,
+            )),
+        };
         let net = Network::new(
             cfg.cores,
             NetLatency::from_round_trips(cfg.mem.l2.latency, cfg.mem.l3.latency),
@@ -147,13 +157,14 @@ impl MemorySystem {
         // Popping one at a time preserves the drain order of the old
         // batch-take loop (new replays enqueue at the back) without
         // materializing a Vec per batch.
-        while let Some((core, line, kind, prefetch)) = self.dir.pop_replay() {
+        while let Some(r) = self.dir.pop_replay() {
             self.dir.handle(
                 Msg::Req {
-                    core,
-                    line,
-                    kind,
-                    prefetch,
+                    core: r.core,
+                    line: r.line,
+                    kind: r.kind,
+                    prefetch: r.prefetch,
+                    pts: r.pts,
                 },
                 &mut self.net,
                 &mut self.memory,

@@ -116,6 +116,60 @@ impl Default for KernelKind {
     }
 }
 
+/// Which coherence backend the memory fabric runs.
+///
+/// The private-cache controllers talk to the fabric through the
+/// `CoherenceBackend` contract in `tus-mem`; this selector picks the
+/// implementation behind it. `Mesi` is the paper's invalidation-based
+/// full-map directory (the reference backend, bit-identical to the
+/// pre-contract code). `Tardis` is a Tardis-2.0-style logical-timestamp
+/// backend: reads take bounded leases, writes jump the writer's logical
+/// time past every outstanding lease, and no invalidation messages are
+/// ever sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoherenceKind {
+    /// Invalidation-based full-map MESI directory (the reference).
+    Mesi,
+    /// Timestamp-coherence backend: lease-based reads, no invalidations,
+    /// self-downgrade on lease expiry.
+    Tardis,
+}
+
+impl CoherenceKind {
+    /// Every backend, MESI (the reference) first.
+    pub const ALL: [CoherenceKind; 2] = [CoherenceKind::Mesi, CoherenceKind::Tardis];
+
+    /// Short label used in flags and cache keys ("mesi", "tardis").
+    pub fn label(self) -> &'static str {
+        match self {
+            CoherenceKind::Mesi => "mesi",
+            CoherenceKind::Tardis => "tardis",
+        }
+    }
+
+    /// Parses a `--coherence` flag value.
+    pub fn parse(s: &str) -> Option<CoherenceKind> {
+        match s {
+            "mesi" => Some(CoherenceKind::Mesi),
+            "tardis" => Some(CoherenceKind::Tardis),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CoherenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Default for CoherenceKind {
+    /// [`CoherenceKind::Mesi`], matching [`SimConfig`]'s default.
+    fn default() -> Self {
+        CoherenceKind::Mesi
+    }
+}
+
 /// Front-end widths (instructions per cycle).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrontEndConfig {
@@ -404,6 +458,8 @@ pub struct SimConfig {
     /// Simulation kernel (event-driven by default; every kernel is
     /// statistic-for-statistic identical).
     pub kernel: KernelKind,
+    /// Coherence backend (MESI full-map directory by default).
+    pub coherence: CoherenceKind,
 }
 
 impl Default for SimConfig {
@@ -419,6 +475,7 @@ impl Default for SimConfig {
             policy: PolicyKind::Baseline,
             chaos_jitter: 0,
             kernel: KernelKind::Event,
+            coherence: CoherenceKind::Mesi,
         }
     }
 }
@@ -639,6 +696,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects the coherence backend (MESI directory or Tardis
+    /// timestamps).
+    pub fn coherence(&mut self, c: CoherenceKind) -> &mut Self {
+        self.cfg.coherence = c;
+        self
+    }
+
     /// Shrinks the caches (useful for unit tests that want misses and
     /// evictions without large footprints). Divides every cache size by
     /// `factor`, keeping associativity.
@@ -725,6 +789,7 @@ mod tests {
             .stream_prefetcher(false)
             .chaos_jitter(3)
             .kernel(KernelKind::Lockstep)
+            .coherence(CoherenceKind::Tardis)
             .build();
         assert_eq!(c.cores, 16);
         assert_eq!(c.sb.entries, 32);
@@ -737,6 +802,7 @@ mod tests {
         assert!(!c.mem.stream_prefetcher);
         assert_eq!(c.chaos_jitter, 3);
         assert_eq!(c.kernel, KernelKind::Lockstep);
+        assert_eq!(c.coherence, CoherenceKind::Tardis);
     }
 
     #[test]
@@ -746,6 +812,15 @@ mod tests {
             assert_eq!(KernelKind::parse(k.label()), Some(k));
         }
         assert_eq!(KernelKind::parse("warp"), None);
+    }
+
+    #[test]
+    fn coherence_labels_roundtrip() {
+        assert_eq!(SimConfig::default().coherence, CoherenceKind::Mesi);
+        for c in CoherenceKind::ALL {
+            assert_eq!(CoherenceKind::parse(c.label()), Some(c));
+        }
+        assert_eq!(CoherenceKind::parse("moesi"), None);
     }
 
     #[test]

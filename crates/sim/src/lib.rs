@@ -49,7 +49,7 @@ pub mod trace;
 pub mod types;
 
 pub use calendar::Calendar;
-pub use config::{KernelKind, PolicyKind, SimConfig, SimConfigBuilder};
+pub use config::{CoherenceKind, KernelKind, PolicyKind, SimConfig, SimConfigBuilder};
 pub use sched::Schedulable;
 pub use event::DelayQueue;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 
 use tus::{DeadlockReport, System};
 use tus_cpu::{TraceInst, VecTrace};
-use tus_sim::{Addr, KernelKind, PolicyKind, SimConfig, SimRng};
+use tus_sim::{Addr, CoherenceKind, KernelKind, PolicyKind, SimConfig, SimRng};
 
 use crate::prog::{LOp, Outcome, Program};
 use crate::refmodel::tso_outcomes;
@@ -113,6 +113,21 @@ pub fn try_run_once_at_kernel(
     seed: u64,
     kernel: KernelKind,
 ) -> RunVerdict {
+    try_run_once_matrix(prog, addrs, policy, seed, kernel, CoherenceKind::default())
+}
+
+/// [`try_run_once_at_kernel`] under an explicit coherence backend — the
+/// full point in the policy × kernel × backend conformance matrix.
+/// TSO-allowed outcome sets must not depend on the backend either: a
+/// Tardis lease is a *visibility* mechanism, not a memory-model change.
+pub fn try_run_once_matrix(
+    prog: &Program,
+    addrs: &[Addr],
+    policy: PolicyKind,
+    seed: u64,
+    kernel: KernelKind,
+    coherence: CoherenceKind,
+) -> RunVerdict {
     assert!(
         addrs.len() >= prog.locations(),
         "address map covers every location"
@@ -125,6 +140,7 @@ pub fn try_run_once_at_kernel(
         .chaos_jitter(1 + (seed % 24))
         .scale_caches_down(64)
         .kernel(kernel)
+        .coherence(coherence)
         .build();
     let max_pad = seed % 5;
     let traces: Vec<Box<dyn tus_cpu::TraceSource>> = prog
@@ -256,12 +272,24 @@ pub fn check_conformance_at_kernel(
     seeds: u64,
     kernel: KernelKind,
 ) -> ConformanceReport {
+    check_conformance_matrix(prog, addrs, policy, seeds, kernel, CoherenceKind::default())
+}
+
+/// [`check_conformance_at_kernel`] under an explicit coherence backend.
+pub fn check_conformance_matrix(
+    prog: &Program,
+    addrs: &[Addr],
+    policy: PolicyKind,
+    seeds: u64,
+    kernel: KernelKind,
+    coherence: CoherenceKind,
+) -> ConformanceReport {
     let allowed = tso_outcomes(prog);
     let mut observed = BTreeSet::new();
     let mut timeouts = Vec::new();
     let mut truncated_seeds = Vec::new();
     for seed in 0..seeds {
-        match try_run_once_at_kernel(prog, addrs, policy, seed, kernel) {
+        match try_run_once_matrix(prog, addrs, policy, seed, kernel, coherence) {
             RunVerdict::Outcome(o) => {
                 observed.insert(o);
             }
@@ -343,6 +371,36 @@ mod tests {
                     lock.observed, skip.observed,
                     "{} ({policy:?}): kernels observed different outcome sets",
                     t.name
+                );
+            }
+        }
+    }
+
+    /// The Tardis backend conforms on the two most famous litmus shapes
+    /// under both the baseline and TUS drain policies — leases and
+    /// self-downgrades must never manufacture a non-TSO outcome.
+    #[test]
+    fn tardis_backend_conforms_on_sb_and_mp() {
+        for t in all_litmus_tests()
+            .into_iter()
+            .filter(|t| t.name == "SB" || t.name == "MP")
+        {
+            for policy in [PolicyKind::Baseline, PolicyKind::Tus] {
+                let addrs = default_addrs(&t.program);
+                let r = check_conformance_matrix(
+                    &t.program,
+                    &addrs,
+                    policy,
+                    10,
+                    KernelKind::default(),
+                    CoherenceKind::Tardis,
+                );
+                assert!(
+                    r.conforms(),
+                    "{} ({policy:?}) under tardis: violations {:?}, timeouts {}",
+                    t.name,
+                    r.violations,
+                    r.timeouts.len()
                 );
             }
         }

@@ -15,9 +15,9 @@
 //! Everything is deterministic in the base seed, so a CI failure is
 //! replayable bit-for-bit from its corpus file.
 
-use tus_sim::{Addr, KernelKind, PolicyKind, SimRng};
+use tus_sim::{Addr, CoherenceKind, KernelKind, PolicyKind, SimRng};
 
-use crate::conformance::{check_conformance_at_kernel, default_addrs};
+use crate::conformance::{check_conformance_matrix, default_addrs};
 use crate::prog::{LOp, Loc, Outcome, Program, Thread};
 
 /// Maximum threads per generated program (one simulator core each).
@@ -218,8 +218,20 @@ pub fn check_policy_kernel(
     seeds: u64,
     kernel: KernelKind,
 ) -> Option<CaseFailure> {
+    check_policy_matrix(case, policy, seeds, kernel, CoherenceKind::default())
+}
+
+/// [`check_policy_kernel`] under an explicit coherence backend — one
+/// point of the policy × kernel × backend differential matrix.
+pub fn check_policy_matrix(
+    case: &FuzzCase,
+    policy: PolicyKind,
+    seeds: u64,
+    kernel: KernelKind,
+    coherence: CoherenceKind,
+) -> Option<CaseFailure> {
     let report =
-        check_conformance_at_kernel(&case.program, &case.addrs, policy, seeds, kernel);
+        check_conformance_matrix(&case.program, &case.addrs, policy, seeds, kernel, coherence);
     if let Some(o) = report.violations.first() {
         return Some(CaseFailure {
             policy,
@@ -251,9 +263,20 @@ pub fn check_case(case: &FuzzCase, seeds: u64) -> Option<CaseFailure> {
 
 /// [`check_case`] under an explicit simulation kernel.
 pub fn check_case_kernel(case: &FuzzCase, seeds: u64, kernel: KernelKind) -> Option<CaseFailure> {
+    check_case_matrix(case, seeds, kernel, CoherenceKind::default())
+}
+
+/// [`check_case_kernel`] under an explicit coherence backend: all five
+/// drain policies, one kernel, one backend.
+pub fn check_case_matrix(
+    case: &FuzzCase,
+    seeds: u64,
+    kernel: KernelKind,
+    coherence: CoherenceKind,
+) -> Option<CaseFailure> {
     PolicyKind::ALL
         .iter()
-        .find_map(|&p| check_policy_kernel(case, p, seeds, kernel))
+        .find_map(|&p| check_policy_matrix(case, p, seeds, kernel, coherence))
 }
 
 /// Drops threads that became empty and compacts location indices,
@@ -337,6 +360,26 @@ fn merge_locs(case: &FuzzCase, from: usize, to: usize) -> FuzzCase {
 /// Panics if `case` does not actually fail `check_policy` (shrinking
 /// needs a reproducible failure as its predicate).
 pub fn shrink_case(case: &FuzzCase, policy: PolicyKind, seeds: u64) -> (FuzzCase, CaseFailure) {
+    shrink_case_matrix(case, policy, seeds, KernelKind::default(), CoherenceKind::default())
+}
+
+/// [`shrink_case`] at an explicit (kernel, backend) matrix point, so a
+/// failure found under e.g. the Tardis backend is shrunk against the
+/// same machine that produced it.
+///
+/// # Panics
+///
+/// Panics if `case` does not fail at the given matrix point.
+pub fn shrink_case_matrix(
+    case: &FuzzCase,
+    policy: PolicyKind,
+    seeds: u64,
+    kernel: KernelKind,
+    coherence: CoherenceKind,
+) -> (FuzzCase, CaseFailure) {
+    let check_policy = |case: &FuzzCase, policy: PolicyKind, seeds: u64| {
+        check_policy_matrix(case, policy, seeds, kernel, coherence)
+    };
     let mut cur = normalize(case);
     let mut fail = check_policy(&cur, policy, seeds).expect("shrink input must fail");
     loop {
@@ -652,6 +695,24 @@ mod tests {
             let case = generate_case(&mut rng);
             let fail = check_case(&case, 3);
             assert!(fail.is_none(), "case {i} failed: {}\n{case}", fail.expect("some"));
+        }
+    }
+
+    /// A handful of generated cases pass the differential check on the
+    /// Tardis backend too (smoke; the full policy × backend sweep is the
+    /// harness `fuzz --coherence tardis` subcommand).
+    #[test]
+    fn small_differential_sweep_is_clean_under_tardis() {
+        let mut rng = SimRng::seed(0xF00D);
+        for i in 0..4 {
+            let case = generate_case(&mut rng);
+            let fail =
+                check_case_matrix(&case, 3, KernelKind::default(), CoherenceKind::Tardis);
+            assert!(
+                fail.is_none(),
+                "case {i} failed under tardis: {}\n{case}",
+                fail.expect("some")
+            );
         }
     }
 
