@@ -1,0 +1,622 @@
+//! The `tus-harness check` subcommand: bounded exhaustive model checking.
+//!
+//! Drives [`tus_tso::check`] from the command line: collects programs
+//! from the persisted fuzz corpus (`--corpus DIR`), the litmus library
+//! (`--litmus all|NAME[,NAME]`) and/or a seeded generator sweep
+//! (`--fuzz N`), and checks each one — every policy's observable machine
+//! enumerated exhaustively and diffed against the x86-TSO reference set
+//! with exact equality, plus a sampled simulator cross-check.
+//!
+//! Programs over the `--max-threads`/`--max-ops`/`--max-states` bounds
+//! come back as structured `bound exceeded` lines (reported, counted,
+//! never fatal). Violations are shrunk through the same shrinker the
+//! fuzzer uses ([`tus_tso::fuzz::shrink_with`]) and persisted under
+//! `<out>/fuzz-corpus/` in the corpus text format, so
+//! `tus-harness fuzz --replay FILE` re-runs them on the real simulator.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use tus_sim::{CoherenceKind, KernelKind, PolicyKind, SimRng};
+use tus_tso::check::{check_program_policies, CheckConfig, CheckOutcome, CheckReport, CheckStats};
+use tus_tso::fuzz::{decode_case, encode_case, generate_case, shrink_with, FuzzCase};
+use tus_tso::conformance::default_addrs;
+use tus_tso::litmus::all_litmus_tests;
+
+use crate::executor::Executor;
+
+/// Timing-seed count recorded in persisted check repros — generous, so a
+/// later `fuzz --replay` gives the simulator a real chance to wander
+/// into the model-found divergence.
+const REPRO_SEEDS: u64 = 64;
+
+/// Parsed `check` subcommand options.
+#[derive(Debug)]
+pub struct CheckOptions {
+    /// Directory of corpus files to check (every `*.txt` inside).
+    pub corpus: Option<PathBuf>,
+    /// Litmus selection: `all` or comma-separated test names.
+    pub litmus: Option<String>,
+    /// Generated programs to check (rejection-sampled to the bounds).
+    pub fuzz: u64,
+    /// Base seed for the generated programs.
+    pub base_seed: u64,
+    /// Exploration bounds and toggles.
+    pub config: CheckConfig,
+    /// Restrict to one policy (default: all five).
+    pub policy: Option<PolicyKind>,
+    /// Print the per-policy exploration statistics table.
+    pub stats: bool,
+    /// Output directory; repro files land in `<out>/fuzz-corpus/`.
+    pub out: PathBuf,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Whether to shrink violations before persisting (`--no-shrink`).
+    pub shrink: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            corpus: None,
+            litmus: None,
+            fuzz: 0,
+            base_seed: 0,
+            config: CheckConfig::default(),
+            policy: None,
+            stats: false,
+            out: PathBuf::from("results"),
+            jobs: Executor::default_jobs(),
+            shrink: true,
+        }
+    }
+}
+
+fn check_usage() -> ! {
+    eprintln!(
+        "usage: tus-harness check [--corpus DIR] [--litmus all|NAME[,NAME]] [--fuzz N] [--seed N]\n\
+         \x20                       [--max-threads N] [--max-ops N] [--max-states N] [--seeds N]\n\
+         \x20                       [--no-reduction] [--no-lazy] [--stats] [--policy P]\n\
+         \x20                       [--kernel K] [--coherence C] [--out DIR] [--jobs N] [--no-shrink]\n\
+         enumerates every reachable outcome of each policy's observable semantics\n\
+         for the selected programs and requires exact equality with the x86-TSO\n\
+         reference set (defaults: --max-threads 3 --max-ops 8, litmus bounds are\n\
+         auto-raised to cover the library); violations are shrunk and persisted\n\
+         under <out>/fuzz-corpus/ for `fuzz --replay`"
+    );
+    std::process::exit(2);
+}
+
+/// Parses the arguments following the `check` keyword.
+pub fn parse_check_args(args: &[String]) -> CheckOptions {
+    let mut opt = CheckOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("check: {name} needs a number");
+                check_usage()
+            })
+        };
+        match a.as_str() {
+            "--corpus" => opt.corpus = Some(it.next().unwrap_or_else(|| check_usage()).into()),
+            "--litmus" => opt.litmus = Some(it.next().unwrap_or_else(|| check_usage()).clone()),
+            "--fuzz" => opt.fuzz = num("--fuzz"),
+            "--seed" => opt.base_seed = num("--seed"),
+            "--max-threads" => opt.config.max_threads = (num("--max-threads") as usize).max(1),
+            "--max-ops" => opt.config.max_ops = (num("--max-ops") as usize).max(1),
+            "--max-states" => opt.config.max_states = num("--max-states").max(1),
+            "--seeds" => opt.config.sim_seeds = num("--seeds"),
+            "--no-reduction" => opt.config.reduction = false,
+            "--no-lazy" => opt.config.lazy = false,
+            "--no-shrink" => opt.shrink = false,
+            "--stats" => opt.stats = true,
+            "--jobs" => opt.jobs = (num("--jobs") as usize).max(1),
+            "--out" => opt.out = it.next().unwrap_or_else(|| check_usage()).into(),
+            "--policy" => {
+                let label = it.next().unwrap_or_else(|| check_usage());
+                opt.policy = Some(
+                    PolicyKind::ALL
+                        .into_iter()
+                        .find(|p| p.label().eq_ignore_ascii_case(label))
+                        .unwrap_or_else(|| {
+                            eprintln!("check: unknown policy {label:?}");
+                            check_usage()
+                        }),
+                );
+            }
+            "--kernel" => {
+                let label = it.next().unwrap_or_else(|| check_usage());
+                opt.config.kernel = KernelKind::parse(label).unwrap_or_else(|| {
+                    eprintln!("check: unknown kernel {label:?}");
+                    check_usage()
+                });
+            }
+            "--coherence" => {
+                let label = it.next().unwrap_or_else(|| check_usage());
+                opt.config.coherence = CoherenceKind::parse(label).unwrap_or_else(|| {
+                    eprintln!("check: unknown coherence backend {label:?}");
+                    check_usage()
+                });
+            }
+            _ => check_usage(),
+        }
+    }
+    if opt.corpus.is_none() && opt.litmus.is_none() && opt.fuzz == 0 {
+        opt.litmus = Some("all".into());
+    }
+    opt
+}
+
+/// One program queued for checking.
+#[derive(Debug, Clone)]
+pub struct CheckJob {
+    /// Where the program came from (corpus file stem, litmus name, or
+    /// `fuzz-N`).
+    pub name: String,
+    /// The program plus its location→address map.
+    pub case: FuzzCase,
+}
+
+/// One checked program whose verdict was not `Verified`.
+#[derive(Debug)]
+pub struct CheckFinding {
+    /// The job that diverged.
+    pub job: CheckJob,
+    /// Its full report.
+    pub report: CheckReport,
+}
+
+/// Aggregate result of a check sweep.
+#[derive(Debug, Default)]
+pub struct CheckSummary {
+    /// Programs checked.
+    pub programs: u64,
+    /// Programs whose every policy matched the reference set exactly.
+    pub verified: u64,
+    /// Programs that exceeded a bound (reported, not proved).
+    pub bound_exceeded: u64,
+    /// Violating programs, in job order.
+    pub findings: Vec<CheckFinding>,
+    /// Per-policy aggregated exploration counters and enumerated-set
+    /// sizes, in [`PolicyKind::ALL`] order (restricted under `--policy`).
+    pub per_policy: Vec<(PolicyKind, CheckStats, u64)>,
+}
+
+impl CheckSummary {
+    /// Number of violating programs.
+    pub fn violations(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f.report.outcome(), CheckOutcome::Violated))
+            .count()
+    }
+}
+
+/// Collects the programs a sweep will check. Litmus tests may need more
+/// threads/ops than the configured bounds (IRIW has four threads); the
+/// bounds in `cfg` are raised to cover the selection, with a note on
+/// stderr, so `--litmus all` never reports spurious `bound exceeded`.
+pub fn collect_jobs(opt: &CheckOptions, cfg: &mut CheckConfig) -> Result<Vec<CheckJob>, String> {
+    let mut jobs = Vec::new();
+    if let Some(dir) = &opt.corpus {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read corpus dir {}: {e}", dir.display()))?;
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("corpus dir {} has no .txt entries", dir.display()));
+        }
+        for path in files {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let entry = decode_case(&text)
+                .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+            let name = path
+                .file_stem()
+                .map_or_else(|| path.display().to_string(), |s| s.to_string_lossy().into_owned());
+            jobs.push(CheckJob { name, case: entry.case });
+        }
+    }
+    if let Some(sel) = &opt.litmus {
+        let picked = if sel.eq_ignore_ascii_case("all") {
+            all_litmus_tests()
+        } else {
+            let mut picked = Vec::new();
+            for want in sel.split(',') {
+                let mut all = all_litmus_tests();
+                let pos = all
+                    .iter()
+                    .position(|t| t.name.eq_ignore_ascii_case(want.trim()))
+                    .ok_or_else(|| format!("unknown litmus test {want:?}"))?;
+                picked.push(all.swap_remove(pos));
+            }
+            picked
+        };
+        let need_threads = picked.iter().map(|t| t.program.threads.len()).max().unwrap_or(0);
+        let need_ops = picked.iter().map(|t| t.program.ops()).max().unwrap_or(0);
+        if need_threads > cfg.max_threads || need_ops > cfg.max_ops {
+            eprintln!(
+                "check: raising bounds to {} threads / {} ops to cover the litmus selection",
+                need_threads.max(cfg.max_threads),
+                need_ops.max(cfg.max_ops)
+            );
+            cfg.max_threads = cfg.max_threads.max(need_threads);
+            cfg.max_ops = cfg.max_ops.max(need_ops);
+        }
+        for t in picked {
+            let addrs = default_addrs(&t.program);
+            jobs.push(CheckJob {
+                name: format!("litmus-{}", t.name),
+                case: FuzzCase { program: t.program, addrs },
+            });
+        }
+    }
+    if opt.fuzz > 0 {
+        // Rejection-sample the general generator down to the bounds: the
+        // same program shapes the fuzzer sweeps, now checked exhaustively.
+        let mut index = 0u64;
+        let mut accepted = 0u64;
+        let budget = opt.fuzz.saturating_mul(64).max(1024);
+        while accepted < opt.fuzz && index < budget {
+            let mut rng = SimRng::seed(opt.base_seed).fork(index.wrapping_add(1));
+            index += 1;
+            let case = generate_case(&mut rng);
+            if case.program.threads.len() <= cfg.max_threads && case.program.ops() <= cfg.max_ops {
+                jobs.push(CheckJob {
+                    name: format!("fuzz-seed{}-case{}", opt.base_seed, index - 1),
+                    case,
+                });
+                accepted += 1;
+            }
+        }
+        if accepted < opt.fuzz {
+            return Err(format!(
+                "generator produced only {accepted}/{} in-bound programs in {budget} attempts",
+                opt.fuzz
+            ));
+        }
+    }
+    Ok(jobs)
+}
+
+/// Runs the sweep over a worker pool; `progress(done, total,
+/// violations_so_far)` fires after every checked program.
+pub fn sweep_jobs(
+    jobs: &[CheckJob],
+    cfg: &CheckConfig,
+    policies: &[PolicyKind],
+    workers: usize,
+    progress: &(dyn Fn(u64, u64, usize) + Sync),
+) -> CheckSummary {
+    let next = AtomicUsize::new(0);
+    let done = AtomicU64::new(0);
+    let results: Mutex<Vec<(usize, CheckReport)>> = Mutex::new(Vec::new());
+    let n = jobs.len() as u64;
+    std::thread::scope(|s| {
+        for _ in 0..workers.clamp(1, jobs.len().max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let report =
+                    check_program_policies(&job.case.program, &job.case.addrs, cfg, policies);
+                let mut r = results.lock().unwrap_or_else(PoisonError::into_inner);
+                r.push((i, report));
+                let violations =
+                    r.iter().filter(|(_, r)| matches!(r.outcome(), CheckOutcome::Violated)).count();
+                drop(r);
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                progress(d, n, violations);
+            });
+        }
+    });
+    let mut results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    results.sort_by_key(|(i, _)| *i);
+
+    let mut summary = CheckSummary {
+        programs: n,
+        per_policy: policies.iter().map(|&p| (p, CheckStats::default(), 0)).collect(),
+        ..CheckSummary::default()
+    };
+    for (i, report) in results {
+        for pc in &report.policies {
+            if let Some(slot) = summary.per_policy.iter_mut().find(|(p, ..)| *p == pc.policy) {
+                slot.1.absorb(&pc.stats);
+                slot.2 += pc.enumerated as u64;
+            }
+        }
+        match report.outcome() {
+            CheckOutcome::Verified => summary.verified += 1,
+            CheckOutcome::BoundExceeded(_) => {
+                summary.bound_exceeded += 1;
+                summary.findings.push(CheckFinding { job: jobs[i].clone(), report });
+            }
+            CheckOutcome::Violated => {
+                summary.findings.push(CheckFinding { job: jobs[i].clone(), report });
+            }
+        }
+    }
+    summary
+}
+
+/// Renders the `--stats` table: per-policy exploration counters.
+pub fn render_stats(summary: &CheckSummary) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<8} {:>12} {:>12} {:>12} {:>7} {:>10}",
+        "policy", "explored", "memoized", "pruned", "levels", "outcomes"
+    );
+    for (policy, stats, enumerated) in &summary.per_policy {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>12} {:>12} {:>12} {:>7} {:>10}",
+            policy.label(),
+            stats.explored,
+            stats.memoized,
+            stats.pruned,
+            stats.levels,
+            enumerated
+        );
+    }
+    s
+}
+
+/// Renders one finding's diff (extra/missed/cross-check divergences).
+pub fn render_finding(f: &CheckFinding) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "--- {} [{}] ---", f.job.name, f.report.outcome());
+    if let Some(b) = f.report.bound {
+        let _ = writeln!(s, "{b}");
+        return s;
+    }
+    for pc in &f.report.policies {
+        if pc.clean() {
+            continue;
+        }
+        for o in &pc.extra {
+            let _ = writeln!(s, "policy {}: EXTRA outcome {o} (TSO violation)", pc.policy.label());
+        }
+        for o in &pc.missed {
+            let _ = writeln!(s, "policy {}: MISSED outcome {o} (over-strong)", pc.policy.label());
+        }
+        for o in &pc.sim_extra {
+            let _ = writeln!(
+                s,
+                "policy {}: simulator outcome {o} escapes the enumerated set",
+                pc.policy.label()
+            );
+        }
+        for seed in &pc.sim_timeouts {
+            let _ = writeln!(s, "policy {}: cross-check hang at seed {seed}", pc.policy.label());
+        }
+        for seed in &pc.sim_truncated {
+            let _ =
+                writeln!(s, "policy {}: truncated registers at seed {seed}", pc.policy.label());
+        }
+    }
+    s
+}
+
+/// Shrinks and persists one violating finding in the corpus format;
+/// returns the repro path.
+pub fn persist_finding(
+    opt: &CheckOptions,
+    cfg: &CheckConfig,
+    policies: &[PolicyKind],
+    f: &CheckFinding,
+) -> std::io::Result<PathBuf> {
+    let corpus = opt.out.join("fuzz-corpus");
+    std::fs::create_dir_all(&corpus)?;
+    let (case, failure) = if opt.shrink {
+        shrink_with(&f.job.case, |c| {
+            check_program_policies(&c.program, &c.addrs, cfg, policies).first_failure()
+        })
+    } else {
+        let failure = f.report.first_failure().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "finding has no failure")
+        })?;
+        (f.job.case.clone(), failure)
+    };
+    eprintln!(
+        "shrunk to {} thread(s), {} op(s): {failure}",
+        case.program.threads.len(),
+        case.program.ops()
+    );
+    eprint!("{case}");
+    let path = corpus.join(format!("check-{}.txt", f.job.name));
+    std::fs::write(&path, encode_case(&case, Some(failure.policy), REPRO_SEEDS))?;
+    Ok(path)
+}
+
+/// Runs the check subcommand; returns the process exit code (0 = all
+/// verified, 1 = violation found, 2 = usage/IO error). `bound exceeded`
+/// programs are reported and counted but do not fail the sweep: the
+/// bound is the contract, and they are explicitly outside it.
+pub fn run_check(opt: &CheckOptions) -> i32 {
+    let mut cfg = opt.config.clone();
+    let jobs = match collect_jobs(opt, &mut cfg) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return 2;
+        }
+    };
+    let policies: Vec<PolicyKind> =
+        opt.policy.map_or_else(|| PolicyKind::ALL.to_vec(), |p| vec![p]);
+    let started = std::time::Instant::now();
+    eprintln!(
+        "checking {} programs x {} policies (≤{} threads, ≤{} ops, ≤{} states, reduction {}, lazy {}, {} cross-check seeds, {} jobs)",
+        jobs.len(),
+        policies.len(),
+        cfg.max_threads,
+        cfg.max_ops,
+        cfg.max_states,
+        if cfg.reduction { "on" } else { "off" },
+        if cfg.lazy { "on" } else { "off" },
+        cfg.sim_seeds,
+        opt.jobs
+    );
+    let summary = sweep_jobs(&jobs, &cfg, &policies, opt.jobs, &|d, n, violations| {
+        if d % 25 == 0 || d == n {
+            eprintln!(
+                "[{d}/{n} programs, {violations} violation(s), {:.1}s]",
+                started.elapsed().as_secs_f64()
+            );
+        }
+    });
+    for f in &summary.findings {
+        eprint!("{}", render_finding(f));
+        if matches!(f.report.outcome(), CheckOutcome::Violated) {
+            eprint!("{}", f.job.case);
+            match persist_finding(opt, &cfg, &policies, f) {
+                Ok(p) => eprintln!("persisted: {} (replay with: tus-harness fuzz --replay)", p.display()),
+                Err(e) => eprintln!("check: cannot persist repro: {e}"),
+            }
+        }
+    }
+    if opt.stats {
+        eprint!("{}", render_stats(&summary));
+    }
+    let agg = summary
+        .per_policy
+        .iter()
+        .fold(CheckStats::default(), |mut a, (_, s, _)| {
+            a.absorb(s);
+            a
+        });
+    eprintln!(
+        "[check: {:.1}s, {} programs, {} verified, {} violation(s), {} bound-exceeded, {} states explored, {} memoized, {} pruned]",
+        started.elapsed().as_secs_f64(),
+        summary.programs,
+        summary.verified,
+        summary.violations(),
+        summary.bound_exceeded,
+        agg.explored,
+        agg.memoized,
+        agg.pruned
+    );
+    if summary.violations() > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Entry point called from `main` for `tus-harness check ...`.
+pub fn main_check(args: &[String]) -> ! {
+    let opt = parse_check_args(args);
+    std::process::exit(run_check(&opt));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tus_tso::check::Bound;
+
+    #[test]
+    fn parse_check_args_covers_flags() {
+        let args: Vec<String> = [
+            "--corpus", "/tmp/corpus", "--litmus", "SB,MP", "--fuzz", "7", "--seed", "3",
+            "--max-threads", "4", "--max-ops", "10", "--max-states", "5000", "--seeds", "2",
+            "--no-reduction", "--no-lazy", "--stats", "--policy", "csb", "--kernel", "lockstep",
+            "--coherence", "tardis", "--out", "/tmp/o", "--jobs", "2", "--no-shrink",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_check_args(&args);
+        assert_eq!(o.corpus, Some(PathBuf::from("/tmp/corpus")));
+        assert_eq!(o.litmus.as_deref(), Some("SB,MP"));
+        assert_eq!(o.fuzz, 7);
+        assert_eq!(o.base_seed, 3);
+        assert_eq!(o.config.max_threads, 4);
+        assert_eq!(o.config.max_ops, 10);
+        assert_eq!(o.config.max_states, 5000);
+        assert_eq!(o.config.sim_seeds, 2);
+        assert!(!o.config.reduction);
+        assert!(!o.config.lazy);
+        assert!(o.stats);
+        assert_eq!(o.policy, Some(PolicyKind::Csb));
+        assert_eq!(o.config.kernel, KernelKind::Lockstep);
+        assert_eq!(o.config.coherence, CoherenceKind::Tardis);
+        assert_eq!(o.out, PathBuf::from("/tmp/o"));
+        assert_eq!(o.jobs, 2);
+        assert!(!o.shrink);
+    }
+
+    #[test]
+    fn default_source_is_the_full_litmus_library() {
+        let o = parse_check_args(&[]);
+        assert_eq!(o.litmus.as_deref(), Some("all"));
+        assert_eq!(o.config.max_threads, 3);
+        assert_eq!(o.config.max_ops, 8);
+    }
+
+    /// SB + MP verify end to end through the sweep machinery, with the
+    /// simulator cross-check on.
+    #[test]
+    fn litmus_pair_verifies_end_to_end() {
+        let opt = CheckOptions {
+            litmus: Some("SB,MP".into()),
+            config: CheckConfig { sim_seeds: 2, ..CheckConfig::default() },
+            jobs: 2,
+            ..CheckOptions::default()
+        };
+        let mut cfg = opt.config.clone();
+        let jobs = collect_jobs(&opt, &mut cfg).expect("collect");
+        assert_eq!(jobs.len(), 2);
+        let summary = sweep_jobs(&jobs, &cfg, &PolicyKind::ALL, 2, &|_, _, _| {});
+        assert_eq!(summary.verified, 2, "{:?}", summary.findings.len());
+        assert_eq!(summary.violations(), 0);
+        let stats = render_stats(&summary);
+        assert!(stats.contains("TUS") && stats.contains("explored"), "{stats}");
+    }
+
+    /// An over-bound program reports `bound exceeded` without failing
+    /// the sweep.
+    #[test]
+    fn bound_exceeded_is_counted_not_fatal() {
+        let opt = CheckOptions {
+            litmus: Some("SB".into()),
+            config: CheckConfig { sim_seeds: 0, ..CheckConfig::default() },
+            ..CheckOptions::default()
+        };
+        let mut cfg = opt.config.clone();
+        cfg.max_states = 2; // starve the explorer
+        let jobs = collect_jobs(&opt, &mut cfg).expect("collect");
+        let summary = sweep_jobs(&jobs, &cfg, &PolicyKind::ALL, 1, &|_, _, _| {});
+        assert_eq!(summary.bound_exceeded, 1);
+        assert_eq!(summary.violations(), 0);
+        let f = &summary.findings[0];
+        assert!(matches!(f.report.outcome(), CheckOutcome::BoundExceeded(Bound::States { .. })));
+        assert!(render_finding(f).contains("state budget"));
+    }
+
+    /// The generator source rejection-samples to the bounds.
+    #[test]
+    fn fuzz_source_respects_bounds() {
+        let opt = CheckOptions {
+            fuzz: 10,
+            litmus: None,
+            config: CheckConfig { sim_seeds: 0, ..CheckConfig::default() },
+            ..CheckOptions::default()
+        };
+        let mut cfg = opt.config.clone();
+        let jobs = collect_jobs(&opt, &mut cfg).expect("collect");
+        assert_eq!(jobs.len(), 10);
+        for j in &jobs {
+            assert!(j.case.program.threads.len() <= cfg.max_threads);
+            assert!(j.case.program.ops() <= cfg.max_ops);
+        }
+    }
+}

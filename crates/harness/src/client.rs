@@ -54,6 +54,9 @@ fn client_usage() -> ! {
          \x20 experiment NAME [--quick|--normal|--full] [--seed N] [--kernel K]\n\
          \x20       [--coherence C] [--parallel-cap N]\n\
          \x20 fuzz [--programs N] [--seeds N] [--seed N] [--policy P] [--kernel K] [--coherence C]\n\
+         \x20 check [--litmus all|NAME[,NAME]] [--corpus DIR] [--programs N] [--seed N]\n\
+         \x20       [--max-threads N] [--max-ops N] [--max-states N] [--seeds N]\n\
+         \x20       [--no-reduction] [--no-lazy] [--policy P] [--kernel K] [--coherence C]\n\
          \x20 trace WORKLOAD [--policy P] [--sb N] [--insts N] [--seed N] [--kernel K]\n\
          \x20       [--coherence C] [--budget CYCLES] [--out FILE]\n\
          \x20 counters\n\
@@ -122,7 +125,7 @@ pub fn parse_client_args(args: &[String]) -> ClientOptions {
             }
             FrameKind::Ping
         }
-        "point" | "trace" | "experiment" | "fuzz" => {
+        "point" | "trace" | "experiment" | "fuzz" | "check" => {
             while let Some(a) = it.next() {
                 let mut val = |name: &str| -> String {
                     it.next().cloned().unwrap_or_else(|| {
@@ -141,6 +144,13 @@ pub fn parse_client_args(args: &[String]) -> ClientOptions {
                     "--programs" => h.push("programs", &val("--programs")),
                     "--seeds" => h.push("seeds", &val("--seeds")),
                     "--parallel-cap" => h.push("parallel_cap", &val("--parallel-cap")),
+                    "--litmus" => h.push("litmus", &val("--litmus")),
+                    "--corpus" => h.push("corpus", &val("--corpus")),
+                    "--max-threads" => h.push("max_threads", &val("--max-threads")),
+                    "--max-ops" => h.push("max_ops", &val("--max-ops")),
+                    "--max-states" => h.push("max_states", &val("--max-states")),
+                    "--no-reduction" => h.push("reduction", "0"),
+                    "--no-lazy" => h.push("lazy", "0"),
                     "--quick" => h.push("scale", "quick"),
                     "--normal" => h.push("scale", "normal"),
                     "--full" => h.push("scale", "full"),
@@ -162,9 +172,15 @@ pub fn parse_client_args(args: &[String]) -> ClientOptions {
                     h.push("name", positional.unwrap_or_else(|| client_usage()));
                     FrameKind::Experiment
                 }
-                _ => {
+                "fuzz" => {
                     is_fuzz = true;
                     FrameKind::FuzzSweep
+                }
+                _ => {
+                    // `check` replies also carry a `violations=` header;
+                    // a violating sweep exits 1 exactly like `fuzz`.
+                    is_fuzz = true;
+                    FrameKind::Check
                 }
             }
         }
@@ -345,6 +361,24 @@ mod tests {
         ]));
         assert_eq!(o.request.0, FrameKind::FuzzSweep);
         assert!(o.is_fuzz);
+
+        let o = parse_client_args(&strings(&[
+            "--connect", "h:1", "check", "--litmus", "SB,MP", "--corpus", "results/fuzz-corpus",
+            "--max-threads", "4", "--max-ops", "10", "--max-states", "5000", "--no-reduction",
+            "--no-lazy", "--programs", "3",
+        ]));
+        assert_eq!(o.request.0, FrameKind::Check);
+        assert!(o.is_fuzz, "check exits 1 on violations like fuzz");
+        for line in [
+            "litmus=SB,MP", "corpus=results/fuzz-corpus", "max_threads=4", "max_ops=10",
+            "max_states=5000", "reduction=0", "lazy=0", "programs=3",
+        ] {
+            assert!(
+                o.request.1.contains(&format!("{line}\n")),
+                "missing {line} in {:?}",
+                o.request.1
+            );
+        }
 
         let o = parse_client_args(&strings(&["--connect", "h:1", "ping", "hello"]));
         assert_eq!(o.request, (FrameKind::Ping, "hello".to_owned()));

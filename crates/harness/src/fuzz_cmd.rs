@@ -40,6 +40,11 @@ pub struct FuzzOptions {
     pub out: PathBuf,
     /// Replay a persisted corpus file instead of generating programs.
     pub replay: Option<PathBuf>,
+    /// Generate and persist N check-bounded seed-corpus cases (≤3
+    /// threads, ≤8 ops) under `<out>/fuzz-corpus/`, then exit — the
+    /// committed corpus `tus-harness check --corpus` sweeps in CI is
+    /// produced this way.
+    pub save_corpus: u64,
     /// Whether to shrink failures before reporting (`--no-shrink` off).
     pub shrink: bool,
     /// Simulation kernel the sweep runs under (`--kernel`); verdicts must
@@ -61,6 +66,7 @@ impl Default for FuzzOptions {
             policy: None,
             out: PathBuf::from("results"),
             replay: None,
+            save_corpus: 0,
             shrink: true,
             kernel: KernelKind::default(),
             coherence: CoherenceKind::default(),
@@ -72,7 +78,8 @@ fn fuzz_usage() -> ! {
     eprintln!(
         "usage: tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                      [--policy base|SSB|CSB|SPB|TUS] [--out DIR]\n\
-         \x20                      [--replay FILE] [--no-shrink] [--kernel lockstep|skip|event]\n\
+         \x20                      [--replay FILE] [--save-corpus N] [--no-shrink]\n\
+         \x20                      [--kernel lockstep|skip|event]\n\
          \x20                      [--coherence mesi|tardis] [--trace]\n\
          checks N random litmus programs across all five policies against the\n\
          x86-TSO reference model; failures are shrunk and persisted under\n\
@@ -114,6 +121,7 @@ pub fn parse_fuzz_args(args: &[String]) -> FuzzOptions {
             }
             "--out" => opt.out = it.next().unwrap_or_else(|| fuzz_usage()).into(),
             "--replay" => opt.replay = Some(it.next().unwrap_or_else(|| fuzz_usage()).into()),
+            "--save-corpus" => opt.save_corpus = num("--save-corpus"),
             "--no-shrink" => opt.shrink = false,
             "--trace" => tus::set_trace_default(true),
             "--kernel" => {
@@ -291,11 +299,59 @@ pub(crate) fn sweep_cases(
     findings
 }
 
+/// Bounds a `--save-corpus` case must satisfy so `tus-harness check`
+/// can sweep the corpus exhaustively at its defaults.
+const CORPUS_MAX_THREADS: usize = 3;
+const CORPUS_MAX_OPS: usize = 8;
+
+/// `--save-corpus N`: rejection-samples the generator down to the model
+/// checker's default bounds and persists N cases under
+/// `<out>/fuzz-corpus/` in the replayable corpus format. Deterministic in
+/// the base seed; returns the process exit code.
+fn save_corpus(opt: &FuzzOptions) -> i32 {
+    let corpus = opt.out.join("fuzz-corpus");
+    if let Err(e) = std::fs::create_dir_all(&corpus) {
+        eprintln!("fuzz: cannot create {}: {e}", corpus.display());
+        return 2;
+    }
+    let mut accepted = 0u64;
+    let mut index = 0u64;
+    let budget = opt.save_corpus.saturating_mul(64).max(1024);
+    while accepted < opt.save_corpus && index < budget {
+        let case = generate_case(&mut case_rng(opt.base_seed, index));
+        index += 1;
+        if case.program.threads.len() > CORPUS_MAX_THREADS || case.program.ops() > CORPUS_MAX_OPS {
+            continue;
+        }
+        let path = corpus.join(format!("gen-seed{}-{accepted:03}.txt", opt.base_seed));
+        if let Err(e) = std::fs::write(&path, encode_case(&case, None, opt.seeds)) {
+            eprintln!("fuzz: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        accepted += 1;
+    }
+    if accepted < opt.save_corpus {
+        eprintln!(
+            "fuzz: generator produced only {accepted}/{} in-bound cases in {budget} attempts",
+            opt.save_corpus
+        );
+        return 2;
+    }
+    eprintln!(
+        "persisted {accepted} corpus cases (≤{CORPUS_MAX_THREADS} threads, ≤{CORPUS_MAX_OPS} ops) under {}",
+        corpus.display()
+    );
+    0
+}
+
 /// Runs the fuzz subcommand; returns the process exit code (0 = clean,
 /// 1 = violation found, 2 = usage/IO error).
 pub fn run_fuzz(opt: &FuzzOptions) -> i32 {
     if let Some(path) = &opt.replay {
         return replay(opt, &path.clone());
+    }
+    if opt.save_corpus > 0 {
+        return save_corpus(opt);
     }
     let started = std::time::Instant::now();
     let policies = opt.policy.map_or(PolicyKind::ALL.len() as u64, |_| 1);

@@ -5,8 +5,12 @@
 //!             [--parallel-cap N] [--jobs N] [--no-cache] [--no-batch]
 //!             [--kernel K] [--coherence C]
 //! tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]
-//!             [--policy P] [--out DIR] [--replay FILE] [--no-shrink]
-//!             [--kernel K] [--coherence C]
+//!             [--policy P] [--out DIR] [--replay FILE] [--save-corpus N]
+//!             [--no-shrink] [--kernel K] [--coherence C]
+//! tus-harness check [--corpus DIR] [--litmus all|NAME[,NAME]] [--fuzz N]
+//!             [--seed N] [--max-threads N] [--max-ops N] [--max-states N]
+//!             [--seeds N] [--no-reduction] [--no-lazy] [--stats]
+//!             [--policy P] [--kernel K] [--coherence C] [--out DIR] [--jobs N]
 //! tus-harness bench-kernel [--quick|--full] [--seed N] [--out DIR]
 //!             [--parallel-cap N] [--jobs N] [--no-batch]
 //! tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]
@@ -51,6 +55,10 @@ fn usage() -> ! {
          \x20      tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                  [--policy P] [--out DIR] [--replay FILE] [--no-shrink]\n\
          \x20                  [--kernel K] [--coherence C] [--trace]\n\
+         \x20      tus-harness check [--corpus DIR] [--litmus all|NAME[,NAME]] [--fuzz N]\n\
+         \x20                  [--seed N] [--max-threads N] [--max-ops N] [--max-states N]\n\
+         \x20                  [--seeds N] [--no-reduction] [--no-lazy] [--stats] [--policy P]\n\
+         \x20                  [--kernel K] [--coherence C] [--out DIR] [--jobs N] [--no-shrink]\n\
          \x20      tus-harness trace [WORKLOAD] [--policy P] [--sb N] [--kernel K]\n\
          \x20                  [--coherence C] [--seed N] [--insts N] [--cap N] [--out DIR]\n\
          \x20      tus-harness serve [--listen ADDR:PORT] [--socket PATH] [--jobs N]\n\
@@ -326,6 +334,9 @@ fn main() {
     }
     if args[0] == "fuzz" {
         tus_harness::fuzz_cmd::main_fuzz(&args[1..]);
+    }
+    if args[0] == "check" {
+        tus_harness::check_cmd::main_check(&args[1..]);
     }
     if args[0] == "trace" {
         tus_harness::trace_cmd::main_trace(&args[1..]);

@@ -69,6 +69,11 @@ pub enum FrameKind {
     Counters = 0x06,
     /// Ask the daemon to shut down cleanly.
     Shutdown = 0x07,
+    /// Run a bounded exhaustive model check (`litmus=`, `programs=`,
+    /// optional `corpus=`, `seed=`, `max_threads=`, `max_ops=`,
+    /// `max_states=`, `seeds=`, `reduction=`, `lazy=`, `policy=`,
+    /// `kernel=`, `coherence=`).
+    Check = 0x08,
 
     // Replies.
     /// Echo reply to `Ping`.
@@ -92,6 +97,11 @@ pub enum FrameKind {
     Error = 0x88,
     /// Terminal reply to `Shutdown`, sent before the daemon exits.
     ShutdownOk = 0x89,
+    /// Terminal reply to `Check`: `programs=`, `verified=`,
+    /// `violations=`, `bound_exceeded=`, `explored=`, `memoized=`,
+    /// `pruned=`, `seconds=` headers, a blank line, then rendered
+    /// findings and the per-policy stats table.
+    CheckDone = 0x8a,
 }
 
 impl FrameKind {
@@ -106,6 +116,7 @@ impl FrameKind {
             0x05 => TraceCapture,
             0x06 => Counters,
             0x07 => Shutdown,
+            0x08 => Check,
             0x81 => Pong,
             0x82 => Progress,
             0x83 => RunDone,
@@ -115,6 +126,7 @@ impl FrameKind {
             0x87 => CountersReply,
             0x88 => Error,
             0x89 => ShutdownOk,
+            0x8a => CheckDone,
             _ => return None,
         })
     }
@@ -288,9 +300,9 @@ mod tests {
     fn every_kind_survives_the_wire() {
         use FrameKind::*;
         for kind in [
-            Ping, RunPoint, Experiment, FuzzSweep, TraceCapture, Counters, Shutdown, Pong,
+            Ping, RunPoint, Experiment, FuzzSweep, TraceCapture, Counters, Shutdown, Check, Pong,
             Progress, RunDone, ExperimentDone, FuzzDone, TraceDone, CountersReply, Error,
-            ShutdownOk,
+            ShutdownOk, CheckDone,
         ] {
             assert_eq!(FrameKind::from_u8(kind as u8), Some(kind));
             let mut buf = Vec::new();

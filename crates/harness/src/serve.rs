@@ -33,6 +33,9 @@ use std::time::{Duration, Instant};
 
 use tus_sim::{CoherenceKind, KernelKind};
 
+use crate::check_cmd::{
+    collect_jobs, persist_finding, render_finding, render_stats, sweep_jobs, CheckOptions,
+};
 use crate::errors::{panic_message, workload, HarnessError};
 use crate::executor::{encode_result, Executor};
 use crate::experiments::{Options, EXPERIMENTS};
@@ -455,6 +458,10 @@ fn dispatch(
             handle_trace(server, conn, &frame.body)?;
             Ok(false)
         }
+        FrameKind::Check => {
+            handle_check(server, conn, &frame.body)?;
+            Ok(false)
+        }
         FrameKind::Counters => {
             let c = server.ex.counters();
             let body = format!(
@@ -682,6 +689,113 @@ fn handle_fuzz(
         rendered,
     );
     write_frame(conn, FrameKind::FuzzDone, &reply)?;
+    Ok(())
+}
+
+fn handle_check(
+    server: &Server,
+    conn: &mut Box<dyn Conn>,
+    body: &str,
+) -> Result<(), DispatchError> {
+    let h = parse_headers(body)?;
+    let mut opt = CheckOptions {
+        out: server.opt.out.clone(),
+        jobs: server.opt.jobs,
+        litmus: None,
+        ..CheckOptions::default()
+    };
+    if let Some(dir) = h.get("corpus") {
+        opt.corpus = Some(PathBuf::from(dir));
+    }
+    if let Some(sel) = h.get("litmus") {
+        opt.litmus = Some((*sel).to_owned());
+    }
+    if let Some(n) = numeric::<u64>(&h, "programs")? {
+        opt.fuzz = n;
+    }
+    if let Some(seed) = numeric::<u64>(&h, "seed")? {
+        opt.base_seed = seed;
+    }
+    if let Some(n) = numeric::<usize>(&h, "max_threads")? {
+        opt.config.max_threads = n.max(1);
+    }
+    if let Some(n) = numeric::<usize>(&h, "max_ops")? {
+        opt.config.max_ops = n.max(1);
+    }
+    if let Some(n) = numeric::<u64>(&h, "max_states")? {
+        opt.config.max_states = n.max(1);
+    }
+    if let Some(n) = numeric::<u64>(&h, "seeds")? {
+        opt.config.sim_seeds = n;
+    }
+    if let Some(n) = numeric::<u32>(&h, "reduction")? {
+        opt.config.reduction = n != 0;
+    }
+    if let Some(n) = numeric::<u32>(&h, "lazy")? {
+        opt.config.lazy = n != 0;
+    }
+    if let Some(p) = h.get("policy") {
+        opt.policy = Some(parse_policy(p)?);
+    }
+    if let Some(k) = h.get("kernel") {
+        opt.config.kernel = parse_kernel(k)?;
+    }
+    if let Some(c) = h.get("coherence") {
+        opt.config.coherence = parse_coherence(c)?;
+    }
+    if opt.corpus.is_none() && opt.litmus.is_none() && opt.fuzz == 0 {
+        opt.litmus = Some("all".into());
+    }
+    let mut cfg = opt.config.clone();
+    let jobs = collect_jobs(&opt, &mut cfg)
+        .map_err(|what| HarnessError::Protocol { what })?;
+    let policies: Vec<tus_sim::PolicyKind> = opt
+        .policy
+        .map_or_else(|| tus_sim::PolicyKind::ALL.to_vec(), |p| vec![p]);
+    let started = Instant::now();
+    let progress: Mutex<&mut Box<dyn Conn>> = Mutex::new(conn);
+    let summary = sweep_jobs(&jobs, &cfg, &policies, opt.jobs, &|done, total, violations| {
+        if done % 25 == 0 || done == total {
+            let mut conn = progress.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = write_frame(
+                &mut **conn,
+                FrameKind::Progress,
+                &format!("{done}/{total} programs, {violations} violation(s)\n"),
+            );
+        }
+    });
+    let conn = progress.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut rendered = String::new();
+    for f in &summary.findings {
+        rendered.push_str(&render_finding(f));
+        if matches!(f.report.outcome(), tus_tso::check::CheckOutcome::Violated) {
+            match persist_finding(&opt, &cfg, &policies, f) {
+                Ok(p) => eprintln!("tus-serve: persisted check repro {}", p.display()),
+                Err(e) => eprintln!("tus-serve: cannot persist check repro: {e}"),
+            }
+        }
+    }
+    rendered.push_str(&render_stats(&summary));
+    let agg = summary.per_policy.iter().fold(
+        tus_tso::check::CheckStats::default(),
+        |mut a, (_, s, _)| {
+            a.absorb(s);
+            a
+        },
+    );
+    let reply = format!(
+        "programs={}\nverified={}\nviolations={}\nbound_exceeded={}\nexplored={}\nmemoized={}\npruned={}\nseconds={:.6}\n\n{}",
+        summary.programs,
+        summary.verified,
+        summary.violations(),
+        summary.bound_exceeded,
+        agg.explored,
+        agg.memoized,
+        agg.pruned,
+        started.elapsed().as_secs_f64(),
+        rendered,
+    );
+    write_frame(conn, FrameKind::CheckDone, &reply)?;
     Ok(())
 }
 

@@ -17,7 +17,7 @@
 use std::path::{Path, PathBuf};
 
 use tus_harness::{run, RunSpec, Scale, Table};
-use tus_sim::PolicyKind;
+use tus_sim::{CoherenceKind, PolicyKind};
 use tus_workloads::sb_bound_single;
 
 /// Reduced scale: enough instructions for every policy to reach steady
@@ -29,32 +29,42 @@ fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/golden")
 }
 
-fn spec(w: &tus_workloads::Workload, policy: PolicyKind, sb: usize) -> RunSpec {
+fn spec(
+    w: &tus_workloads::Workload,
+    policy: PolicyKind,
+    sb: usize,
+    coherence: CoherenceKind,
+) -> RunSpec {
     RunSpec {
         warmup: WARMUP,
         insts: INSTS,
+        coherence,
         ..RunSpec::new(w.clone(), policy, sb, Scale::Quick)
     }
 }
 
-/// Builds the fig10/fig13-breakdown-shaped table at one SB size: rows
-/// are SB-bound workloads (first three of the suite), columns are
-/// per-policy speedups vs the same-SB baseline, plus a geomean row.
-fn breakdown_table(sb: usize) -> Table {
+/// Builds the fig10/fig13-breakdown-shaped table at one SB size under
+/// one coherence backend: rows are SB-bound workloads (first three of
+/// the suite), columns are per-policy speedups vs the same-SB baseline,
+/// plus a geomean row.
+fn breakdown_table(sb: usize, coherence: CoherenceKind) -> Table {
     let workloads: Vec<_> = sb_bound_single().into_iter().take(3).collect();
     let mut t = Table::new(
-        format!("golden: speedup vs {sb}-entry-SB baseline (reduced scale)"),
+        format!(
+            "golden: speedup vs {sb}-entry-SB baseline ({} backend, reduced scale)",
+            coherence.label()
+        ),
         PolicyKind::ALL.iter().map(|p| p.label().to_owned()).collect(),
     );
     for w in &workloads {
-        let base = run(&spec(w, PolicyKind::Baseline, sb)).ipc;
+        let base = run(&spec(w, PolicyKind::Baseline, sb, coherence)).ipc;
         let vals: Vec<f64> = PolicyKind::ALL
             .iter()
             .map(|&p| {
                 if p == PolicyKind::Baseline {
                     1.0
                 } else {
-                    run(&spec(w, p, sb)).ipc / base
+                    run(&spec(w, p, sb, coherence)).ipc / base
                 }
             })
             .collect();
@@ -94,10 +104,24 @@ fn check_golden(name: &str, table: &Table) {
 
 #[test]
 fn golden_fig10_breakdown_sb114() {
-    check_golden("fig10_breakdown_sb114", &breakdown_table(114));
+    check_golden("fig10_breakdown_sb114", &breakdown_table(114, CoherenceKind::Mesi));
 }
 
 #[test]
 fn golden_fig13_breakdown_sb32() {
-    check_golden("fig13_breakdown_sb32", &breakdown_table(32));
+    check_golden("fig13_breakdown_sb32", &breakdown_table(32, CoherenceKind::Mesi));
+}
+
+/// The Tardis backend gets its own pinned snapshots: timestamp-lease
+/// coherence changes *timings* (and therefore IPC ratios), so its
+/// numbers are a separate observable surface that must not drift
+/// silently either.
+#[test]
+fn golden_fig10_breakdown_sb114_tardis() {
+    check_golden("fig10_breakdown_sb114_tardis", &breakdown_table(114, CoherenceKind::Tardis));
+}
+
+#[test]
+fn golden_fig13_breakdown_sb32_tardis() {
+    check_golden("fig13_breakdown_sb32_tardis", &breakdown_table(32, CoherenceKind::Tardis));
 }

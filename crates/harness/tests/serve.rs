@@ -329,6 +329,53 @@ fn fuzz_sweep_over_the_wire() {
     server.shutdown();
 }
 
+/// A bounded model check runs over the wire: the default litmus sweep
+/// verifies every program, streams progress, and reports per-policy
+/// exploration stats; a named-selection check and a generated-program
+/// check ride the same request kind; an unknown litmus name is a
+/// structured protocol error that leaves the connection serving.
+#[test]
+fn model_check_over_the_wire() {
+    let server = start(|_| {});
+    let mut s = server.dial();
+
+    // Full litmus library (the header-free default), sim cross-check on.
+    let frames = request_on(&mut s, FrameKind::Check, "seeds=2\n");
+    let done = terminal(&frames);
+    assert_eq!(done.kind, FrameKind::CheckDone);
+    let (head, rendered) = done.body.split_once("\n\n").expect("header + body");
+    let head = format!("{head}\n");
+    let h = parse_headers(&head).expect("headers");
+    assert_eq!(h["programs"], "18");
+    assert_eq!(h["verified"], "18");
+    assert_eq!(h["violations"], "0");
+    assert_eq!(h["bound_exceeded"], "0");
+    assert!(h["explored"].parse::<u64>().expect("explored") > 0);
+    assert!(rendered.contains("TUS"), "per-policy stats table: {rendered}");
+    assert!(frames.iter().any(|f| f.kind == FrameKind::Progress));
+
+    // Named selection plus generated programs on the same connection.
+    let frames = request_on(&mut s, FrameKind::Check, "litmus=SB,MP\nprograms=2\nseeds=0\n");
+    let done = terminal(&frames);
+    assert_eq!(done.kind, FrameKind::CheckDone);
+    let head = format!("{}\n", done.body.split_once("\n\n").expect("header").0);
+    let h = parse_headers(&head).expect("headers");
+    assert_eq!(h["programs"], "4");
+    assert_eq!(h["violations"], "0");
+
+    // Unknown litmus name: structured error, connection survives.
+    let frames = request_on(&mut s, FrameKind::Check, "litmus=no-such-test\n");
+    let err = terminal(&frames);
+    assert_eq!(err.kind, FrameKind::Error);
+    let (token, message) = decode_error(&err.body);
+    assert_eq!(token, "protocol");
+    assert!(message.contains("no-such-test"));
+    let frames = request_on(&mut s, FrameKind::Ping, "still here");
+    assert_eq!(terminal(&frames).body, "still here");
+
+    server.shutdown();
+}
+
 /// A trace capture returns the Chrome-trace JSON document in the reply
 /// frame; a budget-starved capture returns a structured deadlock error.
 #[test]

@@ -176,6 +176,10 @@ pub enum FailureKind {
         /// The timing seed affected.
         seed: u64,
     },
+    /// The model checker's enumeration never reached a TSO-allowed
+    /// outcome — the policy machine is over-strong at the bound (only
+    /// produced by [`crate::check`], never by simulator runs).
+    Missing(Outcome),
 }
 
 impl std::fmt::Display for FailureKind {
@@ -186,6 +190,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Truncated { seed } => {
                 write!(f, "truncated registers at timing seed {seed}")
             }
+            FailureKind::Missing(o) => write!(f, "unreachable TSO outcome {o} (over-strong)"),
         }
     }
 }
@@ -377,11 +382,25 @@ pub fn shrink_case_matrix(
     kernel: KernelKind,
     coherence: CoherenceKind,
 ) -> (FuzzCase, CaseFailure) {
-    let check_policy = |case: &FuzzCase, policy: PolicyKind, seeds: u64| {
-        check_policy_matrix(case, policy, seeds, kernel, coherence)
-    };
+    shrink_with(case, |c| check_policy_matrix(c, policy, seeds, kernel, coherence))
+}
+
+/// The shrinker proper, generic over the failing predicate — the single
+/// entry point shared by `fuzz` (simulator differential failures) and
+/// `check` (model-enumeration diffs). Greedily minimizes while `failing`
+/// keeps returning `Some`: drop single ops, then whole threads, then
+/// merge location pairs, to a fixpoint.
+///
+/// # Panics
+///
+/// Panics if `case` does not fail `failing` (shrinking needs a
+/// reproducible failure as its predicate).
+pub fn shrink_with<F>(case: &FuzzCase, mut failing: F) -> (FuzzCase, CaseFailure)
+where
+    F: FnMut(&FuzzCase) -> Option<CaseFailure>,
+{
     let mut cur = normalize(case);
-    let mut fail = check_policy(&cur, policy, seeds).expect("shrink input must fail");
+    let mut fail = failing(&cur).expect("shrink input must fail");
     loop {
         let mut progressed = false;
 
@@ -398,7 +417,7 @@ pub fn shrink_case_matrix(
                     if cand.program.ops() == 0 {
                         continue;
                     }
-                    if let Some(f) = check_policy(&cand, policy, seeds) {
+                    if let Some(f) = failing(&cand) {
                         cur = cand;
                         fail = f;
                         progressed = true;
@@ -421,7 +440,7 @@ pub fn shrink_case_matrix(
                 if cand.program.ops() == 0 {
                     continue;
                 }
-                if let Some(f) = check_policy(&cand, policy, seeds) {
+                if let Some(f) = failing(&cand) {
                     cur = cand;
                     fail = f;
                     progressed = true;
@@ -437,7 +456,7 @@ pub fn shrink_case_matrix(
             for to in 0..n {
                 for from in (to + 1)..n {
                     let cand = merge_locs(&cur, from, to);
-                    if let Some(f) = check_policy(&cand, policy, seeds) {
+                    if let Some(f) = failing(&cand) {
                         cur = cand;
                         fail = f;
                         progressed = true;

@@ -20,19 +20,29 @@
 //!   biased toward TUS-stressing shapes, a five-policy differential
 //!   checker against the reference model, a counterexample shrinker and
 //!   the corpus text format used by `tus-harness fuzz`.
+//! * [`check`] — bounded exhaustive model checking: enumerates every
+//!   reachable outcome of each policy's observable semantics (with
+//!   store-buffer reduction and lazy-TSO pruning) and requires exact
+//!   set equality with the reference model, upgrading the fuzzer's
+//!   statistical verdicts to exhaustive-at-bound ones.
 
+pub mod check;
 pub mod conformance;
 pub mod fuzz;
 pub mod litmus;
 pub mod prog;
 pub mod refmodel;
 
+pub use check::{
+    check_case_model, check_program, explore_policy, Bound, CheckConfig, CheckOutcome,
+    CheckReport, CheckStats, PolicyCheck,
+};
 pub use conformance::{
     check_conformance, check_conformance_at, observe_outcomes, ConformanceReport, RunVerdict,
 };
 pub use fuzz::{
-    check_case, decode_case, encode_case, generate_case, shrink_case, CaseFailure, CorpusEntry,
-    FailureKind, FuzzCase,
+    check_case, decode_case, encode_case, generate_case, shrink_case, shrink_with, CaseFailure,
+    CorpusEntry, FailureKind, FuzzCase,
 };
 pub use litmus::{all_litmus_tests, LitmusTest};
 pub use prog::{LOp, Loc, Outcome, Program, Thread};
