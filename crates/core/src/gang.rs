@@ -1,0 +1,277 @@
+//! Gang-scheduled execution of seed-varied simulations.
+//!
+//! A *lane* of the evaluation sweep is a set of simulations that share
+//! one machine configuration and differ only in their random seed. The
+//! baseline lane executor runs them back to back; [`SystemGang`] instead
+//! runs all K members in **one interleaved pass**: a merged
+//! [`GangCalendar`] keyed `(due, sim)` pops whichever member's local
+//! clock is globally earliest, that member executes exactly one kernel
+//! step ([`System::run_step`]), and is re-keyed at its new local time.
+//! Within the popped member, its own per-unit calendar orders work by
+//! `(due, unit)`, so the composition realizes a full `(due, sim, unit)`
+//! order — lockstep by virtual due time across the gang.
+//!
+//! Members are fully independent machines (own cores, memory, RNG), so
+//! interleaving cannot perturb any member's execution: each member
+//! experiences exactly the step sequence of a solo [`System`] run, and
+//! results are **bit-identical** to per-sim execution by construction
+//! (the CI gang-equivalence job diffs the CSV trees to enforce this).
+//!
+//! Members *retire individually*: a member that meets its goal, trips
+//! the watchdog, or exhausts its budget leaves the calendar while the
+//! rest of the gang keeps running. Hot per-member state (run control,
+//! outcome slots, calendar keys) lives in member-indexed parallel
+//! arrays.
+
+use tus_sim::calendar::GangCalendar;
+use tus_sim::StatSet;
+
+use crate::system::{DeadlockReport, RunCtl, RunGoal, StepOutcome, System};
+
+/// One member's phase result: the statistics snapshot at goal, or the
+/// deadlock report that retired it.
+pub type MemberResult = Result<StatSet, Box<DeadlockReport>>;
+
+/// A gang of seed-varied [`System`]s executed in one interleaved pass.
+pub struct SystemGang {
+    /// The member machines, index-stable for the gang's lifetime.
+    systems: Vec<System>,
+    /// Parallel array: live members' stepping-run control state; `None`
+    /// once the member retired from the current phase.
+    ctls: Vec<Option<RunCtl>>,
+    /// Parallel array: the report of a member that died in an earlier
+    /// phase (such members never re-arm).
+    dead: Vec<Option<Box<DeadlockReport>>>,
+    /// Merged `(due, sim)` calendar over the members' local clocks.
+    cal: GangCalendar,
+}
+
+impl std::fmt::Debug for SystemGang {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemGang")
+            .field("members", &self.systems.len())
+            .field("dead", &self.dead.iter().filter(|d| d.is_some()).count())
+            .finish()
+    }
+}
+
+impl SystemGang {
+    /// Builds a gang over `systems` (any count ≥ 0; a gang of one is
+    /// exactly a solo run).
+    pub fn new(systems: Vec<System>) -> Self {
+        let n = systems.len();
+        SystemGang {
+            systems,
+            ctls: (0..n).map(|_| None).collect(),
+            dead: (0..n).map(|_| None).collect(),
+            cal: GangCalendar::new(n),
+        }
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// Whether the gang has no members.
+    pub fn is_empty(&self) -> bool {
+        self.systems.is_empty()
+    }
+
+    /// A member machine, for inspection.
+    pub fn member(&self, i: usize) -> &System {
+        &self.systems[i]
+    }
+
+    /// Runs one *phase*: every still-alive member steps towards `goal`
+    /// under the shared absolute cycle budget, interleaved in global
+    /// `(due, sim)` order, until each has met the goal or died. Returns
+    /// per-member results in member order; a member that died in an
+    /// earlier phase reports that original death again (it is never
+    /// re-armed).
+    ///
+    /// Phases compose like back-to-back `try_run_*` calls on a solo
+    /// system — the warm-up/measure pattern — because each phase begins
+    /// with [`System::begin_run`] on every live member, exactly what the
+    /// solo path does at every run-loop entry.
+    pub fn run_phase(&mut self, goal: RunGoal, max_cycles: u64) -> Vec<MemberResult> {
+        let mut results: Vec<Option<MemberResult>> =
+            (0..self.systems.len()).map(|_| None).collect();
+        for (i, sys) in self.systems.iter_mut().enumerate() {
+            if let Some(report) = &self.dead[i] {
+                results[i] = Some(Err(report.clone()));
+                continue;
+            }
+            self.ctls[i] = Some(sys.begin_run(goal, max_cycles));
+            self.cal.schedule(i, sys.now());
+        }
+        while let Some((_, i)) = self.cal.pop_min() {
+            let ctl = self.ctls[i].as_mut().expect("scheduled member has run control");
+            match self.systems[i].run_step(ctl) {
+                // A kernel step strictly advances the member's clock, so
+                // the re-key is always in the pop's future and the merged
+                // order never revisits an earlier virtual time.
+                StepOutcome::Running => self.cal.schedule(i, self.systems[i].now()),
+                StepOutcome::Done(stats) => {
+                    self.ctls[i] = None;
+                    results[i] = Some(Ok(stats));
+                }
+                StepOutcome::Dead(report) => {
+                    self.ctls[i] = None;
+                    self.dead[i] = Some(report.clone());
+                    results[i] = Some(Err(report));
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every member retires with a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tus_cpu::{TraceInst, TraceSource, VecTrace};
+    use tus_sim::{Addr, PolicyKind, SimConfig};
+
+    fn cfg(policy: PolicyKind) -> SimConfig {
+        SimConfig::builder()
+            .policy(policy)
+            .sb_entries(16)
+            .scale_caches_down(64)
+            .build()
+    }
+
+    /// A store/load mix whose length and addresses vary by seed, so gang
+    /// members genuinely diverge in timing.
+    fn seeded_trace(seed: u64) -> VecTrace {
+        let mut v = Vec::new();
+        for i in 0..(400 + seed * 37) {
+            let line = (i * 7 + seed) % 12;
+            v.push(TraceInst::store(Addr::new(0x1_0000 + line * 64 + (i % 4) * 8), 8, i ^ seed));
+            if i % 5 == seed % 5 {
+                v.push(TraceInst::load(Addr::new(0x1_0000 + line * 64), 8));
+            }
+        }
+        VecTrace::new(v)
+    }
+
+    fn build(seed: u64, policy: PolicyKind) -> System {
+        let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(seeded_trace(seed))];
+        System::new(&cfg(policy), traces, seed)
+    }
+
+    /// Gang execution is bit-identical to solo execution, for every
+    /// policy, across a warm-up + measure phase pair.
+    #[test]
+    fn gang_matches_solo_bit_for_bit() {
+        for policy in PolicyKind::ALL {
+            let seeds = [1u64, 5, 9];
+            let mut gang = SystemGang::new(seeds.iter().map(|&s| build(s, policy)).collect());
+            let warm = gang.run_phase(RunGoal::Committed(100), 4_000_000);
+            let end = gang.run_phase(RunGoal::Completion, 4_000_000);
+            for (i, &seed) in seeds.iter().enumerate() {
+                let mut solo = build(seed, policy);
+                let sw = solo.try_run_committed(100, 4_000_000).expect("solo warmup");
+                let se = solo.try_run_to_completion(4_000_000).expect("solo run");
+                assert_eq!(warm[i].as_ref().expect("gang warmup"), &sw, "{policy} seed {seed}");
+                assert_eq!(end[i].as_ref().expect("gang run"), &se, "{policy} seed {seed}");
+            }
+        }
+    }
+
+    /// A gang of one is exactly a solo run.
+    #[test]
+    fn gang_of_one_is_solo() {
+        let mut gang = SystemGang::new(vec![build(3, PolicyKind::Tus)]);
+        let end = gang.run_phase(RunGoal::Completion, 4_000_000);
+        let mut solo = build(3, PolicyKind::Tus);
+        let se = solo.try_run_to_completion(4_000_000).expect("solo");
+        assert_eq!(end[0].as_ref().expect("gang"), &se);
+    }
+
+    /// One member exhausting the shared budget mid-gang retires alone:
+    /// its report and every survivor's statistics are bit-identical to
+    /// the solo runs under the same budget.
+    #[test]
+    fn member_death_leaves_others_bit_identical() {
+        // Seed 9's trace is the longest; pick a budget between the
+        // fastest and slowest members' solo completion cycles.
+        let seeds = [1u64, 5, 9];
+        let cycles: Vec<u64> = seeds
+            .iter()
+            .map(|&s| {
+                let mut sys = build(s, PolicyKind::Tus);
+                sys.try_run_to_completion(4_000_000).expect("solo");
+                sys.now().raw()
+            })
+            .collect();
+        let (min, max) = (
+            *cycles.iter().min().expect("nonempty"),
+            *cycles.iter().max().expect("nonempty"),
+        );
+        assert!(min < max, "seeds must diverge in run length: {cycles:?}");
+        let budget = (min + max) / 2;
+
+        let mut gang = SystemGang::new(seeds.iter().map(|&s| build(s, PolicyKind::Tus)).collect());
+        let end = gang.run_phase(RunGoal::Completion, budget);
+        let mut deaths = 0;
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut solo = build(seed, PolicyKind::Tus);
+            match (&end[i], solo.try_run_to_completion(budget)) {
+                (Ok(gs), Ok(ss)) => assert_eq!(gs, &ss, "survivor seed {seed}"),
+                (Err(gr), Err(sr)) => {
+                    deaths += 1;
+                    assert_eq!(gr.kind, sr.kind, "death verdict, seed {seed}");
+                    assert_eq!(gr.cycle, sr.cycle, "death cycle, seed {seed}");
+                }
+                (g, s) => panic!("gang/solo verdict diverged for seed {seed}: {g:?} vs {s:?}"),
+            }
+        }
+        assert!(deaths >= 1, "budget {budget} retired nobody");
+        assert!(deaths < seeds.len(), "budget {budget} retired everybody");
+    }
+
+    /// A member dead in an earlier phase stays dead: later phases report
+    /// its original death and still run the survivors.
+    #[test]
+    fn dead_member_stays_retired_across_phases() {
+        let seeds = [1u64, 9];
+        let long = {
+            let mut sys = build(9, PolicyKind::Baseline);
+            sys.try_run_to_completion(4_000_000).expect("solo");
+            sys.now().raw()
+        };
+        let short = {
+            let mut sys = build(1, PolicyKind::Baseline);
+            sys.try_run_to_completion(4_000_000).expect("solo");
+            sys.now().raw()
+        };
+        assert!(short < long);
+        let budget = (short + long) / 2;
+        let mut gang =
+            SystemGang::new(seeds.iter().map(|&s| build(s, PolicyKind::Baseline)).collect());
+        let first = gang.run_phase(RunGoal::Completion, budget);
+        assert!(first[0].is_ok(), "short member survives");
+        let death = first[1].as_ref().expect_err("long member dies").clone();
+
+        // A second phase (e.g. a follow-up measurement) re-reports the
+        // death unchanged and re-runs the survivor (already finished, so
+        // its goal is met immediately).
+        let second = gang.run_phase(RunGoal::Completion, budget);
+        assert!(second[0].is_ok());
+        let again = second[1].as_ref().expect_err("death is sticky");
+        assert_eq!(again.kind, death.kind);
+        assert_eq!(again.cycle, death.cycle);
+    }
+
+    /// An empty gang is a no-op.
+    #[test]
+    fn empty_gang_runs_no_phases() {
+        let mut gang = SystemGang::new(Vec::new());
+        assert!(gang.is_empty());
+        assert!(gang.run_phase(RunGoal::Completion, 1_000).is_empty());
+    }
+}

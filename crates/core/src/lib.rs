@@ -17,6 +17,9 @@
 //!   baseline, TUS, SSB, CSB and SPB, behind one [`policy::Policy`] enum.
 //! * [`system`] — [`System`]: cores + policies + memory, ticked cycle by
 //!   cycle, with run loops, progress watchdogs and statistics.
+//! * [`gang`] — [`SystemGang`]: gang-scheduled execution of many
+//!   seed-varied systems in one interleaved pass, merged by local
+//!   virtual time, with per-member retirement.
 //!
 //! # Quickstart
 //!
@@ -35,17 +38,19 @@
 //! assert_eq!(stats.get("core0.cpu.committed"), 2.0);
 //! ```
 
+pub mod gang;
 pub mod lex;
 pub mod policy;
 pub mod system;
 pub mod wcb;
 pub mod woq;
 
+pub use gang::SystemGang;
 pub use lex::{AuthorizationUnit, ConflictDecision};
 pub use policy::{Policy, PolicyOccupancy};
 pub use system::{
-    set_trace_default, trace_default, CoreDeadlockState, DeadlockKind, DeadlockReport, System,
-    DEFAULT_TRACE_CAP,
+    set_trace_default, trace_default, CoreDeadlockState, DeadlockKind, DeadlockReport, RunCtl,
+    RunGoal, StepOutcome, System, DEFAULT_TRACE_CAP,
 };
 pub use wcb::WcbSet;
 pub use woq::{GroupId, Woq, WoqEntry};

@@ -884,6 +884,9 @@ impl TusPolicy {
     /// this cycle (the request only goes out when the lex order allows
     /// it, none is in flight, and an MSHR is free).
     fn rerequest_would_send(&self, ctrl: &PrivateCache) -> bool {
+        if self.woq.retry_count() == 0 {
+            return false;
+        }
         self.woq.retry_iter().any(|idx| {
             self.auth.may_rerequest(&self.woq, idx)
                 && !ctrl.request_in_flight(self.woq.entry(idx).line)
@@ -939,6 +942,9 @@ impl TusPolicy {
     /// Re-requests permission for relinquished entries allowed by the lex
     /// rule.
     fn rerequest(&mut self, ctrl: &mut PrivateCache, net: &mut Network, now: Cycle) {
+        if self.woq.retry_count() == 0 {
+            return;
+        }
         // Index loop rather than an iterator: the WOQ itself is untouched
         // inside the body, but borrowing it for iteration would conflict
         // with the tracer emit on `self`.

@@ -75,6 +75,14 @@ pub enum DeadlockKind {
         /// Length of the progress-free window.
         cycles: u64,
     },
+    /// A caller-imposed *wall-clock* deadline elapsed before completion
+    /// (the daemon's `wall_ms=` per-request budget). The simulator itself
+    /// never reads the host clock — callers driving [`System::run_step`]
+    /// detect expiry and assemble the report via [`System::abort_report`].
+    WallClockExpired {
+        /// The wall-clock budget that elapsed, in milliseconds.
+        ms: u64,
+    },
 }
 
 /// Per-core pipeline/store-path occupancy at the moment a run stalled.
@@ -118,6 +126,9 @@ impl std::fmt::Display for DeadlockReport {
             DeadlockKind::NoProgress { cycles } => {
                 writeln!(f, "no progress for {cycles} cycles (at cycle {})", self.cycle)?
             }
+            DeadlockKind::WallClockExpired { ms } => {
+                writeln!(f, "wall-clock budget of {ms} ms exhausted at cycle {}", self.cycle)?
+            }
         }
         for (i, c) in self.cores.iter().enumerate() {
             writeln!(
@@ -135,6 +146,57 @@ impl std::fmt::Display for DeadlockReport {
         }
         write!(f, "{}", self.mem)
     }
+}
+
+/// What a stepping run is driving towards (the `done` condition of the
+/// former closure-based run loop, reified so it can be stored in a
+/// [`RunCtl`] and carried across [`System::run_step`] calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunGoal {
+    /// Run until [`System::finished`]: traces exhausted, stores drained,
+    /// memory quiesced.
+    Completion,
+    /// Run until every core has committed at least this many instructions
+    /// (or finished its trace) — the fixed-work measurement condition.
+    Committed(u64),
+}
+
+impl RunGoal {
+    fn met(self, sys: &System) -> bool {
+        match self {
+            RunGoal::Completion => sys.finished(),
+            RunGoal::Committed(insts) => sys
+                .cores
+                .iter()
+                .all(|c| c.committed() >= insts || c.finished()),
+        }
+    }
+}
+
+/// Per-run control state extracted from the run loop so a run can be
+/// advanced one kernel step at a time: the progress watchdog, the legacy
+/// skip kernel's scan backoff, and the run's goal and cycle budget.
+/// Created by [`System::begin_run`], consumed by [`System::run_step`].
+#[derive(Debug)]
+pub struct RunCtl {
+    watchdog: Watchdog,
+    unscanned: u32,
+    goal: RunGoal,
+    max_cycles: u64,
+}
+
+/// What one [`System::run_step`] call did.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// The machine advanced (a tick or an idle jump); the goal is not yet
+    /// met. Step again.
+    Running,
+    /// The goal was met; statistics ledgers are materialized and the
+    /// snapshot equals what the monolithic run loop would return.
+    Done(StatSet),
+    /// The run gave up (budget exhausted or the progress watchdog
+    /// fired); the report equals the monolithic loop's.
+    Dead(Box<DeadlockReport>),
 }
 
 /// The complete simulated machine.
@@ -664,37 +726,75 @@ impl System {
         }
     }
 
-    fn run_loop(
-        &mut self,
-        max_cycles: u64,
-        done: impl Fn(&System) -> bool,
-    ) -> Result<StatSet, Box<DeadlockReport>> {
-        let mut watchdog = Watchdog::new();
-        let mut unscanned = 0u32;
-        let event = self.cfg.kernel == KernelKind::Event;
-        if event {
+    /// Begins a stepping run towards `goal`: resets the per-run control
+    /// state (progress watchdog, scan backoff) and — under the event
+    /// kernel — conservatively re-seeds the calendar, exactly as the
+    /// monolithic run loop did at entry. Drive the run with
+    /// [`System::run_step`]; the `try_run_*` convenience loops are thin
+    /// wrappers over this pair, so a stepped run is bit-identical to a
+    /// monolithic one by construction (a gang interleaving many systems'
+    /// steps relies on exactly this).
+    pub fn begin_run(&mut self, goal: RunGoal, max_cycles: u64) -> RunCtl {
+        if self.cfg.kernel == KernelKind::Event {
             self.seed_calendar();
         }
-        while !done(self) {
-            if self.now.raw() >= max_cycles {
-                self.flush_all_idle();
-                return Err(Box::new(
-                    self.deadlock_report(DeadlockKind::BudgetExhausted { budget: max_cycles }),
-                ));
-            }
-            let step = if event {
-                self.advance_event(&mut watchdog, max_cycles)
-            } else {
-                self.advance(&mut watchdog, max_cycles, &mut unscanned)
-            };
-            if let Some(kind) = step {
-                self.flush_all_idle();
-                return Err(Box::new(self.deadlock_report(kind)));
+        RunCtl {
+            watchdog: Watchdog::new(),
+            unscanned: 0,
+            goal,
+            max_cycles,
+        }
+    }
+
+    /// One iteration of the run loop started by [`System::begin_run`]:
+    /// checks the goal, then the cycle budget, then advances the machine
+    /// one kernel step (a tick, or an idle jump). Statistics ledgers are
+    /// fully materialized on every exit, so a [`StepOutcome::Done`]
+    /// snapshot or [`StepOutcome::Dead`] report equals what the
+    /// monolithic loop would have produced. After `Done` the system
+    /// remains runnable — begin another run to continue (the
+    /// warm-up/measure pattern).
+    pub fn run_step(&mut self, ctl: &mut RunCtl) -> StepOutcome {
+        if ctl.goal.met(self) {
+            self.flush_all_idle();
+            self.check_attribution();
+            return StepOutcome::Done(self.export_stats());
+        }
+        if self.now.raw() >= ctl.max_cycles {
+            let budget = ctl.max_cycles;
+            return StepOutcome::Dead(Box::new(
+                self.abort_report(DeadlockKind::BudgetExhausted { budget }),
+            ));
+        }
+        let step = if self.cfg.kernel == KernelKind::Event {
+            self.advance_event(&mut ctl.watchdog, ctl.max_cycles)
+        } else {
+            self.advance(&mut ctl.watchdog, ctl.max_cycles, &mut ctl.unscanned)
+        };
+        match step {
+            Some(kind) => StepOutcome::Dead(Box::new(self.abort_report(kind))),
+            None => StepOutcome::Running,
+        }
+    }
+
+    /// Materializes every idle ledger and assembles the deadlock report
+    /// for an abandoned run — the exit path [`System::run_step`] uses,
+    /// public so callers imposing limits the simulator cannot see (a
+    /// wall-clock deadline) produce identical diagnostics.
+    pub fn abort_report(&mut self, kind: DeadlockKind) -> DeadlockReport {
+        self.flush_all_idle();
+        self.deadlock_report(kind)
+    }
+
+    fn run_loop(&mut self, max_cycles: u64, goal: RunGoal) -> Result<StatSet, Box<DeadlockReport>> {
+        let mut ctl = self.begin_run(goal, max_cycles);
+        loop {
+            match self.run_step(&mut ctl) {
+                StepOutcome::Running => {}
+                StepOutcome::Done(stats) => return Ok(stats),
+                StepOutcome::Dead(report) => return Err(report),
             }
         }
-        self.flush_all_idle();
-        self.check_attribution();
-        Ok(self.export_stats())
     }
 
     /// Whether every trace has finished, every store has reached the
@@ -732,7 +832,7 @@ impl System {
     /// [`DeadlockReport`] instead of aborting the process, so callers
     /// (the fuzzer in particular) can record it as a counterexample.
     pub fn try_run_to_completion(&mut self, max_cycles: u64) -> Result<StatSet, Box<DeadlockReport>> {
-        self.run_loop(max_cycles, System::finished)
+        self.run_loop(max_cycles, RunGoal::Completion)
     }
 
     /// Runs until [`System::finished`], aborting after `max_cycles` or on
@@ -758,9 +858,7 @@ impl System {
         insts: u64,
         max_cycles: u64,
     ) -> Result<StatSet, Box<DeadlockReport>> {
-        self.run_loop(max_cycles, |s| {
-            s.cores.iter().all(|c| c.committed() >= insts || c.finished())
-        })
+        self.run_loop(max_cycles, RunGoal::Committed(insts))
     }
 
     /// Runs until every core has committed at least `insts` instructions
@@ -848,6 +946,7 @@ impl System {
     }
 }
 
+#[derive(Debug)]
 struct Watchdog {
     last: Option<(u64, u64)>,
     since: u64,

@@ -79,6 +79,13 @@ pub struct Woq {
     /// Reused buffer for merge-closure group ids (bounded by the queue
     /// capacity, so it plateaus and merge queries allocate nothing).
     scratch_ids: Vec<GroupId>,
+    /// Entries with the ready bit clear — lets the per-cycle
+    /// [`Woq::head_group_ready`] poll answer without scanning when every
+    /// entry is ready.
+    not_ready: usize,
+    /// Entries with the retry flag set — lets the per-cycle lex
+    /// re-request walk skip entirely in the common no-retry state.
+    retries: usize,
 }
 
 impl Woq {
@@ -97,6 +104,8 @@ impl Woq {
             peak: 0,
             tracer: Tracer::default(),
             scratch_ids: Vec::new(),
+            not_ready: 0,
+            retries: 0,
         }
     }
 
@@ -195,6 +204,7 @@ impl Woq {
             ready: false,
             retry: false,
         });
+        self.not_ready += 1;
         self.peak = self.peak.max(self.entries.len());
         self.tracer.emit_now(TraceEvent::WoqEnqueue { line: line.raw(), group: group.0 });
     }
@@ -289,6 +299,13 @@ impl Woq {
     pub fn coalesce(&mut self, idx: usize, mask: ByteMask, still_ready: bool) {
         let e = &mut self.entries[idx];
         e.mask = e.mask.union(mask);
+        if e.ready != still_ready {
+            if still_ready {
+                self.not_ready -= 1;
+            } else {
+                self.not_ready += 1;
+            }
+        }
         e.ready = still_ready;
     }
 
@@ -297,6 +314,12 @@ impl Woq {
     pub fn mark_ready(&mut self, set: usize, way: usize) {
         if let Some(i) = self.find(set, way) {
             let e = &mut self.entries[i];
+            if !e.ready {
+                self.not_ready -= 1;
+            }
+            if e.retry {
+                self.retries -= 1;
+            }
             e.ready = true;
             e.retry = false;
         }
@@ -307,6 +330,12 @@ impl Woq {
     pub fn mark_relinquished(&mut self, set: usize, way: usize) {
         if let Some(i) = self.find(set, way) {
             let e = &mut self.entries[i];
+            if e.ready {
+                self.not_ready += 1;
+            }
+            if !e.retry {
+                self.retries += 1;
+            }
             e.ready = false;
             e.retry = true;
             e.can_cycle = false;
@@ -331,7 +360,16 @@ impl Woq {
         let Some(g) = self.head_group() else {
             return false;
         };
-        self.entries.iter().filter(|e| e.group == g).all(|e| e.ready)
+        // Everything ready (the steady drain state) needs no group scan.
+        self.not_ready == 0 || self.entries.iter().filter(|e| e.group == g).all(|e| e.ready)
+    }
+
+    /// Number of entries with the retry flag set (relinquished lines
+    /// awaiting a lex-ordered re-request). The per-cycle re-request walk
+    /// gates on this being non-zero.
+    #[inline]
+    pub fn retry_count(&self) -> usize {
+        self.retries
     }
 
     /// Pops every member of the head group (they become visible
@@ -357,16 +395,21 @@ impl Woq {
     pub fn pop_head_group_into(&mut self, out: &mut Vec<WoqEntry>) {
         let g = self.head_group().expect("pop from empty WOQ");
         let before = out.len();
+        let (mut popped_not_ready, mut popped_retries) = (0, 0);
         // retain preserves the order of survivors, exactly like the old
         // drain-and-rebuild, and removes in place without a fresh deque.
         self.entries.retain(|e| {
             if e.group == g {
+                popped_not_ready += usize::from(!e.ready);
+                popped_retries += usize::from(e.retry);
                 out.push(*e);
                 false
             } else {
                 true
             }
         });
+        self.not_ready -= popped_not_ready;
+        self.retries -= popped_retries;
         self.tracer.emit_now(TraceEvent::WoqVisible {
             group: g.0,
             lines: (out.len() - before) as u32,
@@ -379,6 +422,8 @@ impl Woq {
         let mut rest = VecDeque::with_capacity(self.entries.len());
         for e in self.entries.drain(..) {
             if e.group == g {
+                self.not_ready -= usize::from(!e.ready);
+                self.retries -= usize::from(e.retry);
                 popped.push(e);
             } else {
                 rest.push_back(e);

@@ -84,6 +84,24 @@ pub struct StoreBuffer {
     peak: usize,
     occupancy_sum: u64,
     occupancy_samples: u64,
+    /// Per-line-hash occupancy counts: a zero bucket proves no buffered
+    /// store touches any line hashing there, so the associative walks
+    /// (`forward`, `older_store_to_line`) can answer Miss without
+    /// scanning. Counts, not bits, so removal stays exact.
+    line_filter: [u16; LINE_FILTER_BUCKETS],
+    /// Committed entries currently buffered (`has_committed` in O(1);
+    /// fences and the drain loop poll it every cycle).
+    committed_count: usize,
+}
+
+/// Bucket count for [`StoreBuffer::line_filter`] (power of two).
+const LINE_FILTER_BUCKETS: usize = 128;
+
+/// Filter bucket of a line address.
+#[inline]
+fn line_bucket(line: tus_sim::LineAddr) -> usize {
+    let l = line.raw();
+    ((l ^ (l >> 7)) as usize) & (LINE_FILTER_BUCKETS - 1)
 }
 
 impl StoreBuffer {
@@ -103,7 +121,33 @@ impl StoreBuffer {
             peak: 0,
             occupancy_sum: 0,
             occupancy_samples: 0,
+            line_filter: [0; LINE_FILTER_BUCKETS],
+            committed_count: 0,
         }
+    }
+
+    /// Applies `delta` to the filter buckets of every line the byte range
+    /// `[addr, addr+size)` touches (a store may straddle a line boundary).
+    #[inline]
+    fn filter_adjust(&mut self, addr: Addr, size: u8, delta: i32) {
+        let first = line_bucket(addr.line());
+        let b = &mut self.line_filter[first];
+        *b = (*b as i32 + delta) as u16;
+        let last = line_bucket(Addr::new(addr.raw() + size as u64 - 1).line());
+        if last != first {
+            let b = &mut self.line_filter[last];
+            *b = (*b as i32 + delta) as u16;
+        }
+    }
+
+    /// Whether any buffered store could touch a line in `[addr, addr+size)`.
+    #[inline]
+    fn filter_may_overlap(&self, addr: Addr, size: usize) -> bool {
+        if self.line_filter[line_bucket(addr.line())] != 0 {
+            return true;
+        }
+        let last = Addr::new(addr.raw() + size.max(1) as u64 - 1).line();
+        self.line_filter[line_bucket(last)] != 0
     }
 
     /// Capacity in entries.
@@ -149,22 +193,35 @@ impl StoreBuffer {
             committed: false,
             seq,
         });
+        self.filter_adjust(addr, size, 1);
         self.peak = self.peak.max(self.entries.len());
         Ok(())
     }
 
+    /// Index of the entry with sequence number `seq` (entries are pushed
+    /// in program order, so they are sorted by `seq`).
+    #[inline]
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        let i = self.entries.partition_point(|e| e.seq < seq);
+        (self.entries.get(i).map(|e| e.seq) == Some(seq)).then_some(i)
+    }
+
     /// Marks the store with sequence number `seq` as executed.
     pub fn mark_executed(&mut self, seq: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
-            e.executed = true;
+        if let Some(i) = self.index_of(seq) {
+            self.entries[i].executed = true;
         }
     }
 
     /// Marks the store with sequence number `seq` as committed.
     pub fn mark_committed(&mut self, seq: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+        if let Some(i) = self.index_of(seq) {
+            let e = &mut self.entries[i];
             debug_assert!(e.executed, "commit of a non-executed store");
-            e.committed = true;
+            if !e.committed {
+                e.committed = true;
+                self.committed_count += 1;
+            }
         }
     }
 
@@ -181,6 +238,8 @@ impl StoreBuffer {
     pub fn pop_head(&mut self) -> SbEntry {
         let e = self.entries.pop_front().expect("pop from empty SB");
         assert!(e.committed, "draining a non-committed store");
+        self.filter_adjust(e.addr, e.size, -1);
+        self.committed_count -= 1;
         e
     }
 
@@ -188,6 +247,9 @@ impl StoreBuffer {
     /// store older than `load_seq` overlapping `[addr, addr+size)`.
     pub fn forward(&mut self, addr: Addr, size: usize, load_seq: u64) -> ForwardResult {
         self.searches += 1;
+        if !self.filter_may_overlap(addr, size) {
+            return ForwardResult::Miss;
+        }
         for e in self.entries.iter().rev() {
             if e.seq >= load_seq || !e.overlaps(addr, size) {
                 continue;
@@ -210,15 +272,17 @@ impl StoreBuffer {
     /// these — and only these — to drain; younger, uncommitted stores sit
     /// behind the fence in program order).
     pub fn has_committed(&self) -> bool {
-        self.entries.iter().any(|e| e.committed)
+        self.committed_count > 0
     }
 
     /// Whether any store older than `seq` to the same line is still
     /// buffered (used by drain policies that preserve per-line order).
     pub fn older_store_to_line(&self, line: tus_sim::LineAddr, seq: u64) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.seq < seq && e.addr.line() == line)
+        self.line_filter[line_bucket(line)] != 0
+            && self
+                .entries
+                .iter()
+                .any(|e| e.seq < seq && e.addr.line() == line)
     }
 
     /// Samples occupancy (call once per cycle) for utilization statistics.

@@ -51,6 +51,7 @@ fn client_usage() -> ! {
          \x20 ping [MESSAGE]\n\
          \x20 point WORKLOAD --policy base|SSB|CSB|SPB|TUS [--sb N] [--quick|--normal|--full]\n\
          \x20       [--seed N] [--kernel K] [--coherence mesi|tardis] [--budget CYCLES]\n\
+         \x20       [--wall-ms MS]\n\
          \x20 experiment NAME [--quick|--normal|--full] [--seed N] [--kernel K]\n\
          \x20       [--coherence C] [--parallel-cap N]\n\
          \x20 fuzz [--programs N] [--seeds N] [--seed N] [--policy P] [--kernel K] [--coherence C]\n\
@@ -140,6 +141,7 @@ pub fn parse_client_args(args: &[String]) -> ClientOptions {
                     "--kernel" => h.push("kernel", &val("--kernel")),
                     "--coherence" => h.push("coherence", &val("--coherence")),
                     "--budget" => h.push("budget", &val("--budget")),
+                    "--wall-ms" => h.push("wall_ms", &val("--wall-ms")),
                     "--insts" => h.push("insts", &val("--insts")),
                     "--programs" => h.push("programs", &val("--programs")),
                     "--seeds" => h.push("seeds", &val("--seeds")),

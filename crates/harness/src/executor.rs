@@ -36,7 +36,7 @@ use tus_sim::hash::fx_hash_one;
 use tus_sim::StatSet;
 
 use crate::errors::{panic_message, HarnessError};
-use crate::runner::{run_lane, try_run_budget, RunResult, RunSpec};
+use crate::runner::{run_lane_mode, try_run_budget, try_run_wall, RunResult, RunSpec};
 
 /// Locks a mutex, recovering the data on poisoning.
 ///
@@ -78,6 +78,7 @@ impl ExecCounters {
 pub struct Executor {
     jobs: usize,
     batching: bool,
+    gang: bool,
     cache_dir: Option<PathBuf>,
     memo: Mutex<HashMap<String, RunResult>>,
     executed: AtomicU64,
@@ -102,6 +103,7 @@ impl Executor {
         Executor {
             jobs: jobs.max(1),
             batching: true,
+            gang: true,
             cache_dir,
             memo: Mutex::new(HashMap::new()),
             executed: AtomicU64::new(0),
@@ -114,9 +116,20 @@ impl Executor {
     ///
     /// Batching changes scheduling granularity only — results are
     /// bit-identical either way, since every simulation is independently
-    /// seeded and [`run_lane`] shares nothing mutable across a lane.
+    /// seeded and lanes share nothing mutable.
     pub fn batching(mut self, on: bool) -> Self {
         self.batching = on;
+        self
+    }
+
+    /// Enables or disables gang-scheduled lane execution (`--no-gang`);
+    /// on by default. With gang on, a lane's seed-varied members run in
+    /// one interleaved pass ([`tus::SystemGang`]) instead of back to
+    /// back; members are independent machines, so results are
+    /// bit-identical either way (the CI gang-equivalence job diffs the
+    /// CSV trees to prove it).
+    pub fn gang(mut self, on: bool) -> Self {
+        self.gang = on;
         self
     }
 
@@ -233,6 +246,22 @@ impl Executor {
         spec: &RunSpec,
         budget: Option<u64>,
     ) -> Result<RunResult, HarnessError> {
+        self.try_run_one_wall(spec, budget, None)
+    }
+
+    /// [`Executor::try_run_one`] additionally bounded by a wall-clock
+    /// deadline of `wall_ms` milliseconds (the daemon's `wall_ms=`
+    /// request header). Expiry comes back as [`HarnessError::Deadlock`]
+    /// carrying a [`tus::DeadlockKind::WallClockExpired`] report; an
+    /// expired run is never cached (only whether a run *finishes* can
+    /// change, not a finished run's bytes, so wall limits — like cycle
+    /// budgets — are not a memo-key dimension).
+    pub fn try_run_one_wall(
+        &self,
+        spec: &RunSpec,
+        budget: Option<u64>,
+        wall_ms: Option<u64>,
+    ) -> Result<RunResult, HarnessError> {
         let key = spec.memo_key();
         {
             let mut memo = lock_unpoisoned(&self.memo);
@@ -246,7 +275,10 @@ impl Executor {
                 return Ok(r);
             }
         }
-        match std::panic::catch_unwind(AssertUnwindSafe(|| try_run_budget(spec, budget))) {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| match wall_ms {
+            Some(ms) => try_run_wall(spec, budget, ms),
+            None => try_run_budget(spec, budget),
+        })) {
             Ok(Ok(r)) => {
                 self.executed.fetch_add(1, Ordering::Relaxed);
                 self.store_cached(&key, &r);
@@ -323,7 +355,7 @@ impl Executor {
             let mut out: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
             for lane in &lanes {
                 let specs: Vec<RunSpec> = lane.iter().map(|&i| todo[i].clone()).collect();
-                match std::panic::catch_unwind(AssertUnwindSafe(|| run_lane(&specs))) {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| run_lane_mode(&specs, self.gang))) {
                     Ok(results) => {
                         for (&i, r) in lane.iter().zip(results) {
                             out[i] = Some(r);
@@ -344,7 +376,7 @@ impl Executor {
                         break;
                     };
                     let specs: Vec<RunSpec> = lane.iter().map(|&i| todo[i].clone()).collect();
-                    match std::panic::catch_unwind(AssertUnwindSafe(|| run_lane(&specs))) {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| run_lane_mode(&specs, self.gang))) {
                         Ok(results) => {
                             for (&i, r) in lane.iter().zip(results) {
                                 *lock_unpoisoned(&slots[i]) = Some(r);
@@ -659,6 +691,49 @@ mod tests {
         let err = ex.try_run_one(&bomb, None).expect_err("bomb via try_run_one");
         assert!(matches!(err, HarnessError::JobPanicked { .. }));
         assert!(ex.try_run_one(&good, None).is_ok());
+    }
+
+    /// A panic inside a **gang-scheduled multi-seed lane** is contained
+    /// by the same lane-boundary `catch_unwind`: the whole lane reports
+    /// [`HarnessError::JobPanicked`] (its members share one gang pass),
+    /// and unrelated lanes on the same executor are untouched.
+    #[test]
+    fn panicking_gang_lane_is_contained_at_the_lane_boundary() {
+        let bomb = RunSpec {
+            tweak: Some(crate::runner::Tweak {
+                name: "panic-injection",
+                apply: |_| panic!("injected gang panic"),
+            }),
+            ..quick_spec("502.gcc1-like", PolicyKind::Tus, 114)
+        };
+        let bombs = [
+            RunSpec { seed: 1, ..bomb.clone() },
+            RunSpec { seed: 2, ..bomb.clone() },
+        ];
+        assert_eq!(bombs[0].lane_key(), bombs[1].lane_key(), "one gang lane");
+        let good = [
+            RunSpec { seed: 1, ..quick_spec("557.xz-like", PolicyKind::Baseline, 32) },
+            RunSpec { seed: 2, ..quick_spec("557.xz-like", PolicyKind::Baseline, 32) },
+        ];
+
+        let ex = Executor::new(2, None); // gang on by default
+        let all: Vec<RunSpec> = bombs.iter().chain(good.iter()).cloned().collect();
+        let err = ex.run_many_checked(&all).expect_err("gang lane with the bomb must error");
+        match &err {
+            HarnessError::JobPanicked { what } => {
+                assert!(what.contains("injected gang panic"), "{what}")
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+
+        // The healthy gang lane still runs to completion on the same
+        // executor, bit-identical to its solo members.
+        let results = ex.run_many_checked(&good).expect("healthy lane unaffected");
+        for (spec, r) in good.iter().zip(&results) {
+            let solo = crate::runner::run(spec);
+            let key = spec.memo_key();
+            assert_eq!(encode_result(r, &key), encode_result(&solo, &key));
+        }
     }
 
     /// A truncated or bit-flipped `.runcache` entry must behave as a

@@ -3,7 +3,7 @@
 //! ```text
 //! tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]
 //!             [--parallel-cap N] [--jobs N] [--no-cache] [--no-batch]
-//!             [--kernel K] [--coherence C]
+//!             [--no-gang] [--kernel K] [--coherence C]
 //! tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]
 //!             [--policy P] [--out DIR] [--replay FILE] [--save-corpus N]
 //!             [--no-shrink] [--kernel K] [--coherence C]
@@ -15,7 +15,7 @@
 //!             [--parallel-cap N] [--jobs N] [--no-batch]
 //! tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]
 //!             [--parallel-cap N] [--jobs N] [--kernel K]
-//!             [--no-batch] [--min-sims-per-sec X]
+//!             [--no-batch] [--no-gang] [--min-sims-per-sec X]
 //!
 //! experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15
 //!              intext ablation coherence all
@@ -25,8 +25,10 @@
 //!
 //! Runs are executed by a worker pool (`--jobs`, default: available
 //! parallelism), deduplicated across figures, batched by machine
-//! configuration (`--no-batch` disables lane batching), and memoized on
-//! disk under `<out>/.runcache` (`--no-cache` disables the disk cache).
+//! configuration (`--no-batch` disables lane batching), gang-scheduled
+//! within each lane (`--no-gang` falls back to per-sim execution), and
+//! memoized on disk under `<out>/.runcache` (`--no-cache` disables the
+//! disk cache).
 //! All of this is output-neutral: simulations are seeded and
 //! deterministic, so the tables and CSVs are byte-identical to a
 //! sequential, uncached run — under **any** simulation kernel
@@ -51,7 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: tus-harness <experiment> [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N] [--no-cache] [--no-batch]\n\
-         \x20                  [--kernel K] [--coherence C] [--trace]\n\
+         \x20                  [--no-gang] [--kernel K] [--coherence C] [--trace]\n\
          \x20      tus-harness fuzz [--programs N] [--seeds N] [--seed N] [--jobs N]\n\
          \x20                  [--policy P] [--out DIR] [--replay FILE] [--no-shrink]\n\
          \x20                  [--kernel K] [--coherence C] [--trace]\n\
@@ -69,7 +71,7 @@ fn usage() -> ! {
          \x20                  [--parallel-cap N] [--jobs N] [--no-batch]\n\
          \x20      tus-harness bench-hotpath [--quick|--full] [--seed N] [--out DIR]\n\
          \x20                  [--parallel-cap N] [--jobs N] [--kernel K]\n\
-         \x20                  [--no-batch] [--min-sims-per-sec X]\n\
+         \x20                  [--no-batch] [--no-gang] [--min-sims-per-sec X]\n\
          experiments: table1 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 intext ablation\n\
          \x20            coherence all\n\
          kernels (K): lockstep skip event (default: event)\n\
@@ -236,14 +238,15 @@ const HOTPATH_BASELINE_SIMS_PER_SEC: f64 = 4.77;
 /// `--min-sims-per-sec`, exits non-zero when measured throughput falls
 /// below the floor — the CI perf-smoke contract. Returns the process
 /// exit code.
-fn bench_hotpath(opt: &Options, jobs: usize, batch: bool, floor: Option<f64>) -> i32 {
+fn bench_hotpath(opt: &Options, jobs: usize, batch: bool, gang: bool, floor: Option<f64>) -> i32 {
     let hopt = Options {
         out: opt.out.join("bench-hotpath"),
         ..opt.clone()
     };
-    let ex = Executor::new(jobs, None).batching(batch);
+    let ex = Executor::new(jobs, None).batching(batch).gang(gang);
+    let gang_label = if gang { "gang" } else { "solo" };
     eprintln!(
-        "[bench-hotpath: running all experiments cold, {} kernel, {} backend]",
+        "[bench-hotpath: running all experiments cold, {} kernel, {} backend, {gang_label} lanes]",
         hopt.kernel, hopt.coherence
     );
     let started = std::time::Instant::now();
@@ -258,10 +261,12 @@ fn bench_hotpath(opt: &Options, jobs: usize, batch: bool, floor: Option<f64>) ->
     let speedup = sims_per_sec / HOTPATH_BASELINE_SIMS_PER_SEC;
     eprintln!(
         "[bench-hotpath: {seconds:.1}s, {} sims, {sims_per_sec:.2} sims/s, \
-         {speedup:.2}x over the {HOTPATH_BASELINE_SIMS_PER_SEC} sims/s baseline]",
-        counters.executed
+         {speedup:.2}x over the {HOTPATH_BASELINE_SIMS_PER_SEC} sims/s baseline \
+         ({} kernel, {} backend, {gang_label} lanes)]",
+        counters.executed, hopt.kernel, hopt.coherence
     );
-    if let Err(e) = write_bench_hotpath_json(&opt.out, &hopt, seconds, counters, sims_per_sec) {
+    if let Err(e) = write_bench_hotpath_json(&opt.out, &hopt, gang, seconds, counters, sims_per_sec)
+    {
         eprintln!("bench-hotpath: cannot write BENCH_hotpath.json: {e}");
         return 2;
     }
@@ -278,6 +283,25 @@ fn bench_hotpath(opt: &Options, jobs: usize, batch: bool, floor: Option<f64>) ->
     0
 }
 
+/// A one-line fingerprint of the machine a benchmark entry was measured
+/// on — CPU model and logical core count — so entries from different
+/// boxes in the trajectory are never compared as if like-for-like.
+fn host_fingerprint() -> String {
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split_once(':'))
+                .map(|(_, v)| v.split_whitespace().collect::<Vec<_>>().join(" "))
+        })
+        .unwrap_or_else(|| std::env::consts::ARCH.to_owned());
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    // The fingerprint lands inside a JSON string literal.
+    let model: String = model.chars().filter(|c| *c != '"' && *c != '\\').collect();
+    format!("{model} x{cores}")
+}
+
 /// Appends one timestamped entry to `BENCH_hotpath.json`, keeping the
 /// file a valid JSON array across runs (hand-rolled JSON; the workspace
 /// is std-only). A missing file — or a pre-trajectory single-object file
@@ -285,6 +309,7 @@ fn bench_hotpath(opt: &Options, jobs: usize, batch: bool, floor: Option<f64>) ->
 fn write_bench_hotpath_json(
     out: &std::path::Path,
     hopt: &Options,
+    gang: bool,
     seconds: f64,
     counters: ExecCounters,
     sims_per_sec: f64,
@@ -295,11 +320,13 @@ fn write_bench_hotpath_json(
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let entry = format!(
-        "  {{\"unix_time\": {unix_time}, \"kernel\": \"{}\", \"coherence\": \"{}\", \
+        "  {{\"unix_time\": {unix_time}, \"host\": \"{}\", \
+         \"kernel\": \"{}\", \"coherence\": \"{}\", \"gang\": {gang}, \
          \"seconds\": {seconds:.3}, \
          \"sims\": {}, \"sims_per_sec\": {sims_per_sec:.2}, \
          \"baseline_sims_per_sec\": {HOTPATH_BASELINE_SIMS_PER_SEC:.2}, \
          \"speedup\": {:.3}}}",
+        host_fingerprint(),
         hopt.kernel,
         hopt.coherence,
         counters.executed,
@@ -352,6 +379,7 @@ fn main() {
     let mut jobs = Executor::default_jobs();
     let mut cache = true;
     let mut batch = true;
+    let mut gang = true;
     let mut min_sims_per_sec = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -381,6 +409,8 @@ fn main() {
             }
             "--no-cache" => cache = false,
             "--no-batch" => batch = false,
+            "--gang" => gang = true,
+            "--no-gang" => gang = false,
             "--min-sims-per-sec" => {
                 min_sims_per_sec = Some(
                     it.next()
@@ -411,10 +441,10 @@ fn main() {
         std::process::exit(bench_kernel(&opt, jobs, batch));
     }
     if cmd == "bench-hotpath" {
-        std::process::exit(bench_hotpath(&opt, jobs, batch, min_sims_per_sec));
+        std::process::exit(bench_hotpath(&opt, jobs, batch, gang, min_sims_per_sec));
     }
     let cache_dir = cache.then(|| opt.out.join(".runcache"));
-    let ex = Executor::new(jobs, cache_dir).batching(batch);
+    let ex = Executor::new(jobs, cache_dir).batching(batch).gang(gang);
 
     let run_timed = |name: &'static str, f: fn(&Executor, &Options)| -> Timing {
         let before = ex.counters();

@@ -1,6 +1,8 @@
-//! Single-simulation execution with warm-up subtraction.
+//! Single-simulation execution with warm-up subtraction, plus the
+//! gang-scheduled lane path (all seeds of a lane in one interleaved
+//! pass; see [`tus::SystemGang`]).
 
-use tus::System;
+use tus::{RunGoal, StepOutcome, System, SystemGang};
 use tus_energy::{EnergyBreakdown, EnergyModel};
 use tus_sim::stats::names;
 use tus_sim::{CoherenceKind, KernelKind, PolicyKind, SimConfig, StatSet};
@@ -286,12 +288,26 @@ pub fn try_run_budget(
     try_run_with(spec, &cfg, &model, budget)
 }
 
+/// Executes a *lane* gang-scheduled ([`run_lane_mode`] with gang on) —
+/// the executor's default path.
+pub fn run_lane(specs: &[RunSpec]) -> Vec<RunResult> {
+    run_lane_mode(specs, true)
+}
+
 /// Executes a *lane*: specs sharing one [`RunSpec::lane_key`] (identical
 /// machine configuration, differing only in seed). The [`SimConfig`] and
 /// [`EnergyModel`] are built once and shared across the lane, amortizing
 /// per-run setup; each result is bit-identical to a standalone [`run`]
 /// because both construction paths are pure functions of the spec.
-pub fn run_lane(specs: &[RunSpec]) -> Vec<RunResult> {
+///
+/// With `gang` on, all K seed-varied members execute in **one
+/// interleaved pass** under a [`SystemGang`]: a merged calendar pops
+/// whichever member's local clock is earliest, members retire
+/// individually on finish/deadlock/budget, and — because members are
+/// fully independent machines — every result is still bit-identical to
+/// the per-sim path (`gang` off), which the CI gang-equivalence job
+/// enforces by diffing the CSV trees.
+pub fn run_lane_mode(specs: &[RunSpec], gang: bool) -> Vec<RunResult> {
     let Some(first) = specs.first() else {
         return Vec::new();
     };
@@ -301,6 +317,9 @@ pub fn run_lane(specs: &[RunSpec]) -> Vec<RunResult> {
         specs.iter().all(|s| s.lane_key() == first.lane_key()),
         "run_lane requires config-identical specs"
     );
+    if gang {
+        return run_lane_gang(specs, &cfg, &model);
+    }
     specs
         .iter()
         .map(|s| {
@@ -310,25 +329,52 @@ pub fn run_lane(specs: &[RunSpec]) -> Vec<RunResult> {
         .collect()
 }
 
-fn try_run_with(
-    spec: &RunSpec,
-    cfg: &SimConfig,
-    model: &EnergyModel,
-    budget: Option<u64>,
-) -> Result<RunResult, Box<tus::DeadlockReport>> {
-    let total = spec.warmup + spec.insts;
-    let traces = spec
-        .workload
-        .traces(spec.cores, spec.seed, total + 10_000);
-    let mut sys = System::new(cfg, traces, spec.seed);
-    let budget = budget.unwrap_or_else(|| default_budget(spec));
-    let warm = if spec.warmup > 0 {
-        sys.try_run_committed(spec.warmup, budget)?
+/// The gang lane: build every member system, run one interleaved
+/// warm-up phase, then one interleaved measure phase, and assemble each
+/// member's result exactly as the solo path does. Warm-up and measure
+/// are separate gang phases — the same two back-to-back `run_committed`
+/// calls a solo run makes, so per-member snapshots cannot differ.
+fn run_lane_gang(specs: &[RunSpec], cfg: &SimConfig, model: &EnergyModel) -> Vec<RunResult> {
+    let first = &specs[0];
+    let total = first.warmup + first.insts;
+    let budget = default_budget(first);
+    let systems = specs.iter().map(|s| build_system(s, cfg)).collect();
+    let mut gang = SystemGang::new(systems);
+    let warms = if first.warmup > 0 {
+        gang.run_phase(RunGoal::Committed(first.warmup), budget)
     } else {
-        StatSet::new()
+        specs.iter().map(|_| Ok(StatSet::new())).collect()
     };
-    let end = sys.try_run_committed(total, budget)?;
-    let stats = end.minus(&warm);
+    let ends = gang.run_phase(RunGoal::Committed(total), budget);
+    specs
+        .iter()
+        .zip(warms.into_iter().zip(ends))
+        .map(|(spec, (warm, end))| {
+            let warm = warm.unwrap_or_else(|r| panic!("simulation gave up:\n{r}"));
+            let end = end.unwrap_or_else(|r| panic!("simulation gave up:\n{r}"));
+            assemble_result(spec, model, &warm, &end)
+        })
+        .collect()
+}
+
+/// Builds the member system a spec describes (pure function of the
+/// spec, shared by the solo and gang paths).
+fn build_system(spec: &RunSpec, cfg: &SimConfig) -> System {
+    let total = spec.warmup + spec.insts;
+    let traces = spec.workload.traces(spec.cores, spec.seed, total + 10_000);
+    System::new(cfg, traces, spec.seed)
+}
+
+/// Subtracts the warm-up snapshot and derives the measured metrics —
+/// the single place a [`RunResult`] is assembled, so the solo, gang and
+/// wall-clock paths cannot drift apart.
+fn assemble_result(
+    spec: &RunSpec,
+    model: &EnergyModel,
+    warm: &StatSet,
+    end: &StatSet,
+) -> RunResult {
+    let stats = end.minus(warm);
     let cycles = stats.get(names::CYCLES).max(1.0);
     let committed = stats.get(names::TOTAL_COMMITTED);
     let sb_stall_frac = (0..spec.cores)
@@ -337,7 +383,7 @@ fn try_run_with(
         / (cycles * spec.cores as f64);
     let energy = model.evaluate(&stats);
     let edp = energy.edp();
-    Ok(RunResult {
+    RunResult {
         cycles,
         committed,
         ipc: committed / cycles,
@@ -345,7 +391,83 @@ fn try_run_with(
         energy,
         edp,
         stats,
-    })
+    }
+}
+
+fn try_run_with(
+    spec: &RunSpec,
+    cfg: &SimConfig,
+    model: &EnergyModel,
+    budget: Option<u64>,
+) -> Result<RunResult, Box<tus::DeadlockReport>> {
+    let mut sys = build_system(spec, cfg);
+    let total = spec.warmup + spec.insts;
+    let budget = budget.unwrap_or_else(|| default_budget(spec));
+    let warm = if spec.warmup > 0 {
+        sys.try_run_committed(spec.warmup, budget)?
+    } else {
+        StatSet::new()
+    };
+    let end = sys.try_run_committed(total, budget)?;
+    Ok(assemble_result(spec, model, &warm, &end))
+}
+
+/// How many kernel steps a wall-clock-bounded run takes between host
+/// clock reads. One read is ~20 ns against steps of ~1 µs, so expiry is
+/// detected within about a millisecond at negligible overhead.
+const WALL_CHECK_STEPS: u32 = 1024;
+
+/// [`try_run_budget`] additionally bounded by a **wall-clock** deadline
+/// of `wall_ms` milliseconds over the whole run (warm-up included) —
+/// the daemon's `wall_ms=` per-request budget. The simulated machine
+/// never reads the host clock: the deadline is checked between kernel
+/// steps, and expiry returns a structured
+/// [`tus::DeadlockKind::WallClockExpired`] report. A run that finishes
+/// in time is bit-identical to [`try_run_budget`].
+pub fn try_run_wall(
+    spec: &RunSpec,
+    budget: Option<u64>,
+    wall_ms: u64,
+) -> Result<RunResult, Box<tus::DeadlockReport>> {
+    let cfg = spec.config();
+    let model = EnergyModel::from_config(&cfg);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wall_ms);
+    let mut sys = build_system(spec, &cfg);
+    let total = spec.warmup + spec.insts;
+    let budget = budget.unwrap_or_else(|| default_budget(spec));
+    let warm = if spec.warmup > 0 {
+        step_until(&mut sys, RunGoal::Committed(spec.warmup), budget, deadline, wall_ms)?
+    } else {
+        StatSet::new()
+    };
+    let end = step_until(&mut sys, RunGoal::Committed(total), budget, deadline, wall_ms)?;
+    Ok(assemble_result(spec, &model, &warm, &end))
+}
+
+/// Drives one stepping run to its goal, checking the wall clock every
+/// [`WALL_CHECK_STEPS`] kernel steps.
+fn step_until(
+    sys: &mut System,
+    goal: RunGoal,
+    budget: u64,
+    deadline: std::time::Instant,
+    wall_ms: u64,
+) -> Result<StatSet, Box<tus::DeadlockReport>> {
+    let mut ctl = sys.begin_run(goal, budget);
+    let mut steps = 0u32;
+    loop {
+        match sys.run_step(&mut ctl) {
+            StepOutcome::Running => {
+                steps = steps.wrapping_add(1);
+                if steps % WALL_CHECK_STEPS == 0 && std::time::Instant::now() >= deadline {
+                    let kind = tus::DeadlockKind::WallClockExpired { ms: wall_ms };
+                    return Err(Box::new(sys.abort_report(kind)));
+                }
+            }
+            StepOutcome::Done(stats) => return Ok(stats),
+            StepOutcome::Dead(report) => return Err(report),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -500,11 +622,16 @@ mod tests {
             assert_ne!(a.lane_key(), other.lane_key(), "config change must split the lane");
         }
 
+        // The gang-scheduled lane (the default), the per-sim lane, and
+        // standalone runs must all produce bit-identical results.
         let lane = run_lane(&[a.clone(), b.clone()]);
+        let solo_lane = run_lane_mode(&[a.clone(), b.clone()], false);
         let (solo_a, solo_b) = (run(&a), run(&b));
         use crate::executor::encode_result;
         assert_eq!(encode_result(&lane[0], "k"), encode_result(&solo_a, "k"));
         assert_eq!(encode_result(&lane[1], "k"), encode_result(&solo_b, "k"));
+        assert_eq!(encode_result(&solo_lane[0], "k"), encode_result(&solo_a, "k"));
+        assert_eq!(encode_result(&solo_lane[1], "k"), encode_result(&solo_b, "k"));
     }
 
     #[test]
@@ -539,6 +666,34 @@ mod tests {
         assert!(report.cycle <= 100);
 
         let ok = try_run_budget(&spec, None).expect("default budget suffices");
+        let plain = run(&spec);
+        use crate::executor::encode_result;
+        assert_eq!(encode_result(&ok, "k"), encode_result(&plain, "k"));
+    }
+
+    /// A wall-clock deadline of zero expires the run structurally with a
+    /// `WallClockExpired` report, while a generous deadline completes
+    /// bit-identically to the unbounded path — the deadline observes,
+    /// never perturbs.
+    #[test]
+    fn try_run_wall_reports_expiry_structurally() {
+        let spec = RunSpec {
+            warmup: 0,
+            insts: 5_000,
+            ..RunSpec::new(
+                by_name("502.gcc1-like").expect("exists"),
+                PolicyKind::Tus,
+                114,
+                Scale::Quick,
+            )
+        };
+        let report = try_run_wall(&spec, None, 0).expect_err("0 ms cannot finish");
+        match report.kind {
+            tus::DeadlockKind::WallClockExpired { ms } => assert_eq!(ms, 0),
+            other => panic!("expected WallClockExpired, got {other:?}"),
+        }
+
+        let ok = try_run_wall(&spec, None, 600_000).expect("ten minutes suffice");
         let plain = run(&spec);
         use crate::executor::encode_result;
         assert_eq!(encode_result(&ok, "k"), encode_result(&plain, "k"));

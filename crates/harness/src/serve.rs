@@ -521,8 +521,10 @@ fn parse_scale(label: &str) -> Result<Scale, HarnessError> {
     })
 }
 
-/// Builds the [`RunSpec`] a `RunPoint`/`TraceCapture` body describes.
-fn spec_from_headers(body: &str) -> Result<(RunSpec, Option<u64>), HarnessError> {
+/// Builds the [`RunSpec`] a `RunPoint`/`TraceCapture` body describes,
+/// plus the request's optional cycle budget (`budget=`) and wall-clock
+/// budget in milliseconds (`wall_ms=`).
+fn spec_from_headers(body: &str) -> Result<(RunSpec, Option<u64>, Option<u64>), HarnessError> {
     let h = parse_headers(body)?;
     let w = workload(require(&h, "workload")?)?;
     let policy = parse_policy(require(&h, "policy")?)?;
@@ -542,7 +544,8 @@ fn spec_from_headers(body: &str) -> Result<(RunSpec, Option<u64>), HarnessError>
         spec.coherence = parse_coherence(c)?;
     }
     let budget = numeric::<u64>(&h, "budget")?;
-    Ok((spec, budget))
+    let wall_ms = numeric::<u64>(&h, "wall_ms")?;
+    Ok((spec, budget, wall_ms))
 }
 
 fn handle_run_point(
@@ -550,13 +553,16 @@ fn handle_run_point(
     conn: &mut Box<dyn Conn>,
     body: &str,
 ) -> Result<(), DispatchError> {
-    let (spec, budget) = spec_from_headers(body)?;
+    let (spec, budget, wall_ms) = spec_from_headers(body)?;
     let budget = server.effective_budget(budget);
     let key = spec.memo_key();
     write_frame(conn, FrameKind::Progress, &format!("running {key}\n"))?;
     let before = server.ex.counters();
     let started = Instant::now();
-    let result = server.ex.try_run_one(&spec, budget).map_err(DispatchError::Reply)?;
+    let result = server
+        .ex
+        .try_run_one_wall(&spec, budget, wall_ms)
+        .map_err(DispatchError::Reply)?;
     let since = server.ex.counters().since(before);
     let reply = format!(
         "executed={}\nmemo_hits={}\ndisk_hits={}\nseconds={:.6}\nkey={}\n\n{}",

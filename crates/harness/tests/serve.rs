@@ -250,6 +250,50 @@ fn budget_expiry_is_a_structured_deadlock_reply() {
     server.shutdown();
 }
 
+/// A `wall_ms=` request header bounds the run in host wall-clock time:
+/// an impossible deadline comes back as a structured `deadlock` error
+/// frame carrying the `WallClockExpired` report, the failed attempt is
+/// not cached, and the daemon keeps serving.
+#[test]
+fn wall_clock_expiry_is_a_structured_deadlock_reply() {
+    let server = start(|_| {});
+
+    let strangled = format!("{POINT}wall_ms=0\n");
+    let frames = server.request(FrameKind::RunPoint, &strangled);
+    let err = terminal(&frames);
+    assert_eq!(err.kind, FrameKind::Error);
+    let (token, message) = decode_error(&err.body);
+    assert_eq!(token, "deadlock");
+    assert!(
+        message.contains("wall-clock") && message.contains("0 ms"),
+        "reply must carry the WallClockExpired report, got: {message}"
+    );
+
+    // A generous deadline on the same point completes — proving the
+    // expired attempt was not cached — and its result is bit-identical
+    // to the wall-free path (the deadline only bounds, never perturbs).
+    let roomy = format!("{POINT}wall_ms=600000\n");
+    let frames = server.request(FrameKind::RunPoint, &roomy);
+    let done = terminal(&frames);
+    assert_eq!(done.kind, FrameKind::RunDone);
+    let (_, payload) = done.body.split_once("\n\n").expect("header + result");
+
+    let spec = tus_harness::RunSpec::new(
+        tus_workloads::by_name("502.gcc1-like").expect("exists"),
+        tus_sim::PolicyKind::Tus,
+        114,
+        tus_harness::Scale::Quick,
+    );
+    let direct = tus_harness::run(&spec);
+    assert_eq!(
+        payload,
+        tus_harness::executor::encode_result(&direct, &spec.memo_key()),
+        "wall-bounded result must be bit-identical to an unbounded run"
+    );
+
+    server.shutdown();
+}
+
 /// A server-wide `--max-budget` ceiling clamps every request, including
 /// ones that ask for no budget at all.
 #[test]
